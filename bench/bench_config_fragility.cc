@@ -1,0 +1,227 @@
+// E9 — §3(5) "complex to maintain and evolve": configuration blast radius.
+//
+// Take the fully built Fig. 1 deployment and apply every possible
+// *single-element* removal — one route, one security-group rule — measure
+// how many of the application's legitimate flows break, then restore and
+// try the next. Repeat in the declarative world, where the only removable
+// elements are individual permit entries.
+//
+// What this quantifies: in the baseline, shared infrastructure elements
+// (a 10/8 route toward a transit gateway, an egress-all SG rule) are load-
+// bearing for many flows at once, and their blast radius is invisible
+// from the element itself. In the declarative world each element names
+// exactly the communication it allows, so the blast radius is the entry's
+// own scope — maintenance becomes local.
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cloud/presets.h"
+#include "src/core/api.h"
+#include "src/vnet/builder.h"
+
+namespace tenantnet {
+namespace {
+
+struct AppFlow {
+  InstanceId src;
+  InstanceId dst;
+  uint16_t port;
+};
+
+// The legitimate communication matrix of the Fig. 1 app, instance-pair
+// granular (~60 flows).
+std::vector<AppFlow> LegitFlows(const Fig1World& fig) {
+  std::vector<AppFlow> flows;
+  for (InstanceId sp : fig.spark) {
+    for (InstanceId db : fig.database) {
+      flows.push_back({sp, db, Fig1Baseline::kDbPort});
+    }
+  }
+  for (InstanceId web : fig.web_eu) {
+    flows.push_back({web, fig.spark[0], Fig1Baseline::kSparkPort});
+  }
+  for (InstanceId web : fig.web_us) {
+    flows.push_back({web, fig.spark[1], Fig1Baseline::kSparkPort});
+  }
+  for (InstanceId a : fig.analytics) {
+    flows.push_back({a, fig.database[0], Fig1Baseline::kDbPort});
+  }
+  for (InstanceId al : fig.alerting) {
+    flows.push_back({al, fig.spark[0], Fig1Baseline::kSparkPort});
+    flows.push_back({fig.spark[2], al, Fig1Baseline::kAlertPort});
+  }
+  return flows;
+}
+
+struct BlastStats {
+  uint64_t mutations = 0;
+  uint64_t harmless = 0;     // mutations breaking nothing
+  uint64_t total_broken = 0;
+  uint64_t max_broken = 0;
+
+  void Record(uint64_t broken) {
+    ++mutations;
+    if (broken == 0) {
+      ++harmless;
+    }
+    total_broken += broken;
+    max_broken = std::max(max_broken, broken);
+  }
+  double MeanBroken() const {
+    return mutations == 0
+               ? 0
+               : static_cast<double>(total_broken) /
+                     static_cast<double>(mutations);
+  }
+};
+
+void Run() {
+  Banner("E9", "Maintenance fragility: single-element removal blast radius");
+
+  // ----- Baseline world -----------------------------------------------------
+  Fig1World fig = BuildFig1World();
+  ConfigLedger base_ledger;
+  BaselineNetwork baseline(*fig.world, base_ledger);
+  auto handles = BuildFig1Baseline(baseline, fig);
+  if (!handles.ok()) {
+    std::printf("build failed\n");
+    return;
+  }
+  std::vector<AppFlow> flows = LegitFlows(fig);
+
+  auto baseline_broken = [&]() {
+    uint64_t broken = 0;
+    for (const AppFlow& flow : flows) {
+      auto result = baseline.Evaluate(flow.src, flow.dst, flow.port,
+                                      Protocol::kTcp);
+      if (!result.ok() || !result->delivered) {
+        ++broken;
+      }
+    }
+    return broken;
+  };
+  if (baseline_broken() != 0) {
+    std::printf("baseline sanity check failed\n");
+    return;
+  }
+
+  BlastStats route_stats;
+  for (VpcRouteTableId table_id : baseline.AllRouteTables()) {
+    VpcRouteTable* table = baseline.FindRouteTable(table_id);
+    // Snapshot the routes (prefix + target) so each can be removed and
+    // restored. Lookup() gives targets; we re-walk via a prefix listing
+    // that VpcRouteTable does not expose, so collect through the trie in
+    // fabric: simplest is to try the prefixes we know the builder used.
+    // Instead: mutate by LPM-visible prefixes gathered from a probe set.
+    // To stay exact, VpcRouteTable exposes entries via ForEach below.
+    std::vector<std::pair<IpPrefix, VpcRouteTarget>> routes;
+    table->ForEach([&](const IpPrefix& p, const VpcRouteTarget& t) {
+      routes.push_back({p, t});
+    });
+    for (const auto& [prefix, target] : routes) {
+      if (target.kind == VpcRouteTargetKind::kLocal) {
+        continue;  // local routes are implicit, not tenant-removable
+      }
+      (void)baseline.RemoveRoute(table_id, prefix);
+      route_stats.Record(baseline_broken());
+      table->Install(prefix, target);  // restore
+    }
+  }
+
+  BlastStats sg_stats;
+  for (SecurityGroupId sg_id : baseline.AllSecurityGroups()) {
+    SecurityGroup* sg = baseline.FindSecurityGroup(sg_id);
+    for (size_t i = 0; i < sg->rules().size(); ++i) {
+      SgRule saved = sg->rules()[i];
+      (void)baseline.RemoveSgRule(sg_id, i);
+      sg_stats.Record(baseline_broken());
+      sg->AddRule(saved);  // restore (order does not matter for SGs)
+      // Re-removal indices stay valid: restored rule lands at the end.
+    }
+  }
+
+  // ----- Declarative world --------------------------------------------------
+  Fig1World decl_fig = BuildFig1World();
+  ConfigLedger decl_ledger;
+  DeclarativeCloud cloud(*decl_fig.world, decl_ledger);
+  std::map<uint64_t, IpAddress> eip;
+  for (InstanceId id : decl_fig.AllInstances()) {
+    eip[id.value()] = *cloud.RequestEip(id);
+  }
+  // Permit lists mirroring the same matrix (host-granular).
+  std::map<uint64_t, std::vector<PermitEntry>> lists;
+  std::vector<AppFlow> decl_flows = LegitFlows(decl_fig);
+  for (const AppFlow& flow : decl_flows) {
+    PermitEntry e;
+    e.source = IpPrefix::Host(eip.at(flow.src.value()));
+    e.dst_ports = PortRange::Single(flow.port);
+    e.proto = Protocol::kTcp;
+    auto& list = lists[flow.dst.value()];
+    if (std::find(list.begin(), list.end(), e) == list.end()) {
+      list.push_back(e);
+    }
+  }
+  for (const auto& [dst, list] : lists) {
+    (void)cloud.SetPermitList(eip.at(dst), list);
+  }
+
+  auto decl_broken = [&]() {
+    uint64_t broken = 0;
+    for (const AppFlow& flow : decl_flows) {
+      auto result = cloud.Evaluate(flow.src, eip.at(flow.dst.value()),
+                                   flow.port, Protocol::kTcp);
+      if (!result.ok() || !result->delivered) {
+        ++broken;
+      }
+    }
+    return broken;
+  };
+  if (decl_broken() != 0) {
+    std::printf("declarative sanity check failed\n");
+    return;
+  }
+
+  BlastStats permit_stats;
+  for (const auto& [dst, list] : lists) {
+    for (const PermitEntry& entry : list) {
+      (void)cloud.UpdatePermitList(eip.at(dst), {}, {entry});
+      permit_stats.Record(decl_broken());
+      (void)cloud.UpdatePermitList(eip.at(dst), {entry}, {});  // restore
+    }
+  }
+
+  std::printf("\n%zu legitimate flows; every single-element removal tried:\n",
+              flows.size());
+  TablePrinter table({30, 11, 10, 12, 11});
+  table.Row({"mutation class", "mutations", "harmless", "mean broken",
+             "max broken"});
+  table.Rule();
+  table.Row({"baseline: route removal", FmtInt(route_stats.mutations),
+             FmtInt(route_stats.harmless), FmtF(route_stats.MeanBroken(), 1),
+             FmtInt(route_stats.max_broken)});
+  table.Row({"baseline: SG rule removal", FmtInt(sg_stats.mutations),
+             FmtInt(sg_stats.harmless), FmtF(sg_stats.MeanBroken(), 1),
+             FmtInt(sg_stats.max_broken)});
+  table.Row({"declarative: permit entry", FmtInt(permit_stats.mutations),
+             FmtInt(permit_stats.harmless),
+             FmtF(permit_stats.MeanBroken(), 1),
+             FmtInt(permit_stats.max_broken)});
+  std::printf(
+      "\nReading: a baseline route or SG rule is shared infrastructure —\n"
+      "removing one can break dozens of flows, and which ones is not\n"
+      "deducible from the element itself (§3(5)'s maintenance burden).\n"
+      "A permit entry names exactly the flows it allows: blast radius is\n"
+      "its own scope, so maintenance is local and reviewable.\n");
+}
+
+}  // namespace
+}  // namespace tenantnet
+
+int main() {
+  tenantnet::Run();
+  return 0;
+}

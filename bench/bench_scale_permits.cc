@@ -1,0 +1,156 @@
+// E4b — §6(i): does a dynamic shared permit-list between tenants and cloud
+// providers scale?
+//
+// Two sweeps:
+//  1. Static scale: endpoints x entries-per-endpoint x edge replicas ->
+//     installed filter state and update fan-out.
+//  2. Dynamic scale: replay a synthetic tenant trace (launches/teardowns
+//     with Zipf communication partners); every lifecycle event triggers
+//     permit-list updates on the affected partners. Reports update
+//     messages per simulated second and the install-convergence latency
+//     distribution (time until the *last* edge applies an update).
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/app/trace.h"
+#include "src/core/edge_filter.h"
+#include "src/telemetry/metrics.h"
+
+namespace tenantnet {
+namespace {
+
+void StaticSweep() {
+  std::printf("\nStatic state: entries replicated across ingress edges\n");
+  TablePrinter table({10, 14, 8, 16, 16});
+  table.Row({"endpoints", "entries/ep", "edges", "installed total",
+             "update msgs"});
+  table.Rule();
+  for (uint64_t endpoints : {1000u, 10000u, 100000u}) {
+    for (uint64_t entries : {4u, 16u, 64u}) {
+      for (size_t edges : {3u, 10u, 25u}) {
+        EdgeFilterBank bank("p", nullptr, 1);
+        for (size_t e = 0; e < edges; ++e) {
+          bank.AddEdge("edge" + std::to_string(e));
+        }
+        std::vector<PermitEntry> permits(entries);
+        for (uint64_t i = 0; i < entries; ++i) {
+          permits[i].source = IpPrefix::Host(
+              IpAddress::V4(static_cast<uint32_t>(0x0A000000 + i)));
+        }
+        for (uint64_t ep = 0; ep < endpoints; ++ep) {
+          bank.SetPermitList(
+              IpAddress::V4(static_cast<uint32_t>(0x05000000 + ep)), permits);
+        }
+        if (entries == 16 || endpoints == 1000) {
+          table.Row({FmtInt(endpoints), FmtInt(entries), FmtInt(edges),
+                     FmtInt(bank.total_installed_entries()),
+                     FmtInt(bank.update_messages_sent())});
+        }
+      }
+    }
+  }
+  std::printf(
+      "State grows as endpoints x entries x edges: linear in each factor —\n"
+      "big but partitionable (each edge only needs lists for endpoints it\n"
+      "can reach; here we charge the worst case of full replication).\n");
+}
+
+void ChurnReplay() {
+  std::printf("\nDynamic scale: trace-driven permit-list churn\n");
+  TablePrinter table({10, 12, 14, 16, 14, 14});
+  table.Row({"tenants", "launch/s", "events", "update msgs", "msgs/sim-s",
+             "p99 conv ms"});
+  table.Rule();
+
+  for (uint64_t tenants : {5u, 20u, 80u}) {
+    TraceParams params;
+    params.tenants = tenants;
+    params.launches_per_second_per_tenant = 1.0;
+    params.duration = SimDuration::Seconds(300);
+    params.partners_per_instance = 4;
+    params.mean_lifetime_seconds = 120;
+    TenantTrace trace = GenerateTrace(params);
+
+    EventQueue queue;
+    EdgeFilterBank bank("p", &queue, 5);
+    for (int e = 0; e < 10; ++e) {
+      bank.AddEdge("edge" + std::to_string(e));
+    }
+    Histogram convergence_ms;
+    uint64_t updates = 0;
+
+    // Each live instance's permit list = its inbound partners. A launch
+    // adds the newcomer to each partner's list (and installs its own); a
+    // teardown removes it again.
+    std::map<uint64_t, std::set<uint64_t>> inbound;    // instance -> sources
+    std::map<uint64_t, std::set<uint64_t>> listed_in;  // src -> endpoints
+    auto addr_of = [](uint64_t instance) {
+      return IpAddress::V4(static_cast<uint32_t>(0x05000000 + instance));
+    };
+    auto reinstall = [&](uint64_t instance) {
+      std::vector<PermitEntry> permits;
+      for (uint64_t src : inbound[instance]) {
+        PermitEntry e;
+        e.source = IpPrefix::Host(addr_of(src));
+        permits.push_back(e);
+      }
+      SimTime done = bank.SetPermitList(addr_of(instance), permits);
+      convergence_ms.Record((done - queue.now()).ToMillis());
+      ++updates;
+    };
+
+    for (const TraceEvent& event : trace.events) {
+      queue.RunUntil(event.at);
+      if (event.kind == TraceEventKind::kLaunch) {
+        for (uint64_t partner : event.talks_to) {
+          inbound[partner].insert(event.instance);
+          listed_in[event.instance].insert(partner);
+          reinstall(partner);
+          inbound[event.instance].insert(partner);
+          listed_in[partner].insert(event.instance);
+        }
+        reinstall(event.instance);
+      } else {
+        for (uint64_t target : listed_in[event.instance]) {
+          auto it = inbound.find(target);
+          if (it != inbound.end() && it->second.erase(event.instance) > 0) {
+            reinstall(target);
+          }
+        }
+        listed_in.erase(event.instance);
+        inbound.erase(event.instance);
+        bank.RemovePermitList(addr_of(event.instance));
+      }
+    }
+    queue.RunAll();
+
+    double sim_seconds = params.duration.ToSeconds();
+    table.Row({FmtInt(tenants),
+               FmtF(params.launches_per_second_per_tenant, 1),
+               FmtInt(trace.events.size()),
+               FmtInt(bank.update_messages_sent()),
+               FmtF(static_cast<double>(bank.update_messages_sent()) /
+                        sim_seconds,
+                    1),
+               FmtF(convergence_ms.P99(), 1)});
+  }
+  std::printf(
+      "Update load scales with churn x partner degree, not with total\n"
+      "endpoint count; convergence latency is the per-edge install time\n"
+      "(independent of scale) — the shared permit-list is dynamically\n"
+      "maintainable at these rates.\n");
+}
+
+}  // namespace
+}  // namespace tenantnet
+
+int main() {
+  tenantnet::Banner("E4b", "Scalability: dynamic shared permit-lists (§6 i)");
+  tenantnet::StaticSweep();
+  tenantnet::ChurnReplay();
+  return 0;
+}

@@ -1,0 +1,159 @@
+// E4a — §6(i): does flat public EIP addressing scale in the provider's
+// routing tables?
+//
+// Sweeps the endpoint count and reports, for each scale:
+//   * flat host routes the provider carries (one per EIP),
+//   * trie nodes (memory proxy),
+//   * the minimal table after provider-side aggregation (the paper's
+//     argument: because tenants cannot pin prefixes, the provider may
+//     renumber/aggregate freely — sequential pools collapse massively),
+//   * the same after trace-driven churn (fragmentation from releases),
+//   * the VPC-world comparison: one route per VPC-prefix instead,
+//   * LPM lookup latency at that scale.
+//
+// Paper claim under test: flat EIPs are tractable *because* aggregation
+// freedom stays with the provider; churn erodes but does not destroy it.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/net/ipam.h"
+#include "src/routing/route_table.h"
+
+namespace tenantnet {
+namespace {
+
+struct ScaleResult {
+  uint64_t endpoints;
+  uint64_t flat_entries;
+  uint64_t trie_nodes;
+  uint64_t aggregated;
+  uint64_t churned_lifo;        // aggregated table after churn, LIFO reuse
+  uint64_t churned_dense;       // ... with lowest-first (dense) reuse
+  uint64_t vpc_world_entries;
+  double lookup_ns;
+};
+
+// Steady-state churn: interleaved releases and allocations around a stable
+// population (NOT release-then-realloc pairs, which any reuse policy
+// trivially undoes). Returns the aggregated table size afterwards.
+uint64_t AggregatedAfterChurn(uint64_t endpoints,
+                              HostAllocator::ReusePolicy policy) {
+  HostAllocator pool(*IpPrefix::Parse("5.0.0.0/9"), policy);
+  RouteTable rib;
+  std::vector<IpAddress> live;
+  live.reserve(endpoints);
+  for (uint64_t i = 0; i < endpoints; ++i) {
+    IpAddress eip = *pool.Allocate();
+    rib.Install(IpPrefix::Host(eip),
+                RouteEntry{NodeId(1 + i % 16), RouteOrigin::kLocal, 0, ""});
+    live.push_back(eip);
+  }
+  Rng rng(17);
+  uint64_t churn_ops = endpoints;  // one full population turnover
+  for (uint64_t op = 0; op < churn_ops; ++op) {
+    // Release a random victim...
+    size_t victim = rng.NextU64(live.size());
+    (void)rib.Withdraw(IpPrefix::Host(live[victim]));
+    (void)pool.Release(live[victim]);
+    live[victim] = live.back();
+    live.pop_back();
+    // ...and independently admit 1 newcomer (population oscillates).
+    uint64_t arrivals = rng.NextBool(0.5) ? 2 : 0;
+    for (uint64_t a = 0; a < arrivals && live.size() < endpoints; ++a) {
+      IpAddress eip = *pool.Allocate();
+      rib.Install(IpPrefix::Host(eip),
+                  RouteEntry{NodeId(1 + op % 16), RouteOrigin::kLocal, 0, ""});
+      live.push_back(eip);
+    }
+  }
+  return AggregatePrefixes(rib.Prefixes()).size();
+}
+
+ScaleResult RunScale(uint64_t endpoints) {
+  ScaleResult result;
+  result.endpoints = endpoints;
+
+  HostAllocator pool(*IpPrefix::Parse("5.0.0.0/9"));
+  RouteTable rib;
+  std::vector<IpAddress> live;
+  live.reserve(endpoints);
+  for (uint64_t i = 0; i < endpoints; ++i) {
+    IpAddress eip = *pool.Allocate();
+    rib.Install(IpPrefix::Host(eip),
+                RouteEntry{NodeId(1 + i % 16), RouteOrigin::kLocal, 0, ""});
+    live.push_back(eip);
+  }
+  result.flat_entries = rib.entry_count();
+  result.trie_nodes = rib.node_count();
+  result.aggregated = AggregatePrefixes(rib.Prefixes()).size();
+
+  result.churned_lifo =
+      AggregatedAfterChurn(endpoints, HostAllocator::ReusePolicy::kLifo);
+  result.churned_dense = AggregatedAfterChurn(
+      endpoints, HostAllocator::ReusePolicy::kLowestFirst);
+
+  // VPC world: tenants pin prefixes; one route per VPC. Assume the survey
+  // average of ~50 instances per VPC.
+  result.vpc_world_entries = (endpoints + 49) / 50;
+
+  // LPM lookup cost at this table size.
+  uint64_t probes = 200000;
+  Rng probe_rng(23);
+  auto start = std::chrono::steady_clock::now();
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < probes; ++i) {
+    IpAddress target = live[probe_rng.NextU64(live.size())];
+    if (rib.Lookup(target) != nullptr) {
+      ++hits;
+    }
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  benchmark::DoNotOptimize(hits);
+  result.lookup_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()) /
+      static_cast<double>(probes);
+  return result;
+}
+
+void Run() {
+  Banner("E4a", "Scalability: flat EIP routing state vs scale (§6 i)");
+
+  TablePrinter table({10, 12, 12, 12, 13, 13, 12, 12});
+  table.Row({"endpoints", "flat routes", "trie nodes", "aggregated",
+             "churn(LIFO)", "churn(dense)", "VPC-world", "lookup ns"});
+  table.Rule();
+  for (uint64_t n : {1000u, 10000u, 100000u, 500000u}) {
+    ScaleResult r = RunScale(n);
+    table.Row({FmtInt(r.endpoints), FmtInt(r.flat_entries),
+               FmtInt(r.trie_nodes), FmtInt(r.aggregated),
+               FmtInt(r.churned_lifo), FmtInt(r.churned_dense),
+               FmtInt(r.vpc_world_entries), FmtF(r.lookup_ns, 1)});
+  }
+  std::printf(
+      "\nReading: the provider carries one host route per EIP internally;\n"
+      "at bootstrap the table aggregates to a handful of prefixes. Churn\n"
+      "is where the provider's aggregation *freedom* matters: with naive\n"
+      "LIFO reuse a population turnover fragments the table badly, while\n"
+      "lowest-first (dense) reuse — a choice only the provider can make,\n"
+      "and only because tenants cannot pin addresses — keeps it compact.\n"
+      "Worst case remains O(live endpoints), i.e. it never blows up; the\n"
+      "VPC world's table is smaller but every prefix in it is pinned by a\n"
+      "tenant, so the provider has no such lever (and tenants carry the\n"
+      "planning cost, E1/E2). Lookup stays O(address bits) regardless.\n");
+}
+
+}  // namespace
+}  // namespace tenantnet
+
+int main() {
+  tenantnet::Run();
+  return 0;
+}

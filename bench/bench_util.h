@@ -1,0 +1,62 @@
+// Shared helpers for the experiment binaries: fixed-width table printing so
+// every bench emits the paper-style rows EXPERIMENTS.md records.
+
+#ifndef TENANTNET_BENCH_BENCH_UTIL_H_
+#define TENANTNET_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tenantnet {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<int> widths) : widths_(std::move(widths)) {}
+
+  void Row(std::initializer_list<std::string> cells) const {
+    size_t i = 0;
+    std::string line;
+    for (const std::string& cell : cells) {
+      int width = i < widths_.size() ? widths_[i] : 16;
+      std::string padded = cell;
+      if (static_cast<int>(padded.size()) < width) {
+        padded.resize(static_cast<size_t>(width), ' ');
+      }
+      line += padded;
+      line += "  ";
+      ++i;
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  void Rule() const {
+    int total = 0;
+    for (int w : widths_) {
+      total += w + 2;
+    }
+    std::printf("%s\n", std::string(static_cast<size_t>(total), '-').c_str());
+  }
+
+ private:
+  std::vector<int> widths_;
+};
+
+inline std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+inline std::string FmtF(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline void Banner(const char* experiment, const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s  %s\n", experiment, title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates bench_output.txt (all experiment tables) and test_output.txt.
+set -u
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja && cmake --build build || exit 1
+ctest --test-dir build 2>&1 | tee test_output.txt
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $(basename "$b")" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done

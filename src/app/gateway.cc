@@ -1,0 +1,116 @@
+#include "src/app/gateway.h"
+
+#include <algorithm>
+
+namespace tenantnet {
+
+std::string_view GatewayVerdictName(GatewayVerdict verdict) {
+  switch (verdict) {
+    case GatewayVerdict::kAccepted:
+      return "accepted";
+    case GatewayVerdict::kMalformed:
+      return "malformed";
+    case GatewayVerdict::kUnauthenticated:
+      return "unauthenticated";
+    case GatewayVerdict::kUnauthorized:
+      return "unauthorized";
+  }
+  return "?";
+}
+
+Principal& CredentialRegistry::CreatePrincipal(const std::string& name) {
+  PrincipalId id = ids_.Next();
+  Principal principal;
+  principal.id = id;
+  principal.name = name;
+  principal.token =
+      "tok-" + std::to_string(id.value()) + "-" +
+      std::to_string(0x9E3779B97F4A7C15ULL * ++token_counter_);
+  auto [it, inserted] = principals_.emplace(id, std::move(principal));
+  by_token_[it->second.token] = id;
+  return it->second;
+}
+
+Status CredentialRegistry::RevokeToken(PrincipalId principal) {
+  auto it = principals_.find(principal);
+  if (it == principals_.end()) {
+    return NotFoundError("no such principal");
+  }
+  by_token_.erase(it->second.token);
+  it->second.token.clear();
+  return Status::Ok();
+}
+
+const Principal* CredentialRegistry::Authenticate(
+    const std::string& token) const {
+  if (token.empty()) {
+    return nullptr;
+  }
+  auto it = by_token_.find(token);
+  if (it == by_token_.end()) {
+    return nullptr;
+  }
+  auto pit = principals_.find(it->second);
+  return pit == principals_.end() ? nullptr : &pit->second;
+}
+
+void ApiGateway::Authorize(PrincipalId principal, const std::string& method,
+                           const std::string& path_prefix) {
+  grants_.push_back(Grant{principal, method, path_prefix});
+}
+
+bool ApiGateway::WellFormed(const ApiRequest& request) {
+  static const char* kMethods[] = {"GET", "PUT", "POST", "DELETE", "PATCH"};
+  bool method_ok = std::any_of(
+      std::begin(kMethods), std::end(kMethods),
+      [&request](const char* m) { return request.method == m; });
+  if (!method_ok) {
+    return false;
+  }
+  if (request.path.empty() || request.path[0] != '/') {
+    return false;
+  }
+  // Reject traversal and embedded NULs — crude but representative of the
+  // gateway's schema validation role.
+  if (request.path.find("..") != std::string::npos ||
+      request.path.find('\0') != std::string::npos) {
+    return false;
+  }
+  return true;
+}
+
+GatewayVerdict ApiGateway::Check(const ApiRequest& request) {
+  if (!WellFormed(request)) {
+    ++malformed_;
+    return GatewayVerdict::kMalformed;
+  }
+  const Principal* principal =
+      registry_ != nullptr ? registry_->Authenticate(request.token) : nullptr;
+  if (principal == nullptr) {
+    ++unauthenticated_;
+    return GatewayVerdict::kUnauthenticated;
+  }
+  for (const Grant& grant : grants_) {
+    if (grant.principal != principal->id) {
+      continue;
+    }
+    if (grant.method != "*" && grant.method != request.method) {
+      continue;
+    }
+    if (request.path.rfind(grant.path_prefix, 0) == 0) {
+      ++accepted_;
+      return GatewayVerdict::kAccepted;
+    }
+  }
+  ++unauthorized_;
+  return GatewayVerdict::kUnauthorized;
+}
+
+void ApiGateway::ResetCounters() {
+  accepted_ = 0;
+  malformed_ = 0;
+  unauthenticated_ = 0;
+  unauthorized_ = 0;
+}
+
+}  // namespace tenantnet

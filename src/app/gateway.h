@@ -1,0 +1,112 @@
+// Service-centric application layer: credentials and the API gateway.
+//
+// The proposal's security story divides work between the network (L3/L4
+// permit lists, provider-enforced) and the application (API-level
+// authentication and well-formedness checks, enforced at a gateway in
+// front of every service — the Kubernetes-style pattern §4 assumes).
+// This module is that application half. E6 runs attacks against the
+// combination and against the baseline's network-layer stack.
+
+#ifndef TENANTNET_SRC_APP_GATEWAY_H_
+#define TENANTNET_SRC_APP_GATEWAY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+
+namespace tenantnet {
+
+using PrincipalId = TypedId<struct PrincipalIdTag>;
+
+// An authenticated caller identity with bearer credentials.
+struct Principal {
+  PrincipalId id;
+  std::string name;
+  std::string token;  // opaque bearer credential
+};
+
+// One API request as the gateway sees it.
+struct ApiRequest {
+  std::string method = "GET";      // GET/PUT/POST/DELETE
+  std::string path = "/";          // must be well-formed
+  std::string token;               // presented credential
+  std::string body;
+  uint64_t body_bytes = 0;
+};
+
+enum class GatewayVerdict : uint8_t {
+  kAccepted,
+  kMalformed,       // fails well-formedness (§4: "the API call is well-formed")
+  kUnauthenticated, // unknown/expired credential
+  kUnauthorized,    // known principal, but not allowed on this route
+};
+
+std::string_view GatewayVerdictName(GatewayVerdict verdict);
+
+class CredentialRegistry {
+ public:
+  Principal& CreatePrincipal(const std::string& name);
+  // Invalidates the principal's token (revocation / rotation).
+  Status RevokeToken(PrincipalId principal);
+
+  // Returns the principal owning a live token, or nullptr.
+  const Principal* Authenticate(const std::string& token) const;
+
+ private:
+  std::unordered_map<PrincipalId, Principal> principals_;
+  std::unordered_map<std::string, PrincipalId> by_token_;
+  IdGenerator<PrincipalId> ids_;
+  uint64_t token_counter_ = 0;
+};
+
+// Gateway guarding one service: route authorization per principal.
+class ApiGateway {
+ public:
+  ApiGateway(std::string service_name, const CredentialRegistry* registry)
+      : service_(std::move(service_name)), registry_(registry) {}
+
+  const std::string& service() const { return service_; }
+
+  // Grants `principal` access to routes under `path_prefix` with `method`
+  // ("*" = any method).
+  void Authorize(PrincipalId principal, const std::string& method,
+                 const std::string& path_prefix);
+
+  GatewayVerdict Check(const ApiRequest& request);
+
+  // Counters for the security experiment.
+  uint64_t accepted() const { return accepted_; }
+  uint64_t rejected_malformed() const { return malformed_; }
+  uint64_t rejected_unauthenticated() const { return unauthenticated_; }
+  uint64_t rejected_unauthorized() const { return unauthorized_; }
+  uint64_t total_checked() const {
+    return accepted_ + malformed_ + unauthenticated_ + unauthorized_;
+  }
+  void ResetCounters();
+
+ private:
+  struct Grant {
+    PrincipalId principal;
+    std::string method;
+    std::string path_prefix;
+  };
+
+  static bool WellFormed(const ApiRequest& request);
+
+  std::string service_;
+  const CredentialRegistry* registry_;
+  std::vector<Grant> grants_;
+  uint64_t accepted_ = 0;
+  uint64_t malformed_ = 0;
+  uint64_t unauthenticated_ = 0;
+  uint64_t unauthorized_ = 0;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_APP_GATEWAY_H_

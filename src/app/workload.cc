@@ -1,0 +1,115 @@
+#include "src/app/workload.h"
+
+#include <cmath>
+
+namespace tenantnet {
+
+RequestWorkload::RequestWorkload(EventQueue& queue, FlowSim& flows,
+                                 const CloudWorld& world,
+                                 WorkloadParams params)
+    : queue_(queue), flows_(flows), world_(world), params_(params),
+      rng_(params.seed) {}
+
+size_t RequestWorkload::AddPattern(std::string name,
+                                   std::vector<InstanceId> sources,
+                                   std::vector<InstanceId> destinations,
+                                   double rps, ConnectorFn connector) {
+  Pattern pattern;
+  pattern.name = std::move(name);
+  pattern.sources = std::move(sources);
+  pattern.destinations = std::move(destinations);
+  pattern.rps = rps;
+  pattern.connector = std::move(connector);
+  patterns_.push_back(std::move(pattern));
+  return patterns_.size() - 1;
+}
+
+void RequestWorkload::Start(SimDuration duration) {
+  double horizon = duration.ToSeconds();
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    Rng arrivals = rng_.Fork();
+    double t = 0;
+    while (true) {
+      t += arrivals.NextExponential(patterns_[i].rps);
+      if (t >= horizon) {
+        break;
+      }
+      queue_.ScheduleAfter(SimDuration::Seconds(t),
+                           [this, i] { RunTransaction(i); });
+    }
+  }
+}
+
+void RequestWorkload::RunTransaction(size_t pattern_index) {
+  Pattern& pattern = patterns_[pattern_index];
+  PatternStats& stats = pattern.stats;
+  ++stats.attempted;
+
+  InstanceId src =
+      pattern.sources[rng_.NextU64(pattern.sources.size())];
+  InstanceId dst =
+      pattern.destinations[rng_.NextU64(pattern.destinations.size())];
+
+  ResolvedRoute route = pattern.connector(src, dst);
+  if (!route.allowed) {
+    ++stats.denied;
+    ++stats.deny_by_stage[route.deny_stage.empty() ? "denied"
+                                                   : route.deny_stage];
+    return;
+  }
+
+  const Topology& topology = world_.topology();
+  auto path = world_.ResolvePath(route.src_node, route.dst_node, route.policy);
+  if (!path.ok()) {
+    ++stats.denied;
+    ++stats.deny_by_stage["no-physical-path"];
+    return;
+  }
+  auto reverse_path =
+      world_.ResolvePath(route.dst_node, route.src_node, route.policy);
+
+  SimTime start = queue_.now();
+  SimDuration forward = topology.SamplePathDelay(*path, rng_) +
+                        flows_.QueuePenalty(*path, params_.queue_penalty_base,
+                                            params_.queue_penalty_cap);
+  // Heavy-tailed response size (bounded Pareto-ish: scale for the mean).
+  double x_min = params_.mean_response_bytes *
+                 (params_.response_pareto_alpha - 1) /
+                 params_.response_pareto_alpha;
+  double response_bytes =
+      rng_.NextPareto(x_min, params_.response_pareto_alpha);
+  response_bytes = std::min(response_bytes, params_.mean_response_bytes * 50);
+
+  ++inflight_;
+  // Request arrives at the server after the forward delay + server time;
+  // the response then streams back through the fluid simulator.
+  SimDuration until_response_start =
+      forward + params_.server_time;
+  std::vector<LinkId> response_path =
+      reverse_path.ok() ? *reverse_path : std::vector<LinkId>{};
+  double cap = route.rate_cap_bps;
+  double weight = route.weight;
+  queue_.ScheduleAfter(
+      until_response_start,
+      [this, pattern_index, start, response_bytes, response_path, cap,
+       weight] {
+        Pattern& p = patterns_[pattern_index];
+        SimDuration tail_delay =
+            world_.topology().SamplePathDelay(response_path, rng_);
+        flows_.StartFlow(
+            response_path, response_bytes,
+            [this, pattern_index, start, response_bytes, tail_delay](
+                FlowId, SimTime finish) {
+              Pattern& pat = patterns_[pattern_index];
+              SimDuration total = (finish - start) + tail_delay;
+              pat.stats.latency_ms.Record(total.ToMillis());
+              ++pat.stats.completed;
+              pat.stats.bytes_transferred += response_bytes;
+              --inflight_;
+            },
+            weight, cap);
+        (void)p;
+      });
+}
+
+}  // namespace tenantnet

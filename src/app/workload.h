@@ -1,0 +1,115 @@
+// Request/response workload driver.
+//
+// Drives application-level traffic over the simulated world: open-loop
+// Poisson arrivals of request/response transactions between instance
+// groups. Which flows are *allowed* and which attachment nodes they run
+// between is delegated to a ConnectorFn, so the same workload runs
+// unchanged over the baseline fabric and over the declarative API — the
+// comparison experiments depend on exactly that symmetry.
+//
+// A transaction is: sampled forward path delay (propagation + jitter +
+// congestion-dependent queueing) + server time + response transfer through
+// the fluid FlowSim (so big responses see bandwidth contention) + sampled
+// reverse delay. Latencies land in a per-pattern histogram.
+
+#ifndef TENANTNET_SRC_APP_WORKLOAD_H_
+#define TENANTNET_SRC_APP_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cloud/world.h"
+#include "src/common/rng.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/flow_sim.h"
+#include "src/telemetry/metrics.h"
+
+namespace tenantnet {
+
+// The world-specific verdict for one (src, dst) transaction attempt.
+struct ResolvedRoute {
+  bool allowed = false;
+  std::string deny_stage;     // where it died, for the breakdown counters
+  NodeId src_node;
+  NodeId dst_node;
+  EgressPolicy policy = EgressPolicy::kColdPotato;
+  double rate_cap_bps = std::numeric_limits<double>::infinity();
+  // Max-min weight for the response flow: >1 models provider-side
+  // bandwidth reservation (the §4 egress-guarantee approximation).
+  double weight = 1.0;
+};
+
+using ConnectorFn = std::function<ResolvedRoute(InstanceId src, InstanceId dst)>;
+
+struct WorkloadParams {
+  double mean_response_bytes = 256 * 1024;
+  double response_pareto_alpha = 1.5;   // heavy-tailed response sizes
+  SimDuration server_time = SimDuration::Micros(500);
+  SimDuration queue_penalty_base = SimDuration::Millis(1);
+  SimDuration queue_penalty_cap = SimDuration::Millis(50);
+  uint64_t seed = 7;
+};
+
+struct PatternStats {
+  uint64_t attempted = 0;
+  uint64_t denied = 0;
+  uint64_t completed = 0;
+  std::map<std::string, uint64_t> deny_by_stage;
+  Histogram latency_ms;
+  double bytes_transferred = 0;
+};
+
+class RequestWorkload {
+ public:
+  RequestWorkload(EventQueue& queue, FlowSim& flows, const CloudWorld& world,
+                  WorkloadParams params = {});
+
+  // Registers a traffic pattern: `rps` transactions/sec from a random
+  // member of `sources` to a random member of `destinations`, admitted and
+  // placed by `connector`. Returns the pattern index.
+  size_t AddPattern(std::string name, std::vector<InstanceId> sources,
+                    std::vector<InstanceId> destinations, double rps,
+                    ConnectorFn connector);
+
+  // Schedules arrivals for all patterns over [now, now + duration).
+  void Start(SimDuration duration);
+
+  const PatternStats& stats(size_t pattern) const {
+    return patterns_[pattern].stats;
+  }
+  const std::string& pattern_name(size_t pattern) const {
+    return patterns_[pattern].name;
+  }
+  size_t pattern_count() const { return patterns_.size(); }
+
+  // In-flight transactions (for drain checks in tests).
+  uint64_t inflight() const { return inflight_; }
+
+ private:
+  struct Pattern {
+    std::string name;
+    std::vector<InstanceId> sources;
+    std::vector<InstanceId> destinations;
+    double rps = 0;
+    ConnectorFn connector;
+    PatternStats stats;
+  };
+
+  void RunTransaction(size_t pattern_index);
+
+  EventQueue& queue_;
+  FlowSim& flows_;
+  const CloudWorld& world_;
+  WorkloadParams params_;
+  Rng rng_;
+  std::vector<Pattern> patterns_;
+  uint64_t inflight_ = 0;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_APP_WORKLOAD_H_

@@ -1,0 +1,72 @@
+// Strongly typed integer ids.
+//
+// tenantnet has many id spaces (tenants, instances, VPCs, gateways, EIP
+// handles, flows, nodes, links, ...). Raw uint64_t invites cross-space mixups
+// that the type system can catch for free, so each space declares
+//   using VpcId = TypedId<struct VpcIdTag>;
+// TypedId is a trivially copyable value type usable as a map key.
+
+#ifndef TENANTNET_SRC_COMMON_IDS_H_
+#define TENANTNET_SRC_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace tenantnet {
+
+template <typename Tag>
+class TypedId {
+ public:
+  // Default-constructed ids are invalid; generators start at 1.
+  constexpr TypedId() = default;
+  constexpr explicit TypedId(uint64_t value) : value_(value) {}
+
+  constexpr uint64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != 0; }
+
+  static constexpr TypedId Invalid() { return TypedId(); }
+
+  friend constexpr bool operator==(TypedId a, TypedId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(TypedId a, TypedId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(TypedId a, TypedId b) {
+    return a.value_ < b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, TypedId id) {
+    return os << "#" << id.value_;
+  }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Monotonic generator for a given id space. Not thread-safe; the simulator
+// is single-threaded by design (deterministic replay).
+template <typename Id>
+class IdGenerator {
+ public:
+  Id Next() { return Id(++last_); }
+  void Reset() { last_ = 0; }
+
+ private:
+  uint64_t last_ = 0;
+};
+
+}  // namespace tenantnet
+
+// std::hash support so TypedId works in unordered containers.
+namespace std {
+template <typename Tag>
+struct hash<tenantnet::TypedId<Tag>> {
+  size_t operator()(tenantnet::TypedId<Tag> id) const noexcept {
+    return std::hash<uint64_t>{}(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // TENANTNET_SRC_COMMON_IDS_H_

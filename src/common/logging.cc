@@ -1,0 +1,55 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <string>
+
+namespace tenantnet {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+// Strip directories: "src/core/api.cc" -> "api.cc".
+std::string_view Basename(std::string_view path) {
+  size_t pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace log_internal {
+
+LogMessage::LogMessage(LogLevel level, std::string_view file, int line)
+    : level_(level), enabled_(level >= g_level) {
+  if (enabled_) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::string msg = stream_.str();
+    std::fprintf(stderr, "%s\n", msg.c_str());
+  }
+}
+
+}  // namespace log_internal
+
+}  // namespace tenantnet

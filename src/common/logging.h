@@ -1,0 +1,52 @@
+// Minimal leveled logging.
+//
+// tenantnet is a library first; by default it is silent (kWarning). Examples
+// and benches raise the level for narration. Logging writes to stderr via a
+// single stream-style macro:
+//   TN_LOG(kInfo) << "tenant " << tid << " placed " << n << " instances";
+// Messages below the global level are discarded without evaluating the
+// stream expression's insertions into the sink (the ostringstream is still
+// constructed; logging is not used on data-plane hot paths).
+
+#ifndef TENANTNET_SRC_COMMON_LOGGING_H_
+#define TENANTNET_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace tenantnet {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global log threshold; messages with level < threshold are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define TN_LOG(severity)                                                     \
+  ::tenantnet::log_internal::LogMessage(::tenantnet::LogLevel::severity,     \
+                                        __FILE__, __LINE__)                  \
+      .stream()
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_COMMON_LOGGING_H_

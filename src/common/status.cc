@@ -1,0 +1,66 @@
+#include "src/common/status.h"
+
+namespace tenantnet {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgumentError(std::string_view msg) {
+  return Status(StatusCode::kInvalidArgument, std::string(msg));
+}
+Status NotFoundError(std::string_view msg) {
+  return Status(StatusCode::kNotFound, std::string(msg));
+}
+Status AlreadyExistsError(std::string_view msg) {
+  return Status(StatusCode::kAlreadyExists, std::string(msg));
+}
+Status ResourceExhaustedError(std::string_view msg) {
+  return Status(StatusCode::kResourceExhausted, std::string(msg));
+}
+Status FailedPreconditionError(std::string_view msg) {
+  return Status(StatusCode::kFailedPrecondition, std::string(msg));
+}
+Status PermissionDeniedError(std::string_view msg) {
+  return Status(StatusCode::kPermissionDenied, std::string(msg));
+}
+Status UnimplementedError(std::string_view msg) {
+  return Status(StatusCode::kUnimplemented, std::string(msg));
+}
+Status InternalError(std::string_view msg) {
+  return Status(StatusCode::kInternal, std::string(msg));
+}
+
+}  // namespace tenantnet

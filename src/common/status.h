@@ -1,0 +1,149 @@
+// Status and Result<T>: lightweight error propagation for tenantnet.
+//
+// The simulator and control planes report recoverable errors (bad tenant
+// input, exhausted address pools, unknown ids) through Status / Result<T>
+// rather than exceptions, so that benchmark hot paths stay allocation-free
+// on the success path and callers are forced to look at failures.
+
+#ifndef TENANTNET_SRC_COMMON_STATUS_H_
+#define TENANTNET_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace tenantnet {
+
+// Broad error taxonomy. Mirrors the subset of canonical codes the project
+// actually needs; keep this list short and stable.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // id / route / resource does not exist
+  kAlreadyExists,     // uniqueness violated (duplicate id, overlapping CIDR)
+  kResourceExhausted, // pool empty, quota full, table at capacity
+  kFailedPrecondition,// operation illegal in current state
+  kPermissionDenied,  // policy (permit-list, ACL, auth) rejected the action
+  kUnimplemented,     // feature intentionally absent in this build
+  kInternal,          // invariant violation; indicates a tenantnet bug
+};
+
+// Human-readable name for a code ("OK", "NOT_FOUND", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy when OK (no message allocated).
+class Status {
+ public:
+  // Default: OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such vpc".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors.
+Status InvalidArgumentError(std::string_view msg);
+Status NotFoundError(std::string_view msg);
+Status AlreadyExistsError(std::string_view msg);
+Status ResourceExhaustedError(std::string_view msg);
+Status FailedPreconditionError(std::string_view msg);
+Status PermissionDeniedError(std::string_view msg);
+Status UnimplementedError(std::string_view msg);
+Status InternalError(std::string_view msg);
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit from value and from error Status, so functions can
+  // `return value;` or `return NotFoundError(...);` symmetrically.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  // Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagate a non-OK status out of the current function.
+#define TN_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    ::tenantnet::Status tn_status_ = (expr);    \
+    if (!tn_status_.ok()) {                     \
+      return tn_status_;                        \
+    }                                           \
+  } while (0)
+
+// Assign from a Result<T> or propagate its error.
+//   TN_ASSIGN_OR_RETURN(auto ip, pool.Allocate());
+#define TN_ASSIGN_OR_RETURN(decl, expr)                          \
+  TN_ASSIGN_OR_RETURN_IMPL_(TN_STATUS_CONCAT_(tn_res_, __LINE__), decl, expr)
+
+#define TN_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  decl = std::move(tmp).value()
+
+#define TN_STATUS_CONCAT_INNER_(a, b) a##b
+#define TN_STATUS_CONCAT_(a, b) TN_STATUS_CONCAT_INNER_(a, b)
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_COMMON_STATUS_H_

@@ -1,0 +1,221 @@
+// DeclarativeCloud: the paper's proposed tenant networking interface
+// (Table 2), with the provider-side machinery that makes it real.
+//
+//   request_eip(vm_id)              -> RequestEip(instance)
+//   request_sip()                   -> RequestSip(tenant, provider)
+//   bind(eip, sip)                  -> Bind(eip, sip [, weight])
+//   set_permit_list(eip, permit)    -> SetPermitList(eip, entries)
+//   set_qos(region, bandwidth)      -> SetQos(tenant, region, bps)
+//
+// plus the hot/cold-potato transit profile the paper adopts unchanged from
+// today's offerings. There is no tenant networking layer underneath: no
+// VPCs, no gateways, no appliances. The provider side consists of
+//  * flat EIP allocation from the provider pool, installed in the
+//    provider's routing table (host routes the provider may aggregate),
+//  * default-off permit-list enforcement replicated at provider edges,
+//  * provider-managed SIP load balancing,
+//  * distributed egress-quota enforcement.
+//
+// Every tenant-visible call is recorded in the ConfigLedger as an API call
+// so E1/E2/E7 can compare complexity like for like with the baseline.
+// On-prem sites participate uniformly: their endpoints get public
+// default-off addresses enforced at the site router — the "works across
+// administrative domains without cooperation" property of §5.
+
+#ifndef TENANTNET_SRC_CORE_API_H_
+#define TENANTNET_SRC_CORE_API_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cloud/world.h"
+#include "src/core/edge_filter.h"
+#include "src/core/qos.h"
+#include "src/core/sip_lb.h"
+#include "src/net/ipam.h"
+#include "src/routing/route_table.h"
+#include "src/sim/event_queue.h"
+#include "src/vnet/config_ledger.h"
+
+namespace tenantnet {
+
+// Where an endpoint lives.
+struct EipRecord {
+  IpAddress addr;
+  InstanceId instance;
+  TenantId tenant;
+  ProviderId provider;   // invalid for on-prem endpoints
+  RegionId region;       // invalid for on-prem endpoints
+  OnPremId on_prem;      // invalid for cloud endpoints
+  NodeId host_node;
+  int zone_index = 0;
+};
+
+struct SipRecord {
+  IpAddress addr;
+  TenantId tenant;
+  ProviderId provider;
+};
+
+// The verdict for one evaluated flow in the declarative world.
+struct DeclarativeDelivery {
+  bool delivered = false;
+  std::string drop_stage;   // "edge-filter", "sip", "no-eip", ...
+  std::string drop_reason;
+  std::vector<std::string> provider_hops;  // provider-side steps (not tenant
+                                           // boxes; there are none)
+  IpAddress effective_src;
+  IpAddress effective_dst;  // post SIP resolution
+  NodeId src_node;
+  NodeId dst_node;
+  EgressPolicy egress_policy = EgressPolicy::kColdPotato;
+  // Provider-enforced per-VM egress guarantee for the source, if known.
+  double vm_egress_cap_bps = 0;
+};
+
+struct DeclarativeParams {
+  EdgeFilterParams filter;
+  QuotaParams quota;
+  uint64_t rng_seed = 42;
+};
+
+class DeclarativeCloud {
+ public:
+  // `queue` may be null (permit-list installs apply immediately).
+  DeclarativeCloud(CloudWorld& world, ConfigLedger& ledger,
+                   EventQueue* queue = nullptr, DeclarativeParams params = {});
+
+  // --- Table 2 -------------------------------------------------------------
+
+  Result<IpAddress> RequestEip(InstanceId vm);
+  Status ReleaseEip(IpAddress eip);
+
+  Result<IpAddress> RequestSip(TenantId tenant, ProviderId provider);
+  Status ReleaseSip(IpAddress sip);
+
+  Status Bind(IpAddress eip, IpAddress sip, double weight = 1.0);
+  Status Unbind(IpAddress eip, IpAddress sip);
+
+  // Replaces the endpoint's permit list. Returns the time the last edge
+  // applies it (== now without an event queue).
+  Result<SimTime> SetPermitList(IpAddress eip, std::vector<PermitEntry> entries);
+
+  // Incremental permit-list update — the kind of extension §4 anticipates;
+  // avoids resending the whole list on endpoint churn.
+  Result<SimTime> UpdatePermitList(IpAddress eip, std::vector<PermitEntry> add,
+                                   std::vector<PermitEntry> remove);
+
+  // --- Endpoint groups (the §4 grouping extension) ---------------------------
+  // Groups replace the VPC's one remaining legitimate role: naming a set of
+  // endpoints. A permit entry may reference a group; membership changes
+  // propagate once per enforcement domain instead of once per referencing
+  // permit list.
+  Result<EndpointGroupId> CreateEndpointGroup(TenantId tenant,
+                                              const std::string& name);
+  Status DeleteEndpointGroup(EndpointGroupId group);
+  Status AddToEndpointGroup(EndpointGroupId group, IpAddress eip);
+  Status RemoveFromEndpointGroup(EndpointGroupId group, IpAddress eip);
+  // The group's current members (for tests/inspection).
+  Result<std::vector<IpAddress>> GroupMembers(EndpointGroupId group) const;
+
+  Status SetQos(TenantId tenant, RegionId region, double bandwidth_bps);
+  // Scoped variant (extension, §4 footnote): only traffic matching the
+  // selector consumes the reservation.
+  Status SetQos(TenantId tenant, RegionId region, double bandwidth_bps,
+                QosSelector selector);
+
+  // The hot/cold potato profile (per tenant; §4 adopts this unchanged).
+  Status SetEgressProfile(TenantId tenant, EgressPolicy profile);
+  EgressPolicy EgressProfileOf(TenantId tenant) const;
+
+  // --- Provider-side signals (not tenant actions) ---------------------------
+
+  // Instance lifecycle: the provider notices and updates SIP health; the
+  // tenant does nothing (contrast with baseline health-check config).
+  void NotifyInstanceDown(InstanceId instance);
+  void NotifyInstanceUp(InstanceId instance);
+
+  // --- Data plane ------------------------------------------------------------
+
+  // Traffic from a tenant instance toward an EIP or SIP.
+  Result<DeclarativeDelivery> Evaluate(InstanceId src, IpAddress dst,
+                                       uint16_t dst_port, Protocol proto);
+
+  // Traffic from an arbitrary internet source (attack simulation).
+  DeclarativeDelivery EvaluateExternal(IpAddress src, IpAddress dst,
+                                       uint16_t dst_port, Protocol proto);
+
+  // --- Lookup / metrics --------------------------------------------------------
+
+  const EipRecord* FindEip(IpAddress addr) const;
+  std::optional<IpAddress> EipOf(InstanceId instance) const;
+  bool IsSip(IpAddress addr) const { return sips_.count(addr) > 0; }
+
+  SipLoadBalancer& sip_lb() { return sip_lb_; }
+  EgressQuotaManager& qos() { return qos_; }
+  EdgeFilterBank& provider_filters(ProviderId provider);
+  EdgeFilterBank& on_prem_filters(OnPremId site);
+
+  // E4a: the provider's routing state under flat EIPs.
+  size_t ProviderRibEntries(ProviderId provider);
+  size_t ProviderRibNodes(ProviderId provider);
+  // Minimal table if the provider aggregates its (contiguous) allocations.
+  size_t ProviderAggregatedRibEntries(ProviderId provider);
+
+  size_t eip_count() const { return eips_.size(); }
+
+ private:
+  struct ProviderState {
+    std::unique_ptr<HostAllocator> eip_pool;
+    std::unique_ptr<HostAllocator> sip_pool;
+    std::unique_ptr<EdgeFilterBank> filters;  // one edge per region
+    std::unordered_map<RegionId, size_t> edge_index;  // region -> edge
+    RouteTable rib;  // flat host routes for every live EIP
+  };
+  struct OnPremState {
+    std::unique_ptr<HostAllocator> eip_pool;
+    std::unique_ptr<EdgeFilterBank> filters;  // single site-router edge
+  };
+
+  ProviderState& Provider(ProviderId id);
+  OnPremState& OnPrem(OnPremId id);
+
+  // Default-off admission check at the destination's ingress edge.
+  bool AdmittedAtDestination(const EipRecord& dst, const FiveTuple& flow,
+                             std::string* where) const;
+
+  CloudWorld* world_;
+  ConfigLedger* ledger_;
+  EventQueue* queue_;
+  DeclarativeParams params_;
+
+  std::unordered_map<ProviderId, ProviderState> providers_;
+  std::unordered_map<OnPremId, OnPremState> on_prems_;
+
+  struct GroupRecord {
+    TenantId tenant;
+    std::string name;
+    std::set<IpAddress> members;
+  };
+
+  // Pushes a group's membership to every existing enforcement domain.
+  void PropagateGroup(EndpointGroupId group);
+
+  std::unordered_map<IpAddress, EipRecord> eips_;
+  std::unordered_map<InstanceId, IpAddress> eip_by_instance_;
+  std::unordered_map<IpAddress, SipRecord> sips_;
+  std::unordered_map<TenantId, EgressPolicy> profiles_;
+  std::unordered_map<EndpointGroupId, GroupRecord> groups_;
+  IdGenerator<EndpointGroupId> group_ids_;
+
+  SipLoadBalancer sip_lb_;
+  EgressQuotaManager qos_;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_CORE_API_H_

@@ -1,0 +1,181 @@
+#include "src/core/edge_filter.h"
+
+#include <algorithm>
+
+namespace tenantnet {
+
+EdgeFilterBank::EdgeFilterBank(std::string domain, EventQueue* queue,
+                               uint64_t rng_seed, EdgeFilterParams params)
+    : domain_(std::move(domain)), queue_(queue), rng_(rng_seed),
+      params_(params) {}
+
+size_t EdgeFilterBank::AddEdge(const std::string& name) {
+  edges_.push_back(EdgeState{name, {}, {}, 0});
+  return edges_.size() - 1;
+}
+
+SimTime EdgeFilterBank::UpdatePermitList(
+    IpAddress endpoint, std::vector<PermitEntry> add,
+    const std::vector<PermitEntry>& remove) {
+  std::vector<PermitEntry> merged;
+  auto it = latest_entries_.find(endpoint);
+  if (it != latest_entries_.end()) {
+    for (const PermitEntry& entry : it->second) {
+      if (std::find(remove.begin(), remove.end(), entry) == remove.end()) {
+        merged.push_back(entry);
+      }
+    }
+  }
+  for (PermitEntry& entry : add) {
+    if (std::find(merged.begin(), merged.end(), entry) == merged.end()) {
+      merged.push_back(std::move(entry));
+    }
+  }
+  return SetPermitList(endpoint, std::move(merged));
+}
+
+SimTime EdgeFilterBank::SetPermitList(IpAddress endpoint,
+                                      std::vector<PermitEntry> entries) {
+  uint64_t version = next_version_++;
+  latest_version_[endpoint] = version;
+  latest_entries_[endpoint] = entries;
+  SimTime last_applied =
+      queue_ != nullptr ? queue_->now() : SimTime::Epoch();
+
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    ++messages_;
+    auto apply = [this, i, endpoint, version, entries]() {
+      EdgeState& edge = edges_[i];
+      auto it = edge.lists.find(endpoint);
+      if (it != edge.lists.end()) {
+        if (it->second.first >= version) {
+          return;  // stale update arrived after a newer one
+        }
+        edge.entry_count -= it->second.second.size();
+      }
+      edge.entry_count += entries.size();
+      edge.lists[endpoint] = {version, entries};
+    };
+    if (queue_ == nullptr) {
+      apply();
+      continue;
+    }
+    SimDuration latency =
+        params_.install_base +
+        SimDuration::Seconds(rng_.NextExponential(
+            1.0 / std::max(1e-9, params_.install_extra_mean.ToSeconds())));
+    SimTime when = queue_->now() + latency;
+    last_applied = std::max(last_applied, when);
+    queue_->ScheduleAt(when, apply);
+  }
+  return last_applied;
+}
+
+void EdgeFilterBank::RemovePermitList(IpAddress endpoint) {
+  latest_version_.erase(endpoint);
+  latest_entries_.erase(endpoint);
+  for (EdgeState& edge : edges_) {
+    auto it = edge.lists.find(endpoint);
+    if (it != edge.lists.end()) {
+      edge.entry_count -= it->second.second.size();
+      edge.lists.erase(it);
+    }
+    ++messages_;
+  }
+}
+
+bool EdgeFilterBank::Admits(size_t edge_index, const FiveTuple& flow) const {
+  const EdgeState& edge = edges_[edge_index];
+  auto it = edge.lists.find(flow.dst);
+  if (it == edge.lists.end()) {
+    return false;  // default-off
+  }
+  for (const PermitEntry& entry : it->second.second) {
+    if (entry.source_group.valid()) {
+      if (!entry.ScopeMatches(flow)) {
+        continue;
+      }
+      auto git = edge.groups.find(entry.source_group);
+      if (git != edge.groups.end() &&
+          git->second.second.count(flow.src) > 0) {
+        return true;
+      }
+      continue;
+    }
+    if (entry.Admits(flow)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime EdgeFilterBank::SetGroup(EndpointGroupId group,
+                                 std::vector<IpAddress> members) {
+  uint64_t version = next_version_++;
+  std::set<IpAddress> member_set(members.begin(), members.end());
+  SimTime last_applied = queue_ != nullptr ? queue_->now() : SimTime::Epoch();
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    ++messages_;
+    auto apply = [this, i, group, version, member_set]() {
+      EdgeState& edge = edges_[i];
+      auto it = edge.groups.find(group);
+      if (it != edge.groups.end() && it->second.first >= version) {
+        return;  // stale
+      }
+      edge.groups[group] = {version, member_set};
+    };
+    if (queue_ == nullptr) {
+      apply();
+      continue;
+    }
+    SimDuration latency =
+        params_.install_base +
+        SimDuration::Seconds(rng_.NextExponential(
+            1.0 / std::max(1e-9, params_.install_extra_mean.ToSeconds())));
+    SimTime when = queue_->now() + latency;
+    last_applied = std::max(last_applied, when);
+    queue_->ScheduleAt(when, apply);
+  }
+  return last_applied;
+}
+
+void EdgeFilterBank::RemoveGroup(EndpointGroupId group) {
+  for (EdgeState& edge : edges_) {
+    edge.groups.erase(group);
+    ++messages_;
+  }
+}
+
+bool EdgeFilterBank::HasList(size_t edge_index, IpAddress endpoint) const {
+  return edges_[edge_index].lists.count(endpoint) > 0;
+}
+
+bool EdgeFilterBank::IsConverged(IpAddress endpoint) const {
+  auto vit = latest_version_.find(endpoint);
+  if (vit == latest_version_.end()) {
+    // Converged means "gone everywhere".
+    for (const EdgeState& edge : edges_) {
+      if (edge.lists.count(endpoint) > 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+  for (const EdgeState& edge : edges_) {
+    auto it = edge.lists.find(endpoint);
+    if (it == edge.lists.end() || it->second.first != vit->second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t EdgeFilterBank::total_installed_entries() const {
+  uint64_t total = 0;
+  for (const EdgeState& edge : edges_) {
+    total += edge.entry_count;
+  }
+  return total;
+}
+
+}  // namespace tenantnet

@@ -1,0 +1,146 @@
+// Provider-edge permit-list enforcement ("public but default-off").
+//
+// Every endpoint address is globally routable, but the provider's ingress
+// edges drop any flow whose source is not on the destination endpoint's
+// tenant-supplied permit list (§4 Security). The list is replicated at
+// every ingress edge of the hosting domain — the paper's "distributed and
+// redundant" enforcement — so an update is a fan-out: one control-plane
+// message per edge, each applied after a sampled install latency.
+//
+// The bank tracks exactly what E4b asks about: total filter entries per
+// edge (memory), update fan-out (messages), and install latency until the
+// last edge converges.
+
+#ifndef TENANTNET_SRC_CORE_EDGE_FILTER_H_
+#define TENANTNET_SRC_CORE_EDGE_FILTER_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/net/flow.h"
+#include "src/sim/event_queue.h"
+
+namespace tenantnet {
+
+// Endpoint groups: the §4 extension replacing the VPC's role as a grouping
+// mechanism. A permit entry may reference a group instead of a prefix; the
+// group's membership is replicated to the edges once and every referencing
+// permit list follows automatically.
+using EndpointGroupId = TypedId<struct EndpointGroupIdTag>;
+
+// One permitted source pattern for an endpoint: either a source prefix or
+// an endpoint group (when `source_group` is valid, `source` is ignored).
+struct PermitEntry {
+  IpPrefix source;                       // who may talk to the endpoint
+  EndpointGroupId source_group;          // ... or this group's members
+  PortRange dst_ports = PortRange::Any();
+  Protocol proto = Protocol::kAny;
+
+  // Ports/protocol part of the match (the source part needs edge state for
+  // group expansion; see EdgeFilterBank::Admits).
+  bool ScopeMatches(const FiveTuple& flow) const {
+    if (proto != Protocol::kAny && proto != flow.proto) {
+      return false;
+    }
+    return dst_ports.Contains(flow.dst_port);
+  }
+
+  // Full match for prefix-based entries only.
+  bool Admits(const FiveTuple& flow) const {
+    return !source_group.valid() && ScopeMatches(flow) &&
+           source.Contains(flow.src);
+  }
+
+  friend bool operator==(const PermitEntry& a, const PermitEntry& b) = default;
+};
+
+struct EdgeFilterParams {
+  // Control-plane install latency per edge: base + Exp(1/mean_extra).
+  SimDuration install_base = SimDuration::Millis(5);
+  SimDuration install_extra_mean = SimDuration::Millis(10);
+};
+
+// The replicated filter state of one enforcement domain (a provider or an
+// on-prem site). Edges are registered up front; permit lists are keyed by
+// destination endpoint address.
+class EdgeFilterBank {
+ public:
+  // `queue` may be null: updates then apply immediately (tests, and scale
+  // benches that account latency analytically).
+  EdgeFilterBank(std::string domain, EventQueue* queue, uint64_t rng_seed,
+                 EdgeFilterParams params = {});
+
+  // Registers an ingress edge; returns its index.
+  size_t AddEdge(const std::string& name);
+  size_t edge_count() const { return edges_.size(); }
+
+  // Replaces the permit list for `endpoint` on every edge. Returns the
+  // simulated time at which the *last* edge has applied it (== now when no
+  // queue is attached).
+  SimTime SetPermitList(IpAddress endpoint, std::vector<PermitEntry> entries);
+
+  // Incremental update (API extension): adds `add` and removes entries
+  // equal to members of `remove` from the endpoint's latest list, then
+  // re-propagates. Same convergence semantics as SetPermitList.
+  SimTime UpdatePermitList(IpAddress endpoint, std::vector<PermitEntry> add,
+                           const std::vector<PermitEntry>& remove);
+
+  // Removes the endpoint's list everywhere (endpoint released).
+  void RemovePermitList(IpAddress endpoint);
+
+  // Replaces a group's member set on every edge (same fan-out/latency
+  // semantics as permit lists). Permit entries referencing the group pick
+  // the change up with no per-list updates. Returns last-edge apply time.
+  SimTime SetGroup(EndpointGroupId group, std::vector<IpAddress> members);
+  void RemoveGroup(EndpointGroupId group);
+
+  // Data plane: does edge `edge_index` admit this flow toward flow.dst?
+  // Default-off: no installed list, or an empty list, admits nothing.
+  bool Admits(size_t edge_index, const FiveTuple& flow) const;
+
+  // True if the edge currently holds any list for `endpoint` (distinguishes
+  // "default-off, nothing installed" from "installed but not permitted").
+  bool HasList(size_t edge_index, IpAddress endpoint) const;
+
+  // True if every edge has the same (latest) version for this endpoint.
+  bool IsConverged(IpAddress endpoint) const;
+
+  // --- Scale metrics --------------------------------------------------------
+  uint64_t total_installed_entries() const;       // sum over edges
+  uint64_t update_messages_sent() const { return messages_; }
+  uint64_t endpoints_with_lists() const { return latest_version_.size(); }
+
+ private:
+  struct EdgeState {
+    std::string name;
+    // endpoint -> (version, entries)
+    std::unordered_map<IpAddress,
+                       std::pair<uint64_t, std::vector<PermitEntry>>> lists;
+    // group -> (version, member set)
+    std::unordered_map<EndpointGroupId,
+                       std::pair<uint64_t, std::set<IpAddress>>> groups;
+    uint64_t entry_count = 0;
+  };
+
+  std::string domain_;
+  EventQueue* queue_;
+  Rng rng_;
+  EdgeFilterParams params_;
+  std::vector<EdgeState> edges_;
+  // The control plane's master copy (edges may lag behind it).
+  std::unordered_map<IpAddress, std::vector<PermitEntry>> latest_entries_;
+  std::unordered_map<IpAddress, uint64_t> latest_version_;
+  uint64_t next_version_ = 1;
+  uint64_t messages_ = 0;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_CORE_EDGE_FILTER_H_

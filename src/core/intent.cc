@@ -1,0 +1,175 @@
+#include "src/core/intent.h"
+
+#include <algorithm>
+
+namespace tenantnet {
+
+Result<IpAddress> DeployedApp::AddressOf(const std::string& service) const {
+  auto it = services.find(service);
+  if (it == services.end()) {
+    return NotFoundError("no such service: " + service);
+  }
+  if (it->second.sip.has_value()) {
+    return *it->second.sip;
+  }
+  if (it->second.eip_by_instance.size() == 1) {
+    return it->second.eip_by_instance.begin()->second;
+  }
+  return FailedPreconditionError(
+      "service has multiple instances but no SIP: " + service);
+}
+
+Result<IpAddress> DeployedApp::EipOf(const std::string& service,
+                                     InstanceId instance) const {
+  auto it = services.find(service);
+  if (it == services.end()) {
+    return NotFoundError("no such service: " + service);
+  }
+  auto eit = it->second.eip_by_instance.find(instance.value());
+  if (eit == it->second.eip_by_instance.end()) {
+    return NotFoundError("instance not in service");
+  }
+  return eit->second;
+}
+
+const ServiceSpec* IntentDeployer::FindSpec(const AppSpec& app,
+                                            const std::string& name) const {
+  for (const ServiceSpec& spec : app.services) {
+    if (spec.name == name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+Result<DeployedApp> IntentDeployer::Deploy(const AppSpec& app) {
+  // Validate the call graph first: every edge must name declared services.
+  for (const CallEdge& edge : app.calls) {
+    if (FindSpec(app, edge.caller) == nullptr ||
+        FindSpec(app, edge.callee) == nullptr) {
+      return InvalidArgumentError("call edge references unknown service: " +
+                                  edge.caller + " -> " + edge.callee);
+    }
+  }
+  std::map<std::string, std::vector<std::string>> callers_of;
+  for (const CallEdge& edge : app.calls) {
+    callers_of[edge.callee].push_back(edge.caller);
+  }
+
+  DeployedApp deployed;
+
+  // Pass 1: endpoints and per-service groups.
+  for (const ServiceSpec& spec : app.services) {
+    DeployedApp::ServiceHandles handles;
+    TN_ASSIGN_OR_RETURN(handles.group,
+                        cloud_->CreateEndpointGroup(app.tenant, spec.name));
+    for (InstanceId instance : spec.instances) {
+      TN_ASSIGN_OR_RETURN(IpAddress eip, cloud_->RequestEip(instance));
+      handles.eip_by_instance[instance.value()] = eip;
+      TN_RETURN_IF_ERROR(cloud_->AddToEndpointGroup(handles.group, eip));
+    }
+    if (spec.instances.size() > 1 && spec.sip_provider.valid()) {
+      TN_ASSIGN_OR_RETURN(IpAddress sip,
+                          cloud_->RequestSip(app.tenant, spec.sip_provider));
+      handles.sip = sip;
+      for (const auto& [value, eip] : handles.eip_by_instance) {
+        TN_RETURN_IF_ERROR(cloud_->Bind(eip, sip));
+      }
+    }
+    deployed.services.emplace(spec.name, std::move(handles));
+  }
+
+  // Pass 2: permit lists from the call graph. Each service permits its
+  // callers' groups on its service port; public services additionally
+  // permit the world on that port.
+  for (const ServiceSpec& spec : app.services) {
+    std::vector<PermitEntry> permits;
+    for (const std::string& caller : callers_of[spec.name]) {
+      PermitEntry entry;
+      entry.source_group = deployed.services.at(caller).group;
+      entry.dst_ports = PortRange::Single(spec.port);
+      entry.proto = spec.proto;
+      permits.push_back(entry);
+    }
+    if (spec.public_facing) {
+      PermitEntry anyone;
+      anyone.source = IpPrefix::Any(IpFamily::kIpv4);
+      anyone.dst_ports = PortRange::Single(spec.port);
+      anyone.proto = spec.proto;
+      permits.push_back(anyone);
+    }
+    const auto& handles = deployed.services.at(spec.name);
+    for (const auto& [value, eip] : handles.eip_by_instance) {
+      TN_RETURN_IF_ERROR(cloud_->SetPermitList(eip, permits).status());
+    }
+  }
+  return deployed;
+}
+
+Status IntentDeployer::AddInstance(DeployedApp& app, const AppSpec& spec,
+                                   const std::string& service,
+                                   InstanceId instance) {
+  auto it = app.services.find(service);
+  if (it == app.services.end()) {
+    return NotFoundError("no such deployed service: " + service);
+  }
+  const ServiceSpec* service_spec = FindSpec(spec, service);
+  if (service_spec == nullptr) {
+    return NotFoundError("service not in spec: " + service);
+  }
+  TN_ASSIGN_OR_RETURN(IpAddress eip, cloud_->RequestEip(instance));
+  it->second.eip_by_instance[instance.value()] = eip;
+  TN_RETURN_IF_ERROR(cloud_->AddToEndpointGroup(it->second.group, eip));
+  if (it->second.sip.has_value()) {
+    TN_RETURN_IF_ERROR(cloud_->Bind(eip, *it->second.sip));
+  }
+
+  // The newcomer needs the same inbound permit list as its siblings.
+  std::map<std::string, std::vector<std::string>> callers_of;
+  for (const CallEdge& edge : spec.calls) {
+    callers_of[edge.callee].push_back(edge.caller);
+  }
+  std::vector<PermitEntry> permits;
+  for (const std::string& caller : callers_of[service]) {
+    auto cit = app.services.find(caller);
+    if (cit == app.services.end()) {
+      return FailedPreconditionError("caller not deployed: " + caller);
+    }
+    PermitEntry entry;
+    entry.source_group = cit->second.group;
+    entry.dst_ports = PortRange::Single(service_spec->port);
+    entry.proto = service_spec->proto;
+    permits.push_back(entry);
+  }
+  if (service_spec->public_facing) {
+    PermitEntry anyone;
+    anyone.source = IpPrefix::Any(IpFamily::kIpv4);
+    anyone.dst_ports = PortRange::Single(service_spec->port);
+    anyone.proto = service_spec->proto;
+    permits.push_back(anyone);
+  }
+  return cloud_->SetPermitList(eip, permits).status();
+}
+
+Status IntentDeployer::RemoveInstance(DeployedApp& app,
+                                      const std::string& service,
+                                      InstanceId instance) {
+  auto it = app.services.find(service);
+  if (it == app.services.end()) {
+    return NotFoundError("no such deployed service: " + service);
+  }
+  auto eit = it->second.eip_by_instance.find(instance.value());
+  if (eit == it->second.eip_by_instance.end()) {
+    return NotFoundError("instance not deployed in service");
+  }
+  IpAddress eip = eit->second;
+  if (it->second.sip.has_value()) {
+    TN_RETURN_IF_ERROR(cloud_->Unbind(eip, *it->second.sip));
+  }
+  TN_RETURN_IF_ERROR(cloud_->RemoveFromEndpointGroup(it->second.group, eip));
+  TN_RETURN_IF_ERROR(cloud_->ReleaseEip(eip));
+  it->second.eip_by_instance.erase(eit);
+  return Status::Ok();
+}
+
+}  // namespace tenantnet

@@ -1,0 +1,117 @@
+#include "src/core/sip_lb.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tenantnet {
+
+Status SipLoadBalancer::AddSip(IpAddress sip) {
+  auto [it, inserted] = bindings_.try_emplace(sip);
+  if (!inserted) {
+    return AlreadyExistsError("SIP already registered: " + sip.ToString());
+  }
+  return Status::Ok();
+}
+
+Status SipLoadBalancer::RemoveSip(IpAddress sip) {
+  if (bindings_.erase(sip) == 0) {
+    return NotFoundError("no such SIP: " + sip.ToString());
+  }
+  return Status::Ok();
+}
+
+Status SipLoadBalancer::Bind(IpAddress eip, IpAddress sip, double weight) {
+  auto it = bindings_.find(sip);
+  if (it == bindings_.end()) {
+    return NotFoundError("no such SIP: " + sip.ToString());
+  }
+  if (weight <= 0) {
+    return InvalidArgumentError("weight must be positive");
+  }
+  for (Binding& b : it->second) {
+    if (b.eip == eip) {
+      b.weight = weight;  // re-bind adjusts the weight
+      return Status::Ok();
+    }
+  }
+  it->second.push_back(Binding{eip, weight, true});
+  return Status::Ok();
+}
+
+Status SipLoadBalancer::Unbind(IpAddress eip, IpAddress sip) {
+  auto it = bindings_.find(sip);
+  if (it == bindings_.end()) {
+    return NotFoundError("no such SIP: " + sip.ToString());
+  }
+  auto& vec = it->second;
+  auto bit = std::find_if(vec.begin(), vec.end(),
+                          [eip](const Binding& b) { return b.eip == eip; });
+  if (bit == vec.end()) {
+    return NotFoundError("EIP not bound to this SIP");
+  }
+  vec.erase(bit);
+  return Status::Ok();
+}
+
+void SipLoadBalancer::UnbindEverywhere(IpAddress eip) {
+  for (auto& [sip, vec] : bindings_) {
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [eip](const Binding& b) { return b.eip == eip; }),
+              vec.end());
+  }
+}
+
+void SipLoadBalancer::SetHealth(IpAddress eip, bool healthy) {
+  for (auto& [sip, vec] : bindings_) {
+    for (Binding& b : vec) {
+      if (b.eip == eip) {
+        b.healthy = healthy;
+      }
+    }
+  }
+}
+
+Result<IpAddress> SipLoadBalancer::Resolve(IpAddress sip) {
+  auto it = bindings_.find(sip);
+  if (it == bindings_.end()) {
+    return NotFoundError("no such SIP: " + sip.ToString());
+  }
+  double total = 0;
+  for (const Binding& b : it->second) {
+    if (b.healthy) {
+      total += b.weight;
+    }
+  }
+  if (total <= 0) {
+    return ResourceExhaustedError("SIP " + sip.ToString() +
+                                  " has no healthy backends");
+  }
+  double point = std::fmod(static_cast<double>(pick_seq_++) *
+                           0.6180339887498949, 1.0) * total;
+  for (const Binding& b : it->second) {
+    if (!b.healthy) {
+      continue;
+    }
+    if (point < b.weight) {
+      return b.eip;
+    }
+    point -= b.weight;
+  }
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (rit->healthy) {
+      return rit->eip;
+    }
+  }
+  return ResourceExhaustedError("no healthy backends");
+}
+
+Result<std::vector<SipLoadBalancer::Binding>> SipLoadBalancer::Bindings(
+    IpAddress sip) const {
+  auto it = bindings_.find(sip);
+  if (it == bindings_.end()) {
+    return NotFoundError("no such SIP: " + sip.ToString());
+  }
+  return it->second;
+}
+
+}  // namespace tenantnet

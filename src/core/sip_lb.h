@@ -1,0 +1,61 @@
+// Provider-managed service-IP load balancing (§4 Availability).
+//
+// The tenant requests a SIP, binds EIPs to it with optional weights, and is
+// done: health checking, rebalancing and failover are the provider's
+// problem. Contrast with the baseline's four load-balancer families, target
+// groups, listeners and health-check knobs — the tenant-visible surface
+// here is exactly bind/unbind.
+
+#ifndef TENANTNET_SRC_CORE_SIP_LB_H_
+#define TENANTNET_SRC_CORE_SIP_LB_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/ip.h"
+
+namespace tenantnet {
+
+class SipLoadBalancer {
+ public:
+  struct Binding {
+    IpAddress eip;
+    double weight = 1.0;
+    bool healthy = true;  // maintained by the provider, not the tenant
+  };
+
+  // Registers a SIP (called by the control plane on request_sip).
+  Status AddSip(IpAddress sip);
+  Status RemoveSip(IpAddress sip);
+  bool IsSip(IpAddress addr) const { return bindings_.count(addr) > 0; }
+
+  // bind(eip, sip): adds or reweights a backend.
+  Status Bind(IpAddress eip, IpAddress sip, double weight = 1.0);
+  Status Unbind(IpAddress eip, IpAddress sip);
+
+  // Removes the EIP from every SIP it is bound to (endpoint released).
+  void UnbindEverywhere(IpAddress eip);
+
+  // Provider-side health signal (instance died / recovered).
+  void SetHealth(IpAddress eip, bool healthy);
+
+  // Picks a backend EIP for a new flow to `sip`. Deterministic smooth
+  // weighted spreading over healthy backends via the pick counter.
+  Result<IpAddress> Resolve(IpAddress sip);
+
+  // All bindings of a SIP (healthy or not).
+  Result<std::vector<Binding>> Bindings(IpAddress sip) const;
+
+  size_t sip_count() const { return bindings_.size(); }
+  uint64_t resolutions() const { return pick_seq_; }
+
+ private:
+  std::unordered_map<IpAddress, std::vector<Binding>> bindings_;
+  uint64_t pick_seq_ = 0;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_CORE_SIP_LB_H_

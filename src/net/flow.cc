@@ -1,0 +1,71 @@
+#include "src/net/flow.h"
+
+#include <sstream>
+
+namespace tenantnet {
+
+std::string_view ProtocolName(Protocol proto) {
+  switch (proto) {
+    case Protocol::kAny:
+      return "any";
+    case Protocol::kTcp:
+      return "tcp";
+    case Protocol::kUdp:
+      return "udp";
+    case Protocol::kIcmp:
+      return "icmp";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const PortRange& r) {
+  if (r.IsAny()) {
+    return os << "*";
+  }
+  if (r.lo == r.hi) {
+    return os << r.lo;
+  }
+  return os << r.lo << "-" << r.hi;
+}
+
+std::string FiveTuple::ToString() const {
+  std::ostringstream os;
+  os << ProtocolName(proto) << " " << src << ":" << src_port << " -> " << dst
+     << ":" << dst_port;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const FiveTuple& t) {
+  return os << t.ToString();
+}
+
+FlowMatch FlowMatch::Any(IpFamily family) {
+  FlowMatch m;
+  m.src_prefix = IpPrefix::Any(family);
+  m.dst_prefix = IpPrefix::Any(family);
+  return m;
+}
+
+FlowMatch FlowMatch::FromSource(const IpPrefix& src) {
+  FlowMatch m;
+  m.src_prefix = src;
+  m.dst_prefix = IpPrefix::Any(src.family());
+  return m;
+}
+
+bool FlowMatch::Matches(const FiveTuple& flow) const {
+  if (proto != Protocol::kAny && proto != flow.proto) {
+    return false;
+  }
+  return src_prefix.Contains(flow.src) && dst_prefix.Contains(flow.dst) &&
+         src_ports.Contains(flow.src_port) && dst_ports.Contains(flow.dst_port);
+}
+
+std::string FlowMatch::ToString() const {
+  std::ostringstream os;
+  os << ProtocolName(proto) << " " << src_prefix.ToString() << ":" << src_ports
+     << " -> " << dst_prefix.ToString() << ":" << dst_ports;
+  return os.str();
+}
+
+}  // namespace tenantnet

@@ -1,0 +1,320 @@
+#include "src/net/ip.h"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace tenantnet {
+
+namespace {
+
+// Applies a prefix mask of `len` bits to a 128-bit (hi, lo) pair laid out so
+// that bit 0 is the MSB of hi.
+void MaskBits128(uint64_t& hi, uint64_t& lo, int len) {
+  if (len <= 0) {
+    hi = 0;
+    lo = 0;
+  } else if (len < 64) {
+    hi &= ~0ULL << (64 - len);
+    lo = 0;
+  } else if (len == 64) {
+    lo = 0;
+  } else if (len < 128) {
+    lo &= ~0ULL << (128 - len);
+  }
+  // len == 128: untouched.
+}
+
+Result<uint32_t> ParseV4(std::string_view text) {
+  uint32_t bits = 0;
+  int octets = 0;
+  size_t pos = 0;
+  while (octets < 4) {
+    size_t dot = text.find('.', pos);
+    std::string_view part = (dot == std::string_view::npos)
+                                ? text.substr(pos)
+                                : text.substr(pos, dot - pos);
+    if (part.empty() || part.size() > 3) {
+      return InvalidArgumentError("bad IPv4 octet");
+    }
+    unsigned value = 0;
+    auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), value);
+    if (ec != std::errc() || ptr != part.data() + part.size() || value > 255) {
+      return InvalidArgumentError("bad IPv4 octet");
+    }
+    bits = (bits << 8) | value;
+    ++octets;
+    if (dot == std::string_view::npos) {
+      pos = text.size();
+      break;
+    }
+    pos = dot + 1;
+  }
+  if (octets != 4 || pos != text.size()) {
+    return InvalidArgumentError("IPv4 address needs exactly 4 octets");
+  }
+  return bits;
+}
+
+Result<std::pair<uint64_t, uint64_t>> ParseV6(std::string_view text) {
+  // Split on "::" if present.
+  std::vector<uint16_t> head;
+  std::vector<uint16_t> tail;
+  size_t gap = text.find("::");
+  auto parse_groups = [](std::string_view part,
+                         std::vector<uint16_t>& out) -> Status {
+    if (part.empty()) {
+      return Status::Ok();
+    }
+    size_t pos = 0;
+    for (;;) {
+      size_t colon = part.find(':', pos);
+      std::string_view group = (colon == std::string_view::npos)
+                                   ? part.substr(pos)
+                                   : part.substr(pos, colon - pos);
+      if (group.empty() || group.size() > 4) {
+        return InvalidArgumentError("bad IPv6 group");
+      }
+      unsigned value = 0;
+      auto [ptr, ec] = std::from_chars(group.data(),
+                                       group.data() + group.size(), value, 16);
+      if (ec != std::errc() || ptr != group.data() + group.size()) {
+        return InvalidArgumentError("bad IPv6 group");
+      }
+      out.push_back(static_cast<uint16_t>(value));
+      if (colon == std::string_view::npos) {
+        break;
+      }
+      pos = colon + 1;
+    }
+    return Status::Ok();
+  };
+
+  if (gap == std::string_view::npos) {
+    TN_RETURN_IF_ERROR(parse_groups(text, head));
+    if (head.size() != 8) {
+      return InvalidArgumentError("IPv6 address needs 8 groups");
+    }
+  } else {
+    TN_RETURN_IF_ERROR(parse_groups(text.substr(0, gap), head));
+    TN_RETURN_IF_ERROR(parse_groups(text.substr(gap + 2), tail));
+    if (head.size() + tail.size() > 7) {
+      return InvalidArgumentError("IPv6 '::' must elide at least one group");
+    }
+  }
+
+  std::array<uint16_t, 8> groups{};
+  for (size_t i = 0; i < head.size(); ++i) {
+    groups[i] = head[i];
+  }
+  for (size_t i = 0; i < tail.size(); ++i) {
+    groups[8 - tail.size() + i] = tail[i];
+  }
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+  for (int i = 0; i < 4; ++i) {
+    hi = (hi << 16) | groups[i];
+  }
+  for (int i = 4; i < 8; ++i) {
+    lo = (lo << 16) | groups[i];
+  }
+  return std::pair<uint64_t, uint64_t>{hi, lo};
+}
+
+}  // namespace
+
+Result<IpAddress> IpAddress::Parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) {
+    TN_ASSIGN_OR_RETURN(auto pair, ParseV6(text));
+    return IpAddress::V6(pair.first, pair.second);
+  }
+  TN_ASSIGN_OR_RETURN(uint32_t bits, ParseV4(text));
+  return IpAddress::V4(bits);
+}
+
+IpAddress IpAddress::Plus(uint64_t delta) const {
+  if (is_v4()) {
+    return V4(static_cast<uint32_t>(v4_bits() + delta));
+  }
+  uint64_t new_lo = lo_ + delta;
+  uint64_t new_hi = hi_ + (new_lo < lo_ ? 1 : 0);
+  return V6(new_hi, new_lo);
+}
+
+bool IpAddress::BitFromMsb(int index) const {
+  if (is_v4()) {
+    return (v4_bits() >> (31 - index)) & 1;
+  }
+  if (index < 64) {
+    return (hi_ >> (63 - index)) & 1;
+  }
+  return (lo_ >> (127 - index)) & 1;
+}
+
+std::string IpAddress::ToString() const {
+  char buf[64];
+  if (is_v4()) {
+    uint32_t b = v4_bits();
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (b >> 24) & 0xFF,
+                  (b >> 16) & 0xFF, (b >> 8) & 0xFF, b & 0xFF);
+    return buf;
+  }
+  // Canonical-ish IPv6: longest zero run compressed to "::".
+  std::array<uint16_t, 8> groups;
+  for (int i = 0; i < 4; ++i) {
+    groups[i] = static_cast<uint16_t>(hi_ >> (48 - 16 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    groups[4 + i] = static_cast<uint16_t>(lo_ >> (48 - 16 * i));
+  }
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) {
+      ++j;
+    }
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+  std::string out;
+  if (best_len < 2) {
+    best_start = -1;  // do not compress single zero groups
+  }
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      if (i == 8) {
+        break;
+      }
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') {
+      out += ':';
+    }
+    std::snprintf(buf, sizeof(buf), "%x", groups[i]);
+    out += buf;
+    ++i;
+  }
+  if (out.empty()) {
+    out = "::";
+  }
+  return out;
+}
+
+Result<IpPrefix> IpPrefix::Create(IpAddress base, int prefix_len) {
+  if (prefix_len < 0 || prefix_len > base.width()) {
+    return InvalidArgumentError("prefix length out of range for family");
+  }
+  if (base.is_v4()) {
+    uint32_t bits = base.v4_bits();
+    if (prefix_len == 0) {
+      bits = 0;
+    } else {
+      bits &= ~0U << (32 - prefix_len);
+    }
+    return IpPrefix(IpAddress::V4(bits), prefix_len);
+  }
+  uint64_t hi = base.hi();
+  uint64_t lo = base.lo();
+  MaskBits128(hi, lo, prefix_len);
+  return IpPrefix(IpAddress::V6(hi, lo), prefix_len);
+}
+
+Result<IpPrefix> IpPrefix::Parse(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return InvalidArgumentError("prefix must contain '/'");
+  }
+  TN_ASSIGN_OR_RETURN(IpAddress base, IpAddress::Parse(text.substr(0, slash)));
+  std::string_view len_part = text.substr(slash + 1);
+  int len = 0;
+  auto [ptr, ec] =
+      std::from_chars(len_part.data(), len_part.data() + len_part.size(), len);
+  if (ec != std::errc() || ptr != len_part.data() + len_part.size()) {
+    return InvalidArgumentError("bad prefix length");
+  }
+  return Create(base, len);
+}
+
+IpPrefix IpPrefix::Any(IpFamily family) {
+  IpAddress base =
+      family == IpFamily::kIpv4 ? IpAddress::V4(0u) : IpAddress::V6(0, 0);
+  return IpPrefix(base, 0);
+}
+
+IpPrefix IpPrefix::Host(IpAddress ip) { return IpPrefix(ip, ip.width()); }
+
+bool IpPrefix::Contains(IpAddress ip) const {
+  if (ip.family() != family()) {
+    return false;
+  }
+  if (length_ == 0) {
+    return true;
+  }
+  if (ip.is_v4()) {
+    uint32_t mask = ~0U << (32 - length_);
+    return (ip.v4_bits() & mask) == base_.v4_bits();
+  }
+  uint64_t hi = ip.hi();
+  uint64_t lo = ip.lo();
+  MaskBits128(hi, lo, length_);
+  return hi == base_.hi() && lo == base_.lo();
+}
+
+bool IpPrefix::Contains(const IpPrefix& other) const {
+  return other.family() == family() && other.length_ >= length_ &&
+         Contains(other.base_);
+}
+
+bool IpPrefix::Overlaps(const IpPrefix& other) const {
+  return Contains(other) || other.Contains(*this);
+}
+
+uint64_t IpPrefix::AddressCount() const {
+  int host_bits = base_.width() - length_;
+  if (host_bits >= 64) {
+    return UINT64_MAX;
+  }
+  return 1ULL << host_bits;
+}
+
+IpAddress IpPrefix::AddressAt(uint64_t offset) const {
+  return base_.Plus(offset);
+}
+
+Result<std::pair<IpPrefix, IpPrefix>> IpPrefix::Split() const {
+  if (length_ >= base_.width()) {
+    return FailedPreconditionError("cannot split a host prefix");
+  }
+  int child_len = length_ + 1;
+  IpPrefix left(base_, child_len);
+  // The right child's base has the new bit set.
+  uint64_t half = (base_.width() - child_len >= 64)
+                      ? 0
+                      : (1ULL << (base_.width() - child_len));
+  IpAddress right_base = base_;
+  if (base_.width() - child_len >= 64) {
+    // v6 with the flipped bit in the high word.
+    uint64_t hi = base_.hi() | (1ULL << (127 - length_ - 64));
+    right_base = IpAddress::V6(hi, base_.lo());
+  } else {
+    right_base = base_.Plus(half);
+  }
+  return std::pair<IpPrefix, IpPrefix>{left, IpPrefix(right_base, child_len)};
+}
+
+std::string IpPrefix::ToString() const {
+  return base_.ToString() + "/" + std::to_string(length_);
+}
+
+}  // namespace tenantnet

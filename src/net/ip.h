@@ -1,0 +1,176 @@
+// IP addresses and CIDR prefixes.
+//
+// A single IpAddress type covers IPv4 and IPv6 (the paper's step (1) calls
+// out the v4/v6 decision tree as a tenant burden, so both families are
+// modeled). Internally every address is a 128-bit value; IPv4 addresses are
+// stored IPv4-mapped (::ffff:a.b.c.d) so that ordering and prefix logic are
+// family-uniform while string formatting stays family-faithful.
+
+#ifndef TENANTNET_SRC_NET_IP_H_
+#define TENANTNET_SRC_NET_IP_H_
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace tenantnet {
+
+enum class IpFamily : uint8_t { kIpv4, kIpv6 };
+
+class IpAddress {
+ public:
+  // Default: IPv4 0.0.0.0.
+  constexpr IpAddress() = default;
+
+  static constexpr IpAddress V4(uint32_t bits) {
+    return IpAddress(IpFamily::kIpv4, 0, bits);
+  }
+  static constexpr IpAddress V4(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+    return V4((uint32_t{a} << 24) | (uint32_t{b} << 16) | (uint32_t{c} << 8) |
+              uint32_t{d});
+  }
+  static constexpr IpAddress V6(uint64_t hi, uint64_t lo) {
+    return IpAddress(IpFamily::kIpv6, hi, lo);
+  }
+
+  // Parses "10.1.2.3" or a full/abbreviated IPv6 literal like "2001:db8::1".
+  static Result<IpAddress> Parse(std::string_view text);
+
+  constexpr IpFamily family() const { return family_; }
+  constexpr bool is_v4() const { return family_ == IpFamily::kIpv4; }
+
+  // Raw 128-bit value (for v4, the low 32 bits hold the address).
+  constexpr uint64_t hi() const { return hi_; }
+  constexpr uint64_t lo() const { return lo_; }
+
+  // IPv4 bits; precondition: is_v4().
+  constexpr uint32_t v4_bits() const { return static_cast<uint32_t>(lo_); }
+
+  // Address arithmetic within the same family; wraps modulo the family width.
+  IpAddress Plus(uint64_t delta) const;
+
+  std::string ToString() const;
+
+  friend constexpr bool operator==(IpAddress a, IpAddress b) {
+    return a.family_ == b.family_ && a.hi_ == b.hi_ && a.lo_ == b.lo_;
+  }
+  friend constexpr bool operator!=(IpAddress a, IpAddress b) { return !(a == b); }
+  // Total order: all v4 before all v6, then numeric.
+  friend constexpr bool operator<(IpAddress a, IpAddress b) {
+    if (a.family_ != b.family_) {
+      return a.family_ == IpFamily::kIpv4;
+    }
+    if (a.hi_ != b.hi_) {
+      return a.hi_ < b.hi_;
+    }
+    return a.lo_ < b.lo_;
+  }
+
+  // The bit at position `index` counted from the most significant bit of the
+  // family's width (bit 0 of a v4 address is the MSB of the 32-bit value).
+  bool BitFromMsb(int index) const;
+
+  // Family address width in bits: 32 or 128.
+  constexpr int width() const { return is_v4() ? 32 : 128; }
+
+ private:
+  constexpr IpAddress(IpFamily family, uint64_t hi, uint64_t lo)
+      : family_(family), hi_(hi), lo_(lo) {}
+
+  IpFamily family_ = IpFamily::kIpv4;
+  uint64_t hi_ = 0;
+  uint64_t lo_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, IpAddress ip) {
+  return os << ip.ToString();
+}
+
+// A CIDR prefix: base address plus prefix length. The base is always stored
+// with host bits cleared (canonical form).
+class IpPrefix {
+ public:
+  constexpr IpPrefix() = default;
+
+  // Canonicalizes (masks host bits). prefix_len must fit the family width.
+  static Result<IpPrefix> Create(IpAddress base, int prefix_len);
+
+  // Parses "10.0.0.0/16" or "2001:db8::/32".
+  static Result<IpPrefix> Parse(std::string_view text);
+
+  // The /0 that covers the whole family.
+  static IpPrefix Any(IpFamily family);
+
+  // A host prefix (/32 or /128) for one address.
+  static IpPrefix Host(IpAddress ip);
+
+  constexpr IpAddress base() const { return base_; }
+  constexpr int length() const { return length_; }
+  constexpr IpFamily family() const { return base_.family(); }
+
+  bool Contains(IpAddress ip) const;
+  bool Contains(const IpPrefix& other) const;
+  bool Overlaps(const IpPrefix& other) const;
+
+  // Number of addresses covered; saturates at UINT64_MAX for huge v6 blocks.
+  uint64_t AddressCount() const;
+
+  // The address at `offset` from the base. Precondition: offset within block.
+  IpAddress AddressAt(uint64_t offset) const;
+
+  // Splits into the two child prefixes of length+1. Fails at max length.
+  Result<std::pair<IpPrefix, IpPrefix>> Split() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const IpPrefix& a, const IpPrefix& b) {
+    return a.base_ == b.base_ && a.length_ == b.length_;
+  }
+  friend bool operator!=(const IpPrefix& a, const IpPrefix& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const IpPrefix& a, const IpPrefix& b) {
+    if (a.base_ != b.base_) {
+      return a.base_ < b.base_;
+    }
+    return a.length_ < b.length_;
+  }
+
+ private:
+  IpPrefix(IpAddress base, int length) : base_(base), length_(length) {}
+
+  IpAddress base_;
+  int length_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const IpPrefix& p) {
+  return os << p.ToString();
+}
+
+}  // namespace tenantnet
+
+// Hash support for unordered containers keyed by address/prefix.
+namespace std {
+template <>
+struct hash<tenantnet::IpAddress> {
+  size_t operator()(tenantnet::IpAddress ip) const noexcept {
+    uint64_t h = ip.hi() * 0x9E3779B97F4A7C15ULL ^ ip.lo();
+    h ^= static_cast<uint64_t>(ip.family() == tenantnet::IpFamily::kIpv6) << 63;
+    return std::hash<uint64_t>{}(h);
+  }
+};
+template <>
+struct hash<tenantnet::IpPrefix> {
+  size_t operator()(const tenantnet::IpPrefix& p) const noexcept {
+    return std::hash<tenantnet::IpAddress>{}(p.base()) * 31 +
+           static_cast<size_t>(p.length());
+  }
+};
+}  // namespace std
+
+#endif  // TENANTNET_SRC_NET_IP_H_

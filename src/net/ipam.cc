@@ -1,0 +1,178 @@
+#include "src/net/ipam.h"
+
+#include <cassert>
+
+namespace tenantnet {
+
+PrefixAllocator::PrefixAllocator(IpPrefix root) : root_(root) {
+  free_by_len_[root.length()].insert(root);
+}
+
+Result<IpPrefix> PrefixAllocator::Allocate(int prefix_len) {
+  if (prefix_len < root_.length() || prefix_len > root_.base().width()) {
+    return InvalidArgumentError("requested length outside root block");
+  }
+  // Find the smallest free block that can hold the request (largest length
+  // <= prefix_len), preferring a tight fit.
+  int best_len = -1;
+  for (auto& [len, blocks] : free_by_len_) {
+    if (len > prefix_len || blocks.empty()) {
+      continue;
+    }
+    if (len > best_len) {
+      best_len = len;
+    }
+  }
+  if (best_len < 0) {
+    return ResourceExhaustedError("no free block of /" +
+                                  std::to_string(prefix_len));
+  }
+  IpPrefix block = *free_by_len_[best_len].begin();
+  free_by_len_[best_len].erase(free_by_len_[best_len].begin());
+  // Split down to the requested size, returning right halves to the pool.
+  while (block.length() < prefix_len) {
+    auto halves = block.Split();
+    assert(halves.ok());
+    block = halves->first;
+    free_by_len_[halves->second.length()].insert(halves->second);
+  }
+  allocated_.insert(block);
+  return block;
+}
+
+Status PrefixAllocator::AllocateExact(const IpPrefix& want) {
+  if (!root_.Contains(want)) {
+    return InvalidArgumentError("prefix outside root block");
+  }
+  TN_RETURN_IF_ERROR(CarveOut(want));
+  allocated_.insert(want);
+  return Status::Ok();
+}
+
+Status PrefixAllocator::CarveOut(const IpPrefix& want) {
+  // Find a free block containing `want` by walking up the ancestor chain.
+  for (int len = want.length(); len >= root_.length(); --len) {
+    auto ancestor = IpPrefix::Create(want.base(), len);
+    assert(ancestor.ok());
+    auto it = free_by_len_.find(len);
+    if (it == free_by_len_.end()) {
+      continue;
+    }
+    auto block_it = it->second.find(*ancestor);
+    if (block_it == it->second.end()) {
+      continue;
+    }
+    // Found. Split down, keeping the halves not on the path.
+    IpPrefix block = *block_it;
+    it->second.erase(block_it);
+    while (block.length() < want.length()) {
+      auto halves = block.Split();
+      assert(halves.ok());
+      if (halves->first.Contains(want)) {
+        block = halves->first;
+        free_by_len_[halves->second.length()].insert(halves->second);
+      } else {
+        block = halves->second;
+        free_by_len_[halves->first.length()].insert(halves->first);
+      }
+    }
+    return Status::Ok();
+  }
+  if (allocated_.count(want) > 0) {
+    return AlreadyExistsError("prefix already allocated: " + want.ToString());
+  }
+  return AlreadyExistsError("prefix overlaps an existing allocation: " +
+                            want.ToString());
+}
+
+Status PrefixAllocator::Release(const IpPrefix& prefix) {
+  auto it = allocated_.find(prefix);
+  if (it == allocated_.end()) {
+    return NotFoundError("prefix not allocated: " + prefix.ToString());
+  }
+  allocated_.erase(it);
+  // Insert into free set and coalesce with buddies upward.
+  IpPrefix block = prefix;
+  while (block.length() > root_.length()) {
+    // The buddy shares the parent; flip the last prefix bit.
+    auto parent = IpPrefix::Create(block.base(), block.length() - 1);
+    assert(parent.ok());
+    auto halves = parent->Split();
+    assert(halves.ok());
+    IpPrefix buddy =
+        (halves->first == block) ? halves->second : halves->first;
+    auto& peers = free_by_len_[block.length()];
+    auto buddy_it = peers.find(buddy);
+    if (buddy_it == peers.end()) {
+      break;
+    }
+    peers.erase(buddy_it);
+    block = *parent;
+  }
+  free_by_len_[block.length()].insert(block);
+  return Status::Ok();
+}
+
+bool PrefixAllocator::IsAllocated(const IpPrefix& prefix) const {
+  return allocated_.count(prefix) > 0;
+}
+
+uint64_t PrefixAllocator::AllocatedAddressCount() const {
+  uint64_t total = 0;
+  for (const auto& p : allocated_) {
+    total += p.AddressCount();
+  }
+  return total;
+}
+
+HostAllocator::HostAllocator(IpPrefix pool, ReusePolicy policy)
+    : pool_(pool), policy_(policy) {}
+
+Result<IpAddress> HostAllocator::Allocate() {
+  IpAddress ip;
+  bool reused = false;
+  if (policy_ == ReusePolicy::kLifo) {
+    if (!free_list_.empty()) {
+      ip = free_list_.back();
+      free_list_.pop_back();
+      reused = true;
+    }
+  } else {
+    // Lowest-first: prefer the smallest freed address if it is below the
+    // high-water mark (it always is), keeping the live range dense.
+    if (!free_sorted_.empty()) {
+      ip = *free_sorted_.begin();
+      free_sorted_.erase(free_sorted_.begin());
+      reused = true;
+    }
+  }
+  if (!reused) {
+    if (next_offset_ >= pool_.AddressCount()) {
+      return ResourceExhaustedError("address pool " + pool_.ToString() +
+                                    " exhausted");
+    }
+    ip = pool_.AddressAt(next_offset_++);
+  }
+  allocated_.insert(ip);
+  return ip;
+}
+
+Status HostAllocator::Release(IpAddress ip) {
+  auto it = allocated_.find(ip);
+  if (it == allocated_.end()) {
+    return NotFoundError("address not allocated: " + ip.ToString());
+  }
+  allocated_.erase(it);
+  if (policy_ == ReusePolicy::kLifo) {
+    free_list_.push_back(ip);
+  } else {
+    free_sorted_.insert(ip);
+  }
+  return Status::Ok();
+}
+
+bool HostAllocator::IsAllocated(IpAddress ip) const {
+  return allocated_.count(ip) > 0;
+}
+
+}  // namespace tenantnet

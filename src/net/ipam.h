@@ -1,0 +1,103 @@
+// IP address management (IPAM).
+//
+// Two allocators are provided, matching the two worlds the project compares:
+//
+// * PrefixAllocator — carves non-overlapping sub-prefixes out of a parent
+//   block (what a tenant must do when planning VPC/subnet CIDRs; the paper
+//   notes AWS recommends special planner tools for this at scale). Buddy
+//   allocation over the prefix tree: any power-of-two block size, O(length)
+//   per operation, and freed blocks coalesce with their buddies.
+//
+// * HostAllocator — hands out individual addresses from a pool (what the
+//   provider does for flat EIPs in the proposed design). First-fit over a
+//   free list with O(1) allocate/release amortized.
+
+#ifndef TENANTNET_SRC_NET_IPAM_H_
+#define TENANTNET_SRC_NET_IPAM_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/ip.h"
+
+namespace tenantnet {
+
+// Buddy allocator over a CIDR block. Allocations are sub-prefixes of the
+// root; releases coalesce buddies back into larger free blocks.
+class PrefixAllocator {
+ public:
+  explicit PrefixAllocator(IpPrefix root);
+
+  const IpPrefix& root() const { return root_; }
+
+  // Allocates any free sub-prefix of exactly `prefix_len`.
+  Result<IpPrefix> Allocate(int prefix_len);
+
+  // Allocates a specific sub-prefix if it is entirely free (tenants often
+  // want hand-picked ranges; collisions are the interesting failure).
+  Status AllocateExact(const IpPrefix& want);
+
+  // Returns a previously allocated prefix to the pool.
+  Status Release(const IpPrefix& prefix);
+
+  // True if `prefix` is currently allocated (exactly, not a sub-range).
+  bool IsAllocated(const IpPrefix& prefix) const;
+
+  // Addresses currently allocated (sum over allocated blocks).
+  uint64_t AllocatedAddressCount() const;
+
+  size_t allocated_block_count() const { return allocated_.size(); }
+
+ private:
+  // Removes `prefix` from the free set, splitting larger free blocks as
+  // needed. Fails if any part of it is allocated.
+  Status CarveOut(const IpPrefix& prefix);
+
+  IpPrefix root_;
+  // Free blocks by prefix length, each set ordered by base address.
+  std::map<int, std::set<IpPrefix>> free_by_len_;
+  std::set<IpPrefix> allocated_;
+};
+
+// Flat per-address allocator over a pool prefix.
+//
+// The reuse policy is the provider's aggregation lever (E4a): kLifo reuses
+// the most recently released address (cache-friendly, but long-lived churn
+// leaves holes scattered across the pool); kLowestFirst always hands out
+// the numerically lowest free address, keeping the live set dense and the
+// provider's aggregated routing table small.
+class HostAllocator {
+ public:
+  enum class ReusePolicy { kLifo, kLowestFirst };
+
+  explicit HostAllocator(IpPrefix pool,
+                         ReusePolicy policy = ReusePolicy::kLifo);
+
+  const IpPrefix& pool() const { return pool_; }
+  ReusePolicy policy() const { return policy_; }
+
+  // Next free address, per the reuse policy.
+  Result<IpAddress> Allocate();
+
+  Status Release(IpAddress ip);
+
+  bool IsAllocated(IpAddress ip) const;
+
+  uint64_t allocated_count() const { return allocated_.size(); }
+  uint64_t capacity() const { return pool_.AddressCount(); }
+
+ private:
+  IpPrefix pool_;
+  ReusePolicy policy_;
+  uint64_t next_offset_ = 0;           // high-water mark
+  std::vector<IpAddress> free_list_;   // LIFO stack (kLifo)
+  std::set<IpAddress> free_sorted_;    // ordered free pool (kLowestFirst)
+  std::set<IpAddress> allocated_;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_NET_IPAM_H_

@@ -1,0 +1,209 @@
+#include "src/routing/bgp.h"
+
+#include <algorithm>
+#include <set>
+
+namespace tenantnet {
+
+SpeakerId BgpMesh::AddSpeaker(uint32_t asn, std::string name) {
+  speakers_.push_back(Speaker{asn, std::move(name), {}, {}, {}});
+  return SpeakerId(speakers_.size());
+}
+
+Status BgpMesh::AddSession(SpeakerId a, SpeakerId b, SessionPolicy a_to_b,
+                           SessionPolicy b_to_a) {
+  if (!a.valid() || a.value() > speakers_.size() || !b.valid() ||
+      b.value() > speakers_.size()) {
+    return InvalidArgumentError("unknown speaker");
+  }
+  if (a == b) {
+    return InvalidArgumentError("speaker cannot peer with itself");
+  }
+  Get(a).sessions.push_back(Session{b, std::move(a_to_b)});
+  Get(b).sessions.push_back(Session{a, std::move(b_to_a)});
+  ++session_count_;
+  return Status::Ok();
+}
+
+Status BgpMesh::Originate(SpeakerId speaker, const IpPrefix& prefix) {
+  if (!speaker.valid() || speaker.value() > speakers_.size()) {
+    return InvalidArgumentError("unknown speaker");
+  }
+  Speaker& s = Get(speaker);
+  if (std::find(s.originated.begin(), s.originated.end(), prefix) !=
+      s.originated.end()) {
+    return AlreadyExistsError("already originated: " + prefix.ToString());
+  }
+  s.originated.push_back(prefix);
+  return Status::Ok();
+}
+
+Status BgpMesh::WithdrawOrigin(SpeakerId speaker, const IpPrefix& prefix) {
+  if (!speaker.valid() || speaker.value() > speakers_.size()) {
+    return InvalidArgumentError("unknown speaker");
+  }
+  Speaker& s = Get(speaker);
+  auto it = std::find(s.originated.begin(), s.originated.end(), prefix);
+  if (it == s.originated.end()) {
+    return NotFoundError("not originated here: " + prefix.ToString());
+  }
+  s.originated.erase(it);
+  return Status::Ok();
+}
+
+bool BgpMesh::Better(const BgpRoute& candidate, const BgpRoute& incumbent,
+                     const BgpMesh& mesh) {
+  if (candidate.local_pref != incumbent.local_pref) {
+    return candidate.local_pref > incumbent.local_pref;
+  }
+  if (candidate.as_path.size() != incumbent.as_path.size()) {
+    return candidate.as_path.size() < incumbent.as_path.size();
+  }
+  // Tie-break: lowest neighbor ASN (locally originated wins outright via
+  // the empty as_path above; two local originations of one prefix cannot
+  // happen within one speaker).
+  auto neighbor_asn = [&mesh](const BgpRoute& r) -> uint32_t {
+    if (!r.learned_from.valid()) {
+      return 0;
+    }
+    return mesh.Get(r.learned_from).asn;
+  };
+  return neighbor_asn(candidate) < neighbor_asn(incumbent);
+}
+
+BgpMesh::ConvergenceStats BgpMesh::Converge(uint64_t max_rounds) {
+  ConvergenceStats stats;
+
+  // Reset Loc-RIBs to locally originated routes; convergence is recomputed
+  // from scratch so that withdrawals are handled soundly.
+  std::vector<std::set<IpPrefix>> changed(speakers_.size());
+  for (size_t i = 0; i < speakers_.size(); ++i) {
+    speakers_[i].loc_rib.clear();
+    for (const IpPrefix& p : speakers_[i].originated) {
+      BgpRoute route;
+      route.prefix = p;
+      route.local_pref = 100;
+      speakers_[i].loc_rib[p] = route;
+      changed[i].insert(p);
+    }
+  }
+
+  for (uint64_t round = 0; round < max_rounds; ++round) {
+    bool any_pending = false;
+    for (const auto& c : changed) {
+      if (!c.empty()) {
+        any_pending = true;
+        break;
+      }
+    }
+    if (!any_pending) {
+      stats.converged = true;
+      break;
+    }
+    ++stats.rounds;
+
+    // Deliver advertisements for every route that changed last round, then
+    // apply them all (synchronous round semantics).
+    std::vector<std::set<IpPrefix>> next_changed(speakers_.size());
+    struct Delivery {
+      size_t to;
+      BgpRoute route;
+    };
+    std::vector<Delivery> deliveries;
+    for (size_t i = 0; i < speakers_.size(); ++i) {
+      const Speaker& sender = speakers_[i];
+      for (const IpPrefix& prefix : changed[i]) {
+        auto rib_it = sender.loc_rib.find(prefix);
+        if (rib_it == sender.loc_rib.end()) {
+          continue;
+        }
+        const BgpRoute& best = rib_it->second;
+        for (const Session& session : sender.sessions) {
+          if (session.policy.export_filter &&
+              !session.policy.export_filter(best)) {
+            continue;
+          }
+          BgpRoute advert = best;
+          advert.as_path.insert(advert.as_path.begin(), sender.asn);
+          advert.learned_from = SpeakerId(i + 1);
+          advert.local_pref = 100;  // local_pref is not transitive
+          ++stats.update_messages;
+          deliveries.push_back(Delivery{session.peer.value() - 1, advert});
+        }
+      }
+    }
+
+    for (Delivery& d : deliveries) {
+      Speaker& receiver = speakers_[d.to];
+      // Loop detection.
+      if (std::find(d.route.as_path.begin(), d.route.as_path.end(),
+                    receiver.asn) != d.route.as_path.end()) {
+        continue;
+      }
+      // Find the inbound session's policy (session from receiver to sender
+      // holds the receiver's view of that peer; import policy lives on the
+      // receiving side's session record toward the sender).
+      const SessionPolicy* import_policy = nullptr;
+      for (const Session& session : receiver.sessions) {
+        if (session.peer == d.route.learned_from) {
+          import_policy = &session.policy;
+          break;
+        }
+      }
+      if (import_policy != nullptr) {
+        if (import_policy->import_filter &&
+            !import_policy->import_filter(d.route)) {
+          continue;
+        }
+        if (import_policy->import_local_pref != 0) {
+          d.route.local_pref = import_policy->import_local_pref;
+        }
+      }
+      auto it = receiver.loc_rib.find(d.route.prefix);
+      if (it == receiver.loc_rib.end() || Better(d.route, it->second, *this)) {
+        receiver.loc_rib[d.route.prefix] = d.route;
+        next_changed[d.to].insert(d.route.prefix);
+      }
+    }
+    changed.swap(next_changed);
+  }
+
+  if (!stats.converged) {
+    // Check once more in case the final round settled everything.
+    stats.converged = true;
+    for (const auto& c : changed) {
+      if (!c.empty()) {
+        stats.converged = false;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+const BgpRoute* BgpMesh::BestRoute(SpeakerId speaker,
+                                   const IpPrefix& prefix) const {
+  if (!speaker.valid() || speaker.value() > speakers_.size()) {
+    return nullptr;
+  }
+  const Speaker& s = Get(speaker);
+  auto it = s.loc_rib.find(prefix);
+  return it == s.loc_rib.end() ? nullptr : &it->second;
+}
+
+size_t BgpMesh::TableSize(SpeakerId speaker) const {
+  if (!speaker.valid() || speaker.value() > speakers_.size()) {
+    return 0;
+  }
+  return Get(speaker).loc_rib.size();
+}
+
+size_t BgpMesh::TotalRibEntries() const {
+  size_t total = 0;
+  for (const Speaker& s : speakers_) {
+    total += s.loc_rib.size();
+  }
+  return total;
+}
+
+}  // namespace tenantnet

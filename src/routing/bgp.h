@@ -1,0 +1,113 @@
+// A compact path-vector (BGP-like) routing mesh.
+//
+// The paper's point is that tenants are forced to face inter-domain routing
+// (Transit Gateways and VPN gateways speak BGP); the baseline world
+// therefore really runs one of these meshes: speakers originate prefixes,
+// advertise to sessions with export policies, import with loop detection,
+// and select best paths (local-pref, then AS-path length, then lowest
+// neighbor ASN). Convergence is synchronous-round based and instrumented —
+// rounds, update messages, and per-speaker table sizes are what the
+// complexity and scalability experiments read out.
+
+#ifndef TENANTNET_SRC_ROUTING_BGP_H_
+#define TENANTNET_SRC_ROUTING_BGP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/net/ip.h"
+
+namespace tenantnet {
+
+using SpeakerId = TypedId<struct SpeakerIdTag>;
+
+struct BgpRoute {
+  IpPrefix prefix;
+  std::vector<uint32_t> as_path;  // front = most recent hop
+  uint32_t local_pref = 100;
+  SpeakerId learned_from;  // invalid for locally originated
+
+  bool OriginatedLocally() const { return !learned_from.valid(); }
+};
+
+// Per-session import/export policy.
+struct SessionPolicy {
+  // Applied to routes received on this session; routes failing the filter
+  // are dropped. Default accepts everything.
+  std::function<bool(const BgpRoute&)> import_filter;
+  // local_pref assigned to imported routes (0 = keep sender's default 100).
+  uint32_t import_local_pref = 0;
+  // Applied before sending; routes failing are not exported.
+  std::function<bool(const BgpRoute&)> export_filter;
+};
+
+class BgpMesh {
+ public:
+  SpeakerId AddSpeaker(uint32_t asn, std::string name);
+
+  // Bidirectional session with per-direction policies.
+  Status AddSession(SpeakerId a, SpeakerId b, SessionPolicy a_to_b = {},
+                    SessionPolicy b_to_a = {});
+
+  // Originates `prefix` at `speaker` (it will advertise it everywhere its
+  // export policies allow).
+  Status Originate(SpeakerId speaker, const IpPrefix& prefix);
+
+  Status WithdrawOrigin(SpeakerId speaker, const IpPrefix& prefix);
+
+  // Runs synchronous advertisement rounds until no speaker changes its
+  // Loc-RIB, or `max_rounds` is hit. Returns rounds executed.
+  struct ConvergenceStats {
+    uint64_t rounds = 0;
+    uint64_t update_messages = 0;  // (route, session) advertisements sent
+    bool converged = false;
+  };
+  ConvergenceStats Converge(uint64_t max_rounds = 1000);
+
+  // Best route at `speaker` for exactly `prefix` (post-convergence).
+  const BgpRoute* BestRoute(SpeakerId speaker, const IpPrefix& prefix) const;
+
+  // Loc-RIB size at a speaker.
+  size_t TableSize(SpeakerId speaker) const;
+
+  size_t speaker_count() const { return speakers_.size(); }
+  size_t session_count() const { return session_count_; }
+
+  // Total best-route entries across all speakers (global routing state).
+  size_t TotalRibEntries() const;
+
+ private:
+  struct Session {
+    SpeakerId peer;
+    SessionPolicy policy;  // applied in the a -> peer direction
+  };
+  struct Speaker {
+    uint32_t asn;
+    std::string name;
+    std::vector<Session> sessions;
+    std::vector<IpPrefix> originated;
+    // Loc-RIB: best route per prefix.
+    std::map<IpPrefix, BgpRoute> loc_rib;
+  };
+
+  // True if `candidate` beats `incumbent` under BGP-ish selection.
+  static bool Better(const BgpRoute& candidate, const BgpRoute& incumbent,
+                     const BgpMesh& mesh);
+
+  Speaker& Get(SpeakerId id) { return speakers_[id.value() - 1]; }
+  const Speaker& Get(SpeakerId id) const { return speakers_[id.value() - 1]; }
+
+  std::vector<Speaker> speakers_;
+  size_t session_count_ = 0;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_ROUTING_BGP_H_

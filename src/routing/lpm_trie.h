@@ -1,0 +1,192 @@
+// Longest-prefix-match binary trie.
+//
+// The core data structure behind every forwarding table in the project.
+// One trie per address family; keys are IpPrefix, lookups are IpAddress.
+// node_count() is exposed because experiment E4a's question is precisely
+// "how big does the provider's table get with flat EIPs vs aggregated VPC
+// prefixes" — trie nodes are the memory proxy.
+
+#ifndef TENANTNET_SRC_ROUTING_LPM_TRIE_H_
+#define TENANTNET_SRC_ROUTING_LPM_TRIE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/net/ip.h"
+
+namespace tenantnet {
+
+template <typename T>
+class LpmTrie {
+ public:
+  LpmTrie() : v4_root_(std::make_unique<Node>()), v6_root_(std::make_unique<Node>()) {
+    node_count_ = 2;
+  }
+
+  // Inserts or overwrites the value at `prefix`. Returns true if this was a
+  // new entry (false = overwrite).
+  bool Insert(const IpPrefix& prefix, T value) {
+    Node* node = WalkOrCreate(prefix);
+    bool is_new = !node->value.has_value();
+    node->value = std::move(value);
+    if (is_new) {
+      ++entry_count_;
+    }
+    return is_new;
+  }
+
+  // Removes the entry at exactly `prefix`. Returns false if absent.
+  // (Nodes are not pruned; tables in this project grow hot and shrink cold,
+  // and node_count() intentionally reports high-water structure.)
+  bool Remove(const IpPrefix& prefix) {
+    Node* node = WalkExact(prefix);
+    if (node == nullptr || !node->value.has_value()) {
+      return false;
+    }
+    node->value.reset();
+    --entry_count_;
+    return true;
+  }
+
+  // Value stored at exactly `prefix`, if any.
+  const T* ExactMatch(const IpPrefix& prefix) const {
+    const Node* node = WalkExact(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value
+                                                        : nullptr;
+  }
+  T* ExactMatch(const IpPrefix& prefix) {
+    Node* node = WalkExact(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value
+                                                        : nullptr;
+  }
+
+  // Longest-prefix match for `ip`; nullptr if nothing covers it.
+  const T* LongestMatch(IpAddress ip) const {
+    const Node* node = RootFor(ip.family());
+    const T* best = node->value.has_value() ? &*node->value : nullptr;
+    int width = ip.width();
+    for (int depth = 0; depth < width; ++depth) {
+      node = ip.BitFromMsb(depth) ? node->one.get() : node->zero.get();
+      if (node == nullptr) {
+        break;
+      }
+      if (node->value.has_value()) {
+        best = &*node->value;
+      }
+    }
+    return best;
+  }
+
+  // Longest matching prefix itself (with its value).
+  std::optional<std::pair<IpPrefix, const T*>> LongestMatchEntry(
+      IpAddress ip) const {
+    const Node* node = RootFor(ip.family());
+    std::optional<std::pair<IpPrefix, const T*>> best;
+    if (node->value.has_value()) {
+      best = {IpPrefix::Any(ip.family()), &*node->value};
+    }
+    int width = ip.width();
+    for (int depth = 0; depth < width; ++depth) {
+      node = ip.BitFromMsb(depth) ? node->one.get() : node->zero.get();
+      if (node == nullptr) {
+        break;
+      }
+      if (node->value.has_value()) {
+        auto prefix = IpPrefix::Create(ip, depth + 1);
+        best = {*prefix, &*node->value};
+      }
+    }
+    return best;
+  }
+
+  // Visits every entry as (prefix, value).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    ForEachImpl(v4_root_.get(), IpPrefix::Any(IpFamily::kIpv4), fn);
+    ForEachImpl(v6_root_.get(), IpPrefix::Any(IpFamily::kIpv6), fn);
+  }
+
+  size_t entry_count() const { return entry_count_; }
+  size_t node_count() const { return node_count_; }
+
+  void Clear() {
+    v4_root_ = std::make_unique<Node>();
+    v6_root_ = std::make_unique<Node>();
+    node_count_ = 2;
+    entry_count_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> zero;
+    std::unique_ptr<Node> one;
+  };
+
+  const Node* RootFor(IpFamily family) const {
+    return family == IpFamily::kIpv4 ? v4_root_.get() : v6_root_.get();
+  }
+  Node* RootFor(IpFamily family) {
+    return family == IpFamily::kIpv4 ? v4_root_.get() : v6_root_.get();
+  }
+
+  Node* WalkOrCreate(const IpPrefix& prefix) {
+    Node* node = RootFor(prefix.family());
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      std::unique_ptr<Node>& child =
+          prefix.base().BitFromMsb(depth) ? node->one : node->zero;
+      if (!child) {
+        child = std::make_unique<Node>();
+        ++node_count_;
+      }
+      node = child.get();
+    }
+    return node;
+  }
+
+  const Node* WalkExact(const IpPrefix& prefix) const {
+    const Node* node = RootFor(prefix.family());
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      node = prefix.base().BitFromMsb(depth) ? node->one.get()
+                                             : node->zero.get();
+      if (node == nullptr) {
+        return nullptr;
+      }
+    }
+    return node;
+  }
+  Node* WalkExact(const IpPrefix& prefix) {
+    return const_cast<Node*>(
+        static_cast<const LpmTrie*>(this)->WalkExact(prefix));
+  }
+
+  template <typename Fn>
+  void ForEachImpl(const Node* node, IpPrefix at, Fn& fn) const {
+    if (node->value.has_value()) {
+      fn(at, *node->value);
+    }
+    if (at.length() >= at.base().width()) {
+      return;
+    }
+    auto halves = at.Split();
+    if (!halves.ok()) {
+      return;
+    }
+    if (node->zero) {
+      ForEachImpl(node->zero.get(), halves->first, fn);
+    }
+    if (node->one) {
+      ForEachImpl(node->one.get(), halves->second, fn);
+    }
+  }
+
+  std::unique_ptr<Node> v4_root_;
+  std::unique_ptr<Node> v6_root_;
+  size_t node_count_ = 0;
+  size_t entry_count_ = 0;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_ROUTING_LPM_TRIE_H_

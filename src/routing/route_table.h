@@ -1,0 +1,74 @@
+// Route tables (RIB/FIB) and route aggregation.
+//
+// RouteTable is the forwarding state a router or a provider fabric holds:
+// prefix -> next hop (+ origin metadata). Aggregation answers E4a's routing
+// question: given the set of prefixes a provider must carry, how small can
+// the table get, flat-EIP world vs VPC world?
+
+#ifndef TENANTNET_SRC_ROUTING_ROUTE_TABLE_H_
+#define TENANTNET_SRC_ROUTING_ROUTE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/ip.h"
+#include "src/routing/lpm_trie.h"
+#include "src/sim/topology.h"
+
+namespace tenantnet {
+
+enum class RouteOrigin : uint8_t {
+  kLocal,       // directly attached
+  kStatic,      // operator-configured
+  kPropagated,  // learned via BGP/peering
+};
+
+struct RouteEntry {
+  NodeId next_hop;
+  RouteOrigin origin = RouteOrigin::kStatic;
+  uint32_t metric = 0;
+  std::string via;  // human-readable source (gateway name, session)
+
+  friend bool operator==(const RouteEntry& a, const RouteEntry& b) {
+    return a.next_hop == b.next_hop && a.origin == b.origin &&
+           a.metric == b.metric;
+  }
+};
+
+class RouteTable {
+ public:
+  // Installs/overwrites a route. Returns true if new.
+  bool Install(const IpPrefix& prefix, RouteEntry entry);
+
+  Status Withdraw(const IpPrefix& prefix);
+
+  // Longest-prefix-match lookup.
+  const RouteEntry* Lookup(IpAddress dst) const;
+
+  const RouteEntry* ExactLookup(const IpPrefix& prefix) const;
+
+  size_t entry_count() const { return trie_.entry_count(); }
+  // Structural size: trie nodes (memory proxy for E4a).
+  size_t node_count() const { return trie_.node_count(); }
+
+  // All installed prefixes, for aggregation / reporting.
+  std::vector<IpPrefix> Prefixes() const;
+
+  void Clear() { trie_.Clear(); }
+
+ private:
+  LpmTrie<RouteEntry> trie_;
+};
+
+// Collapses a prefix set to its minimal covering set: buddy pairs merge into
+// their parent, contained prefixes are dropped. This models the provider's
+// ability to aggregate (the paper argues flat EIP assignment gives the
+// provider *maximum* aggregation freedom because tenants no longer pin
+// prefixes to VPCs).
+std::vector<IpPrefix> AggregatePrefixes(std::vector<IpPrefix> prefixes);
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_ROUTING_ROUTE_TABLE_H_

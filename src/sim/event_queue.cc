@@ -1,0 +1,87 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <memory>
+
+namespace tenantnet {
+
+EventQueue::~EventQueue() {
+  while (!heap_.empty()) {
+    delete heap_.top();
+    heap_.pop();
+  }
+}
+
+EventHandle EventQueue::ScheduleAt(SimTime when, Callback fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  if (when < now_) {
+    when = now_;
+  }
+  uint64_t seq = next_seq_++;
+  auto* entry = new Entry{when, seq, std::move(fn), /*cancelled=*/false};
+  heap_.push(entry);
+  index_.emplace(seq, entry);
+  ++live_count_;
+  return EventHandle(seq);
+}
+
+EventHandle EventQueue::ScheduleAfter(SimDuration delay, Callback fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void EventQueue::Cancel(EventHandle handle) {
+  if (!handle.valid()) {
+    return;
+  }
+  auto it = index_.find(handle.seq_);
+  if (it == index_.end()) {
+    return;  // already fired or cancelled
+  }
+  it->second->cancelled = true;
+  index_.erase(it);
+  --live_count_;
+}
+
+bool EventQueue::Step() {
+  while (!heap_.empty()) {
+    Entry* entry = heap_.top();
+    heap_.pop();
+    if (entry->cancelled) {
+      delete entry;
+      continue;
+    }
+    index_.erase(entry->seq);
+    --live_count_;
+    now_ = entry->when;
+    // Move the callback out before running: the callback may schedule or
+    // cancel other events, but this entry is already detached.
+    Callback fn = std::move(entry->fn);
+    delete entry;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t EventQueue::RunUntil(SimTime deadline) {
+  uint64_t fired = 0;
+  for (;;) {
+    // Skim cancelled entries to find the real next event time.
+    while (!heap_.empty() && heap_.top()->cancelled) {
+      delete heap_.top();
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top()->when > deadline) {
+      break;
+    }
+    if (Step()) {
+      ++fired;
+    }
+  }
+  if (deadline != SimTime::Infinite() && deadline > now_) {
+    now_ = deadline;
+  }
+  return fired;
+}
+
+}  // namespace tenantnet

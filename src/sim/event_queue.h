@@ -1,0 +1,97 @@
+// Discrete-event engine.
+//
+// A single-threaded, deterministic event queue over SimTime. Events at the
+// same timestamp fire in scheduling order (FIFO tie-break via a sequence
+// number), so runs are exactly reproducible. Events can be cancelled through
+// the handle returned at scheduling time.
+
+#ifndef TENANTNET_SRC_SIM_EVENT_QUEUE_H_
+#define TENANTNET_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace tenantnet {
+
+// Opaque handle for cancellation. Valid until the event fires or is
+// cancelled.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(uint64_t seq) : seq_(seq) {}
+  uint64_t seq_ = 0;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at `when` (must be >= now()).
+  EventHandle ScheduleAt(SimTime when, Callback fn);
+
+  // Schedules `fn` to run `delay` from now.
+  EventHandle ScheduleAfter(SimDuration delay, Callback fn);
+
+  // Cancels a pending event; no-op if it already fired or was cancelled.
+  void Cancel(EventHandle handle);
+
+  // Runs events until the queue is empty or the next event is after
+  // `deadline`. Advances now() to the time of each fired event, and finally
+  // to `deadline` if it is finite and later than the last event.
+  // Returns the number of events fired.
+  uint64_t RunUntil(SimTime deadline);
+
+  // Runs everything currently (and recursively) scheduled.
+  uint64_t RunAll() { return RunUntil(SimTime::Infinite()); }
+
+  // Fires at most one event; returns false if the queue is empty.
+  bool Step();
+
+  bool empty() const { return live_count_ == 0; }
+  size_t pending_count() const { return live_count_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    Callback fn;
+    bool cancelled;
+  };
+  struct EntryOrder {
+    // std::priority_queue is a max-heap; invert for earliest-first.
+    bool operator()(const Entry* a, const Entry* b) const {
+      if (a->when != b->when) {
+        return b->when < a->when;
+      }
+      return b->seq < a->seq;
+    }
+  };
+
+  SimTime now_ = SimTime::Epoch();
+  uint64_t next_seq_ = 1;
+  size_t live_count_ = 0;
+  // Owned entries; the heap holds raw pointers. Cancel flags the entry via
+  // the seq -> entry index (lazy deletion: the heap pops and discards it).
+  std::priority_queue<Entry*, std::vector<Entry*>, EntryOrder> heap_;
+  std::unordered_map<uint64_t, Entry*> index_;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,268 @@
+#include "src/sim/flow_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tenantnet {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+FlowSim::FlowSim(EventQueue& queue, const Topology& topology)
+    : queue_(queue), topology_(topology), last_settle_(queue.now()) {}
+
+FlowId FlowSim::StartFlow(std::vector<LinkId> path, double bytes,
+                          CompletionFn on_complete, double weight,
+                          double rate_cap_bps) {
+  assert(bytes >= 0);
+  assert(weight > 0);
+  FlowId id = flow_ids_.Next();
+  if (path.empty()) {
+    // Same-node transfer: delivered instantaneously in the fluid model.
+    if (std::isfinite(bytes)) {
+      bytes_delivered_ += bytes;
+    }
+    SimTime now = queue_.now();
+    if (on_complete) {
+      queue_.ScheduleAt(now, [on_complete = std::move(on_complete), id, now] {
+        on_complete(id, now);
+      });
+    }
+    return id;
+  }
+  SettleProgress();
+  LiveFlow flow;
+  flow.state.path = std::move(path);
+  flow.state.bytes_total = bytes;
+  flow.state.bytes_left = bytes;
+  flow.state.weight = weight;
+  flow.state.rate_cap_bps = rate_cap_bps;
+  flow.state.start_time = queue_.now();
+  flow.on_complete = std::move(on_complete);
+  flows_.emplace(id, std::move(flow));
+  Reallocate();
+  return id;
+}
+
+FlowId FlowSim::StartPersistentFlow(std::vector<LinkId> path, double weight,
+                                    double rate_cap_bps) {
+  return StartFlow(std::move(path), std::numeric_limits<double>::infinity(),
+                   CompletionFn(), weight, rate_cap_bps);
+}
+
+Status FlowSim::CancelFlow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return NotFoundError("no such flow");
+  }
+  SettleProgress();
+  queue_.Cancel(it->second.completion_event);
+  double sent = it->second.state.bytes_total - it->second.state.bytes_left;
+  if (std::isfinite(sent)) {
+    bytes_delivered_ += sent;
+  }
+  flows_.erase(it);
+  Reallocate();
+  return Status::Ok();
+}
+
+Status FlowSim::SetRateCap(FlowId id, double rate_cap_bps) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return NotFoundError("no such flow");
+  }
+  SettleProgress();
+  it->second.state.rate_cap_bps = rate_cap_bps;
+  Reallocate();
+  return Status::Ok();
+}
+
+Result<double> FlowSim::CurrentRate(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return NotFoundError("no such flow");
+  }
+  return it->second.state.current_rate_bps;
+}
+
+const FlowState* FlowSim::FindFlow(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? nullptr : &it->second.state;
+}
+
+double FlowSim::LinkUtilization(LinkId link) const {
+  auto it = link_allocated_bps_.find(link);
+  if (it == link_allocated_bps_.end()) {
+    return 0;
+  }
+  double cap = topology_.link(link).capacity_bps;
+  return cap > 0 ? std::min(1.0, it->second / cap) : 0;
+}
+
+SimDuration FlowSim::QueuePenalty(const std::vector<LinkId>& path,
+                                  SimDuration per_link_base,
+                                  SimDuration per_link_cap) const {
+  SimDuration total = SimDuration::Zero();
+  for (LinkId link : path) {
+    double util = LinkUtilization(link);
+    // M/M/1 shape: penalty ~ rho / (1 - rho), capped.
+    double rho = std::min(util, 0.999);
+    SimDuration penalty = per_link_base * (rho / (1.0 - rho));
+    total += std::min(penalty, per_link_cap);
+  }
+  return total;
+}
+
+void FlowSim::SettleProgress() {
+  SimTime now = queue_.now();
+  if (now == last_settle_) {
+    return;
+  }
+  double dt = (now - last_settle_).ToSeconds();
+  last_settle_ = now;
+  if (dt <= 0) {
+    return;
+  }
+  for (auto& [id, flow] : flows_) {
+    if (!std::isfinite(flow.state.bytes_total)) {
+      bytes_delivered_ += flow.state.current_rate_bps * dt / 8.0;
+      continue;
+    }
+    flow.state.bytes_left =
+        std::max(0.0, flow.state.bytes_left -
+                          flow.state.current_rate_bps * dt / 8.0);
+  }
+}
+
+void FlowSim::Reallocate() {
+  ++reallocations_;
+  link_allocated_bps_.clear();
+
+  // Water-filling: the fair level lambda rises uniformly; a flow's rate is
+  // weight * lambda until its own cap or one of its links freezes it.
+  struct LinkBudget {
+    double remaining;
+    double weight_sum = 0;
+  };
+  std::unordered_map<LinkId, LinkBudget> budgets;
+  std::vector<std::pair<FlowId, LiveFlow*>> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    unfrozen.push_back({id, &flow});
+    for (LinkId link : flow.state.path) {
+      auto [it, inserted] = budgets.try_emplace(
+          link, LinkBudget{topology_.link(link).capacity_bps, 0});
+      it->second.weight_sum += flow.state.weight;
+    }
+  }
+
+  while (!unfrozen.empty()) {
+    // Next freeze level.
+    double lambda = std::numeric_limits<double>::infinity();
+    for (auto& [id, flow] : unfrozen) {
+      lambda = std::min(lambda, flow->state.rate_cap_bps / flow->state.weight);
+      for (LinkId link : flow->state.path) {
+        const LinkBudget& b = budgets[link];
+        if (b.weight_sum > 0) {
+          lambda = std::min(lambda, std::max(0.0, b.remaining) / b.weight_sum);
+        }
+      }
+    }
+    if (!std::isfinite(lambda)) {
+      // All remaining flows are uncapped and cross no finite constraint;
+      // give them an effectively unbounded rate.
+      for (auto& [id, flow] : unfrozen) {
+        flow->state.current_rate_bps = 1e18;
+      }
+      break;
+    }
+
+    // Freeze every flow whose own constraint binds at this level.
+    std::vector<std::pair<FlowId, LiveFlow*>> still_unfrozen;
+    still_unfrozen.reserve(unfrozen.size());
+    for (auto& [id, flow] : unfrozen) {
+      bool frozen = false;
+      double rate = flow->state.weight * lambda;
+      if (flow->state.rate_cap_bps / flow->state.weight <=
+          lambda * (1 + kEps) + kEps) {
+        rate = flow->state.rate_cap_bps;
+        frozen = true;
+      } else {
+        for (LinkId link : flow->state.path) {
+          const LinkBudget& b = budgets[link];
+          if (b.weight_sum > 0 &&
+              std::max(0.0, b.remaining) / b.weight_sum <=
+                  lambda * (1 + kEps) + kEps) {
+            frozen = true;
+            break;
+          }
+        }
+      }
+      if (frozen) {
+        flow->state.current_rate_bps = rate;
+        for (LinkId link : flow->state.path) {
+          LinkBudget& b = budgets[link];
+          b.remaining -= rate;
+          b.weight_sum -= flow->state.weight;
+        }
+      } else {
+        still_unfrozen.push_back({id, flow});
+      }
+    }
+    // Progress guarantee: at least one flow freezes each round (the one
+    // defining lambda). Guard against numerical stalls anyway.
+    if (still_unfrozen.size() == unfrozen.size()) {
+      for (auto& [id, flow] : still_unfrozen) {
+        flow->state.current_rate_bps = flow->state.weight * lambda;
+      }
+      still_unfrozen.clear();
+    }
+    unfrozen.swap(still_unfrozen);
+  }
+
+  // Record allocations and reschedule completions.
+  SimTime now = queue_.now();
+  for (auto& [id, flow] : flows_) {
+    for (LinkId link : flow.state.path) {
+      link_allocated_bps_[link] += flow.state.current_rate_bps;
+    }
+    queue_.Cancel(flow.completion_event);
+    flow.completion_event = EventHandle();
+    if (!std::isfinite(flow.state.bytes_total)) {
+      continue;  // persistent
+    }
+    if (flow.state.bytes_left <= 0) {
+      FlowId fid = id;
+      flow.completion_event =
+          queue_.ScheduleAt(now, [this, fid] { HandleCompletion(fid); });
+      continue;
+    }
+    if (flow.state.current_rate_bps <= 0) {
+      continue;  // stalled (zero cap); waits for a cap change
+    }
+    double seconds = flow.state.bytes_left * 8.0 / flow.state.current_rate_bps;
+    FlowId fid = id;
+    flow.completion_event = queue_.ScheduleAfter(
+        SimDuration::Seconds(seconds), [this, fid] { HandleCompletion(fid); });
+  }
+}
+
+void FlowSim::HandleCompletion(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return;
+  }
+  SettleProgress();
+  // The scheduled finish is exact in the fluid model; clamp residue.
+  bytes_delivered_ += it->second.state.bytes_total;
+  CompletionFn on_complete = std::move(it->second.on_complete);
+  flows_.erase(it);
+  Reallocate();
+  if (on_complete) {
+    on_complete(id, queue_.now());
+  }
+}
+
+}  // namespace tenantnet

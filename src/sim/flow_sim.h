@@ -1,0 +1,120 @@
+// Flow-level (fluid) network simulation.
+//
+// Active flows share link capacity max-min fairly, with optional per-flow
+// rate caps (how egress quotas and VM egress limits act on the data plane)
+// and per-flow weights (how weighted SIP load balancing biases sharing).
+// Whenever the active set changes, rates are recomputed by water-filling and
+// each flow's completion is (re)scheduled on the event queue. This is the
+// standard fluid approximation: it captures throughput shares, transfer
+// times and congestion crossovers without per-packet cost.
+//
+// Latency-sensitive callers (request/response traffic) use Topology's
+// sampled path delay plus QueuePenalty(), which adds an M/M/1-style
+// utilization-dependent term per congested link.
+
+#ifndef TENANTNET_SRC_SIM_FLOW_SIM_H_
+#define TENANTNET_SRC_SIM_FLOW_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/topology.h"
+
+namespace tenantnet {
+
+using FlowId = TypedId<struct FlowIdTag>;
+
+// A flow in flight.
+struct FlowState {
+  std::vector<LinkId> path;
+  double bytes_total = 0;      // payload size; infinity for persistent flows
+  double bytes_left = 0;
+  double weight = 1.0;         // max-min weight
+  double rate_cap_bps = std::numeric_limits<double>::infinity();
+  double current_rate_bps = 0;
+  SimTime start_time;
+};
+
+class FlowSim {
+ public:
+  // Both references must outlive the FlowSim.
+  FlowSim(EventQueue& queue, const Topology& topology);
+
+  using CompletionFn = std::function<void(FlowId, SimTime finish)>;
+
+  // Starts a finite transfer of `bytes` along `path`. `on_complete` fires
+  // when the last byte is delivered. Empty paths complete immediately
+  // (same-node transfer).
+  FlowId StartFlow(std::vector<LinkId> path, double bytes,
+                   CompletionFn on_complete, double weight = 1.0,
+                   double rate_cap_bps = std::numeric_limits<double>::infinity());
+
+  // Starts a persistent (infinite-backlog) flow; it runs until CancelFlow.
+  FlowId StartPersistentFlow(std::vector<LinkId> path, double weight = 1.0,
+                             double rate_cap_bps =
+                                 std::numeric_limits<double>::infinity());
+
+  // Stops a flow early (persistent or finite). No completion callback fires.
+  Status CancelFlow(FlowId id);
+
+  // Tightens/loosens a live flow's rate cap (quota re-division does this).
+  Status SetRateCap(FlowId id, double rate_cap_bps);
+
+  // Current max-min allocation for a live flow, in bits/sec.
+  Result<double> CurrentRate(FlowId id) const;
+
+  const FlowState* FindFlow(FlowId id) const;
+
+  // Fraction of `link`'s capacity currently allocated, in [0, 1].
+  double LinkUtilization(LinkId link) const;
+
+  // Extra queueing delay a probe sees on `path` right now: per link,
+  // base_rtt_fraction * util/(1-util), capped at `cap` per link. A cheap
+  // stand-in for queue buildup that makes congested paths visibly slower.
+  SimDuration QueuePenalty(const std::vector<LinkId>& path,
+                           SimDuration per_link_base,
+                           SimDuration per_link_cap) const;
+
+  size_t active_flow_count() const { return flows_.size(); }
+
+  // Total bytes delivered by completed+cancelled+running flows so far.
+  double total_bytes_delivered() const { return bytes_delivered_; }
+
+  // Number of water-filling recomputations performed (cost metric).
+  uint64_t reallocation_count() const { return reallocations_; }
+
+ private:
+  struct LiveFlow {
+    FlowState state;
+    CompletionFn on_complete;
+    EventHandle completion_event;
+  };
+
+  // Recomputes all rates and completion events. Called on any change.
+  void Reallocate();
+
+  // Advances every live flow's bytes_left to `now` using current rates.
+  void SettleProgress();
+
+  void HandleCompletion(FlowId id);
+
+  EventQueue& queue_;
+  const Topology& topology_;
+  std::unordered_map<FlowId, LiveFlow> flows_;
+  std::unordered_map<LinkId, double> link_allocated_bps_;
+  IdGenerator<FlowId> flow_ids_;
+  SimTime last_settle_;
+  double bytes_delivered_ = 0;
+  uint64_t reallocations_ = 0;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_SIM_FLOW_SIM_H_

@@ -1,0 +1,222 @@
+#include "src/sim/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <queue>
+
+namespace tenantnet {
+
+std::string_view LinkClassName(LinkClass cls) {
+  switch (cls) {
+    case LinkClass::kDatacenter:
+      return "datacenter";
+    case LinkClass::kBackbone:
+      return "backbone";
+    case LinkClass::kPublicInternet:
+      return "public-internet";
+    case LinkClass::kDedicated:
+      return "dedicated";
+  }
+  return "?";
+}
+
+NodeId Topology::AddNode(NodeInfo info) {
+  nodes_.push_back(std::move(info));
+  out_links_.emplace_back();
+  return NodeId(nodes_.size());
+}
+
+LinkId Topology::AddLink(LinkInfo info) {
+  assert(info.src.valid() && info.dst.valid());
+  assert(info.capacity_bps > 0);
+  links_.push_back(info);
+  LinkId id(links_.size());
+  out_links_[Index(info.src)].push_back(id);
+  return id;
+}
+
+std::pair<LinkId, LinkId> Topology::AddDuplexLink(LinkInfo info) {
+  LinkId forward = AddLink(info);
+  std::swap(info.src, info.dst);
+  LinkId reverse = AddLink(info);
+  return {forward, reverse};
+}
+
+Topology::CostFn Topology::DelayCost() {
+  return [](const LinkInfo& link) -> std::optional<double> {
+    return link.delay.ToSeconds();
+  };
+}
+
+Topology::CostFn Topology::HopCost() {
+  return [](const LinkInfo&) -> std::optional<double> { return 1.0; };
+}
+
+Topology::CostFn Topology::ClassWeightedDelayCost(double datacenter,
+                                                  double backbone,
+                                                  double public_internet,
+                                                  double dedicated) {
+  return [=](const LinkInfo& link) -> std::optional<double> {
+    double mult = 1.0;
+    switch (link.cls) {
+      case LinkClass::kDatacenter:
+        mult = datacenter;
+        break;
+      case LinkClass::kBackbone:
+        mult = backbone;
+        break;
+      case LinkClass::kPublicInternet:
+        mult = public_internet;
+        break;
+      case LinkClass::kDedicated:
+        mult = dedicated;
+        break;
+    }
+    if (mult < 0) {
+      return std::nullopt;  // negative multiplier forbids the class
+    }
+    // Small epsilon keeps zero-delay links from making all paths tie.
+    return mult * (link.delay.ToSeconds() + 1e-6);
+  };
+}
+
+Result<std::vector<LinkId>> Topology::ShortestPath(NodeId src, NodeId dst,
+                                                   const CostFn& cost) const {
+  if (!src.valid() || Index(src) >= nodes_.size() || !dst.valid() ||
+      Index(dst) >= nodes_.size()) {
+    return InvalidArgumentError("unknown node id");
+  }
+  if (src == dst) {
+    return std::vector<LinkId>{};
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(nodes_.size(), kInf);
+  std::vector<LinkId> via(nodes_.size());  // link used to reach node
+  using QEntry = std::pair<double, NodeId>;
+  auto cmp = [](const QEntry& a, const QEntry& b) { return a.first > b.first; };
+  std::priority_queue<QEntry, std::vector<QEntry>, decltype(cmp)> queue(cmp);
+
+  dist[Index(src)] = 0;
+  queue.push({0, src});
+  while (!queue.empty()) {
+    auto [d, node] = queue.top();
+    queue.pop();
+    if (d > dist[Index(node)]) {
+      continue;  // stale entry
+    }
+    if (node == dst) {
+      break;
+    }
+    for (LinkId link_id : out_links_[Index(node)]) {
+      const LinkInfo& link = links_[Index(link_id)];
+      std::optional<double> c = cost(link);
+      if (!c.has_value()) {
+        continue;
+      }
+      double nd = d + *c;
+      if (nd < dist[Index(link.dst)]) {
+        dist[Index(link.dst)] = nd;
+        via[Index(link.dst)] = link_id;
+        queue.push({nd, link.dst});
+      }
+    }
+  }
+
+  if (dist[Index(dst)] == kInf) {
+    return NotFoundError("no path from " + nodes_[Index(src)].name + " to " +
+                         nodes_[Index(dst)].name);
+  }
+  std::vector<LinkId> path;
+  for (NodeId at = dst; at != src;) {
+    LinkId link_id = via[Index(at)];
+    path.push_back(link_id);
+    at = links_[Index(link_id)].src;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+SimDuration Topology::PathDelay(const std::vector<LinkId>& path) const {
+  SimDuration total = SimDuration::Zero();
+  for (LinkId id : path) {
+    total += links_[Index(id)].delay;
+  }
+  return total;
+}
+
+SimDuration Topology::SamplePathDelay(const std::vector<LinkId>& path,
+                                      Rng& rng) const {
+  SimDuration total = SimDuration::Zero();
+  for (LinkId id : path) {
+    const LinkInfo& link = links_[Index(id)];
+    total += link.delay;
+    if (link.jitter_stddev > SimDuration::Zero()) {
+      double jitter_s =
+          std::abs(rng.NextNormal(0.0, link.jitter_stddev.ToSeconds()));
+      total += SimDuration::Seconds(jitter_s);
+    }
+  }
+  return total;
+}
+
+double Topology::PathDeliveryProbability(const std::vector<LinkId>& path) const {
+  double p = 1.0;
+  for (LinkId id : path) {
+    p *= 1.0 - links_[Index(id)].loss_rate;
+  }
+  return p;
+}
+
+std::string Topology::ToDot() const {
+  std::ostringstream os;
+  os << "graph tenantnet {\n  overlap=false;\n  node [shape=box];\n";
+  // Cluster nodes by administrative domain.
+  std::map<std::string, std::vector<size_t>> by_domain;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    by_domain[nodes_[i].domain].push_back(i);
+  }
+  int cluster = 0;
+  for (const auto& [domain, members] : by_domain) {
+    os << "  subgraph cluster_" << cluster++ << " {\n    label=\"" << domain
+       << "\";\n";
+    for (size_t i : members) {
+      os << "    n" << i + 1 << " [label=\"" << nodes_[i].name << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  // One undirected edge per duplex pair (emit when src < dst; true duplex
+  // links are added in adjacent pairs, so this halves them exactly).
+  for (const LinkInfo& link : links_) {
+    if (link.src.value() >= link.dst.value()) {
+      continue;
+    }
+    const char* color = "black";
+    switch (link.cls) {
+      case LinkClass::kDatacenter:
+        color = "gray";
+        break;
+      case LinkClass::kBackbone:
+        color = "blue";
+        break;
+      case LinkClass::kPublicInternet:
+        color = "black";
+        break;
+      case LinkClass::kDedicated:
+        color = "red";
+        break;
+    }
+    os << "  n" << link.src.value() << " -- n" << link.dst.value()
+       << " [color=" << color << ", label=\""
+       << link.capacity_bps / 1e9 << "G/"
+       << link.delay.ToMillis() << "ms\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tenantnet

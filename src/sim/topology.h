@@ -1,0 +1,132 @@
+// Physical-level topology: nodes and directed links.
+//
+// The cloud module instantiates one Topology for the whole world: provider
+// backbones, public-internet transit meshes, internet exchange points,
+// on-prem routers, and dedicated circuits all become nodes and links here.
+// Links carry capacity, propagation delay, a jitter model, and a class tag;
+// path selection is Dijkstra over a caller-chosen cost function, which is
+// how hot-potato / cold-potato / dedicated-link policies are expressed.
+
+#ifndef TENANTNET_SRC_SIM_TOPOLOGY_H_
+#define TENANTNET_SRC_SIM_TOPOLOGY_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/time.h"
+
+namespace tenantnet {
+
+using NodeId = TypedId<struct NodeIdTag>;
+using LinkId = TypedId<struct LinkIdTag>;
+
+// What a link physically is; QoS policy discriminates on this.
+enum class LinkClass : uint8_t {
+  kDatacenter,     // intra-region fabric
+  kBackbone,       // a provider's private WAN
+  kPublicInternet, // best-effort transit between domains
+  kDedicated,      // Direct Connect / ExpressRoute / MPLS circuit
+};
+
+std::string_view LinkClassName(LinkClass cls);
+
+// What a node represents (for reporting only; the graph treats all alike).
+enum class NodeKind : uint8_t {
+  kHostAggregate,  // a region/zone's compute side
+  kEdgeRouter,     // provider edge (peering/egress point)
+  kBackboneRouter,
+  kInternetRouter,
+  kExchangePoint,  // IXP / colocation (e.g. Equinix)
+  kOnPremRouter,
+};
+
+struct NodeInfo {
+  std::string name;
+  NodeKind kind = NodeKind::kHostAggregate;
+  // Owning administrative domain (provider name, "internet", tenant DC).
+  std::string domain;
+};
+
+struct LinkInfo {
+  NodeId src;
+  NodeId dst;
+  double capacity_bps = 0;
+  SimDuration delay = SimDuration::Zero();
+  // Jitter: per-traversal extra delay ~ |Normal(0, jitter_stddev)|.
+  SimDuration jitter_stddev = SimDuration::Zero();
+  // Random loss probability per traversal (public internet > backbone).
+  double loss_rate = 0;
+  LinkClass cls = LinkClass::kBackbone;
+};
+
+class Topology {
+ public:
+  NodeId AddNode(NodeInfo info);
+
+  // Adds a unidirectional link.
+  LinkId AddLink(LinkInfo info);
+
+  // Adds a pair of links (one each direction) with identical parameters;
+  // returns {forward, reverse}.
+  std::pair<LinkId, LinkId> AddDuplexLink(LinkInfo info);
+
+  const NodeInfo& node(NodeId id) const { return nodes_[Index(id)]; }
+  const LinkInfo& link(LinkId id) const { return links_[Index(id)]; }
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t link_count() const { return links_.size(); }
+
+  // All links leaving `node`.
+  const std::vector<LinkId>& OutLinks(NodeId node) const {
+    return out_links_[Index(node)];
+  }
+
+  // Cost function for path selection. Return a nonnegative cost, or
+  // std::nullopt to forbid the link entirely.
+  using CostFn = std::function<std::optional<double>(const LinkInfo&)>;
+
+  // Standard costs.
+  static CostFn DelayCost();                     // minimize propagation delay
+  static CostFn HopCost();                       // minimize hop count
+  // Delay cost with per-class multipliers; used for potato policies (e.g.
+  // cold potato = cheap backbone, expensive public internet).
+  static CostFn ClassWeightedDelayCost(double datacenter, double backbone,
+                                       double public_internet,
+                                       double dedicated);
+
+  // Dijkstra. Returns the link sequence from src to dst, empty if src==dst.
+  Result<std::vector<LinkId>> ShortestPath(NodeId src, NodeId dst,
+                                           const CostFn& cost) const;
+
+  // Sum of propagation delays along a path.
+  SimDuration PathDelay(const std::vector<LinkId>& path) const;
+
+  // Path delay including sampled jitter per link (one traversal).
+  SimDuration SamplePathDelay(const std::vector<LinkId>& path, Rng& rng) const;
+
+  // Probability a traversal survives loss on every link of the path.
+  double PathDeliveryProbability(const std::vector<LinkId>& path) const;
+
+  // Graphviz dot rendering of the topology (nodes grouped by domain,
+  // links colored by class). Duplex pairs collapse to one undirected edge.
+  std::string ToDot() const;
+
+ private:
+  static size_t Index(NodeId id) { return id.value() - 1; }
+  static size_t Index(LinkId id) { return id.value() - 1; }
+
+  std::vector<NodeInfo> nodes_;
+  std::vector<LinkInfo> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_SIM_TOPOLOGY_H_

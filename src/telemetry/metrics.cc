@@ -1,0 +1,113 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tenantnet {
+
+namespace {
+// Smallest representable bucket bound; samples at or below land in bucket 0.
+constexpr double kFloor = 1e-9;
+}  // namespace
+
+Histogram::Histogram(double growth)
+    : growth_(growth), log_growth_(std::log(growth)) {}
+
+size_t Histogram::BucketFor(double sample) const {
+  if (sample <= kFloor) {
+    return 0;
+  }
+  double idx = std::log(sample / kFloor) / log_growth_;
+  return static_cast<size_t>(idx) + 1;
+}
+
+void Histogram::Record(double sample) {
+  if (sample < 0) {
+    sample = 0;
+  }
+  size_t idx = BucketFor(sample);
+  if (idx >= buckets_.size()) {
+    buckets_.resize(idx + 1, 0);
+  }
+  ++buckets_[idx];
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+  // Welford update.
+  double delta = sample - mean_run_;
+  mean_run_ += delta / static_cast<double>(count_);
+  m2_run_ += delta * (sample - mean_run_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      if (i == 0) {
+        return min_;
+      }
+      // Upper bound of bucket i, clamped to the observed extrema.
+      double bound = kFloor * std::pow(growth_, static_cast<double>(i));
+      return std::clamp(bound, min_, max_);
+    }
+  }
+  return max_;
+}
+
+double Histogram::StdDev() const {
+  if (count_ < 2) {
+    return 0;
+  }
+  return std::sqrt(m2_run_ / static_cast<double>(count_));
+}
+
+void Histogram::Reset() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0;
+  min_ = max_ = 0;
+  mean_run_ = 0;
+  m2_run_ = 0;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "n=" << count_ << " mean=" << mean() << " p50=" << P50()
+     << " p95=" << P95() << " p99=" << P99() << " max=" << max();
+  return os.str();
+}
+
+std::string MetricRegistry::Report() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << " = " << c.value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << " = " << g.value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " : " << h.Summary() << "\n";
+  }
+  return os.str();
+}
+
+void MetricRegistry::Reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace tenantnet

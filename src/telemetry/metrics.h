@@ -1,0 +1,116 @@
+// Metrics: counters, gauges, and streaming histograms.
+//
+// Experiments report latency percentiles, goodput, table sizes etc.; these
+// types are how modules expose them. Histogram uses exponential buckets
+// (configurable base) so p50/p95/p99 queries are O(#buckets) with bounded
+// relative error, which is the right trade for million-sample benchmark
+// runs. Exact min/max/mean are tracked on the side.
+
+#ifndef TENANTNET_SRC_TELEMETRY_METRICS_H_
+#define TENANTNET_SRC_TELEMETRY_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tenantnet {
+
+// Monotonic event count.
+class Counter {
+ public:
+  void Increment(uint64_t by = 1) { value_ += by; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Point-in-time level (table sizes, active flows, queue depths).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+// Streaming histogram over non-negative samples.
+class Histogram {
+ public:
+  // `growth` is the bucket width ratio; 1.05 gives ~5% relative error.
+  explicit Histogram(double growth = 1.05);
+
+  void Record(double sample);
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+  double sum() const { return sum_; }
+
+  // Value at quantile q in [0, 1]; approximate (bucket upper bound).
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  // Population standard deviation (Welford).
+  double StdDev() const;
+
+  void Reset();
+
+  // "n=... mean=... p50=... p95=... p99=... max=..." for bench output.
+  std::string Summary() const;
+
+ private:
+  // Bucket index for a sample (0 reserved for samples <= smallest bound).
+  size_t BucketFor(double sample) const;
+
+  double growth_;
+  double log_growth_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double mean_run_ = 0;   // Welford running mean
+  double m2_run_ = 0;     // Welford running M2
+};
+
+// Named metric registry so an experiment can dump everything it touched.
+class MetricRegistry {
+ public:
+  Counter& GetCounter(const std::string& name) { return counters_[name]; }
+  Gauge& GetGauge(const std::string& name) { return gauges_[name]; }
+  Histogram& GetHistogram(const std::string& name) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram()).first;
+    }
+    return it->second;
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  // Multi-line human-readable dump, sorted by name.
+  std::string Report() const;
+
+  void Reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_TELEMETRY_METRICS_H_

@@ -1,0 +1,436 @@
+#include "src/vnet/builder.h"
+
+#include <string>
+
+namespace tenantnet {
+
+namespace {
+
+// Standard ACL skeleton: allow everything from the tenant's private space,
+// allow return traffic to ephemeral ports, allow all egress. Extra
+// service-specific ingress entries are added by the caller.
+Status PopulateStandardAcl(BaselineNetwork& net, NetworkAclId acl) {
+  AclEntry internal;
+  internal.rule_number = 100;
+  internal.allow = true;
+  internal.direction = TrafficDirection::kIngress;
+  internal.match = FlowMatch::FromSource(*IpPrefix::Parse("10.0.0.0/8"));
+  TN_RETURN_IF_ERROR(net.AddAclEntry(acl, internal));
+
+  AclEntry ephemeral;
+  ephemeral.rule_number = 110;
+  ephemeral.allow = true;
+  ephemeral.direction = TrafficDirection::kIngress;
+  ephemeral.match = FlowMatch::Any();
+  ephemeral.match.dst_ports = PortRange{1024, 65535};
+  TN_RETURN_IF_ERROR(net.AddAclEntry(acl, ephemeral));
+
+  AclEntry egress;
+  egress.rule_number = 100;
+  egress.allow = true;
+  egress.direction = TrafficDirection::kEgress;
+  egress.match = FlowMatch::Any();
+  TN_RETURN_IF_ERROR(net.AddAclEntry(acl, egress));
+  return Status::Ok();
+}
+
+Status AllowServiceIngress(BaselineNetwork& net, NetworkAclId acl,
+                           uint32_t rule_number, uint16_t port,
+                           const IpPrefix& from) {
+  AclEntry entry;
+  entry.rule_number = rule_number;
+  entry.allow = true;
+  entry.direction = TrafficDirection::kIngress;
+  entry.match = FlowMatch::FromSource(from);
+  entry.match.dst_ports = PortRange::Single(port);
+  entry.match.proto = Protocol::kTcp;
+  return net.AddAclEntry(acl, entry);
+}
+
+SgRule EgressAll() {
+  SgRule rule;
+  rule.direction = TrafficDirection::kEgress;
+  rule.proto = Protocol::kAny;
+  rule.ports = PortRange::Any();
+  rule.peer = IpPrefix::Any(IpFamily::kIpv4);
+  rule.description = "egress-all";
+  return rule;
+}
+
+SgRule IngressTcp(uint16_t port, const IpPrefix& from,
+                  const std::string& what) {
+  SgRule rule;
+  rule.direction = TrafficDirection::kIngress;
+  rule.proto = Protocol::kTcp;
+  rule.ports = PortRange::Single(port);
+  rule.peer = from;
+  rule.description = what;
+  return rule;
+}
+
+// Creates a VPC with per-zone subnets, a dedicated ACL with the standard
+// skeleton, a shared route table for the private subnets, and attaches
+// instances (matching instance zone to subnet zone).
+struct VpcBundle {
+  VpcId vpc;
+  std::vector<SubnetId> private_subnets;
+  SubnetId public_subnet;  // invalid unless requested
+  VpcRouteTableId private_rt;
+  VpcRouteTableId public_rt;  // invalid unless requested
+  NetworkAclId acl;
+};
+
+Result<VpcBundle> MakeVpc(BaselineNetwork& net, const Fig1World& fig,
+                          ProviderId provider, RegionId region,
+                          const std::string& name, const std::string& cidr,
+                          int private_zone_count, bool want_public_subnet) {
+  VpcBundle bundle;
+  TN_ASSIGN_OR_RETURN(
+      bundle.vpc, net.CreateVpc(fig.tenant, provider, region, name,
+                                *IpPrefix::Parse(cidr)));
+  TN_ASSIGN_OR_RETURN(bundle.acl,
+                      net.CreateNetworkAcl(bundle.vpc, name + ":acl"));
+  TN_RETURN_IF_ERROR(PopulateStandardAcl(net, bundle.acl));
+  TN_ASSIGN_OR_RETURN(bundle.private_rt,
+                      net.CreateRouteTable(bundle.vpc, name + ":private-rt"));
+  for (int z = 0; z < private_zone_count; ++z) {
+    TN_ASSIGN_OR_RETURN(
+        SubnetId subnet,
+        net.CreateSubnet(bundle.vpc, name + ":private-" + std::to_string(z),
+                         /*prefix_len=*/20, z, /*is_public=*/false));
+    TN_RETURN_IF_ERROR(net.AssociateRouteTable(subnet, bundle.private_rt));
+    TN_RETURN_IF_ERROR(net.AssociateAcl(subnet, bundle.acl));
+    bundle.private_subnets.push_back(subnet);
+  }
+  if (want_public_subnet) {
+    TN_ASSIGN_OR_RETURN(bundle.public_rt,
+                        net.CreateRouteTable(bundle.vpc, name + ":public-rt"));
+    TN_ASSIGN_OR_RETURN(
+        bundle.public_subnet,
+        net.CreateSubnet(bundle.vpc, name + ":public", /*prefix_len=*/24,
+                         /*zone_index=*/0, /*is_public=*/true));
+    TN_RETURN_IF_ERROR(
+        net.AssociateRouteTable(bundle.public_subnet, bundle.public_rt));
+    TN_RETURN_IF_ERROR(net.AssociateAcl(bundle.public_subnet, bundle.acl));
+  }
+  return bundle;
+}
+
+Status AttachGroup(BaselineNetwork& net, const std::vector<InstanceId>& group,
+                   const VpcBundle& bundle, SecurityGroupId sg,
+                   bool public_ip) {
+  const CloudWorld& world = net.world();
+  for (InstanceId instance : group) {
+    const Instance* inst = world.FindInstance(instance);
+    SubnetId subnet =
+        bundle.private_subnets[static_cast<size_t>(inst->zone_index) %
+                               bundle.private_subnets.size()];
+    TN_ASSIGN_OR_RETURN(EniId eni,
+                        net.AttachInstance(instance, subnet, {sg}, public_ip));
+    (void)eni;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Fig1Baseline> BuildFig1Baseline(BaselineNetwork& net,
+                                       const Fig1World& fig) {
+  Fig1Baseline out;
+  IpPrefix any4 = IpPrefix::Any(IpFamily::kIpv4);
+  IpPrefix ten8 = *IpPrefix::Parse("10.0.0.0/8");
+  IpPrefix on_prem_space = net.world().on_prem(fig.on_prem).address_space;
+
+  // ----- Step 1: VPCs, subnets, ACLs --------------------------------------
+  // The CIDR plan itself is the tenant's burden: six non-overlapping /16s.
+  TN_ASSIGN_OR_RETURN(auto spark, MakeVpc(net, fig, fig.cloud_a,
+                                          fig.a_us_east, "spark",
+                                          "10.0.0.0/16", 3, true));
+  TN_ASSIGN_OR_RETURN(auto shared, MakeVpc(net, fig, fig.cloud_a,
+                                           fig.a_us_east, "shared",
+                                           "10.1.0.0/16", 1, true));
+  TN_ASSIGN_OR_RETURN(auto web_us, MakeVpc(net, fig, fig.cloud_a,
+                                           fig.a_us_west, "web-us",
+                                           "10.2.0.0/16", 2, false));
+  TN_ASSIGN_OR_RETURN(auto web_eu, MakeVpc(net, fig, fig.cloud_a,
+                                           fig.a_eu_west, "web-eu",
+                                           "10.3.0.0/16", 3, false));
+  TN_ASSIGN_OR_RETURN(auto db, MakeVpc(net, fig, fig.cloud_b, fig.b_us_east,
+                                       "db", "10.4.0.0/16", 2, false));
+  TN_ASSIGN_OR_RETURN(auto analytics, MakeVpc(net, fig, fig.cloud_b,
+                                              fig.b_europe, "analytics",
+                                              "10.5.0.0/16", 2, false));
+  out.vpc_spark = spark.vpc;
+  out.vpc_shared = shared.vpc;
+  out.vpc_web_us = web_us.vpc;
+  out.vpc_web_eu = web_eu.vpc;
+  out.vpc_db = db.vpc;
+  out.vpc_analytics = analytics.vpc;
+  for (const auto* b : {&spark, &shared, &web_us, &web_eu, &db, &analytics}) {
+    out.all_subnets.insert(out.all_subnets.end(), b->private_subnets.begin(),
+                           b->private_subnets.end());
+    if (b->public_subnet.valid()) {
+      out.all_subnets.push_back(b->public_subnet);
+    }
+  }
+
+  // Service ports must be reachable through the stateless ACLs too.
+  TN_RETURN_IF_ERROR(AllowServiceIngress(net, web_eu.acl, 120,
+                                         Fig1Baseline::kWebPort, any4));
+  TN_RETURN_IF_ERROR(AllowServiceIngress(net, web_us.acl, 120,
+                                         Fig1Baseline::kWebPort, any4));
+
+  // ----- Security groups ---------------------------------------------------
+  TN_ASSIGN_OR_RETURN(out.sg_spark,
+                      net.CreateSecurityGroup(spark.vpc, "sg-spark"));
+  TN_RETURN_IF_ERROR(net.AddSgRule(out.sg_spark, EgressAll()));
+  TN_RETURN_IF_ERROR(net.AddSgRule(
+      out.sg_spark, IngressTcp(Fig1Baseline::kSparkPort, ten8, "spark-peers")));
+  TN_RETURN_IF_ERROR(net.AddSgRule(
+      out.sg_spark,
+      IngressTcp(Fig1Baseline::kSparkPort, on_prem_space, "on-prem-submit")));
+
+  TN_ASSIGN_OR_RETURN(out.sg_db, net.CreateSecurityGroup(db.vpc, "sg-db"));
+  TN_RETURN_IF_ERROR(net.AddSgRule(out.sg_db, EgressAll()));
+  TN_RETURN_IF_ERROR(net.AddSgRule(
+      out.sg_db, IngressTcp(Fig1Baseline::kDbPort,
+                            *IpPrefix::Parse("10.0.0.0/16"), "from-spark")));
+  TN_RETURN_IF_ERROR(net.AddSgRule(
+      out.sg_db, IngressTcp(Fig1Baseline::kDbPort,
+                            *IpPrefix::Parse("10.5.0.0/16"),
+                            "from-analytics")));
+  TN_RETURN_IF_ERROR(net.AddSgRule(
+      out.sg_db, IngressTcp(Fig1Baseline::kDbPort,
+                            *IpPrefix::Parse("10.1.0.0/16"), "from-shared")));
+  TN_RETURN_IF_ERROR(net.AddSgRule(
+      out.sg_db,
+      IngressTcp(Fig1Baseline::kDbPort, on_prem_space, "from-on-prem")));
+
+  TN_ASSIGN_OR_RETURN(out.sg_web,
+                      net.CreateSecurityGroup(web_eu.vpc, "sg-web"));
+  TN_RETURN_IF_ERROR(net.AddSgRule(out.sg_web, EgressAll()));
+  TN_RETURN_IF_ERROR(net.AddSgRule(
+      out.sg_web, IngressTcp(Fig1Baseline::kWebPort, any4, "public-https")));
+
+  // Security groups are VPC-scoped, so the us-west web tier needs its own
+  // copy of the same rules — exactly the duplication §3(5) complains about.
+  TN_ASSIGN_OR_RETURN(SecurityGroupId sg_web_us,
+                      net.CreateSecurityGroup(web_us.vpc, "sg-web-us"));
+  TN_RETURN_IF_ERROR(net.AddSgRule(sg_web_us, EgressAll()));
+  TN_RETURN_IF_ERROR(net.AddSgRule(
+      sg_web_us, IngressTcp(Fig1Baseline::kWebPort, any4, "public-https")));
+
+  TN_ASSIGN_OR_RETURN(out.sg_analytics,
+                      net.CreateSecurityGroup(analytics.vpc, "sg-analytics"));
+  TN_RETURN_IF_ERROR(net.AddSgRule(out.sg_analytics, EgressAll()));
+  TN_RETURN_IF_ERROR(net.AddSgRule(
+      out.sg_analytics,
+      IngressTcp(Fig1Baseline::kAnalyticsPort, ten8, "internal")));
+
+  // ----- Step 2: gateways in/out -------------------------------------------
+  TN_ASSIGN_OR_RETURN(out.igw_spark,
+                      net.CreateInternetGateway(spark.vpc, "igw-spark"));
+  TN_ASSIGN_OR_RETURN(out.igw_web_us,
+                      net.CreateInternetGateway(web_us.vpc, "igw-web-us"));
+  TN_ASSIGN_OR_RETURN(out.igw_web_eu,
+                      net.CreateInternetGateway(web_eu.vpc, "igw-web-eu"));
+  TN_ASSIGN_OR_RETURN(out.igw_shared,
+                      net.CreateInternetGateway(shared.vpc, "igw-shared"));
+  TN_ASSIGN_OR_RETURN(out.nat_spark,
+                      net.CreateNatGateway(spark.public_subnet, "nat-spark"));
+  TN_ASSIGN_OR_RETURN(
+      out.vpg_shared,
+      net.CreateVpnGateway(shared.vpc, fig.on_prem, 64620, "vpg-shared"));
+
+  // ----- Steps 3+4: transit gateways, peerings, circuits -------------------
+  TN_ASSIGN_OR_RETURN(out.tgw_a, net.CreateTransitGateway(
+                                     fig.cloud_a, fig.a_us_east, 64601,
+                                     "tgw-a-useast"));
+  TN_ASSIGN_OR_RETURN(out.tgw_a_eu, net.CreateTransitGateway(
+                                        fig.cloud_a, fig.a_eu_west, 64602,
+                                        "tgw-a-euwest"));
+  TN_ASSIGN_OR_RETURN(out.tgw_b, net.CreateTransitGateway(
+                                     fig.cloud_b, fig.b_us_east, 64611,
+                                     "tgw-b-useast"));
+  TN_RETURN_IF_ERROR(net.AttachVpcToTgw(out.tgw_a, spark.vpc).status());
+  TN_RETURN_IF_ERROR(net.AttachVpcToTgw(out.tgw_a, shared.vpc).status());
+  TN_RETURN_IF_ERROR(net.AttachVpcToTgw(out.tgw_a_eu, web_eu.vpc).status());
+  TN_RETURN_IF_ERROR(net.AttachVpcToTgw(out.tgw_b, db.vpc).status());
+  TN_RETURN_IF_ERROR(net.PeerTransitGateways(out.tgw_a, out.tgw_a_eu));
+
+  TN_ASSIGN_OR_RETURN(out.dx_a, net.CreateDirectConnect(
+                                    fig.a_us_east, fig.exchange, 10e9, 101,
+                                    64631, "dx-cloud-a"));
+  TN_ASSIGN_OR_RETURN(out.dx_b, net.CreateDirectConnect(
+                                    fig.b_us_east, fig.exchange, 10e9, 102,
+                                    64632, "dx-cloud-b"));
+  TN_RETURN_IF_ERROR(net.AttachDirectConnectToTgw(out.tgw_a, out.dx_a).status());
+  TN_RETURN_IF_ERROR(net.AttachDirectConnectToTgw(out.tgw_b, out.dx_b).status());
+  TN_RETURN_IF_ERROR(net.CrossConnect(out.dx_a, out.dx_b));
+  TN_RETURN_IF_ERROR(net.CrossConnectToOnPrem(out.dx_a, fig.on_prem, 5e9));
+
+  // VPC peerings where TGWs do not reach (cross-region, same provider).
+  TN_ASSIGN_OR_RETURN(PeeringId p_web, net.CreatePeering(
+                                           web_us.vpc, spark.vpc,
+                                           "peer-webus-spark"));
+  TN_RETURN_IF_ERROR(net.AcceptPeering(p_web));
+  TN_ASSIGN_OR_RETURN(PeeringId p_analytics,
+                      net.CreatePeering(analytics.vpc, db.vpc,
+                                        "peer-analytics-db"));
+  TN_RETURN_IF_ERROR(net.AcceptPeering(p_analytics));
+
+  // ----- Route tables (the glue the tenant must hand-write) ----------------
+  auto tgw_target = [](TransitGatewayId id) {
+    return VpcRouteTarget{VpcRouteTargetKind::kTransitGateway, id.value()};
+  };
+  auto igw_target = [](IgwId id) {
+    return VpcRouteTarget{VpcRouteTargetKind::kInternetGateway, id.value()};
+  };
+  auto nat_target = [](NatGatewayId id) {
+    return VpcRouteTarget{VpcRouteTargetKind::kNatGateway, id.value()};
+  };
+  auto peering_target = [](PeeringId id) {
+    return VpcRouteTarget{VpcRouteTargetKind::kPeering, id.value()};
+  };
+
+  // spark: private subnets reach the world through NAT, the tenant network
+  // through TGW, and us-west through the peering.
+  TN_RETURN_IF_ERROR(net.AddRoute(spark.private_rt, ten8,
+                                  tgw_target(out.tgw_a)));
+  TN_RETURN_IF_ERROR(net.AddRoute(spark.private_rt, on_prem_space,
+                                  tgw_target(out.tgw_a)));
+  TN_RETURN_IF_ERROR(net.AddRoute(spark.private_rt,
+                                  *IpPrefix::Parse("10.2.0.0/16"),
+                                  peering_target(p_web)));
+  TN_RETURN_IF_ERROR(net.AddRoute(spark.private_rt, any4,
+                                  nat_target(out.nat_spark)));
+  TN_RETURN_IF_ERROR(net.AddRoute(spark.public_rt, any4,
+                                  igw_target(out.igw_spark)));
+
+  // shared: TGW for the tenant network, VPN for on-prem, IGW for public.
+  TN_RETURN_IF_ERROR(net.AddRoute(shared.private_rt, ten8,
+                                  tgw_target(out.tgw_a)));
+  TN_RETURN_IF_ERROR(
+      net.AddRoute(shared.private_rt, on_prem_space,
+                   VpcRouteTarget{VpcRouteTargetKind::kVpnGateway,
+                                  out.vpg_shared.value()}));
+  TN_RETURN_IF_ERROR(net.AddRoute(shared.public_rt, any4,
+                                  igw_target(out.igw_shared)));
+
+  // web-us: peering back to spark; everything else via its IGW.
+  TN_RETURN_IF_ERROR(net.AddRoute(web_us.private_rt,
+                                  *IpPrefix::Parse("10.0.0.0/16"),
+                                  peering_target(p_web)));
+  TN_RETURN_IF_ERROR(net.AddRoute(web_us.private_rt, any4,
+                                  igw_target(out.igw_web_us)));
+
+  // web-eu: tenant network via the EU TGW; public via IGW.
+  TN_RETURN_IF_ERROR(net.AddRoute(web_eu.private_rt, ten8,
+                                  tgw_target(out.tgw_a_eu)));
+  TN_RETURN_IF_ERROR(net.AddRoute(web_eu.private_rt, on_prem_space,
+                                  tgw_target(out.tgw_a_eu)));
+  TN_RETURN_IF_ERROR(net.AddRoute(web_eu.private_rt, any4,
+                                  igw_target(out.igw_web_eu)));
+
+  // db: tenant network via TGW-B; analytics via peering.
+  TN_RETURN_IF_ERROR(net.AddRoute(db.private_rt, ten8, tgw_target(out.tgw_b)));
+  TN_RETURN_IF_ERROR(net.AddRoute(db.private_rt, on_prem_space,
+                                  tgw_target(out.tgw_b)));
+  TN_RETURN_IF_ERROR(net.AddRoute(db.private_rt,
+                                  *IpPrefix::Parse("10.5.0.0/16"),
+                                  peering_target(p_analytics)));
+
+  // analytics: only the database, via peering.
+  TN_RETURN_IF_ERROR(net.AddRoute(analytics.private_rt,
+                                  *IpPrefix::Parse("10.4.0.0/16"),
+                                  peering_target(p_analytics)));
+
+  // ----- Step 5: appliances -------------------------------------------------
+  TN_ASSIGN_OR_RETURN(out.web_targets,
+                      net.CreateTargetGroup("tg-web", Protocol::kTcp,
+                                            Fig1Baseline::kWebPort));
+  for (InstanceId instance : fig.web_eu) {
+    TN_RETURN_IF_ERROR(net.RegisterTarget(out.web_targets, instance));
+  }
+  TN_ASSIGN_OR_RETURN(out.web_lb,
+                      net.CreateLoadBalancer(LbType::kApplication, "alb-web",
+                                             web_eu.vpc,
+                                             web_eu.private_subnets));
+  LbListener web_listener;
+  web_listener.proto = Protocol::kTcp;
+  web_listener.port = Fig1Baseline::kWebPort;
+  web_listener.default_target = out.web_targets;
+  TN_RETURN_IF_ERROR(net.AddLbListener(out.web_lb, web_listener));
+  L7Rule api_rule;
+  api_rule.priority = 10;
+  api_rule.path_prefix = "/api";
+  api_rule.target = out.web_targets;
+  TN_RETURN_IF_ERROR(
+      net.AddLbRule(out.web_lb, Fig1Baseline::kWebPort, api_rule));
+
+  TN_ASSIGN_OR_RETURN(out.db_targets,
+                      net.CreateTargetGroup("tg-db", Protocol::kTcp,
+                                            Fig1Baseline::kDbPort));
+  for (InstanceId instance : fig.database) {
+    TN_RETURN_IF_ERROR(net.RegisterTarget(out.db_targets, instance));
+  }
+  TN_ASSIGN_OR_RETURN(out.db_lb,
+                      net.CreateLoadBalancer(LbType::kNetwork, "nlb-db",
+                                             db.vpc, db.private_subnets));
+  LbListener db_listener;
+  db_listener.proto = Protocol::kTcp;
+  db_listener.port = Fig1Baseline::kDbPort;
+  db_listener.default_target = out.db_targets;
+  TN_RETURN_IF_ERROR(net.AddLbListener(out.db_lb, db_listener));
+
+  TN_ASSIGN_OR_RETURN(out.firewall,
+                      net.CreateFirewall("fw-ingress", /*capacity_pps=*/1e6));
+  FirewallRule block_sqli;
+  block_sqli.priority = 10;
+  block_sqli.match = FlowMatch::Any();
+  block_sqli.payload_signature = "DROP TABLE";
+  block_sqli.verdict = FirewallVerdict::kDeny;
+  block_sqli.description = "block-sqli";
+  TN_RETURN_IF_ERROR(net.AddFirewallRule(out.firewall, block_sqli));
+  FirewallRule allow_internal;
+  allow_internal.priority = 50;
+  allow_internal.match = FlowMatch::FromSource(ten8);
+  allow_internal.verdict = FirewallVerdict::kAllow;
+  allow_internal.description = "allow-internal";
+  TN_RETURN_IF_ERROR(net.AddFirewallRule(out.firewall, allow_internal));
+  FirewallRule allow_onprem;
+  allow_onprem.priority = 55;
+  allow_onprem.match = FlowMatch::FromSource(on_prem_space);
+  allow_onprem.verdict = FirewallVerdict::kAllow;
+  allow_onprem.description = "allow-on-prem";
+  TN_RETURN_IF_ERROR(net.AddFirewallRule(out.firewall, allow_onprem));
+  FirewallRule allow_https;
+  allow_https.priority = 60;
+  allow_https.match = FlowMatch::Any();
+  allow_https.match.proto = Protocol::kTcp;
+  allow_https.match.dst_ports = PortRange::Single(Fig1Baseline::kWebPort);
+  allow_https.verdict = FirewallVerdict::kAllow;
+  allow_https.description = "allow-https";
+  TN_RETURN_IF_ERROR(net.AddFirewallRule(out.firewall, allow_https));
+  TN_RETURN_IF_ERROR(net.SetIngressFirewall(web_eu.vpc, out.firewall));
+
+  // ----- NICs ---------------------------------------------------------------
+  TN_RETURN_IF_ERROR(AttachGroup(net, fig.spark, spark, out.sg_spark, false));
+  TN_RETURN_IF_ERROR(AttachGroup(net, fig.database, db, out.sg_db, false));
+  TN_RETURN_IF_ERROR(AttachGroup(net, fig.web_eu, web_eu, out.sg_web, true));
+  TN_RETURN_IF_ERROR(AttachGroup(net, fig.web_us, web_us, sg_web_us, true));
+  TN_RETURN_IF_ERROR(
+      AttachGroup(net, fig.analytics, analytics, out.sg_analytics, false));
+  for (InstanceId instance : fig.alerting) {
+    TN_RETURN_IF_ERROR(net.AttachOnPremInstance(instance).status());
+  }
+
+  // ----- Route propagation (and the tenant better remember to run it) ------
+  BgpMesh::ConvergenceStats stats = net.PropagateRoutes();
+  if (!stats.converged) {
+    return InternalError("tenant BGP mesh failed to converge");
+  }
+  return out;
+}
+
+}  // namespace tenantnet

@@ -1,0 +1,73 @@
+// Builds the Figure 1 deployment the traditional way.
+//
+// This is the tenant experience §2 describes, executed in full against the
+// BaselineNetwork control plane: plan CIDRs for 6 VPCs, carve subnets,
+// write security groups and ACLs, stand up internet/NAT/VPN gateways, two
+// transit gateways plus peering, Direct Connect circuits meeting at an
+// exchange with an MPLS leg to on-prem, load balancers in front of the
+// web and database tiers, a DPI firewall, and all the route tables that
+// glue it together. Every action lands in the ConfigLedger; E1 simply reads
+// the totals.
+
+#ifndef TENANTNET_SRC_VNET_BUILDER_H_
+#define TENANTNET_SRC_VNET_BUILDER_H_
+
+#include <vector>
+
+#include "src/cloud/presets.h"
+#include "src/vnet/fabric.h"
+
+namespace tenantnet {
+
+// Handles to everything the builder created, for tests and benches.
+struct Fig1Baseline {
+  // VPCs: one per workload region (4 on cloud A... see .cc for the layout).
+  VpcId vpc_spark;      // cloud A us-east
+  VpcId vpc_web_us;     // cloud A us-west
+  VpcId vpc_web_eu;     // cloud A eu-west
+  VpcId vpc_shared;     // cloud A us-east (shared services / inspection)
+  VpcId vpc_db;         // cloud B us-east
+  VpcId vpc_analytics;  // cloud B europe
+
+  std::vector<SubnetId> all_subnets;
+
+  IgwId igw_spark;  // needed so the NAT gateway has a way out
+  IgwId igw_web_us;
+  IgwId igw_web_eu;
+  IgwId igw_shared;
+  NatGatewayId nat_spark;
+  VpnGatewayId vpg_shared;       // backup VPN to on-prem
+  TransitGatewayId tgw_a;        // cloud A us-east hub
+  TransitGatewayId tgw_b;        // cloud B us-east hub
+  TransitGatewayId tgw_a_eu;     // cloud A eu-west hub
+  DirectConnectId dx_a;          // cloud A -> exchange
+  DirectConnectId dx_b;          // cloud B -> exchange
+
+  SecurityGroupId sg_spark;
+  SecurityGroupId sg_db;
+  SecurityGroupId sg_web;
+  SecurityGroupId sg_analytics;
+
+  LoadBalancerId web_lb;         // ALB in front of the EU web tier
+  LoadBalancerId db_lb;          // NLB in front of the database
+  TargetGroupId web_targets;
+  TargetGroupId db_targets;
+  FirewallId firewall;
+
+  // Well-known service ports used by the workloads.
+  static constexpr uint16_t kWebPort = 443;
+  static constexpr uint16_t kDbPort = 5432;
+  static constexpr uint16_t kSparkPort = 7077;
+  static constexpr uint16_t kAlertPort = 9093;
+  static constexpr uint16_t kAnalyticsPort = 8443;
+};
+
+// Constructs the baseline network for `fig` inside `net`. All steps must
+// succeed; any failure is returned unmodified (the half-built network is
+// then unusable, mirroring real life rather gracefully).
+Result<Fig1Baseline> BuildFig1Baseline(BaselineNetwork& net,
+                                       const Fig1World& fig);
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_VNET_BUILDER_H_

@@ -1,0 +1,126 @@
+#include "src/vnet/decision_tree.h"
+
+#include <algorithm>
+
+namespace tenantnet {
+
+DecisionNode::WalkResult DecisionNode::Decide(
+    const WorkloadProfile& profile) const {
+  WalkResult result;
+  const DecisionNode* node = this;
+  while (!node->IsLeaf()) {
+    result.questions_asked.push_back(node->question_);
+    ++result.depth;
+    node = node->predicate_(profile) ? node->yes_.get() : node->no_.get();
+  }
+  result.recommendation = node->recommendation_;
+  return result;
+}
+
+int DecisionNode::MaxDepth() const {
+  if (IsLeaf()) {
+    return 0;
+  }
+  return 1 + std::max(yes_->MaxDepth(), no_->MaxDepth());
+}
+
+int DecisionNode::QuestionCount() const {
+  if (IsLeaf()) {
+    return 0;
+  }
+  return 1 + yes_->QuestionCount() + no_->QuestionCount();
+}
+
+int DecisionNode::LeafCount() const {
+  if (IsLeaf()) {
+    return 1;
+  }
+  return yes_->LeafCount() + no_->LeafCount();
+}
+
+namespace {
+
+std::unique_ptr<DecisionNode> Leaf(std::string what) {
+  return std::make_unique<DecisionNode>(std::move(what));
+}
+
+std::unique_ptr<DecisionNode> Ask(
+    std::string question, std::function<bool(const WorkloadProfile&)> pred,
+    std::unique_ptr<DecisionNode> yes, std::unique_ptr<DecisionNode> no) {
+  return std::make_unique<DecisionNode>(std::move(question), std::move(pred),
+                                        std::move(yes), std::move(no));
+}
+
+}  // namespace
+
+std::unique_ptr<DecisionNode> BuildLoadBalancerDecisionTree() {
+  // Modeled after the Azure load-balancing decision flow the paper cites:
+  // HTTP(S)? -> internet-facing? -> multi-region? -> TLS/path rules? ->
+  // performance tier? Five questions deep on the longest path.
+  auto l7_side = Ask(
+      "Is the service deployed in multiple regions?",
+      [](const WorkloadProfile& p) { return p.multi_region; },
+      Ask("Do you need global path-based routing?",
+          [](const WorkloadProfile& p) { return p.needs_path_routing; },
+          Ask("Do you need TLS termination at the edge?",
+              [](const WorkloadProfile& p) { return p.needs_tls_termination; },
+              Ask("Do you also serve very high request rates?",
+                  [](const WorkloadProfile& p) { return p.very_high_pps; },
+                  Leaf("global L7 LB + CDN front door"),
+                  Leaf("global L7 LB (TLS at edge)")),
+              Leaf("global L7 LB")),
+          Ask("Do you need TLS termination at the edge?",
+              [](const WorkloadProfile& p) { return p.needs_tls_termination; },
+              Leaf("traffic manager + regional ALB (TLS)"),
+              Leaf("traffic manager + regional ALB"))),
+      Ask("Do you need path/host/header routing rules?",
+          [](const WorkloadProfile& p) { return p.needs_path_routing; },
+          Leaf("Application Load Balancer"),
+          Ask("Do you need TLS termination at the edge?",
+              [](const WorkloadProfile& p) { return p.needs_tls_termination; },
+              Leaf("Application Load Balancer (TLS listener)"),
+              Leaf("Classic Load Balancer"))));
+
+  auto l4_side = Ask(
+      "Are you inserting appliances into the path?",
+      [](const WorkloadProfile& p) { return p.chaining_appliances; },
+      Leaf("Gateway Load Balancer"),
+      Ask("Do you need a static VIP / very high packet rates?",
+          [](const WorkloadProfile& p) {
+            return p.needs_static_ip || p.very_high_pps;
+          },
+          Leaf("Network Load Balancer"),
+          Ask("Is the endpoint internet-facing?",
+              [](const WorkloadProfile& p) { return p.internet_facing; },
+              Leaf("Network Load Balancer (public scheme)"),
+              Leaf("Classic Load Balancer (internal)"))));
+
+  return Ask("Is the traffic HTTP(S)?",
+             [](const WorkloadProfile& p) { return p.http_traffic; },
+             std::move(l7_side), std::move(l4_side));
+}
+
+std::unique_ptr<DecisionNode> BuildConnectivityDecisionTree() {
+  // §2 steps (2)-(4): how does a workload reach things outside its VPC?
+  return Ask(
+      "Is the peer inside your own cloud estate?",
+      [](const WorkloadProfile& p) { return p.peer_is_internal; },
+      Ask("Is the peer in the same provider?",
+          [](const WorkloadProfile& p) { return p.peer_same_provider; },
+          Leaf("VPC peering (mind non-transitivity)"),
+          Ask("Do you need guaranteed bandwidth/QoS?",
+              [](const WorkloadProfile& p) {
+                return p.needs_guaranteed_bandwidth;
+              },
+              Leaf("Direct Connect + Transit Gateway + exchange"),
+              Leaf("Transit Gateway + VPN over internet"))),
+      Ask("Do instances need inbound connections?",
+          [](const WorkloadProfile& p) { return p.inbound_needed; },
+          Leaf("Internet Gateway + public subnet + EIPs"),
+          Ask("IPv6-only egress?",
+              [](const WorkloadProfile& p) { return p.ipv6_only; },
+              Leaf("Egress-only Internet Gateway"),
+              Leaf("NAT Gateway in a public subnet (plus an IGW)"))));
+}
+
+}  // namespace tenantnet

@@ -1,0 +1,322 @@
+// BaselineNetwork: the complete traditional tenant-networking layer.
+//
+// This is the world of §2 of the paper, end to end. The control-plane
+// methods are the tenant actions (every one flows through the ConfigLedger
+// so complexity is measured, not asserted); the data-plane Evaluate walks a
+// flow through the same sequence a real deployment imposes:
+//
+//   src SG egress -> src subnet ACL egress -> subnet route table ->
+//   gateway chain (local / peering / transit gateways / IGW / NAT / VPN /
+//   Direct Connect) -> optional ingress DPI firewall -> dst subnet ACL
+//   ingress -> dst SG ingress -> (stateless ACLs re-checked on the reverse
+//   path, the classic ephemeral-port trap)
+//
+// Evaluate reports where a flow died and which boxes it traversed, which is
+// exactly what experiments E1 (box count), E6 (security) and the
+// integration tests need.
+
+#ifndef TENANTNET_SRC_VNET_FABRIC_H_
+#define TENANTNET_SRC_VNET_FABRIC_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cloud/world.h"
+#include "src/net/ipam.h"
+#include "src/routing/bgp.h"
+#include "src/vnet/config_ledger.h"
+#include "src/vnet/firewall.h"
+#include "src/vnet/gateways.h"
+#include "src/vnet/load_balancer.h"
+#include "src/vnet/security.h"
+#include "src/vnet/vpc.h"
+
+namespace tenantnet {
+
+// The verdict for one evaluated flow.
+struct BaselineDelivery {
+  bool delivered = false;
+  std::string drop_stage;   // "sg-egress", "acl-ingress", "route", ...
+  std::string drop_reason;
+  // Every virtual box the flow traversed, in order.
+  std::vector<std::string> logical_hops;
+  int gateway_hops = 0;
+  // The addresses the flow actually used (post NAT, public vs private).
+  IpAddress effective_src;
+  IpAddress effective_dst;
+  bool used_public_path = false;
+  // Physical attachment points for handing to the flow simulator.
+  NodeId src_node;
+  NodeId dst_node;
+  EgressPolicy egress_policy = EgressPolicy::kHotPotato;
+};
+
+class BaselineNetwork {
+ public:
+  // `world` and `ledger` must outlive the network.
+  BaselineNetwork(CloudWorld& world, ConfigLedger& ledger);
+
+  ConfigLedger& ledger() { return *ledger_; }
+  CloudWorld& world() { return *world_; }
+
+  // --- Step (1): VPCs, subnets, ACLs, SGs, NICs ---------------------------
+
+  Result<VpcId> CreateVpc(TenantId tenant, ProviderId provider,
+                          RegionId region, const std::string& name,
+                          const IpPrefix& cidr);
+  Result<SubnetId> CreateSubnet(VpcId vpc, const std::string& name,
+                                int prefix_len, int zone_index,
+                                bool is_public);
+  Result<VpcRouteTableId> CreateRouteTable(VpcId vpc, const std::string& name);
+  Status AssociateRouteTable(SubnetId subnet, VpcRouteTableId table);
+  Status AddRoute(VpcRouteTableId table, const IpPrefix& prefix,
+                  VpcRouteTarget target);
+  Status RemoveRoute(VpcRouteTableId table, const IpPrefix& prefix);
+
+  Result<SecurityGroupId> CreateSecurityGroup(VpcId vpc,
+                                              const std::string& name);
+  Status AddSgRule(SecurityGroupId group, SgRule rule);
+  Status RemoveSgRule(SecurityGroupId group, size_t rule_index);
+  Result<NetworkAclId> CreateNetworkAcl(VpcId vpc, const std::string& name);
+  Status AddAclEntry(NetworkAclId acl, AclEntry entry);
+  Status AssociateAcl(SubnetId subnet, NetworkAclId acl);
+
+  // Attaches an instance to a subnet: allocates a private IP, optionally a
+  // public IP from the provider pool, and binds security groups.
+  Result<EniId> AttachInstance(InstanceId instance, SubnetId subnet,
+                               std::vector<SecurityGroupId> groups,
+                               bool assign_public_ip);
+  Status DetachInstance(InstanceId instance);
+
+  // Registers an on-prem instance (address from the site's private space).
+  Result<IpAddress> AttachOnPremInstance(InstanceId instance);
+
+  // --- Step (2): connectivity in/out of a VPC ------------------------------
+
+  Result<IgwId> CreateInternetGateway(VpcId vpc, const std::string& name);
+  Result<EgressOnlyIgwId> CreateEgressOnlyIgw(VpcId vpc,
+                                              const std::string& name);
+  Result<NatGatewayId> CreateNatGateway(SubnetId public_subnet,
+                                        const std::string& name);
+  Result<VpnGatewayId> CreateVpnGateway(VpcId vpc, OnPremId site,
+                                        uint32_t bgp_asn,
+                                        const std::string& name);
+
+  // --- Step (3): networking multiple VPCs ----------------------------------
+
+  Result<PeeringId> CreatePeering(VpcId requester, VpcId accepter,
+                                  const std::string& name);
+  Status AcceptPeering(PeeringId peering);
+
+  Result<TransitGatewayId> CreateTransitGateway(ProviderId provider,
+                                                RegionId region, uint32_t asn,
+                                                const std::string& name);
+  Result<size_t> AttachVpcToTgw(TransitGatewayId tgw, VpcId vpc);
+  Result<size_t> AttachVpnToTgw(TransitGatewayId tgw, VpnGatewayId vpn);
+  Result<size_t> AttachDirectConnectToTgw(TransitGatewayId tgw,
+                                          DirectConnectId dx);
+  // Cross-region/cloud TGW peering; attaches each to the other.
+  Status PeerTransitGateways(TransitGatewayId a, TransitGatewayId b);
+  Status AddTgwRoute(TransitGatewayId tgw, const IpPrefix& prefix,
+                     size_t attachment_index);
+
+  // --- Step (4): specialized connections ------------------------------------
+
+  Result<DirectConnectId> CreateDirectConnect(RegionId region,
+                                              ExchangeId exchange,
+                                              double capacity_bps,
+                                              uint16_t vlan, uint32_t bgp_asn,
+                                              const std::string& name);
+  // Cross-connects two circuits landing at the same exchange (e.g. Direct
+  // Connect on one side, ExpressRoute on the other): a BGP session over the
+  // exchange router the tenant must also configure.
+  Status CrossConnect(DirectConnectId a, DirectConnectId b);
+  // Lands an MPLS circuit from `site` at the circuit's exchange and peers
+  // the two (the Fig. 1 on-prem leg).
+  Status CrossConnectToOnPrem(DirectConnectId dx, OnPremId site,
+                              double capacity_bps);
+
+  // --- Step (5): appliances --------------------------------------------------
+
+  Result<TargetGroupId> CreateTargetGroup(const std::string& name,
+                                          Protocol proto, uint16_t port);
+  Status RegisterTarget(TargetGroupId group, InstanceId instance,
+                        double weight = 1.0);
+  Result<LoadBalancerId> CreateLoadBalancer(LbType type,
+                                            const std::string& name, VpcId vpc,
+                                            std::vector<SubnetId> subnets);
+  Status AddLbListener(LoadBalancerId lb, LbListener listener);
+  Status AddLbRule(LoadBalancerId lb, uint16_t port, L7Rule rule);
+
+  Result<FirewallId> CreateFirewall(const std::string& name,
+                                    double capacity_pps);
+  Status AddFirewallRule(FirewallId firewall, FirewallRule rule);
+  // All traffic entering `vpc` from outside it is steered through the
+  // firewall (inspection-VPC pattern, simplified).
+  Status SetIngressFirewall(VpcId vpc, FirewallId firewall);
+
+  // --- BGP -------------------------------------------------------------------
+
+  // The tenant's inter-domain mesh (TGWs, VPGs, DX and on-prem routers all
+  // speak here). Sessions/origins are created by the gateway methods; the
+  // tenant still has to trigger and check convergence.
+  BgpMesh& bgp() { return bgp_; }
+  // Propagates routes: converges BGP, then installs learned prefixes into
+  // TGW route tables. Returns convergence stats.
+  BgpMesh::ConvergenceStats PropagateRoutes();
+
+  // --- Data plane --------------------------------------------------------------
+
+  // Evaluates instance-to-instance traffic (either instance may be on-prem).
+  Result<BaselineDelivery> Evaluate(InstanceId src, InstanceId dst,
+                                    uint16_t dst_port, Protocol proto,
+                                    std::string_view payload = {});
+
+  // Evaluates traffic from an arbitrary external (internet) source toward a
+  // destination address the tenant may own. For attack simulation.
+  BaselineDelivery EvaluateExternal(IpAddress src, IpAddress dst,
+                                    uint16_t dst_port, Protocol proto,
+                                    std::string_view payload = {});
+
+  // Resolves a flow aimed at a load balancer to a backend instance.
+  Result<InstanceId> ResolveThroughLoadBalancer(LoadBalancerId lb,
+                                                const FiveTuple& flow,
+                                                const HttpRequestMeta* meta);
+
+  // --- Lookup -------------------------------------------------------------------
+
+  const Vpc* FindVpc(VpcId id) const;
+  const Subnet* FindSubnet(SubnetId id) const;
+  SecurityGroup* FindSecurityGroup(SecurityGroupId id);
+  VpcRouteTable* FindRouteTable(VpcRouteTableId id);
+  NetworkAcl* FindAcl(NetworkAclId id);
+  // All route-table / security-group ids, for whole-config sweeps.
+  std::vector<VpcRouteTableId> AllRouteTables() const;
+  std::vector<SecurityGroupId> AllSecurityGroups() const;
+  const Eni* FindEniByInstance(InstanceId id) const;
+  const Eni* FindEniByIp(IpAddress ip) const;
+  TargetGroup* FindTargetGroup(TargetGroupId id);
+  LoadBalancer* FindLoadBalancer(LoadBalancerId id);
+  DpiFirewall* FindFirewall(FirewallId id);
+  TransitGateway* FindTgw(TransitGatewayId id);
+  std::optional<IpAddress> OnPremAddress(InstanceId id) const;
+
+  size_t vpc_count() const { return vpcs_.size(); }
+  size_t gateway_count() const;  // every gateway-ish box, for E1
+  size_t appliance_count() const;  // LBs + firewalls
+
+  // Per-kind counts (the cost model bills by box type).
+  size_t igw_count() const { return igws_.size() + egress_igws_.size(); }
+  size_t nat_count() const { return nats_.size(); }
+  size_t vpn_count() const { return vpns_.size(); }
+  size_t dx_count() const { return dxs_.size(); }
+  size_t lb_count() const { return lbs_.size(); }
+  size_t firewall_count() const { return firewalls_.size(); }
+  size_t tgw_count() const { return tgws_.size(); }
+  size_t tgw_attachment_count() const;
+
+ private:
+  struct EvalContext {
+    BaselineDelivery delivery;
+    int budget = 16;  // max gateway traversals (loop guard)
+  };
+
+  // Walks the gateway chain after the source-side checks passed. `src_vpc`
+  // may be invalid when the flow originates on-prem or externally.
+  void RouteAndDeliver(EvalContext& ctx, const FiveTuple& flow, VpcId src_vpc,
+                       SubnetId src_subnet, std::string_view payload);
+
+  // Destination-side checks for a flow arriving at an ENI.
+  void DeliverIntoVpc(EvalContext& ctx, const FiveTuple& flow,
+                      const Eni& dst_eni, bool from_outside_vpc,
+                      std::string_view payload, VpcId origin_vpc);
+
+  // Delivery of a public-internet flow to whatever holds the destination.
+  void DeliverFromInternet(EvalContext& ctx, const FiveTuple& flow,
+                           std::string_view payload);
+  // Terminal delivery into an on-prem site.
+  void DeliverToOnPrem(EvalContext& ctx, const FiveTuple& flow, OnPremId site,
+                       EgressPolicy policy);
+  // Circuit hop: exchange lookup via the tenant BGP mesh, then the far side.
+  void DeliverViaDirectConnect(EvalContext& ctx, const FiveTuple& flow,
+                               DirectConnectId dx, std::string_view payload);
+  // The covering originated prefix for a destination (for RIB queries).
+  IpPrefix RouteForDst(IpAddress dst) const;
+
+  bool SgMember(SecurityGroupId group, IpAddress ip) const;
+  const Subnet* SubnetOf(const Eni& eni) const;
+  Vpc* MutableVpc(VpcId id);
+
+  // Every prefix any tenant object originates (VPC CIDRs + on-prem spaces);
+  // used to walk BGP RIBs after convergence.
+  std::vector<IpPrefix> AllKnownPrefixes() const;
+
+  void Drop(EvalContext& ctx, std::string stage, std::string reason);
+
+  CloudWorld* world_;
+  ConfigLedger* ledger_;
+
+  std::unordered_map<VpcId, std::unique_ptr<Vpc>> vpcs_;
+  std::unordered_map<SubnetId, std::unique_ptr<Subnet>> subnets_;
+  std::unordered_map<VpcRouteTableId, std::unique_ptr<VpcRouteTable>> tables_;
+  std::unordered_map<SecurityGroupId, std::unique_ptr<SecurityGroup>> groups_;
+  std::unordered_map<NetworkAclId, std::unique_ptr<NetworkAcl>> acls_;
+  std::unordered_map<EniId, std::unique_ptr<Eni>> enis_;
+  std::unordered_map<InstanceId, EniId> eni_by_instance_;
+  std::unordered_map<IpAddress, EniId> eni_by_ip_;
+
+  std::unordered_map<IgwId, InternetGateway> igws_;
+  std::unordered_map<EgressOnlyIgwId, EgressOnlyInternetGateway> egress_igws_;
+  std::unordered_map<NatGatewayId, NatGateway> nats_;
+  std::unordered_map<VpnGatewayId, VpnGateway> vpns_;
+  std::unordered_map<PeeringId, VpcPeering> peerings_;
+  std::unordered_map<TransitGatewayId, std::unique_ptr<TransitGateway>> tgws_;
+  std::unordered_map<DirectConnectId, DirectConnectConnection> dxs_;
+
+  std::unordered_map<TargetGroupId, std::unique_ptr<TargetGroup>> target_groups_;
+  std::unordered_map<LoadBalancerId, std::unique_ptr<LoadBalancer>> lbs_;
+  std::unordered_map<FirewallId, std::unique_ptr<DpiFirewall>> firewalls_;
+  std::unordered_map<VpcId, FirewallId> vpc_ingress_firewall_;
+
+  std::unordered_map<InstanceId, IpAddress> on_prem_addrs_;
+  std::unordered_map<OnPremId, std::unique_ptr<HostAllocator>> on_prem_pools_;
+  std::unordered_map<OnPremId, SpeakerId> on_prem_speakers_;
+  std::unordered_map<OnPremId, LinkId> on_prem_mpls_;
+  std::unordered_map<DirectConnectId, TransitGatewayId> tgw_by_dx_;
+
+  // Provider public pools (EIPs for NAT/public addresses).
+  std::unordered_map<ProviderId, std::unique_ptr<HostAllocator>> public_pools_;
+
+  // VPC the IGW of which a given VPC id uses; quick reverse indexes.
+  std::unordered_map<VpcId, IgwId> igw_by_vpc_;
+  std::unordered_map<VpcId, EgressOnlyIgwId> egress_igw_by_vpc_;
+
+  BgpMesh bgp_;
+
+  IdGenerator<VpcId> vpc_ids_;
+  IdGenerator<SubnetId> subnet_ids_;
+  IdGenerator<VpcRouteTableId> table_ids_;
+  IdGenerator<SecurityGroupId> group_ids_;
+  IdGenerator<NetworkAclId> acl_ids_;
+  IdGenerator<EniId> eni_ids_;
+  IdGenerator<IgwId> igw_ids_;
+  IdGenerator<EgressOnlyIgwId> egress_igw_ids_;
+  IdGenerator<NatGatewayId> nat_ids_;
+  IdGenerator<VpnGatewayId> vpn_ids_;
+  IdGenerator<PeeringId> peering_ids_;
+  IdGenerator<TransitGatewayId> tgw_ids_;
+  IdGenerator<DirectConnectId> dx_ids_;
+  IdGenerator<TargetGroupId> tg_ids_;
+  IdGenerator<LoadBalancerId> lb_ids_;
+  IdGenerator<FirewallId> firewall_ids_;
+
+  uint64_t lb_pick_seq_ = 0;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_VNET_FABRIC_H_

@@ -1,0 +1,37 @@
+#include "src/vnet/firewall.h"
+
+#include <algorithm>
+
+namespace tenantnet {
+
+void DpiFirewall::AddRule(FirewallRule rule) {
+  auto pos = std::upper_bound(rules_.begin(), rules_.end(), rule,
+                              [](const FirewallRule& a, const FirewallRule& b) {
+                                return a.priority < b.priority;
+                              });
+  rules_.insert(pos, std::move(rule));
+}
+
+FirewallVerdict DpiFirewall::Inspect(const FiveTuple& flow,
+                                     std::string_view payload) {
+  ++inspected_;
+  for (const FirewallRule& rule : rules_) {
+    if (!rule.match.Matches(flow)) {
+      continue;
+    }
+    if (!rule.payload_signature.empty() &&
+        payload.find(rule.payload_signature) == std::string_view::npos) {
+      continue;
+    }
+    if (rule.verdict == FirewallVerdict::kDeny) {
+      ++denied_;
+    }
+    return rule.verdict;
+  }
+  if (default_verdict_ == FirewallVerdict::kDeny) {
+    ++denied_;
+  }
+  return default_verdict_;
+}
+
+}  // namespace tenantnet

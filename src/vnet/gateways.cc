@@ -1,0 +1,7 @@
+#include "src/vnet/gateways.h"
+
+// Gateway types are data-only; evaluation logic lives in fabric.cc. This
+// translation unit exists to anchor the header's vtable-free types in the
+// library and to catch header self-containment regressions at build time.
+
+namespace tenantnet {}  // namespace tenantnet

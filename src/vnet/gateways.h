@@ -1,0 +1,153 @@
+// Baseline-world gateways: the "9 gateways" of Figure 1.
+//
+// Internet gateways, egress-only IGWs, NAT gateways, VPN gateways, VPC
+// peering connections, transit gateways (the BGP-speaking interconnect
+// hub), and Direct Connect circuits. These are the low-level boxes the
+// paper argues tenants should never have to assemble; the baseline builder
+// assembles all of them, through the ledger, so their cost is measurable.
+
+#ifndef TENANTNET_SRC_VNET_GATEWAYS_H_
+#define TENANTNET_SRC_VNET_GATEWAYS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cloud/world.h"
+#include "src/common/ids.h"
+#include "src/net/ip.h"
+#include "src/routing/bgp.h"
+#include "src/routing/lpm_trie.h"
+#include "src/vnet/vpc.h"
+
+namespace tenantnet {
+
+using IgwId = TypedId<struct IgwIdTag>;
+using EgressOnlyIgwId = TypedId<struct EgressOnlyIgwIdTag>;
+using NatGatewayId = TypedId<struct NatGatewayIdTag>;
+using VpnGatewayId = TypedId<struct VpnGatewayIdTag>;
+using PeeringId = TypedId<struct PeeringIdTag>;
+using TransitGatewayId = TypedId<struct TransitGatewayIdTag>;
+using DirectConnectId = TypedId<struct DirectConnectIdTag>;
+
+// IPv4 internet gateway: gives a VPC's public subnets a route to/from the
+// public internet.
+struct InternetGateway {
+  IgwId id;
+  VpcId vpc;
+  std::string name;
+};
+
+// IPv6 egress-only IGW: outbound-initiated traffic only.
+struct EgressOnlyInternetGateway {
+  EgressOnlyIgwId id;
+  VpcId vpc;
+  std::string name;
+};
+
+// NAT gateway: lives in a public subnet, translates private sources to its
+// public address for outbound flows (inbound-initiated traffic is dropped).
+struct NatGateway {
+  NatGatewayId id;
+  SubnetId subnet;
+  IpAddress public_ip;
+  std::string name;
+};
+
+// VPN gateway: IPsec-ish tunnel endpoint attaching a VPC to an on-prem
+// site; runs BGP with the customer gateway.
+struct VpnGateway {
+  VpnGatewayId id;
+  VpcId vpc;
+  OnPremId remote_site;
+  uint32_t bgp_asn = 0;
+  SpeakerId speaker;  // this gateway's speaker in the tenant BGP mesh
+  std::string name;
+};
+
+// Private connectivity between exactly two VPCs. Non-transitive (the
+// classic trap: A<->B and B<->C does not give A<->C).
+struct VpcPeering {
+  PeeringId id;
+  VpcId requester;
+  VpcId accepter;
+  bool accepted = false;
+  std::string name;
+};
+
+// What a transit gateway route resolves to.
+enum class TgwAttachmentKind : uint8_t {
+  kVpc,
+  kVpn,            // to an on-prem site
+  kPeering,        // to another transit gateway (cross-region/cloud)
+  kDirectConnect,  // to a dedicated circuit
+};
+
+struct TgwAttachment {
+  TgwAttachmentKind kind = TgwAttachmentKind::kVpc;
+  uint64_t target_id = 0;  // VpcId / VpnGatewayId / TransitGatewayId /
+                           // DirectConnectId value, per kind
+  std::string name;
+};
+
+// Regional interconnect hub; holds its own route table over attachments.
+class TransitGateway {
+ public:
+  TransitGateway(TransitGatewayId id, ProviderId provider, RegionId region,
+                 uint32_t asn, std::string name)
+      : id_(id), provider_(provider), region_(region), asn_(asn),
+        name_(std::move(name)) {}
+
+  TransitGatewayId id() const { return id_; }
+  ProviderId provider() const { return provider_; }
+  RegionId region() const { return region_; }
+  uint32_t asn() const { return asn_; }
+  const std::string& name() const { return name_; }
+  SpeakerId speaker() const { return speaker_; }
+  void set_speaker(SpeakerId s) { speaker_ = s; }
+
+  // Returns the attachment index.
+  size_t Attach(TgwAttachment attachment) {
+    attachments_.push_back(std::move(attachment));
+    return attachments_.size() - 1;
+  }
+  const std::vector<TgwAttachment>& attachments() const { return attachments_; }
+
+  void InstallRoute(const IpPrefix& prefix, size_t attachment_index) {
+    routes_.Insert(prefix, attachment_index);
+  }
+  // Longest-prefix match to an attachment; nullptr = drop.
+  const size_t* Lookup(IpAddress dst) const {
+    return routes_.LongestMatch(dst);
+  }
+  size_t route_count() const { return routes_.entry_count(); }
+
+ private:
+  TransitGatewayId id_;
+  ProviderId provider_;
+  RegionId region_;
+  uint32_t asn_;
+  std::string name_;
+  SpeakerId speaker_;
+  std::vector<TgwAttachment> attachments_;
+  LpmTrie<size_t> routes_;
+};
+
+// A dedicated circuit from a region's edge to an exchange point, plus the
+// logical "virtual interface" configuration riding it.
+struct DirectConnectConnection {
+  DirectConnectId id;
+  RegionId region;
+  ExchangeId exchange;
+  LinkId circuit;        // the physical dedicated link
+  double capacity_bps = 0;
+  uint16_t vlan = 0;
+  uint32_t bgp_asn = 0;
+  SpeakerId speaker;
+  std::string name;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_VNET_GATEWAYS_H_

@@ -1,0 +1,171 @@
+#include "src/vnet/load_balancer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tenantnet {
+
+std::string_view LbTypeName(LbType type) {
+  switch (type) {
+    case LbType::kApplication:
+      return "application-lb";
+    case LbType::kNetwork:
+      return "network-lb";
+    case LbType::kClassic:
+      return "classic-lb";
+    case LbType::kGateway:
+      return "gateway-lb";
+  }
+  return "?";
+}
+
+void TargetGroup::AddTarget(InstanceId instance, double weight) {
+  targets_.push_back(TargetEntry{instance, weight, true, 0, 0});
+}
+
+Status TargetGroup::RemoveTarget(InstanceId instance) {
+  auto it = std::find_if(
+      targets_.begin(), targets_.end(),
+      [instance](const TargetEntry& t) { return t.instance == instance; });
+  if (it == targets_.end()) {
+    return NotFoundError("target not in group");
+  }
+  targets_.erase(it);
+  return Status::Ok();
+}
+
+void TargetGroup::RecordProbe(InstanceId instance, bool ok) {
+  for (TargetEntry& t : targets_) {
+    if (t.instance != instance) {
+      continue;
+    }
+    if (ok) {
+      t.consecutive_fail = 0;
+      if (++t.consecutive_ok >= health_check_.healthy_threshold) {
+        t.healthy = true;
+      }
+    } else {
+      t.consecutive_ok = 0;
+      if (++t.consecutive_fail >= health_check_.unhealthy_threshold) {
+        t.healthy = false;
+      }
+    }
+    return;
+  }
+}
+
+void TargetGroup::SetHealth(InstanceId instance, bool healthy) {
+  for (TargetEntry& t : targets_) {
+    if (t.instance == instance) {
+      t.healthy = healthy;
+      t.consecutive_ok = 0;
+      t.consecutive_fail = 0;
+      return;
+    }
+  }
+}
+
+size_t TargetGroup::HealthyCount() const {
+  size_t n = 0;
+  for (const TargetEntry& t : targets_) {
+    if (t.healthy) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Result<InstanceId> TargetGroup::Pick(uint64_t seq) const {
+  // Weighted pick by walking the cumulative weight wheel at a
+  // golden-ratio-scrambled position: deterministic, smooth, and
+  // proportional to weights over any window.
+  double total = 0;
+  for (const TargetEntry& t : targets_) {
+    if (t.healthy) {
+      total += t.weight;
+    }
+  }
+  if (total <= 0) {
+    return ResourceExhaustedError("target group " + name_ +
+                                  " has no healthy targets");
+  }
+  double point = std::fmod(static_cast<double>(seq) * 0.6180339887498949,
+                           1.0) * total;
+  for (const TargetEntry& t : targets_) {
+    if (!t.healthy) {
+      continue;
+    }
+    if (point < t.weight) {
+      return t.instance;
+    }
+    point -= t.weight;
+  }
+  // Rounding fell off the wheel's end; return the last healthy target.
+  for (auto it = targets_.rbegin(); it != targets_.rend(); ++it) {
+    if (it->healthy) {
+      return it->instance;
+    }
+  }
+  return ResourceExhaustedError("no healthy targets");
+}
+
+Status LoadBalancer::AddRule(uint16_t port, L7Rule rule) {
+  if (type_ != LbType::kApplication) {
+    return FailedPreconditionError("rules are an application-LB feature");
+  }
+  for (LbListener& listener : listeners_) {
+    if (listener.port == port) {
+      auto pos = std::upper_bound(
+          listener.rules.begin(), listener.rules.end(), rule,
+          [](const L7Rule& a, const L7Rule& b) {
+            return a.priority < b.priority;
+          });
+      listener.rules.insert(pos, std::move(rule));
+      return Status::Ok();
+    }
+  }
+  return NotFoundError("no listener on port " + std::to_string(port));
+}
+
+Result<TargetGroupId> LoadBalancer::Resolve(const FiveTuple& flow,
+                                            const HttpRequestMeta* meta) const {
+  for (const LbListener& listener : listeners_) {
+    if (listener.port != flow.dst_port) {
+      continue;
+    }
+    if (listener.proto != Protocol::kAny && listener.proto != flow.proto) {
+      continue;
+    }
+    if (type_ == LbType::kApplication && meta != nullptr) {
+      for (const L7Rule& rule : listener.rules) {
+        bool match = true;
+        if (rule.path_prefix.has_value() &&
+            meta->path.rfind(*rule.path_prefix, 0) != 0) {
+          match = false;
+        }
+        if (match && rule.host_equals.has_value() &&
+            meta->host != *rule.host_equals) {
+          match = false;
+        }
+        if (match && rule.header_equals.has_value()) {
+          auto it = meta->headers.find(rule.header_equals->first);
+          if (it == meta->headers.end() ||
+              it->second != rule.header_equals->second) {
+            match = false;
+          }
+        }
+        if (match) {
+          return rule.target;
+        }
+      }
+    }
+    if (listener.default_target.valid()) {
+      return listener.default_target;
+    }
+    return NotFoundError("listener has no default target group");
+  }
+  return NotFoundError("no listener for port " +
+                       std::to_string(flow.dst_port) + " on " + name_);
+}
+
+}  // namespace tenantnet

@@ -1,0 +1,77 @@
+#include "src/vnet/pricing.h"
+
+namespace tenantnet {
+
+CostReport PriceBaseline(const BaselineNetwork& net, const PriceBook& book,
+                         const MonthlyTraffic& traffic) {
+  CostReport report;
+  double hours = book.hours_per_month;
+
+  CostLine& nat = report.lines["nat-gateway"];
+  nat.box_hours_usd =
+      static_cast<double>(net.nat_count()) * book.nat_gateway_hour * hours;
+  if (net.nat_count() > 0) {
+    nat.processing_usd = traffic.nat_egress_gb * book.nat_gb;
+  }
+
+  CostLine& tgw = report.lines["transit-gateways"];
+  tgw.box_hours_usd = static_cast<double>(net.tgw_attachment_count()) *
+                      book.tgw_attachment_hour * hours;
+  // Cross-cloud traffic crosses a TGW on each side; inter-region tenant
+  // traffic crosses its regional TGW pair too.
+  if (net.tgw_count() > 0) {
+    tgw.processing_usd =
+        (2 * traffic.cross_cloud_gb + 2 * traffic.inter_region_gb) *
+        book.tgw_gb;
+  }
+
+  CostLine& vpn = report.lines["vpn-gateways"];
+  vpn.box_hours_usd = static_cast<double>(net.vpn_count()) *
+                      book.vpn_connection_hour * hours;
+
+  CostLine& dx = report.lines["direct-connect"];
+  dx.box_hours_usd = static_cast<double>(net.dx_count()) *
+                     book.direct_connect_port_hour * hours;
+  dx.transfer_usd = traffic.cross_cloud_gb * book.dedicated_transfer_gb;
+
+  CostLine& lb = report.lines["load-balancers"];
+  lb.box_hours_usd =
+      static_cast<double>(net.lb_count()) * book.lb_hour * hours;
+  if (net.lb_count() > 0) {
+    lb.processing_usd = traffic.internet_egress_gb * book.lb_gb;
+  }
+
+  CostLine& fw = report.lines["dpi-firewall"];
+  fw.box_hours_usd = static_cast<double>(net.firewall_count()) *
+                     book.firewall_endpoint_hour * hours;
+  if (net.firewall_count() > 0) {
+    fw.processing_usd = traffic.internet_egress_gb * book.firewall_gb;
+  }
+
+  CostLine& transfer = report.lines["transfer (both worlds)"];
+  transfer.transfer_usd =
+      traffic.inter_region_gb * book.inter_region_gb +
+      traffic.internet_egress_gb * book.internet_egress_gb +
+      traffic.nat_egress_gb * book.internet_egress_gb;
+  return report;
+}
+
+CostReport PriceDeclarative(const PriceBook& book,
+                            const MonthlyTraffic& traffic,
+                            double reserved_gbps) {
+  CostReport report;
+  CostLine& transfer = report.lines["transfer (both worlds)"];
+  transfer.transfer_usd =
+      traffic.inter_region_gb * book.inter_region_gb +
+      traffic.internet_egress_gb * book.internet_egress_gb +
+      // Private-instance outbound is plain egress (no NAT exists), and
+      // cross-cloud rides the provider's transit under the quota.
+      traffic.nat_egress_gb * book.internet_egress_gb +
+      traffic.cross_cloud_gb * book.cross_cloud_gb;
+  CostLine& guarantee = report.lines["egress guarantee"];
+  guarantee.box_hours_usd =
+      reserved_gbps * book.egress_guarantee_gbps_month;
+  return report;
+}
+
+}  // namespace tenantnet

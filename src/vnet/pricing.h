@@ -1,0 +1,97 @@
+// Cost model for the tenant network layer.
+//
+// §1: building a virtual network is "ad hoc, complex, and ultimately
+// expensive". This module prices it. Every baseline box bills by the hour
+// plus a per-GB processing fee for the traffic steered through it; both
+// worlds pay the same provider *transfer* charges (inter-region, cross
+// cloud, internet egress) — the comparison isolates the network-layer
+// premium the boxes add on top.
+//
+// Prices default to round numbers in the vicinity of public list prices
+// (2021-era, USD); they are inputs, not claims — the experiment's output
+// is the *structure* of the bill, and every figure is parameterizable.
+
+#ifndef TENANTNET_SRC_VNET_PRICING_H_
+#define TENANTNET_SRC_VNET_PRICING_H_
+
+#include <map>
+#include <string>
+
+#include "src/vnet/fabric.h"
+
+namespace tenantnet {
+
+struct PriceBook {
+  double hours_per_month = 730;
+
+  // Box-hours, $/hour.
+  double nat_gateway_hour = 0.045;
+  double tgw_attachment_hour = 0.05;
+  double vpn_connection_hour = 0.05;
+  double direct_connect_port_hour = 2.25;  // 10G dedicated port
+  double lb_hour = 0.0225;
+  double firewall_endpoint_hour = 0.395;
+
+  // Per-GB processing at each box the traffic crosses.
+  double nat_gb = 0.045;
+  double tgw_gb = 0.02;
+  double lb_gb = 0.008;
+  double firewall_gb = 0.065;
+
+  // Transfer charges both worlds pay identically.
+  double inter_region_gb = 0.02;
+  double cross_cloud_gb = 0.02;        // egress toward the other provider
+  double internet_egress_gb = 0.09;
+  double dedicated_transfer_gb = 0.02; // over Direct Connect
+
+  // Declarative-world QoS reservation (per reserved Gbps-month). The paper
+  // proposes the capability without pricing it; 0 by default so the bench
+  // reports it separately.
+  double egress_guarantee_gbps_month = 0.0;
+};
+
+// The tenant's monthly traffic, in GB, by where it goes.
+struct MonthlyTraffic {
+  double intra_region_gb = 0;
+  double inter_region_gb = 0;
+  double cross_cloud_gb = 0;     // rides TGW+DX in the baseline
+  double internet_egress_gb = 0; // public responses (web tier)
+  double nat_egress_gb = 0;      // private instances' outbound (baseline)
+};
+
+struct CostLine {
+  double box_hours_usd = 0;
+  double processing_usd = 0;
+  double transfer_usd = 0;
+  double total() const { return box_hours_usd + processing_usd + transfer_usd; }
+};
+
+struct CostReport {
+  std::map<std::string, CostLine> lines;  // per component kind
+  CostLine Sum() const {
+    CostLine sum;
+    for (const auto& [kind, line] : lines) {
+      sum.box_hours_usd += line.box_hours_usd;
+      sum.processing_usd += line.processing_usd;
+      sum.transfer_usd += line.transfer_usd;
+    }
+    return sum;
+  }
+};
+
+// Prices the baseline network: every box the tenant runs bills hours; the
+// traffic profile determines processing fees (cross-cloud traffic crosses
+// two TGWs and the circuits; NAT egress crosses the NAT; public responses
+// cross the LBs and firewall).
+CostReport PriceBaseline(const BaselineNetwork& net, const PriceBook& book,
+                         const MonthlyTraffic& traffic);
+
+// Prices the declarative deployment: transfer charges only, plus the
+// (optional) egress-guarantee fee.
+CostReport PriceDeclarative(const PriceBook& book,
+                            const MonthlyTraffic& traffic,
+                            double reserved_gbps);
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_VNET_PRICING_H_

@@ -1,0 +1,27 @@
+#include "src/vnet/vpc.h"
+
+namespace tenantnet {
+
+std::string_view VpcRouteTargetKindName(VpcRouteTargetKind kind) {
+  switch (kind) {
+    case VpcRouteTargetKind::kLocal:
+      return "local";
+    case VpcRouteTargetKind::kInternetGateway:
+      return "internet-gateway";
+    case VpcRouteTargetKind::kEgressOnlyIgw:
+      return "egress-only-igw";
+    case VpcRouteTargetKind::kNatGateway:
+      return "nat-gateway";
+    case VpcRouteTargetKind::kVpnGateway:
+      return "vpn-gateway";
+    case VpcRouteTargetKind::kPeering:
+      return "vpc-peering";
+    case VpcRouteTargetKind::kTransitGateway:
+      return "transit-gateway";
+    case VpcRouteTargetKind::kBlackhole:
+      return "blackhole";
+  }
+  return "?";
+}
+
+}  // namespace tenantnet

@@ -1,0 +1,96 @@
+// Tests for the attack driver itself (world-independent).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/secsim/attack.h"
+
+namespace tenantnet {
+namespace {
+
+TEST(AttackTest, FloodUsesManySpoofedSources) {
+  AttackConfig config;
+  config.kind = AttackKind::kVolumetricFlood;
+  config.target = IpAddress::V4(5, 0, 0, 1);
+  config.attempts = 500;
+  std::set<std::string> sources;
+  auto network = [&sources](const FiveTuple& flow,
+                            const std::string&) -> NetworkVerdict {
+    sources.insert(flow.src.ToString());
+    return {false, "edge"};
+  };
+  AttackOutcome outcome = RunAttack(config, network, nullptr);
+  EXPECT_EQ(outcome.attempts, 500u);
+  EXPECT_GT(sources.size(), 400u);  // near-unique spoofed sources
+  EXPECT_EQ(outcome.dropped_by_stage.at("edge"), 500u);
+  EXPECT_DOUBLE_EQ(outcome.ReachRate(), 0.0);
+}
+
+TEST(AttackTest, PortScanSweepsPorts) {
+  AttackConfig config;
+  config.kind = AttackKind::kPortScan;
+  config.target = IpAddress::V4(5, 0, 0, 1);
+  config.attempts = 1000;
+  std::set<uint16_t> ports;
+  auto network = [&ports](const FiveTuple& flow,
+                          const std::string&) -> NetworkVerdict {
+    ports.insert(flow.dst_port);
+    return {flow.dst_port == 443, "closed"};
+  };
+  AttackOutcome outcome = RunAttack(config, network, nullptr);
+  EXPECT_EQ(ports.size(), 1000u);
+  EXPECT_EQ(outcome.reached_endpoint, 1u);  // only the open port
+}
+
+TEST(AttackTest, AppCheckSeparatesReachedFromServed) {
+  AttackConfig config;
+  config.kind = AttackKind::kUnauthorizedAccess;
+  config.target = IpAddress::V4(5, 0, 0, 1);
+  config.insider_source = IpAddress::V4(10, 0, 0, 9);
+  config.attempts = 100;
+  config.token = "not-a-real-token";
+  auto network = [](const FiveTuple&, const std::string&) -> NetworkVerdict {
+    return {true, "delivered"};
+  };
+  auto app = [](const ApiRequest&) { return GatewayVerdict::kUnauthenticated; };
+  AttackOutcome outcome = RunAttack(config, network, app);
+  EXPECT_EQ(outcome.reached_endpoint, 100u);
+  EXPECT_EQ(outcome.served, 0u);
+  EXPECT_EQ(outcome.app_rejections.at("unauthenticated"), 100u);
+  EXPECT_DOUBLE_EQ(outcome.ReachRate(), 1.0);
+  EXPECT_DOUBLE_EQ(outcome.ServeRate(), 0.0);
+}
+
+TEST(AttackTest, StolenCredentialComesFromBotnetSources) {
+  AttackConfig config;
+  config.kind = AttackKind::kStolenCredential;
+  config.target = IpAddress::V4(5, 0, 0, 1);
+  config.attempts = 200;
+  config.token = "stolen";
+  std::set<std::string> sources;
+  auto network = [&](const FiveTuple& flow,
+                     const std::string&) -> NetworkVerdict {
+    sources.insert(flow.src.ToString());
+    return {true, "delivered"};
+  };
+  auto app = [](const ApiRequest& r) {
+    return r.token == "stolen" ? GatewayVerdict::kAccepted
+                               : GatewayVerdict::kUnauthenticated;
+  };
+  AttackOutcome outcome = RunAttack(config, network, app);
+  EXPECT_GT(sources.size(), 150u);
+  EXPECT_EQ(outcome.served, 200u);  // API auth alone cannot stop it
+}
+
+TEST(AttackTest, Names) {
+  EXPECT_EQ(AttackKindName(AttackKind::kVolumetricFlood), "volumetric-flood");
+  EXPECT_EQ(AttackKindName(AttackKind::kPortScan), "port-scan");
+  EXPECT_EQ(AttackKindName(AttackKind::kUnauthorizedAccess),
+            "unauthorized-access");
+  EXPECT_EQ(AttackKindName(AttackKind::kStolenCredential),
+            "stolen-credential");
+}
+
+}  // namespace
+}  // namespace tenantnet

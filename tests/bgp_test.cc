@@ -1,0 +1,174 @@
+// Tests for the path-vector mesh.
+
+#include <gtest/gtest.h>
+
+#include "src/routing/bgp.h"
+
+namespace tenantnet {
+namespace {
+
+IpPrefix P(const char* s) { return *IpPrefix::Parse(s); }
+
+TEST(BgpTest, LinePropagation) {
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  SpeakerId c = mesh.AddSpeaker(300, "c");
+  ASSERT_TRUE(mesh.AddSession(a, b).ok());
+  ASSERT_TRUE(mesh.AddSession(b, c).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+
+  auto stats = mesh.Converge();
+  EXPECT_TRUE(stats.converged);
+  EXPECT_GE(stats.rounds, 2u);
+
+  const BgpRoute* at_c = mesh.BestRoute(c, P("10.0.0.0/16"));
+  ASSERT_NE(at_c, nullptr);
+  EXPECT_EQ(at_c->as_path, (std::vector<uint32_t>{200, 100}));
+  EXPECT_EQ(at_c->learned_from, b);
+
+  const BgpRoute* at_a = mesh.BestRoute(a, P("10.0.0.0/16"));
+  ASSERT_NE(at_a, nullptr);
+  EXPECT_TRUE(at_a->OriginatedLocally());
+}
+
+TEST(BgpTest, ShortestAsPathWins) {
+  // a originates; c hears via b (2 hops) and directly (1 hop).
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  SpeakerId c = mesh.AddSpeaker(300, "c");
+  ASSERT_TRUE(mesh.AddSession(a, b).ok());
+  ASSERT_TRUE(mesh.AddSession(b, c).ok());
+  ASSERT_TRUE(mesh.AddSession(a, c).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  mesh.Converge();
+  const BgpRoute* route = mesh.BestRoute(c, P("10.0.0.0/16"));
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->as_path.size(), 1u);
+  EXPECT_EQ(route->learned_from, a);
+}
+
+TEST(BgpTest, LoopDetectionDropsOwnAsn) {
+  // Triangle: the route must not loop; everyone converges with finite
+  // paths.
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  SpeakerId c = mesh.AddSpeaker(300, "c");
+  ASSERT_TRUE(mesh.AddSession(a, b).ok());
+  ASSERT_TRUE(mesh.AddSession(b, c).ok());
+  ASSERT_TRUE(mesh.AddSession(c, a).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  auto stats = mesh.Converge();
+  EXPECT_TRUE(stats.converged);
+  const BgpRoute* at_b = mesh.BestRoute(b, P("10.0.0.0/16"));
+  ASSERT_NE(at_b, nullptr);
+  EXPECT_EQ(at_b->as_path.size(), 1u);  // direct, not around the triangle
+}
+
+TEST(BgpTest, LocalPrefBeatsPathLength) {
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  SpeakerId c = mesh.AddSpeaker(300, "c");
+  // c prefers routes from b (local_pref 200) even though a is direct.
+  ASSERT_TRUE(mesh.AddSession(a, b).ok());
+  ASSERT_TRUE(mesh.AddSession(a, c).ok());
+  SessionPolicy from_b;
+  from_b.import_local_pref = 200;
+  ASSERT_TRUE(mesh.AddSession(c, b, /*a_to_b=*/from_b).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  mesh.Converge();
+  const BgpRoute* route = mesh.BestRoute(c, P("10.0.0.0/16"));
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->learned_from, b);
+  EXPECT_EQ(route->local_pref, 200u);
+}
+
+TEST(BgpTest, ExportFilterBlocksAdvertisement) {
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  SessionPolicy a_to_b;
+  a_to_b.export_filter = [](const BgpRoute& r) {
+    return r.prefix != *IpPrefix::Parse("10.0.0.0/16");
+  };
+  ASSERT_TRUE(mesh.AddSession(a, b, a_to_b).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("192.168.0.0/16")).ok());
+  mesh.Converge();
+  EXPECT_EQ(mesh.BestRoute(b, P("10.0.0.0/16")), nullptr);
+  EXPECT_NE(mesh.BestRoute(b, P("192.168.0.0/16")), nullptr);
+}
+
+TEST(BgpTest, ImportFilterBlocksAcceptance) {
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  SessionPolicy b_from_a;  // stored on b's session toward a
+  b_from_a.import_filter = [](const BgpRoute&) { return false; };
+  ASSERT_TRUE(mesh.AddSession(a, b, SessionPolicy{}, b_from_a).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  mesh.Converge();
+  EXPECT_EQ(mesh.BestRoute(b, P("10.0.0.0/16")), nullptr);
+}
+
+TEST(BgpTest, WithdrawOriginRemovesEverywhereOnReconverge) {
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  ASSERT_TRUE(mesh.AddSession(a, b).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  mesh.Converge();
+  ASSERT_NE(mesh.BestRoute(b, P("10.0.0.0/16")), nullptr);
+  ASSERT_TRUE(mesh.WithdrawOrigin(a, P("10.0.0.0/16")).ok());
+  mesh.Converge();
+  EXPECT_EQ(mesh.BestRoute(b, P("10.0.0.0/16")), nullptr);
+}
+
+TEST(BgpTest, InvalidOperations) {
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  EXPECT_FALSE(mesh.AddSession(a, a).ok());
+  EXPECT_FALSE(mesh.AddSession(a, SpeakerId(99)).ok());
+  EXPECT_FALSE(mesh.Originate(SpeakerId(99), P("10.0.0.0/8")).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/8")).ok());
+  EXPECT_EQ(mesh.Originate(a, P("10.0.0.0/8")).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(mesh.WithdrawOrigin(a, P("11.0.0.0/8")).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BgpTest, MessageCountScalesWithTopology) {
+  // A full mesh of N speakers each originating one prefix: every speaker
+  // ends with N routes, and messages grow superlinearly — the §2 pain of
+  // tenants running their own inter-domain routing.
+  constexpr int kN = 8;
+  BgpMesh mesh;
+  std::vector<SpeakerId> speakers;
+  for (int i = 0; i < kN; ++i) {
+    speakers.push_back(mesh.AddSpeaker(100 + i, "s" + std::to_string(i)));
+  }
+  for (int i = 0; i < kN; ++i) {
+    for (int j = i + 1; j < kN; ++j) {
+      ASSERT_TRUE(mesh.AddSession(speakers[i], speakers[j]).ok());
+    }
+  }
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(mesh.Originate(
+        speakers[i], *IpPrefix::Create(
+                         IpAddress::V4(10, static_cast<uint8_t>(i), 0, 0),
+                         16)).ok());
+  }
+  auto stats = mesh.Converge();
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(mesh.TotalRibEntries(), static_cast<size_t>(kN * kN));
+  EXPECT_GT(stats.update_messages, static_cast<uint64_t>(kN * (kN - 1)));
+  for (const SpeakerId s : speakers) {
+    EXPECT_EQ(mesh.TableSize(s), static_cast<size_t>(kN));
+  }
+}
+
+}  // namespace
+}  // namespace tenantnet

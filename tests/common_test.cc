@@ -1,0 +1,235 @@
+// Tests for src/common: Status/Result, typed ids, SimTime, Rng.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/time.h"
+
+namespace tenantnet {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("no such vpc");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such vpc");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such vpc");
+}
+
+TEST(StatusTest, AllConstructorsMapToCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(PermissionDeniedError("x").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = InvalidArgumentError("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  TN_ASSIGN_OR_RETURN(int h, Half(x));
+  TN_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto bad = Quarter(6);  // 6/2 = 3, odd
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+using FooId = TypedId<struct FooTag>;
+using BarId = TypedId<struct BarTag>;
+
+TEST(TypedIdTest, DefaultIsInvalid) {
+  FooId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, FooId::Invalid());
+}
+
+TEST(TypedIdTest, GeneratorIsMonotonicFromOne) {
+  IdGenerator<FooId> gen;
+  EXPECT_EQ(gen.Next().value(), 1u);
+  EXPECT_EQ(gen.Next().value(), 2u);
+  EXPECT_TRUE(gen.Next().valid());
+}
+
+TEST(TypedIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<FooId, BarId>);
+  FooId foo(7);
+  EXPECT_EQ(std::hash<FooId>{}(foo), std::hash<uint64_t>{}(7));
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime t = SimTime::Epoch() + SimDuration::Millis(5);
+  EXPECT_EQ(t.nanos(), 5'000'000);
+  t += SimDuration::Micros(10);
+  EXPECT_EQ(t.nanos(), 5'010'000);
+  SimDuration d = t - SimTime::Epoch();
+  EXPECT_DOUBLE_EQ(d.ToSeconds(), 0.00501);
+  EXPECT_LT(SimTime::Epoch(), t);
+  EXPECT_LT(t, SimTime::Infinite());
+}
+
+TEST(SimDurationTest, ScalingAndComparison) {
+  SimDuration d = SimDuration::Seconds(2.0);
+  EXPECT_EQ((d * 0.5).nanos(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(d / SimDuration::Millis(500), 4.0);
+  EXPECT_GT(d, SimDuration::Zero());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, BoundedUniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextU64(17);
+    EXPECT_LT(v, 17u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.NextExponential(4.0);  // mean 0.25
+  }
+  EXPECT_NEAR(sum / kN, 0.25, 0.01);
+}
+
+TEST(RngTest, PoissonMeanApproximatelyCorrect) {
+  Rng rng(13);
+  double small_sum = 0;
+  double large_sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    small_sum += static_cast<double>(rng.NextPoisson(3.5));
+    large_sum += static_cast<double>(rng.NextPoisson(200.0));
+  }
+  EXPECT_NEAR(small_sum / kN, 3.5, 0.1);
+  EXPECT_NEAR(large_sum / kN, 200.0, 2.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  constexpr int kN = 200000;
+  double sum = 0;
+  double sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.NextNormal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / kN;
+  double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ParetoRespectsMinimum) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.NextPareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(23);
+  ZipfSampler sampler(100, 1.2);
+  uint64_t low = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (sampler.Sample(rng) < 10) {
+      ++low;
+    }
+  }
+  // With s=1.2 the top-10 ranks carry well over half the mass.
+  EXPECT_GT(low, static_cast<uint64_t>(kN) / 2);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniformish) {
+  Rng rng(29);
+  ZipfSampler sampler(10, 0.0);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    counts[sampler.Sample(rng)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kN / 10, kN / 40);
+  }
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextU64() == child.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace tenantnet

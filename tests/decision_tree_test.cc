@@ -1,0 +1,99 @@
+// Tests for the component-selection decision trees (§3(2)'s "five levels
+// deep" planning burden).
+
+#include <gtest/gtest.h>
+
+#include "src/vnet/decision_tree.h"
+
+namespace tenantnet {
+namespace {
+
+TEST(DecisionTreeTest, LbTreeIsFiveLevelsDeep) {
+  auto tree = BuildLoadBalancerDecisionTree();
+  // The paper's citation: "a decision tree that is five levels deep!"
+  EXPECT_EQ(tree->MaxDepth(), 5);
+  EXPECT_GE(tree->QuestionCount(), 8);
+  EXPECT_GE(tree->LeafCount(), 8);
+}
+
+TEST(DecisionTreeTest, HttpPathRoutingYieldsAlb) {
+  auto tree = BuildLoadBalancerDecisionTree();
+  WorkloadProfile profile;
+  profile.http_traffic = true;
+  profile.needs_path_routing = true;
+  auto result = tree->Decide(profile);
+  EXPECT_EQ(result.recommendation, "Application Load Balancer");
+  EXPECT_GE(result.depth, 3);
+  EXPECT_EQ(result.questions_asked.size(),
+            static_cast<size_t>(result.depth));
+}
+
+TEST(DecisionTreeTest, ApplianceChainingYieldsGwlb) {
+  auto tree = BuildLoadBalancerDecisionTree();
+  WorkloadProfile profile;
+  profile.chaining_appliances = true;
+  auto result = tree->Decide(profile);
+  EXPECT_EQ(result.recommendation, "Gateway Load Balancer");
+}
+
+TEST(DecisionTreeTest, HighPpsYieldsNlb) {
+  auto tree = BuildLoadBalancerDecisionTree();
+  WorkloadProfile profile;
+  profile.very_high_pps = true;
+  auto result = tree->Decide(profile);
+  EXPECT_EQ(result.recommendation, "Network Load Balancer");
+}
+
+TEST(DecisionTreeTest, EveryProfileReachesALeaf) {
+  // Exhaustive sweep over the LB-relevant attribute space: the tree is
+  // total (no profile gets stuck or crashes).
+  auto lb_tree = BuildLoadBalancerDecisionTree();
+  auto conn_tree = BuildConnectivityDecisionTree();
+  for (int bits = 0; bits < (1 << 8); ++bits) {
+    WorkloadProfile p;
+    p.http_traffic = bits & 1;
+    p.needs_path_routing = bits & 2;
+    p.internet_facing = bits & 4;
+    p.needs_static_ip = bits & 8;
+    p.very_high_pps = bits & 16;
+    p.chaining_appliances = bits & 32;
+    p.multi_region = bits & 64;
+    p.needs_tls_termination = bits & 128;
+    auto lb = lb_tree->Decide(p);
+    EXPECT_FALSE(lb.recommendation.empty());
+    EXPECT_LE(lb.depth, lb_tree->MaxDepth());
+  }
+  for (int bits = 0; bits < (1 << 5); ++bits) {
+    WorkloadProfile p;
+    p.peer_is_internal = bits & 1;
+    p.peer_same_provider = bits & 2;
+    p.needs_guaranteed_bandwidth = bits & 4;
+    p.inbound_needed = bits & 8;
+    p.ipv6_only = bits & 16;
+    auto conn = conn_tree->Decide(p);
+    EXPECT_FALSE(conn.recommendation.empty());
+  }
+}
+
+TEST(DecisionTreeTest, ConnectivityTreeCoversTheGatewayZoo) {
+  auto tree = BuildConnectivityDecisionTree();
+  WorkloadProfile p;
+  p.peer_is_internal = true;
+  p.peer_same_provider = true;
+  EXPECT_EQ(tree->Decide(p).recommendation,
+            "VPC peering (mind non-transitivity)");
+  p.peer_same_provider = false;
+  p.needs_guaranteed_bandwidth = true;
+  EXPECT_EQ(tree->Decide(p).recommendation,
+            "Direct Connect + Transit Gateway + exchange");
+  WorkloadProfile egress;
+  egress.ipv6_only = true;
+  EXPECT_EQ(tree->Decide(egress).recommendation,
+            "Egress-only Internet Gateway");
+  WorkloadProfile nat;
+  EXPECT_EQ(tree->Decide(nat).recommendation,
+            "NAT Gateway in a public subnet (plus an IGW)");
+}
+
+}  // namespace
+}  // namespace tenantnet

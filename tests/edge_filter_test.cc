@@ -1,0 +1,142 @@
+// Tests for the replicated permit-list enforcement bank.
+
+#include <gtest/gtest.h>
+
+#include "src/core/edge_filter.h"
+
+namespace tenantnet {
+namespace {
+
+FiveTuple Flow(const char* src, const char* dst, uint16_t dport,
+               Protocol proto = Protocol::kTcp) {
+  FiveTuple t;
+  t.src = *IpAddress::Parse(src);
+  t.dst = *IpAddress::Parse(dst);
+  t.src_port = 40000;
+  t.dst_port = dport;
+  t.proto = proto;
+  return t;
+}
+
+PermitEntry Permit(const char* source, PortRange ports = PortRange::Any(),
+                   Protocol proto = Protocol::kAny) {
+  PermitEntry e;
+  e.source = *IpPrefix::Parse(source);
+  e.dst_ports = ports;
+  e.proto = proto;
+  return e;
+}
+
+TEST(EdgeFilterTest, DefaultOffWithNoList) {
+  EdgeFilterBank bank("p", nullptr, 1);
+  bank.AddEdge("e0");
+  EXPECT_FALSE(bank.Admits(0, Flow("1.1.1.1", "5.0.0.1", 443)));
+  EXPECT_FALSE(bank.HasList(0, *IpAddress::Parse("5.0.0.1")));
+}
+
+TEST(EdgeFilterTest, EmptyListAdmitsNothing) {
+  EdgeFilterBank bank("p", nullptr, 1);
+  bank.AddEdge("e0");
+  bank.SetPermitList(*IpAddress::Parse("5.0.0.1"), {});
+  EXPECT_TRUE(bank.HasList(0, *IpAddress::Parse("5.0.0.1")));
+  EXPECT_FALSE(bank.Admits(0, Flow("1.1.1.1", "5.0.0.1", 443)));
+}
+
+TEST(EdgeFilterTest, PermittedSourcePasses) {
+  EdgeFilterBank bank("p", nullptr, 1);
+  bank.AddEdge("e0");
+  bank.AddEdge("e1");
+  IpAddress endpoint = *IpAddress::Parse("5.0.0.1");
+  bank.SetPermitList(endpoint, {Permit("10.0.0.0/8"),
+                                Permit("20.1.0.0/16",
+                                       PortRange::Single(443),
+                                       Protocol::kTcp)});
+  // Prefix entry admits any port.
+  EXPECT_TRUE(bank.Admits(0, Flow("10.3.4.5", "5.0.0.1", 7077)));
+  EXPECT_TRUE(bank.Admits(1, Flow("10.3.4.5", "5.0.0.1", 7077)));
+  // Scoped entry: right source + port + proto only.
+  EXPECT_TRUE(bank.Admits(0, Flow("20.1.9.9", "5.0.0.1", 443)));
+  EXPECT_FALSE(bank.Admits(0, Flow("20.1.9.9", "5.0.0.1", 80)));
+  EXPECT_FALSE(
+      bank.Admits(0, Flow("20.1.9.9", "5.0.0.1", 443, Protocol::kUdp)));
+  // Unlisted source.
+  EXPECT_FALSE(bank.Admits(0, Flow("99.0.0.1", "5.0.0.1", 443)));
+}
+
+TEST(EdgeFilterTest, ListsAreScopedPerEndpoint) {
+  EdgeFilterBank bank("p", nullptr, 1);
+  bank.AddEdge("e0");
+  bank.SetPermitList(*IpAddress::Parse("5.0.0.1"), {Permit("10.0.0.0/8")});
+  // The same source toward a different endpoint: default-off.
+  EXPECT_FALSE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.2", 443)));
+}
+
+TEST(EdgeFilterTest, RemoveReinstatesDefaultOff) {
+  EdgeFilterBank bank("p", nullptr, 1);
+  bank.AddEdge("e0");
+  IpAddress endpoint = *IpAddress::Parse("5.0.0.1");
+  bank.SetPermitList(endpoint, {Permit("10.0.0.0/8")});
+  ASSERT_TRUE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
+  bank.RemovePermitList(endpoint);
+  EXPECT_FALSE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
+  EXPECT_TRUE(bank.IsConverged(endpoint));  // gone everywhere
+}
+
+TEST(EdgeFilterTest, MemoryAndMessageAccounting) {
+  EdgeFilterBank bank("p", nullptr, 1);
+  bank.AddEdge("e0");
+  bank.AddEdge("e1");
+  bank.AddEdge("e2");
+  IpAddress a = *IpAddress::Parse("5.0.0.1");
+  IpAddress b = *IpAddress::Parse("5.0.0.2");
+  bank.SetPermitList(a, {Permit("10.0.0.0/8"), Permit("11.0.0.0/8")});
+  bank.SetPermitList(b, {Permit("10.0.0.0/8")});
+  // Entries are replicated at every edge.
+  EXPECT_EQ(bank.total_installed_entries(), 3u * 3u);
+  EXPECT_EQ(bank.update_messages_sent(), 6u);  // 2 updates x 3 edges
+  EXPECT_EQ(bank.endpoints_with_lists(), 2u);
+  // Replacing a list swaps, not accumulates.
+  bank.SetPermitList(a, {Permit("12.0.0.0/8")});
+  EXPECT_EQ(bank.total_installed_entries(), 2u * 3u);
+}
+
+TEST(EdgeFilterTest, AsyncInstallConvergesAfterLatency) {
+  EventQueue queue;
+  EdgeFilterBank bank("p", &queue, 7);
+  bank.AddEdge("e0");
+  bank.AddEdge("e1");
+  IpAddress endpoint = *IpAddress::Parse("5.0.0.1");
+  SimTime last = bank.SetPermitList(endpoint, {Permit("10.0.0.0/8")});
+  EXPECT_GT(last, queue.now());
+  EXPECT_FALSE(bank.IsConverged(endpoint));
+  // Before any install lands, the edge still defaults off.
+  EXPECT_FALSE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
+  queue.RunUntil(last);
+  EXPECT_TRUE(bank.IsConverged(endpoint));
+  EXPECT_TRUE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
+  EXPECT_TRUE(bank.Admits(1, Flow("10.1.1.1", "5.0.0.1", 443)));
+}
+
+TEST(EdgeFilterTest, StaleUpdateNeverOverwritesNewer) {
+  EventQueue queue;
+  // Large jitter makes reordering overwhelmingly likely across versions.
+  EdgeFilterParams params;
+  params.install_base = SimDuration::Millis(1);
+  params.install_extra_mean = SimDuration::Millis(50);
+  EdgeFilterBank bank("p", &queue, 11, params);
+  bank.AddEdge("e0");
+  IpAddress endpoint = *IpAddress::Parse("5.0.0.1");
+  for (int version = 0; version < 20; ++version) {
+    bank.SetPermitList(
+        endpoint,
+        {Permit(version % 2 == 0 ? "10.0.0.0/8" : "11.0.0.0/8")});
+  }
+  queue.RunAll();
+  EXPECT_TRUE(bank.IsConverged(endpoint));
+  // Final version (index 19, odd) permits 11/8 and not 10/8.
+  EXPECT_TRUE(bank.Admits(0, Flow("11.1.1.1", "5.0.0.1", 443)));
+  EXPECT_FALSE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
+}
+
+}  // namespace
+}  // namespace tenantnet

@@ -1,0 +1,115 @@
+// Tests for the discrete-event engine.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace tenantnet {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(SimTime::FromSeconds(3), [&] { order.push_back(3); });
+  q.ScheduleAt(SimTime::FromSeconds(1), [&] { order.push_back(1); });
+  q.ScheduleAt(SimTime::FromSeconds(2), [&] { order.push_back(2); });
+  EXPECT_EQ(q.RunAll(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now().ToSeconds(), 3.0);
+}
+
+TEST(EventQueueTest, FifoTieBreakAtSameTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(SimTime::FromSeconds(1), [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle h = q.ScheduleAfter(SimDuration::Seconds(1), [&] { ++fired; });
+  q.ScheduleAfter(SimDuration::Seconds(2), [&] { ++fired; });
+  q.Cancel(h);
+  EXPECT_EQ(q.RunAll(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop) {
+  EventQueue q;
+  EventHandle h = q.ScheduleAfter(SimDuration::Seconds(1), [] {});
+  q.RunAll();
+  q.Cancel(h);  // must not crash or affect anything
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, EventsScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      q.ScheduleAfter(SimDuration::Seconds(1), recurse);
+    }
+  };
+  q.ScheduleAfter(SimDuration::Seconds(1), recurse);
+  EXPECT_EQ(q.RunAll(), 5u);
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.now().ToSeconds(), 5.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(SimTime::FromSeconds(1), [&] { ++fired; });
+  q.ScheduleAt(SimTime::FromSeconds(10), [&] { ++fired; });
+  EXPECT_EQ(q.RunUntil(SimTime::FromSeconds(5)), 1u);
+  EXPECT_EQ(fired, 1);
+  // Clock advances to the deadline even without events there.
+  EXPECT_DOUBLE_EQ(q.now().ToSeconds(), 5.0);
+  EXPECT_EQ(q.pending_count(), 1u);
+  q.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, StepFiresExactlyOne) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAfter(SimDuration::Seconds(1), [&] { ++fired; });
+  q.ScheduleAfter(SimDuration::Seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(q.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.Step());
+  EXPECT_FALSE(q.Step());
+}
+
+TEST(EventQueueTest, PendingCountTracksLiveEvents) {
+  EventQueue q;
+  EventHandle a = q.ScheduleAfter(SimDuration::Seconds(1), [] {});
+  q.ScheduleAfter(SimDuration::Seconds(2), [] {});
+  EXPECT_EQ(q.pending_count(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.pending_count(), 1u);
+  q.RunAll();
+  EXPECT_EQ(q.pending_count(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelDuringCallback) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle later;
+  q.ScheduleAfter(SimDuration::Seconds(1), [&] { q.Cancel(later); });
+  later = q.ScheduleAfter(SimDuration::Seconds(2), [&] { ++fired; });
+  q.RunAll();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace tenantnet

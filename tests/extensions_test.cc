@@ -1,0 +1,232 @@
+// Tests for the §4-anticipated API extensions: endpoint groups, incremental
+// permit-list updates, and traffic-scoped QoS reservations.
+
+#include <gtest/gtest.h>
+
+#include "src/cloud/presets.h"
+#include "src/core/api.h"
+
+namespace tenantnet {
+namespace {
+
+FiveTuple Flow(IpAddress src, IpAddress dst, uint16_t dport,
+               Protocol proto = Protocol::kTcp) {
+  FiveTuple t;
+  t.src = src;
+  t.dst = dst;
+  t.src_port = 40000;
+  t.dst_port = dport;
+  t.proto = proto;
+  return t;
+}
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  ExtensionsTest() : tw_(BuildTestWorld()), cloud_(*tw_.world, ledger_) {}
+
+  InstanceId Launch(RegionId region, int zone = 0) {
+    return *tw_.world->LaunchInstance(tw_.tenant, tw_.provider, region, zone);
+  }
+
+  TestWorld tw_;
+  ConfigLedger ledger_;
+  DeclarativeCloud cloud_;
+};
+
+// --- Endpoint groups --------------------------------------------------------
+
+TEST_F(ExtensionsTest, GroupLifecycle) {
+  auto group = cloud_.CreateEndpointGroup(tw_.tenant, "spark-workers");
+  ASSERT_TRUE(group.ok());
+  InstanceId vm = Launch(tw_.east);
+  IpAddress eip = *cloud_.RequestEip(vm);
+  ASSERT_TRUE(cloud_.AddToEndpointGroup(*group, eip).ok());
+  auto members = cloud_.GroupMembers(*group);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->size(), 1u);
+  ASSERT_TRUE(cloud_.RemoveFromEndpointGroup(*group, eip).ok());
+  EXPECT_TRUE(cloud_.GroupMembers(*group)->empty());
+  EXPECT_EQ(cloud_.RemoveFromEndpointGroup(*group, eip).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(cloud_.DeleteEndpointGroup(*group).ok());
+  EXPECT_FALSE(cloud_.GroupMembers(*group).ok());
+}
+
+TEST_F(ExtensionsTest, GroupMembershipIsTenantScoped) {
+  auto group = *cloud_.CreateEndpointGroup(tw_.tenant, "mine");
+  TenantId other = tw_.world->AddTenant("other");
+  InstanceId foreign_vm =
+      *tw_.world->LaunchInstance(other, tw_.provider, tw_.east, 0);
+  IpAddress foreign_eip = *cloud_.RequestEip(foreign_vm);
+  EXPECT_EQ(cloud_.AddToEndpointGroup(group, foreign_eip).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(ExtensionsTest, GroupPermitEntryAdmitsMembers) {
+  auto group = *cloud_.CreateEndpointGroup(tw_.tenant, "clients");
+  InstanceId server = Launch(tw_.east);
+  InstanceId member = Launch(tw_.west);
+  InstanceId outsider = Launch(tw_.west, 1);
+  IpAddress server_eip = *cloud_.RequestEip(server);
+  IpAddress member_eip = *cloud_.RequestEip(member);
+  IpAddress outsider_eip = *cloud_.RequestEip(outsider);
+  (void)outsider_eip;
+  ASSERT_TRUE(cloud_.AddToEndpointGroup(group, member_eip).ok());
+
+  PermitEntry by_group;
+  by_group.source_group = group;
+  by_group.dst_ports = PortRange::Single(443);
+  ASSERT_TRUE(cloud_.SetPermitList(server_eip, {by_group}).ok());
+
+  auto from_member = cloud_.Evaluate(member, server_eip, 443, Protocol::kTcp);
+  EXPECT_TRUE(from_member->delivered)
+      << from_member->drop_stage << ": " << from_member->drop_reason;
+  auto from_outsider =
+      cloud_.Evaluate(outsider, server_eip, 443, Protocol::kTcp);
+  EXPECT_FALSE(from_outsider->delivered);
+  // Wrong port fails even for members (entry scope).
+  auto wrong_port = cloud_.Evaluate(member, server_eip, 80, Protocol::kTcp);
+  EXPECT_FALSE(wrong_port->delivered);
+}
+
+TEST_F(ExtensionsTest, MembershipChangeUpdatesEveryReferencingList) {
+  // One group referenced by N permit lists: adding a member takes one call
+  // and immediately opens all N — the churn-cost win the ablation measures.
+  auto group = *cloud_.CreateEndpointGroup(tw_.tenant, "web");
+  std::vector<InstanceId> servers;
+  std::vector<IpAddress> server_eips;
+  for (int i = 0; i < 5; ++i) {
+    servers.push_back(Launch(tw_.east, i % 2));
+    server_eips.push_back(*cloud_.RequestEip(servers.back()));
+    PermitEntry by_group;
+    by_group.source_group = group;
+    ASSERT_TRUE(cloud_.SetPermitList(server_eips.back(), {by_group}).ok());
+  }
+  InstanceId newcomer = Launch(tw_.west);
+  IpAddress newcomer_eip = *cloud_.RequestEip(newcomer);
+  for (const IpAddress& eip : server_eips) {
+    EXPECT_FALSE(cloud_.Evaluate(newcomer, eip, 443, Protocol::kTcp)
+                     ->delivered);
+  }
+  ASSERT_TRUE(cloud_.AddToEndpointGroup(group, newcomer_eip).ok());
+  for (const IpAddress& eip : server_eips) {
+    EXPECT_TRUE(cloud_.Evaluate(newcomer, eip, 443, Protocol::kTcp)
+                    ->delivered);
+  }
+}
+
+TEST_F(ExtensionsTest, ReleasedEipLeavesItsGroups) {
+  auto group = *cloud_.CreateEndpointGroup(tw_.tenant, "g");
+  InstanceId vm = Launch(tw_.east);
+  IpAddress eip = *cloud_.RequestEip(vm);
+  ASSERT_TRUE(cloud_.AddToEndpointGroup(group, eip).ok());
+  ASSERT_TRUE(cloud_.ReleaseEip(eip).ok());
+  EXPECT_TRUE(cloud_.GroupMembers(group)->empty());
+  // A recycled address must not inherit the old grant.
+  InstanceId vm2 = Launch(tw_.east, 1);
+  IpAddress recycled = *cloud_.RequestEip(vm2);
+  EXPECT_EQ(recycled, eip);
+  EXPECT_TRUE(cloud_.GroupMembers(group)->empty());
+}
+
+TEST_F(ExtensionsTest, PermitListRejectsUnknownGroup) {
+  InstanceId vm = Launch(tw_.east);
+  IpAddress eip = *cloud_.RequestEip(vm);
+  PermitEntry bad;
+  bad.source_group = EndpointGroupId(999);
+  EXPECT_EQ(cloud_.SetPermitList(eip, {bad}).status().code(),
+            StatusCode::kNotFound);
+}
+
+// --- Incremental permit-list updates ----------------------------------------
+
+TEST_F(ExtensionsTest, UpdatePermitListAddsAndRemoves) {
+  InstanceId server = Launch(tw_.east);
+  InstanceId a = Launch(tw_.west);
+  InstanceId b = Launch(tw_.west, 1);
+  IpAddress server_eip = *cloud_.RequestEip(server);
+  IpAddress a_eip = *cloud_.RequestEip(a);
+  IpAddress b_eip = *cloud_.RequestEip(b);
+
+  PermitEntry permit_a;
+  permit_a.source = IpPrefix::Host(a_eip);
+  ASSERT_TRUE(cloud_.SetPermitList(server_eip, {permit_a}).ok());
+  EXPECT_TRUE(cloud_.Evaluate(a, server_eip, 1, Protocol::kTcp)->delivered);
+  EXPECT_FALSE(cloud_.Evaluate(b, server_eip, 1, Protocol::kTcp)->delivered);
+
+  PermitEntry permit_b;
+  permit_b.source = IpPrefix::Host(b_eip);
+  ASSERT_TRUE(
+      cloud_.UpdatePermitList(server_eip, {permit_b}, {permit_a}).ok());
+  EXPECT_FALSE(cloud_.Evaluate(a, server_eip, 1, Protocol::kTcp)->delivered);
+  EXPECT_TRUE(cloud_.Evaluate(b, server_eip, 1, Protocol::kTcp)->delivered);
+}
+
+TEST_F(ExtensionsTest, UpdatePermitListIsIdempotentOnDuplicates) {
+  InstanceId server = Launch(tw_.east);
+  InstanceId a = Launch(tw_.west);
+  IpAddress server_eip = *cloud_.RequestEip(server);
+  IpAddress a_eip = *cloud_.RequestEip(a);
+  PermitEntry permit_a;
+  permit_a.source = IpPrefix::Host(a_eip);
+  ASSERT_TRUE(cloud_.SetPermitList(server_eip, {permit_a}).ok());
+  // Re-adding the same entry does not duplicate it.
+  ASSERT_TRUE(cloud_.UpdatePermitList(server_eip, {permit_a}, {}).ok());
+  auto& bank = cloud_.provider_filters(tw_.provider);
+  EXPECT_EQ(bank.total_installed_entries(),
+            bank.edge_count() * 1u);
+}
+
+// --- Scoped QoS reservations -------------------------------------------------
+
+TEST_F(ExtensionsTest, ScopedQuotaOnlyBindsSelectedTraffic) {
+  QosSelector backups;
+  backups.dst_prefix = *IpPrefix::Parse("20.0.0.0/8");  // the other cloud
+  backups.dst_ports = PortRange::Single(873);
+  ASSERT_TRUE(cloud_.SetQos(tw_.tenant, tw_.east, 1e6, backups).ok());
+
+  EgressQuotaManager& qos = cloud_.qos();
+  SimTime now = SimTime::Epoch() + SimDuration::Millis(1);
+  FiveTuple reserved = Flow(IpAddress::V4(5, 0, 0, 1),
+                            IpAddress::V4(20, 1, 2, 3), 873);
+  FiveTuple other = Flow(IpAddress::V4(5, 0, 0, 1),
+                         IpAddress::V4(20, 1, 2, 3), 443);
+  EXPECT_TRUE(qos.IsReserved(tw_.tenant, tw_.east, reserved));
+  EXPECT_FALSE(qos.IsReserved(tw_.tenant, tw_.east, other));
+
+  // Reserved traffic consumes the bucket and eventually throttles...
+  uint64_t admitted = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (qos.TryConsumeFlow(tw_.tenant, tw_.east, 0, reserved, 1e4, now)) {
+      ++admitted;
+    }
+  }
+  EXPECT_LT(admitted, 1000u);
+  // ...while unselected traffic is never limited by the reservation.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(qos.TryConsumeFlow(tw_.tenant, tw_.east, 0, other, 1e4, now));
+  }
+}
+
+TEST_F(ExtensionsTest, UnscopedQuotaBindsEverything) {
+  ASSERT_TRUE(cloud_.SetQos(tw_.tenant, tw_.east, 1e6).ok());
+  FiveTuple any = Flow(IpAddress::V4(5, 0, 0, 1),
+                       IpAddress::V4(99, 1, 2, 3), 443);
+  EXPECT_TRUE(cloud_.qos().IsReserved(tw_.tenant, tw_.east, any));
+}
+
+TEST_F(ExtensionsTest, ExtensionCallsAreLedgered) {
+  auto group = *cloud_.CreateEndpointGroup(tw_.tenant, "g");
+  InstanceId vm = Launch(tw_.east);
+  IpAddress eip = *cloud_.RequestEip(vm);
+  (void)cloud_.AddToEndpointGroup(group, eip);
+  (void)cloud_.UpdatePermitList(eip, {}, {});
+  QosSelector selector;
+  (void)cloud_.SetQos(tw_.tenant, tw_.east, 1e9, selector);
+  // create_group + request_eip + group_add + update_permit_list + set_qos.
+  EXPECT_EQ(ledger_.api_calls(), 5u);
+  EXPECT_EQ(ledger_.components(), 0u);  // still no boxes
+}
+
+}  // namespace
+}  // namespace tenantnet

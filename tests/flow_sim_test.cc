@@ -1,0 +1,331 @@
+// Tests for the fluid flow simulator: max-min fairness, caps, weights,
+// completion scheduling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/sim/flow_sim.h"
+
+namespace tenantnet {
+namespace {
+
+struct Line {
+  EventQueue queue;
+  Topology topo;
+  NodeId a, b, c;
+  LinkId ab, bc;
+
+  // a --1Gbps--> b --0.5Gbps--> c
+  Line() {
+    a = topo.AddNode({"a", NodeKind::kHostAggregate, "x"});
+    b = topo.AddNode({"b", NodeKind::kBackboneRouter, "x"});
+    c = topo.AddNode({"c", NodeKind::kHostAggregate, "x"});
+    ab = topo.AddLink({a, b, 1e9, SimDuration::Millis(1),
+                       SimDuration::Zero(), 0, LinkClass::kDatacenter});
+    bc = topo.AddLink({b, c, 0.5e9, SimDuration::Millis(1),
+                       SimDuration::Zero(), 0, LinkClass::kDatacenter});
+  }
+};
+
+TEST(FlowSimTest, SingleFlowGetsBottleneckRate) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  FlowId f = sim.StartPersistentFlow({w.ab, w.bc});
+  EXPECT_DOUBLE_EQ(*sim.CurrentRate(f), 0.5e9);
+  EXPECT_DOUBLE_EQ(sim.LinkUtilization(w.bc), 1.0);
+  EXPECT_DOUBLE_EQ(sim.LinkUtilization(w.ab), 0.5);
+}
+
+TEST(FlowSimTest, TwoFlowsShareBottleneckEqually) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  FlowId f1 = sim.StartPersistentFlow({w.ab, w.bc});
+  FlowId f2 = sim.StartPersistentFlow({w.ab, w.bc});
+  EXPECT_NEAR(*sim.CurrentRate(f1), 0.25e9, 1);
+  EXPECT_NEAR(*sim.CurrentRate(f2), 0.25e9, 1);
+}
+
+TEST(FlowSimTest, WeightsBiasTheShare) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  FlowId heavy = sim.StartPersistentFlow({w.ab, w.bc}, /*weight=*/3.0);
+  FlowId light = sim.StartPersistentFlow({w.ab, w.bc}, /*weight=*/1.0);
+  EXPECT_NEAR(*sim.CurrentRate(heavy), 0.375e9, 1);
+  EXPECT_NEAR(*sim.CurrentRate(light), 0.125e9, 1);
+}
+
+TEST(FlowSimTest, RateCapFreesBandwidthForOthers) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  FlowId capped =
+      sim.StartPersistentFlow({w.ab, w.bc}, 1.0, /*rate_cap=*/0.1e9);
+  FlowId open = sim.StartPersistentFlow({w.ab, w.bc});
+  EXPECT_NEAR(*sim.CurrentRate(capped), 0.1e9, 1);
+  EXPECT_NEAR(*sim.CurrentRate(open), 0.4e9, 1);  // max-min gives the rest
+}
+
+TEST(FlowSimTest, MaxMinWithDistinctBottlenecks) {
+  // Classic example: flows X (a->c via both links) and Y (only b->c link).
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  FlowId x = sim.StartPersistentFlow({w.ab, w.bc});
+  FlowId y = sim.StartPersistentFlow({w.bc});
+  FlowId z = sim.StartPersistentFlow({w.ab});
+  // bc (0.5G) is shared by x and y -> 0.25 each; z then gets the remaining
+  // 0.75G of ab.
+  EXPECT_NEAR(*sim.CurrentRate(x), 0.25e9, 1);
+  EXPECT_NEAR(*sim.CurrentRate(y), 0.25e9, 1);
+  EXPECT_NEAR(*sim.CurrentRate(z), 0.75e9, 1);
+}
+
+TEST(FlowSimTest, FiniteFlowCompletesAtPredictedTime) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  SimTime finish_time;
+  bool done = false;
+  // 0.5 Gbit/s bottleneck, 62.5 MB = 5e8 bits -> exactly 1 second.
+  sim.StartFlow({w.ab, w.bc}, 62.5e6, [&](FlowId, SimTime t) {
+    done = true;
+    finish_time = t;
+  });
+  w.queue.RunAll();
+  ASSERT_TRUE(done);
+  EXPECT_NEAR(finish_time.ToSeconds(), 1.0, 1e-9);
+  EXPECT_NEAR(sim.total_bytes_delivered(), 62.5e6, 1);
+  EXPECT_EQ(sim.active_flow_count(), 0u);
+}
+
+TEST(FlowSimTest, CompletionRescheduledWhenContentionChanges) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  SimTime finish;
+  sim.StartFlow({w.ab, w.bc}, 62.5e6,
+                [&](FlowId, SimTime t) { finish = t; });
+  // At t=0.5s, a competitor arrives and halves the first flow's rate.
+  FlowId competitor;
+  w.queue.ScheduleAt(SimTime::FromSeconds(0.5), [&] {
+    competitor = sim.StartPersistentFlow({w.ab, w.bc});
+  });
+  w.queue.RunUntil(SimTime::FromSeconds(10));
+  // First half took 0.5s at 0.5G (2.5e8 bits); remaining 2.5e8 bits at
+  // 0.25G takes 1s more -> finish at 1.5s.
+  EXPECT_NEAR(finish.ToSeconds(), 1.5, 1e-6);
+  EXPECT_TRUE(sim.CancelFlow(competitor).ok());
+}
+
+TEST(FlowSimTest, CancelStopsDelivery) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  bool completed = false;
+  FlowId f = sim.StartFlow({w.ab, w.bc}, 62.5e6,
+                           [&](FlowId, SimTime) { completed = true; });
+  w.queue.RunUntil(SimTime::FromSeconds(0.5));
+  ASSERT_TRUE(sim.CancelFlow(f).ok());
+  w.queue.RunAll();
+  EXPECT_FALSE(completed);
+  // Half the bytes were delivered before the cancel.
+  EXPECT_NEAR(sim.total_bytes_delivered(), 31.25e6, 1e3);
+}
+
+TEST(FlowSimTest, EmptyPathCompletesImmediately) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  bool done = false;
+  SimTime when;
+  sim.StartFlow({}, 1e9, [&](FlowId, SimTime t) {
+    done = true;
+    when = t;
+  });
+  w.queue.RunAll();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(when, SimTime::Epoch());
+}
+
+TEST(FlowSimTest, SetRateCapMidFlight) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  FlowId f = sim.StartPersistentFlow({w.ab, w.bc});
+  EXPECT_DOUBLE_EQ(*sim.CurrentRate(f), 0.5e9);
+  ASSERT_TRUE(sim.SetRateCap(f, 0.2e9).ok());
+  EXPECT_DOUBLE_EQ(*sim.CurrentRate(f), 0.2e9);
+  ASSERT_TRUE(sim.SetRateCap(f, 1e12).ok());
+  EXPECT_DOUBLE_EQ(*sim.CurrentRate(f), 0.5e9);
+}
+
+TEST(FlowSimTest, ZeroCapStallsUntilRaised) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  bool done = false;
+  FlowId f = sim.StartFlow({w.ab, w.bc}, 62.5e6,
+                           [&](FlowId, SimTime) { done = true; }, 1.0,
+                           /*rate_cap=*/0.0);
+  w.queue.RunUntil(SimTime::FromSeconds(5));
+  EXPECT_FALSE(done);
+  ASSERT_TRUE(sim.SetRateCap(f, 0.5e9).ok());
+  w.queue.RunAll();
+  EXPECT_TRUE(done);
+  // Stalled for 5s then 1s of transfer.
+  EXPECT_NEAR(w.queue.now().ToSeconds(), 6.0, 1e-6);
+}
+
+TEST(FlowSimTest, QueuePenaltyGrowsWithUtilization) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  std::vector<LinkId> path{w.ab, w.bc};
+  SimDuration idle = sim.QueuePenalty(path, SimDuration::Millis(1),
+                                      SimDuration::Millis(50));
+  sim.StartPersistentFlow(path);
+  SimDuration busy = sim.QueuePenalty(path, SimDuration::Millis(1),
+                                      SimDuration::Millis(50));
+  EXPECT_GT(busy, idle);
+  // The fully-utilized bc link hits the cap.
+  EXPECT_GE(busy, SimDuration::Millis(50));
+}
+
+TEST(FlowSimTest, UnknownFlowOperationsFail) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  EXPECT_EQ(sim.CancelFlow(FlowId(999)).code(), StatusCode::kNotFound);
+  EXPECT_EQ(sim.SetRateCap(FlowId(999), 1).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(sim.CurrentRate(FlowId(999)).ok());
+  EXPECT_EQ(sim.FindFlow(FlowId(999)), nullptr);
+}
+
+// Property: on random topologies with random weighted/capped flows, the
+// allocation must be (1) feasible — no link above capacity — and
+// (2) max-min: every flow is either at its cap or bottlenecked at some
+// saturated link where no co-located flow has a higher weight-normalized
+// rate. These two conditions characterize weighted max-min fairness.
+class MaxMinPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaxMinPropertyTest, FeasibleAndBottlenecked) {
+  Rng rng(GetParam());
+  EventQueue queue;
+  Topology topo;
+  constexpr int kNodes = 12;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < kNodes; ++i) {
+    nodes.push_back(topo.AddNode({"n" + std::to_string(i),
+                                  NodeKind::kBackboneRouter, "x"}));
+  }
+  // A connected ring plus random chords.
+  std::vector<LinkId> links;
+  auto add_link = [&](int a, int b) {
+    links.push_back(topo.AddLink(
+        {nodes[a], nodes[b], 0.1e9 + rng.NextDouble() * 0.9e9,
+         SimDuration::Millis(1), SimDuration::Zero(), 0,
+         LinkClass::kBackbone}));
+  };
+  for (int i = 0; i < kNodes; ++i) {
+    add_link(i, (i + 1) % kNodes);
+  }
+  for (int i = 0; i < 10; ++i) {
+    int a = static_cast<int>(rng.NextU64(kNodes));
+    int b = static_cast<int>(rng.NextU64(kNodes));
+    if (a != b) {
+      add_link(a, b);
+    }
+  }
+
+  FlowSim sim(queue, topo);
+  struct TestFlow {
+    FlowId id;
+    std::vector<LinkId> path;
+    double weight;
+    double cap;
+  };
+  std::vector<TestFlow> flows;
+  for (int i = 0; i < 40; ++i) {
+    NodeId src = nodes[rng.NextU64(kNodes)];
+    NodeId dst = nodes[rng.NextU64(kNodes)];
+    if (src == dst) {
+      continue;
+    }
+    auto path = topo.ShortestPath(src, dst, Topology::DelayCost());
+    if (!path.ok() || path->empty()) {
+      continue;
+    }
+    double weight = 0.5 + rng.NextDouble() * 3.0;
+    double cap = rng.NextBool(0.3)
+                     ? 1e6 + rng.NextDouble() * 2e8
+                     : std::numeric_limits<double>::infinity();
+    FlowId id = sim.StartPersistentFlow(*path, weight, cap);
+    flows.push_back({id, *path, weight, cap});
+  }
+  ASSERT_GT(flows.size(), 10u);
+
+  constexpr double kRelEps = 1e-6;
+  // (1) Feasibility.
+  std::map<uint64_t, double> link_load;
+  for (const TestFlow& flow : flows) {
+    double rate = *sim.CurrentRate(flow.id);
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, flow.cap * (1 + kRelEps));
+    for (LinkId link : flow.path) {
+      link_load[link.value()] += rate;
+    }
+  }
+  for (const auto& [link_value, load] : link_load) {
+    double cap = topo.link(LinkId(link_value)).capacity_bps;
+    EXPECT_LE(load, cap * (1 + kRelEps)) << "link " << link_value;
+  }
+  // (2) Bottleneck condition.
+  for (const TestFlow& flow : flows) {
+    double rate = *sim.CurrentRate(flow.id);
+    if (rate >= flow.cap * (1 - kRelEps)) {
+      continue;  // at cap: justified
+    }
+    double normalized = rate / flow.weight;
+    bool justified = false;
+    for (LinkId link : flow.path) {
+      double cap = topo.link(link).capacity_bps;
+      if (link_load[link.value()] < cap * (1 - kRelEps)) {
+        continue;  // link not saturated
+      }
+      // Is this flow among the top weight-normalized rates on the link?
+      double max_norm = 0;
+      for (const TestFlow& other : flows) {
+        bool on_link = std::find(other.path.begin(), other.path.end(),
+                                 link) != other.path.end();
+        if (on_link) {
+          max_norm = std::max(max_norm,
+                              *sim.CurrentRate(other.id) / other.weight);
+        }
+      }
+      if (normalized >= max_norm * (1 - 1e-3)) {
+        justified = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(justified)
+        << "flow with rate " << rate << " (weight " << flow.weight
+        << ") is neither capped nor bottlenecked";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(FlowSimTest, ManyFlowsConservationProperty) {
+  // Allocation must never exceed any link capacity and must be work-
+  // conserving on the bottleneck.
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  std::vector<FlowId> flows;
+  for (int i = 0; i < 20; ++i) {
+    flows.push_back(sim.StartPersistentFlow(
+        {w.ab, w.bc}, 1.0 + (i % 3),
+        (i % 5 == 0) ? 1e7 : std::numeric_limits<double>::infinity()));
+  }
+  double total = 0;
+  for (FlowId f : flows) {
+    total += *sim.CurrentRate(f);
+  }
+  EXPECT_LE(total, 0.5e9 * (1 + 1e-6));
+  EXPECT_GE(total, 0.5e9 * (1 - 1e-6));  // work conserving
+}
+
+}  // namespace
+}  // namespace tenantnet

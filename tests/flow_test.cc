@@ -1,0 +1,91 @@
+// Tests for FiveTuple / FlowMatch / PortRange.
+
+#include <gtest/gtest.h>
+
+#include "src/net/flow.h"
+
+namespace tenantnet {
+namespace {
+
+FiveTuple MakeFlow(const char* src, const char* dst, uint16_t sport,
+                   uint16_t dport, Protocol proto = Protocol::kTcp) {
+  FiveTuple t;
+  t.src = *IpAddress::Parse(src);
+  t.dst = *IpAddress::Parse(dst);
+  t.src_port = sport;
+  t.dst_port = dport;
+  t.proto = proto;
+  return t;
+}
+
+TEST(PortRangeTest, Semantics) {
+  EXPECT_TRUE(PortRange::Any().Contains(0));
+  EXPECT_TRUE(PortRange::Any().Contains(65535));
+  EXPECT_TRUE(PortRange::Any().IsAny());
+  PortRange r{100, 200};
+  EXPECT_TRUE(r.Contains(100));
+  EXPECT_TRUE(r.Contains(200));
+  EXPECT_FALSE(r.Contains(99));
+  EXPECT_FALSE(r.Contains(201));
+  EXPECT_FALSE(r.IsAny());
+  EXPECT_TRUE(PortRange::Single(443).Contains(443));
+  EXPECT_FALSE(PortRange::Single(443).Contains(444));
+}
+
+TEST(FiveTupleTest, EqualityAndToString) {
+  FiveTuple a = MakeFlow("10.0.0.1", "10.0.0.2", 1234, 443);
+  FiveTuple b = a;
+  EXPECT_EQ(a, b);
+  b.dst_port = 80;
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.ToString(), "tcp 10.0.0.1:1234 -> 10.0.0.2:443");
+}
+
+TEST(FiveTupleTest, HashDiffersAcrossFields) {
+  std::hash<FiveTuple> h;
+  FiveTuple a = MakeFlow("10.0.0.1", "10.0.0.2", 1234, 443);
+  FiveTuple b = MakeFlow("10.0.0.1", "10.0.0.2", 1234, 444);
+  EXPECT_NE(h(a), h(b));
+}
+
+TEST(FlowMatchTest, AnyMatchesFamilyOnly) {
+  FlowMatch any = FlowMatch::Any(IpFamily::kIpv4);
+  EXPECT_TRUE(any.Matches(MakeFlow("1.2.3.4", "5.6.7.8", 1, 2)));
+  EXPECT_TRUE(
+      any.Matches(MakeFlow("1.2.3.4", "5.6.7.8", 1, 2, Protocol::kUdp)));
+}
+
+TEST(FlowMatchTest, SourcePrefixFilters) {
+  FlowMatch m = FlowMatch::FromSource(*IpPrefix::Parse("10.0.0.0/16"));
+  EXPECT_TRUE(m.Matches(MakeFlow("10.0.9.9", "99.0.0.1", 5, 443)));
+  EXPECT_FALSE(m.Matches(MakeFlow("10.1.0.1", "99.0.0.1", 5, 443)));
+}
+
+TEST(FlowMatchTest, ProtocolAndPortFilters) {
+  FlowMatch m = FlowMatch::Any();
+  m.proto = Protocol::kTcp;
+  m.dst_ports = PortRange::Single(443);
+  EXPECT_TRUE(m.Matches(MakeFlow("1.1.1.1", "2.2.2.2", 9, 443)));
+  EXPECT_FALSE(m.Matches(MakeFlow("1.1.1.1", "2.2.2.2", 9, 80)));
+  EXPECT_FALSE(
+      m.Matches(MakeFlow("1.1.1.1", "2.2.2.2", 9, 443, Protocol::kUdp)));
+}
+
+TEST(FlowMatchTest, DstPrefixAndSrcPorts) {
+  FlowMatch m = FlowMatch::Any();
+  m.dst_prefix = *IpPrefix::Parse("2.2.0.0/16");
+  m.src_ports = PortRange{1000, 2000};
+  EXPECT_TRUE(m.Matches(MakeFlow("1.1.1.1", "2.2.3.4", 1500, 80)));
+  EXPECT_FALSE(m.Matches(MakeFlow("1.1.1.1", "2.3.3.4", 1500, 80)));
+  EXPECT_FALSE(m.Matches(MakeFlow("1.1.1.1", "2.2.3.4", 999, 80)));
+}
+
+TEST(ProtocolTest, Names) {
+  EXPECT_EQ(ProtocolName(Protocol::kTcp), "tcp");
+  EXPECT_EQ(ProtocolName(Protocol::kUdp), "udp");
+  EXPECT_EQ(ProtocolName(Protocol::kIcmp), "icmp");
+  EXPECT_EQ(ProtocolName(Protocol::kAny), "any");
+}
+
+}  // namespace
+}  // namespace tenantnet

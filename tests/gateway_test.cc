@@ -1,0 +1,105 @@
+// Tests for the credential registry and API gateway.
+
+#include <gtest/gtest.h>
+
+#include "src/app/gateway.h"
+
+namespace tenantnet {
+namespace {
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  GatewayTest() : gateway_("orders", &registry_) {}
+
+  ApiRequest Request(const std::string& method, const std::string& path,
+                     const std::string& token) {
+    ApiRequest r;
+    r.method = method;
+    r.path = path;
+    r.token = token;
+    return r;
+  }
+
+  CredentialRegistry registry_;
+  ApiGateway gateway_;
+};
+
+TEST_F(GatewayTest, TokensAuthenticate) {
+  Principal& alice = registry_.CreatePrincipal("alice");
+  EXPECT_EQ(registry_.Authenticate(alice.token), &alice);
+  EXPECT_EQ(registry_.Authenticate("bogus"), nullptr);
+  EXPECT_EQ(registry_.Authenticate(""), nullptr);
+}
+
+TEST_F(GatewayTest, RevokedTokenStopsAuthenticating) {
+  Principal& alice = registry_.CreatePrincipal("alice");
+  std::string token = alice.token;
+  ASSERT_TRUE(registry_.RevokeToken(alice.id).ok());
+  EXPECT_EQ(registry_.Authenticate(token), nullptr);
+  EXPECT_EQ(registry_.RevokeToken(PrincipalId(99)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(GatewayTest, MalformedRequestsRejectedFirst) {
+  Principal& alice = registry_.CreatePrincipal("alice");
+  gateway_.Authorize(alice.id, "*", "/");
+  EXPECT_EQ(gateway_.Check(Request("FETCH", "/x", alice.token)),
+            GatewayVerdict::kMalformed);
+  EXPECT_EQ(gateway_.Check(Request("GET", "no-slash", alice.token)),
+            GatewayVerdict::kMalformed);
+  EXPECT_EQ(gateway_.Check(Request("GET", "/a/../b", alice.token)),
+            GatewayVerdict::kMalformed);
+  EXPECT_EQ(gateway_.rejected_malformed(), 3u);
+}
+
+TEST_F(GatewayTest, UnauthenticatedVsUnauthorized) {
+  Principal& alice = registry_.CreatePrincipal("alice");
+  gateway_.Authorize(alice.id, "GET", "/orders");
+  // Unknown token.
+  EXPECT_EQ(gateway_.Check(Request("GET", "/orders", "bad-token")),
+            GatewayVerdict::kUnauthenticated);
+  // Known principal, wrong route.
+  EXPECT_EQ(gateway_.Check(Request("GET", "/admin", alice.token)),
+            GatewayVerdict::kUnauthorized);
+  // Known principal, wrong method.
+  EXPECT_EQ(gateway_.Check(Request("DELETE", "/orders/1", alice.token)),
+            GatewayVerdict::kUnauthorized);
+  // The happy path.
+  EXPECT_EQ(gateway_.Check(Request("GET", "/orders/1", alice.token)),
+            GatewayVerdict::kAccepted);
+  EXPECT_EQ(gateway_.accepted(), 1u);
+  EXPECT_EQ(gateway_.rejected_unauthenticated(), 1u);
+  EXPECT_EQ(gateway_.rejected_unauthorized(), 2u);
+  EXPECT_EQ(gateway_.total_checked(), 4u);
+}
+
+TEST_F(GatewayTest, WildcardMethodGrant) {
+  Principal& svc = registry_.CreatePrincipal("svc");
+  gateway_.Authorize(svc.id, "*", "/internal");
+  for (const char* method : {"GET", "PUT", "POST", "DELETE", "PATCH"}) {
+    EXPECT_EQ(gateway_.Check(Request(method, "/internal/x", svc.token)),
+              GatewayVerdict::kAccepted)
+        << method;
+  }
+}
+
+TEST_F(GatewayTest, GrantsArePerPrincipal) {
+  Principal& alice = registry_.CreatePrincipal("alice");
+  Principal& bob = registry_.CreatePrincipal("bob");
+  gateway_.Authorize(alice.id, "GET", "/");
+  EXPECT_EQ(gateway_.Check(Request("GET", "/x", bob.token)),
+            GatewayVerdict::kUnauthorized);
+  EXPECT_EQ(gateway_.Check(Request("GET", "/x", alice.token)),
+            GatewayVerdict::kAccepted);
+}
+
+TEST_F(GatewayTest, ResetCounters) {
+  Principal& alice = registry_.CreatePrincipal("alice");
+  gateway_.Authorize(alice.id, "*", "/");
+  gateway_.Check(Request("GET", "/x", alice.token));
+  gateway_.ResetCounters();
+  EXPECT_EQ(gateway_.total_checked(), 0u);
+}
+
+}  // namespace
+}  // namespace tenantnet

@@ -1,0 +1,187 @@
+// Tests for IpAddress / IpPrefix.
+
+#include <gtest/gtest.h>
+
+#include "src/net/ip.h"
+
+namespace tenantnet {
+namespace {
+
+TEST(IpAddressTest, V4RoundTrip) {
+  IpAddress ip = IpAddress::V4(10, 1, 2, 3);
+  EXPECT_TRUE(ip.is_v4());
+  EXPECT_EQ(ip.ToString(), "10.1.2.3");
+  auto parsed = IpAddress::Parse("10.1.2.3");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, ip);
+}
+
+TEST(IpAddressTest, V4ParseRejectsGarbage) {
+  EXPECT_FALSE(IpAddress::Parse("10.1.2").ok());
+  EXPECT_FALSE(IpAddress::Parse("10.1.2.256").ok());
+  EXPECT_FALSE(IpAddress::Parse("10.1.2.3.4").ok());
+  EXPECT_FALSE(IpAddress::Parse("a.b.c.d").ok());
+  EXPECT_FALSE(IpAddress::Parse("").ok());
+}
+
+TEST(IpAddressTest, V6RoundTrip) {
+  auto parsed = IpAddress::Parse("2001:db8::1");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->is_v4());
+  EXPECT_EQ(parsed->hi(), 0x20010db800000000ULL);
+  EXPECT_EQ(parsed->lo(), 1u);
+  EXPECT_EQ(parsed->ToString(), "2001:db8::1");
+}
+
+TEST(IpAddressTest, V6FullForm) {
+  auto parsed = IpAddress::Parse("1:2:3:4:5:6:7:8");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ToString(), "1:2:3:4:5:6:7:8");
+}
+
+TEST(IpAddressTest, V6AllZeros) {
+  auto parsed = IpAddress::Parse("::");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ToString(), "::");
+  EXPECT_EQ(parsed->hi(), 0u);
+  EXPECT_EQ(parsed->lo(), 0u);
+}
+
+TEST(IpAddressTest, V6ParseRejectsGarbage) {
+  EXPECT_FALSE(IpAddress::Parse("1:2:3").ok());
+  EXPECT_FALSE(IpAddress::Parse("1::2::3").ok());
+  EXPECT_FALSE(IpAddress::Parse("12345::").ok());
+}
+
+TEST(IpAddressTest, PlusWrapsWithinFamily) {
+  IpAddress ip = IpAddress::V4(10, 0, 0, 255);
+  EXPECT_EQ(ip.Plus(1).ToString(), "10.0.1.0");
+  IpAddress v6 = IpAddress::V6(1, ~0ULL);
+  IpAddress bumped = v6.Plus(1);
+  EXPECT_EQ(bumped.hi(), 2u);
+  EXPECT_EQ(bumped.lo(), 0u);
+}
+
+TEST(IpAddressTest, OrderingV4BeforeV6) {
+  IpAddress v4 = IpAddress::V4(255, 255, 255, 255);
+  IpAddress v6 = IpAddress::V6(0, 0);
+  EXPECT_LT(v4, v6);
+}
+
+TEST(IpAddressTest, BitFromMsb) {
+  IpAddress ip = IpAddress::V4(0x80000001u);
+  EXPECT_TRUE(ip.BitFromMsb(0));
+  EXPECT_FALSE(ip.BitFromMsb(1));
+  EXPECT_TRUE(ip.BitFromMsb(31));
+  IpAddress v6 = IpAddress::V6(1ULL << 63, 1);
+  EXPECT_TRUE(v6.BitFromMsb(0));
+  EXPECT_TRUE(v6.BitFromMsb(127));
+  EXPECT_FALSE(v6.BitFromMsb(64));
+}
+
+TEST(IpPrefixTest, ParseAndCanonicalize) {
+  auto p = IpPrefix::Parse("10.1.2.3/16");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "10.1.0.0/16");  // host bits masked
+  EXPECT_EQ(p->length(), 16);
+}
+
+TEST(IpPrefixTest, ParseRejectsBadLength) {
+  EXPECT_FALSE(IpPrefix::Parse("10.0.0.0/33").ok());
+  EXPECT_FALSE(IpPrefix::Parse("10.0.0.0/-1").ok());
+  EXPECT_FALSE(IpPrefix::Parse("10.0.0.0").ok());
+  EXPECT_TRUE(IpPrefix::Parse("2001:db8::/129").status().code() ==
+              StatusCode::kInvalidArgument);
+}
+
+TEST(IpPrefixTest, ContainsAddress) {
+  auto p = *IpPrefix::Parse("10.1.0.0/16");
+  EXPECT_TRUE(p.Contains(IpAddress::V4(10, 1, 200, 3)));
+  EXPECT_FALSE(p.Contains(IpAddress::V4(10, 2, 0, 0)));
+  EXPECT_FALSE(p.Contains(*IpAddress::Parse("2001:db8::1")));  // family
+}
+
+TEST(IpPrefixTest, ContainsPrefixAndOverlap) {
+  auto big = *IpPrefix::Parse("10.0.0.0/8");
+  auto small = *IpPrefix::Parse("10.3.0.0/16");
+  auto other = *IpPrefix::Parse("11.0.0.0/8");
+  EXPECT_TRUE(big.Contains(small));
+  EXPECT_FALSE(small.Contains(big));
+  EXPECT_TRUE(big.Overlaps(small));
+  EXPECT_TRUE(small.Overlaps(big));
+  EXPECT_FALSE(big.Overlaps(other));
+}
+
+TEST(IpPrefixTest, AnyContainsEverythingInFamily) {
+  auto any = IpPrefix::Any(IpFamily::kIpv4);
+  EXPECT_TRUE(any.Contains(IpAddress::V4(1, 2, 3, 4)));
+  EXPECT_TRUE(any.Contains(IpAddress::V4(255, 0, 0, 1)));
+  EXPECT_FALSE(any.Contains(*IpAddress::Parse("::1")));
+}
+
+TEST(IpPrefixTest, AddressCount) {
+  EXPECT_EQ(IpPrefix::Parse("10.0.0.0/24")->AddressCount(), 256u);
+  EXPECT_EQ(IpPrefix::Parse("10.0.0.0/32")->AddressCount(), 1u);
+  EXPECT_EQ(IpPrefix::Parse("2001:db8::/32")->AddressCount(), UINT64_MAX);
+}
+
+TEST(IpPrefixTest, SplitProducesBuddies) {
+  auto p = *IpPrefix::Parse("10.0.0.0/16");
+  auto halves = p.Split();
+  ASSERT_TRUE(halves.ok());
+  EXPECT_EQ(halves->first.ToString(), "10.0.0.0/17");
+  EXPECT_EQ(halves->second.ToString(), "10.0.128.0/17");
+  EXPECT_TRUE(p.Contains(halves->first));
+  EXPECT_TRUE(p.Contains(halves->second));
+  EXPECT_FALSE(halves->first.Overlaps(halves->second));
+}
+
+TEST(IpPrefixTest, SplitV6HighBits) {
+  auto p = *IpPrefix::Parse("2001:db8::/32");
+  auto halves = p.Split();
+  ASSERT_TRUE(halves.ok());
+  EXPECT_EQ(halves->first.ToString(), "2001:db8::/33");
+  EXPECT_EQ(halves->second.ToString(), "2001:db8:8000::/33");
+}
+
+TEST(IpPrefixTest, SplitHostPrefixFails) {
+  auto p = *IpPrefix::Parse("10.0.0.1/32");
+  EXPECT_FALSE(p.Split().ok());
+}
+
+TEST(IpPrefixTest, HostPrefix) {
+  IpAddress ip = IpAddress::V4(10, 0, 0, 7);
+  IpPrefix host = IpPrefix::Host(ip);
+  EXPECT_EQ(host.length(), 32);
+  EXPECT_TRUE(host.Contains(ip));
+  EXPECT_EQ(host.AddressCount(), 1u);
+}
+
+TEST(IpPrefixTest, AddressAtOffset) {
+  auto p = *IpPrefix::Parse("10.0.0.0/24");
+  EXPECT_EQ(p.AddressAt(0).ToString(), "10.0.0.0");
+  EXPECT_EQ(p.AddressAt(255).ToString(), "10.0.0.255");
+}
+
+// Parameterized: Split recursion keeps producing disjoint covering pairs at
+// every depth.
+class SplitDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitDepthTest, RecursiveSplitInvariant) {
+  IpPrefix p = *IpPrefix::Parse("10.0.0.0/8");
+  for (int depth = 0; depth < GetParam(); ++depth) {
+    auto halves = p.Split();
+    ASSERT_TRUE(halves.ok());
+    EXPECT_EQ(halves->first.length(), p.length() + 1);
+    EXPECT_FALSE(halves->first.Overlaps(halves->second));
+    EXPECT_EQ(halves->first.AddressCount() + halves->second.AddressCount(),
+              p.AddressCount());
+    p = (depth % 2 == 0) ? halves->second : halves->first;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, SplitDepthTest,
+                         ::testing::Values(4, 10, 16, 23));
+
+}  // namespace
+}  // namespace tenantnet

@@ -1,0 +1,207 @@
+// Tests for the buddy PrefixAllocator and flat HostAllocator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/ipam.h"
+
+namespace tenantnet {
+namespace {
+
+TEST(PrefixAllocatorTest, AllocatesDisjointBlocks) {
+  PrefixAllocator alloc(*IpPrefix::Parse("10.0.0.0/16"));
+  auto a = alloc.Allocate(20);
+  auto b = alloc.Allocate(20);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a->Overlaps(*b));
+  EXPECT_TRUE(alloc.root().Contains(*a));
+  EXPECT_TRUE(alloc.root().Contains(*b));
+}
+
+TEST(PrefixAllocatorTest, ExhaustionIsDetected) {
+  PrefixAllocator alloc(*IpPrefix::Parse("10.0.0.0/24"));
+  // /26 blocks: exactly 4 fit.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(alloc.Allocate(26).ok());
+  }
+  auto fifth = alloc.Allocate(26);
+  EXPECT_FALSE(fifth.ok());
+  EXPECT_EQ(fifth.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PrefixAllocatorTest, ReleaseCoalescesBuddies) {
+  PrefixAllocator alloc(*IpPrefix::Parse("10.0.0.0/24"));
+  std::vector<IpPrefix> blocks;
+  for (int i = 0; i < 4; ++i) {
+    blocks.push_back(*alloc.Allocate(26));
+  }
+  for (const auto& block : blocks) {
+    ASSERT_TRUE(alloc.Release(block).ok());
+  }
+  // After full release + coalescing, the whole /24 is available again.
+  auto whole = alloc.Allocate(24);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole->ToString(), "10.0.0.0/24");
+}
+
+TEST(PrefixAllocatorTest, AllocateExactAndConflicts) {
+  PrefixAllocator alloc(*IpPrefix::Parse("10.0.0.0/16"));
+  IpPrefix want = *IpPrefix::Parse("10.0.16.0/20");
+  ASSERT_TRUE(alloc.AllocateExact(want).ok());
+  EXPECT_TRUE(alloc.IsAllocated(want));
+  // The same block again fails.
+  EXPECT_EQ(alloc.AllocateExact(want).code(), StatusCode::kAlreadyExists);
+  // A block inside it fails too.
+  EXPECT_FALSE(alloc.AllocateExact(*IpPrefix::Parse("10.0.17.0/24")).ok());
+  // Outside the root fails.
+  EXPECT_EQ(alloc.AllocateExact(*IpPrefix::Parse("11.0.0.0/20")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PrefixAllocatorTest, ReleaseUnknownFails) {
+  PrefixAllocator alloc(*IpPrefix::Parse("10.0.0.0/16"));
+  EXPECT_EQ(alloc.Release(*IpPrefix::Parse("10.0.0.0/20")).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PrefixAllocatorTest, MixedSizesRemainDisjoint) {
+  PrefixAllocator alloc(*IpPrefix::Parse("10.0.0.0/16"));
+  std::vector<IpPrefix> blocks;
+  for (int len : {20, 24, 18, 22, 20, 26, 19}) {
+    auto block = alloc.Allocate(len);
+    ASSERT_TRUE(block.ok()) << "len=" << len;
+    blocks.push_back(*block);
+  }
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    for (size_t j = i + 1; j < blocks.size(); ++j) {
+      EXPECT_FALSE(blocks[i].Overlaps(blocks[j]))
+          << blocks[i].ToString() << " vs " << blocks[j].ToString();
+    }
+  }
+}
+
+// Property: random allocate/release churn never hands out overlapping
+// blocks, and accounting stays consistent.
+class PrefixChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrefixChurnTest, NoOverlapUnderChurn) {
+  Rng rng(GetParam());
+  PrefixAllocator alloc(*IpPrefix::Parse("10.0.0.0/12"));
+  std::vector<IpPrefix> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.NextBool(0.6)) {
+      int len = static_cast<int>(16 + rng.NextU64(13));  // /16../28
+      auto block = alloc.Allocate(len);
+      if (!block.ok()) {
+        continue;  // exhausted at this size; fine
+      }
+      for (const auto& other : live) {
+        ASSERT_FALSE(block->Overlaps(other))
+            << block->ToString() << " overlaps " << other.ToString();
+      }
+      live.push_back(*block);
+    } else {
+      size_t victim = rng.NextU64(live.size());
+      ASSERT_TRUE(alloc.Release(live[victim]).ok());
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    }
+    ASSERT_EQ(alloc.allocated_block_count(), live.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixChurnTest,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+TEST(HostAllocatorTest, SequentialAllocationFromPool) {
+  HostAllocator alloc(*IpPrefix::Parse("192.168.1.0/30"));
+  EXPECT_EQ(alloc.capacity(), 4u);
+  EXPECT_EQ(alloc.Allocate()->ToString(), "192.168.1.0");
+  EXPECT_EQ(alloc.Allocate()->ToString(), "192.168.1.1");
+  EXPECT_EQ(alloc.Allocate()->ToString(), "192.168.1.2");
+  EXPECT_EQ(alloc.Allocate()->ToString(), "192.168.1.3");
+  auto fifth = alloc.Allocate();
+  EXPECT_EQ(fifth.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(HostAllocatorTest, ReleaseRecyclesLifo) {
+  HostAllocator alloc(*IpPrefix::Parse("192.168.1.0/29"));
+  IpAddress a = *alloc.Allocate();
+  IpAddress b = *alloc.Allocate();
+  ASSERT_TRUE(alloc.Release(a).ok());
+  EXPECT_FALSE(alloc.IsAllocated(a));
+  EXPECT_TRUE(alloc.IsAllocated(b));
+  EXPECT_EQ(*alloc.Allocate(), a);  // recycled
+}
+
+TEST(HostAllocatorTest, DoubleReleaseFails) {
+  HostAllocator alloc(*IpPrefix::Parse("192.168.1.0/29"));
+  IpAddress a = *alloc.Allocate();
+  ASSERT_TRUE(alloc.Release(a).ok());
+  EXPECT_EQ(alloc.Release(a).code(), StatusCode::kNotFound);
+}
+
+TEST(HostAllocatorTest, LowestFirstKeepsRangeDense) {
+  HostAllocator alloc(*IpPrefix::Parse("10.0.0.0/24"),
+                      HostAllocator::ReusePolicy::kLowestFirst);
+  std::vector<IpAddress> addrs;
+  for (int i = 0; i < 8; ++i) {
+    addrs.push_back(*alloc.Allocate());
+  }
+  // Free a scattered subset...
+  ASSERT_TRUE(alloc.Release(addrs[1]).ok());
+  ASSERT_TRUE(alloc.Release(addrs[5]).ok());
+  ASSERT_TRUE(alloc.Release(addrs[3]).ok());
+  // ...and get them back lowest-first, not LIFO.
+  EXPECT_EQ(alloc.Allocate()->ToString(), "10.0.0.1");
+  EXPECT_EQ(alloc.Allocate()->ToString(), "10.0.0.3");
+  EXPECT_EQ(alloc.Allocate()->ToString(), "10.0.0.5");
+  // Only then does the high-water mark advance.
+  EXPECT_EQ(alloc.Allocate()->ToString(), "10.0.0.8");
+}
+
+TEST(HostAllocatorTest, LifoReusesMostRecent) {
+  HostAllocator alloc(*IpPrefix::Parse("10.0.0.0/24"),
+                      HostAllocator::ReusePolicy::kLifo);
+  IpAddress a = *alloc.Allocate();
+  IpAddress b = *alloc.Allocate();
+  ASSERT_TRUE(alloc.Release(a).ok());
+  ASSERT_TRUE(alloc.Release(b).ok());
+  EXPECT_EQ(*alloc.Allocate(), b);  // most recently freed first
+  EXPECT_EQ(*alloc.Allocate(), a);
+}
+
+TEST(PrefixAllocatorTest, AllocatedAddressCountSums) {
+  PrefixAllocator alloc(*IpPrefix::Parse("10.0.0.0/16"));
+  (void)*alloc.Allocate(24);  // 256
+  (void)*alloc.Allocate(26);  // 64
+  EXPECT_EQ(alloc.AllocatedAddressCount(), 320u);
+}
+
+TEST(HostAllocatorTest, NeverDoubleAllocatesUnderChurn) {
+  Rng rng(77);
+  HostAllocator alloc(*IpPrefix::Parse("10.0.0.0/22"));
+  std::set<IpAddress> live;
+  for (int step = 0; step < 5000; ++step) {
+    if (live.empty() || rng.NextBool(0.55)) {
+      auto ip = alloc.Allocate();
+      if (!ip.ok()) {
+        continue;
+      }
+      auto [it, inserted] = live.insert(*ip);
+      ASSERT_TRUE(inserted) << "double allocation of " << ip->ToString();
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.NextU64(live.size()));
+      ASSERT_TRUE(alloc.Release(*it).ok());
+      live.erase(it);
+    }
+    ASSERT_EQ(alloc.allocated_count(), live.size());
+  }
+}
+
+}  // namespace
+}  // namespace tenantnet

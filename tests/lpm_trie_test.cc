@@ -1,0 +1,167 @@
+// Tests for the LPM trie, including a brute-force equivalence property.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/routing/lpm_trie.h"
+
+namespace tenantnet {
+namespace {
+
+TEST(LpmTrieTest, EmptyMatchesNothing) {
+  LpmTrie<int> trie;
+  EXPECT_EQ(trie.LongestMatch(IpAddress::V4(1, 2, 3, 4)), nullptr);
+  EXPECT_EQ(trie.entry_count(), 0u);
+}
+
+TEST(LpmTrieTest, InsertAndExactMatch) {
+  LpmTrie<int> trie;
+  EXPECT_TRUE(trie.Insert(*IpPrefix::Parse("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.Insert(*IpPrefix::Parse("10.0.0.0/8"), 2));  // overwrite
+  ASSERT_NE(trie.ExactMatch(*IpPrefix::Parse("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.ExactMatch(*IpPrefix::Parse("10.0.0.0/8")), 2);
+  EXPECT_EQ(trie.ExactMatch(*IpPrefix::Parse("10.0.0.0/9")), nullptr);
+  EXPECT_EQ(trie.entry_count(), 1u);
+}
+
+TEST(LpmTrieTest, LongestPrefixWins) {
+  LpmTrie<int> trie;
+  trie.Insert(*IpPrefix::Parse("10.0.0.0/8"), 8);
+  trie.Insert(*IpPrefix::Parse("10.1.0.0/16"), 16);
+  trie.Insert(*IpPrefix::Parse("10.1.2.0/24"), 24);
+  EXPECT_EQ(*trie.LongestMatch(IpAddress::V4(10, 1, 2, 3)), 24);
+  EXPECT_EQ(*trie.LongestMatch(IpAddress::V4(10, 1, 9, 9)), 16);
+  EXPECT_EQ(*trie.LongestMatch(IpAddress::V4(10, 9, 9, 9)), 8);
+  EXPECT_EQ(trie.LongestMatch(IpAddress::V4(11, 0, 0, 1)), nullptr);
+}
+
+TEST(LpmTrieTest, DefaultRouteAtLengthZero) {
+  LpmTrie<int> trie;
+  trie.Insert(IpPrefix::Any(IpFamily::kIpv4), 0);
+  trie.Insert(*IpPrefix::Parse("10.0.0.0/8"), 8);
+  EXPECT_EQ(*trie.LongestMatch(IpAddress::V4(99, 0, 0, 1)), 0);
+  EXPECT_EQ(*trie.LongestMatch(IpAddress::V4(10, 0, 0, 1)), 8);
+}
+
+TEST(LpmTrieTest, RemoveRestoresShorterMatch) {
+  LpmTrie<int> trie;
+  trie.Insert(*IpPrefix::Parse("10.0.0.0/8"), 8);
+  trie.Insert(*IpPrefix::Parse("10.1.0.0/16"), 16);
+  EXPECT_TRUE(trie.Remove(*IpPrefix::Parse("10.1.0.0/16")));
+  EXPECT_EQ(*trie.LongestMatch(IpAddress::V4(10, 1, 0, 1)), 8);
+  EXPECT_FALSE(trie.Remove(*IpPrefix::Parse("10.1.0.0/16")));  // gone
+  EXPECT_EQ(trie.entry_count(), 1u);
+}
+
+TEST(LpmTrieTest, FamiliesAreIndependent) {
+  LpmTrie<int> trie;
+  trie.Insert(IpPrefix::Any(IpFamily::kIpv4), 4);
+  trie.Insert(IpPrefix::Any(IpFamily::kIpv6), 6);
+  EXPECT_EQ(*trie.LongestMatch(IpAddress::V4(1, 1, 1, 1)), 4);
+  EXPECT_EQ(*trie.LongestMatch(*IpAddress::Parse("2001:db8::1")), 6);
+  EXPECT_EQ(trie.entry_count(), 2u);
+}
+
+TEST(LpmTrieTest, V6HostRoutes) {
+  LpmTrie<int> trie;
+  IpAddress a = *IpAddress::Parse("2001:db8::1");
+  IpAddress b = *IpAddress::Parse("2001:db8::2");
+  trie.Insert(IpPrefix::Host(a), 1);
+  trie.Insert(IpPrefix::Host(b), 2);
+  EXPECT_EQ(*trie.LongestMatch(a), 1);
+  EXPECT_EQ(*trie.LongestMatch(b), 2);
+  EXPECT_EQ(trie.LongestMatch(*IpAddress::Parse("2001:db8::3")), nullptr);
+}
+
+TEST(LpmTrieTest, LongestMatchEntryReportsPrefix) {
+  LpmTrie<int> trie;
+  trie.Insert(*IpPrefix::Parse("10.0.0.0/8"), 8);
+  trie.Insert(*IpPrefix::Parse("10.1.0.0/16"), 16);
+  auto entry = trie.LongestMatchEntry(IpAddress::V4(10, 1, 5, 5));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->first.ToString(), "10.1.0.0/16");
+  EXPECT_EQ(*entry->second, 16);
+}
+
+TEST(LpmTrieTest, ForEachVisitsAllEntries) {
+  LpmTrie<int> trie;
+  std::vector<std::string> want = {"10.0.0.0/8", "10.1.0.0/16",
+                                   "192.168.0.0/24"};
+  int value = 0;
+  for (const auto& s : want) {
+    trie.Insert(*IpPrefix::Parse(s), value++);
+  }
+  std::vector<std::string> got;
+  trie.ForEach([&](const IpPrefix& p, int) { got.push_back(p.ToString()); });
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& s : want) {
+    EXPECT_NE(std::find(got.begin(), got.end(), s), got.end()) << s;
+  }
+}
+
+TEST(LpmTrieTest, ClearResets) {
+  LpmTrie<int> trie;
+  trie.Insert(*IpPrefix::Parse("10.0.0.0/8"), 1);
+  trie.Clear();
+  EXPECT_EQ(trie.entry_count(), 0u);
+  EXPECT_EQ(trie.LongestMatch(IpAddress::V4(10, 0, 0, 1)), nullptr);
+}
+
+TEST(LpmTrieTest, NodeCountGrowsWithDepth) {
+  LpmTrie<int> trie;
+  size_t before = trie.node_count();
+  trie.Insert(*IpPrefix::Parse("10.0.0.0/8"), 1);
+  size_t after_one = trie.node_count();
+  EXPECT_EQ(after_one, before + 8);
+  trie.Insert(*IpPrefix::Parse("10.0.0.0/16"), 2);  // shares the /8 path
+  EXPECT_EQ(trie.node_count(), after_one + 8);
+}
+
+// Property: trie lookups agree with brute-force longest-prefix search over
+// random rule sets.
+class LpmEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LpmEquivalenceTest, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  LpmTrie<size_t> trie;
+  std::vector<IpPrefix> rules;
+  for (int i = 0; i < 300; ++i) {
+    int len = static_cast<int>(rng.NextU64(33));
+    IpAddress base = IpAddress::V4(static_cast<uint32_t>(rng.NextU64()));
+    IpPrefix prefix = *IpPrefix::Create(base, len);
+    // Skip duplicates (overwrite would desync the index invariant below).
+    if (std::find(rules.begin(), rules.end(), prefix) != rules.end()) {
+      continue;
+    }
+    trie.Insert(prefix, rules.size());
+    rules.push_back(prefix);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    IpAddress probe = IpAddress::V4(static_cast<uint32_t>(rng.NextU64()));
+    // Brute force.
+    std::optional<size_t> best;
+    int best_len = -1;
+    for (size_t r = 0; r < rules.size(); ++r) {
+      if (rules[r].Contains(probe) && rules[r].length() > best_len) {
+        best = r;
+        best_len = rules[r].length();
+      }
+    }
+    const size_t* got = trie.LongestMatch(probe);
+    if (best.has_value()) {
+      ASSERT_NE(got, nullptr) << probe.ToString();
+      EXPECT_EQ(*got, *best) << probe.ToString();
+    } else {
+      EXPECT_EQ(got, nullptr) << probe.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmEquivalenceTest,
+                         ::testing::Values(3, 17, 99, 2024));
+
+}  // namespace
+}  // namespace tenantnet

@@ -1,0 +1,114 @@
+// Tests for telemetry: Counter, Gauge, Histogram, MetricRegistry.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/telemetry/metrics.h"
+
+namespace tenantnet {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_DOUBLE_EQ(g.value(), 7);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0);
+  EXPECT_DOUBLE_EQ(h.P50(), 0);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Record(5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_NEAR(h.P50(), 5.0, 5.0 * 0.06);
+}
+
+TEST(HistogramTest, ExactStatsTracked) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    h.Record(v);
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_NEAR(h.StdDev(), 1.118, 0.001);  // population stddev
+}
+
+// Property: quantiles match an exact sorted computation within the bucket
+// growth factor's relative error.
+class HistogramQuantileTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramQuantileTest, QuantilesCloseToExact) {
+  Rng rng(GetParam());
+  Histogram h(1.05);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    double v = rng.NextPareto(1.0, 1.4);  // heavy tail stresses buckets
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    double exact = samples[static_cast<size_t>(q * (samples.size() - 1))];
+    double approx = h.Quantile(q);
+    EXPECT_NEAR(approx / exact, 1.0, 0.08)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramQuantileTest,
+                         ::testing::Values(1, 7, 123, 9999));
+
+TEST(HistogramTest, NegativeSamplesClampToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_DOUBLE_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(1);
+  h.Record(100);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0);
+}
+
+TEST(MetricRegistryTest, NamedMetricsArePersistent) {
+  MetricRegistry reg;
+  reg.GetCounter("a").Increment(3);
+  reg.GetCounter("a").Increment(4);
+  reg.GetHistogram("lat").Record(1.0);
+  reg.GetGauge("g").Set(2.5);
+  EXPECT_EQ(reg.GetCounter("a").value(), 7u);
+  EXPECT_EQ(reg.GetHistogram("lat").count(), 1u);
+  std::string report = reg.Report();
+  EXPECT_NE(report.find("a = 7"), std::string::npos);
+  EXPECT_NE(report.find("lat"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tenantnet

@@ -1,0 +1,100 @@
+// Tests for the cost model.
+
+#include <gtest/gtest.h>
+
+#include "src/cloud/presets.h"
+#include "src/vnet/builder.h"
+#include "src/vnet/pricing.h"
+
+namespace tenantnet {
+namespace {
+
+TEST(PricingTest, EmptyNetworkBillsOnlyTransfer) {
+  TestWorld tw = BuildTestWorld();
+  ConfigLedger ledger;
+  BaselineNetwork net(*tw.world, ledger);
+  PriceBook book;
+  MonthlyTraffic traffic;
+  traffic.inter_region_gb = 100;
+  CostReport report = PriceBaseline(net, book, traffic);
+  CostLine sum = report.Sum();
+  EXPECT_DOUBLE_EQ(sum.box_hours_usd, 0);
+  EXPECT_DOUBLE_EQ(sum.processing_usd, 100 * book.tgw_gb * 0);  // no boxes
+  EXPECT_NEAR(sum.transfer_usd, 100 * book.inter_region_gb, 1e-9);
+}
+
+TEST(PricingTest, BoxesBillByTheHour) {
+  TestWorld tw = BuildTestWorld();
+  ConfigLedger ledger;
+  BaselineNetwork net(*tw.world, ledger);
+  auto vpc = *net.CreateVpc(tw.tenant, tw.provider, tw.east, "v",
+                            *IpPrefix::Parse("10.0.0.0/16"));
+  auto pub = *net.CreateSubnet(vpc, "pub", 24, 0, true);
+  (void)*net.CreateNatGateway(pub, "nat");
+  (void)*net.CreateVpnGateway(vpc, tw.on_prem, 64700, "vpg");
+
+  PriceBook book;
+  CostReport report = PriceBaseline(net, book, MonthlyTraffic{});
+  EXPECT_NEAR(report.lines.at("nat-gateway").box_hours_usd,
+              book.nat_gateway_hour * book.hours_per_month, 1e-9);
+  EXPECT_NEAR(report.lines.at("vpn-gateways").box_hours_usd,
+              book.vpn_connection_hour * book.hours_per_month, 1e-9);
+}
+
+TEST(PricingTest, ProcessingScalesWithTraffic) {
+  TestWorld tw = BuildTestWorld();
+  ConfigLedger ledger;
+  BaselineNetwork net(*tw.world, ledger);
+  auto vpc = *net.CreateVpc(tw.tenant, tw.provider, tw.east, "v",
+                            *IpPrefix::Parse("10.0.0.0/16"));
+  auto pub = *net.CreateSubnet(vpc, "pub", 24, 0, true);
+  (void)*net.CreateNatGateway(pub, "nat");
+  PriceBook book;
+  MonthlyTraffic light;
+  light.nat_egress_gb = 10;
+  MonthlyTraffic heavy;
+  heavy.nat_egress_gb = 1000;
+  double light_proc =
+      PriceBaseline(net, book, light).lines.at("nat-gateway").processing_usd;
+  double heavy_proc =
+      PriceBaseline(net, book, heavy).lines.at("nat-gateway").processing_usd;
+  EXPECT_NEAR(heavy_proc, 100 * light_proc, 1e-9);
+}
+
+TEST(PricingTest, DeclarativePaysSameTransferNoBoxes) {
+  PriceBook book;
+  MonthlyTraffic traffic;
+  traffic.inter_region_gb = 500;
+  traffic.internet_egress_gb = 100;
+  traffic.cross_cloud_gb = 200;
+  CostReport decl = PriceDeclarative(book, traffic, /*reserved_gbps=*/0);
+  CostLine sum = decl.Sum();
+  EXPECT_DOUBLE_EQ(sum.box_hours_usd, 0);
+  EXPECT_DOUBLE_EQ(sum.processing_usd, 0);
+  EXPECT_NEAR(sum.transfer_usd,
+              500 * book.inter_region_gb + 100 * book.internet_egress_gb +
+                  200 * book.cross_cloud_gb,
+              1e-9);
+}
+
+TEST(PricingTest, Fig1BaselinePremiumIsLarge) {
+  Fig1World fig = BuildFig1World();
+  ConfigLedger ledger;
+  BaselineNetwork net(*fig.world, ledger);
+  auto handles = BuildFig1Baseline(net, fig);
+  ASSERT_TRUE(handles.ok());
+  PriceBook book;
+  MonthlyTraffic traffic;
+  traffic.cross_cloud_gb = 20000;
+  traffic.internet_egress_gb = 5000;
+  traffic.nat_egress_gb = 1000;
+  traffic.inter_region_gb = 8000;
+  CostLine base = PriceBaseline(net, book, traffic).Sum();
+  CostLine decl = PriceDeclarative(book, traffic, 20).Sum();
+  // The boxes at least double the bill relative to pure transfer.
+  EXPECT_GT(base.total(), decl.total() * 1.5);
+  EXPECT_GT(base.box_hours_usd, 0);
+}
+
+}  // namespace
+}  // namespace tenantnet

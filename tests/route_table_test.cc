@@ -1,0 +1,134 @@
+// Tests for RouteTable and prefix aggregation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/routing/route_table.h"
+
+namespace tenantnet {
+namespace {
+
+RouteEntry Entry(uint64_t next_hop) {
+  return RouteEntry{NodeId(next_hop), RouteOrigin::kStatic, 0, ""};
+}
+
+TEST(RouteTableTest, InstallLookupWithdraw) {
+  RouteTable table;
+  EXPECT_TRUE(table.Install(*IpPrefix::Parse("10.0.0.0/8"), Entry(1)));
+  EXPECT_TRUE(table.Install(*IpPrefix::Parse("10.1.0.0/16"), Entry(2)));
+  const RouteEntry* hit = table.Lookup(IpAddress::V4(10, 1, 0, 5));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->next_hop, NodeId(2));
+  ASSERT_TRUE(table.Withdraw(*IpPrefix::Parse("10.1.0.0/16")).ok());
+  hit = table.Lookup(IpAddress::V4(10, 1, 0, 5));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->next_hop, NodeId(1));
+  EXPECT_EQ(table.Withdraw(*IpPrefix::Parse("10.1.0.0/16")).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RouteTableTest, PrefixesEnumerates) {
+  RouteTable table;
+  table.Install(*IpPrefix::Parse("10.0.0.0/8"), Entry(1));
+  table.Install(*IpPrefix::Parse("192.168.0.0/16"), Entry(2));
+  auto prefixes = table.Prefixes();
+  EXPECT_EQ(prefixes.size(), 2u);
+}
+
+TEST(AggregateTest, MergesBuddyPairs) {
+  std::vector<IpPrefix> input = {*IpPrefix::Parse("10.0.0.0/17"),
+                                 *IpPrefix::Parse("10.0.128.0/17")};
+  auto out = AggregatePrefixes(input);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ToString(), "10.0.0.0/16");
+}
+
+TEST(AggregateTest, CascadingMerge) {
+  // Four consecutive /18s collapse to one /16.
+  std::vector<IpPrefix> input;
+  for (int i = 0; i < 4; ++i) {
+    input.push_back(*IpPrefix::Create(
+        IpAddress::V4(10, 0, static_cast<uint8_t>(i * 64), 0), 18));
+  }
+  auto out = AggregatePrefixes(input);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ToString(), "10.0.0.0/16");
+}
+
+TEST(AggregateTest, DropsContainedPrefixes) {
+  std::vector<IpPrefix> input = {*IpPrefix::Parse("10.0.0.0/8"),
+                                 *IpPrefix::Parse("10.1.0.0/16"),
+                                 *IpPrefix::Parse("10.1.2.0/24")};
+  auto out = AggregatePrefixes(input);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ToString(), "10.0.0.0/8");
+}
+
+TEST(AggregateTest, NonMergeableStayApart) {
+  std::vector<IpPrefix> input = {*IpPrefix::Parse("10.0.0.0/17"),
+                                 *IpPrefix::Parse("10.1.0.0/17")};  // not buddies
+  auto out = AggregatePrefixes(input);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(AggregateTest, DeduplicatesExactCopies) {
+  std::vector<IpPrefix> input = {*IpPrefix::Parse("10.0.0.0/16"),
+                                 *IpPrefix::Parse("10.0.0.0/16")};
+  auto out = AggregatePrefixes(input);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(AggregateTest, SequentialHostRoutesCollapseCompletely) {
+  // 256 consecutive /32s == one /24: the provider-aggregation claim of E4a
+  // in miniature.
+  std::vector<IpPrefix> input;
+  for (int i = 0; i < 256; ++i) {
+    input.push_back(IpPrefix::Host(
+        IpAddress::V4(5, 0, 0, static_cast<uint8_t>(i))));
+  }
+  auto out = AggregatePrefixes(input);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ToString(), "5.0.0.0/24");
+}
+
+// Property: aggregation preserves exact coverage — an address is covered by
+// the output iff it is covered by the input.
+class AggregateCoverageTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregateCoverageTest, CoverageIsPreserved) {
+  Rng rng(GetParam());
+  std::vector<IpPrefix> input;
+  for (int i = 0; i < 200; ++i) {
+    // Confined space so overlaps/buddies actually occur.
+    uint32_t base = 0x0A000000u | static_cast<uint32_t>(rng.NextU64(1 << 16));
+    int len = static_cast<int>(20 + rng.NextU64(13));
+    input.push_back(*IpPrefix::Create(IpAddress::V4(base), len));
+  }
+  auto output = AggregatePrefixes(input);
+  EXPECT_LE(output.size(), input.size());
+  // Output prefixes must be pairwise disjoint.
+  for (size_t i = 0; i < output.size(); ++i) {
+    for (size_t j = i + 1; j < output.size(); ++j) {
+      EXPECT_FALSE(output[i].Overlaps(output[j]));
+    }
+  }
+  auto covered_by = [](const std::vector<IpPrefix>& set, IpAddress ip) {
+    return std::any_of(set.begin(), set.end(),
+                       [ip](const IpPrefix& p) { return p.Contains(ip); });
+  };
+  for (int i = 0; i < 3000; ++i) {
+    uint32_t probe_base =
+        0x0A000000u | static_cast<uint32_t>(rng.NextU64(1 << 17));
+    IpAddress probe = IpAddress::V4(probe_base);
+    EXPECT_EQ(covered_by(input, probe), covered_by(output, probe))
+        << probe.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregateCoverageTest,
+                         ::testing::Values(5, 55, 555));
+
+}  // namespace
+}  // namespace tenantnet

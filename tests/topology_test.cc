@@ -1,0 +1,170 @@
+// Tests for Topology: construction, Dijkstra, cost policies, delay models.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sim/topology.h"
+
+namespace tenantnet {
+namespace {
+
+// A diamond: a -> b -> d (fast) and a -> c -> d (slow but one hop shorter
+// in an alternate configuration).
+struct Diamond {
+  Topology topo;
+  NodeId a, b, c, d;
+  LinkId ab, bd, ac, cd;
+
+  Diamond() {
+    a = topo.AddNode({"a", NodeKind::kEdgeRouter, "x"});
+    b = topo.AddNode({"b", NodeKind::kBackboneRouter, "x"});
+    c = topo.AddNode({"c", NodeKind::kInternetRouter, "internet"});
+    d = topo.AddNode({"d", NodeKind::kEdgeRouter, "y"});
+    ab = topo.AddLink({a, b, 1e9, SimDuration::Millis(5),
+                       SimDuration::Zero(), 0, LinkClass::kBackbone});
+    bd = topo.AddLink({b, d, 1e9, SimDuration::Millis(5),
+                       SimDuration::Zero(), 0, LinkClass::kBackbone});
+    ac = topo.AddLink({a, c, 1e9, SimDuration::Millis(8),
+                       SimDuration::Zero(), 0.01, LinkClass::kPublicInternet});
+    cd = topo.AddLink({c, d, 1e9, SimDuration::Millis(8),
+                       SimDuration::Zero(), 0.01, LinkClass::kPublicInternet});
+  }
+};
+
+TEST(TopologyTest, NodesAndLinksAreRecorded) {
+  Diamond w;
+  EXPECT_EQ(w.topo.node_count(), 4u);
+  EXPECT_EQ(w.topo.link_count(), 4u);
+  EXPECT_EQ(w.topo.node(w.a).name, "a");
+  EXPECT_EQ(w.topo.link(w.ab).dst, w.b);
+  EXPECT_EQ(w.topo.OutLinks(w.a).size(), 2u);
+}
+
+TEST(TopologyTest, DuplexAddsBothDirections) {
+  Topology topo;
+  NodeId a = topo.AddNode({"a", NodeKind::kEdgeRouter, "x"});
+  NodeId b = topo.AddNode({"b", NodeKind::kEdgeRouter, "x"});
+  auto [fwd, rev] = topo.AddDuplexLink({a, b, 1e9, SimDuration::Millis(1),
+                                        SimDuration::Zero(), 0,
+                                        LinkClass::kBackbone});
+  EXPECT_EQ(topo.link(fwd).src, a);
+  EXPECT_EQ(topo.link(rev).src, b);
+  EXPECT_EQ(topo.link(rev).dst, a);
+}
+
+TEST(TopologyTest, ShortestPathByDelayPrefersBackbone) {
+  Diamond w;
+  auto path = w.topo.ShortestPath(w.a, w.d, Topology::DelayCost());
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->size(), 2u);
+  EXPECT_EQ((*path)[0], w.ab);
+  EXPECT_EQ((*path)[1], w.bd);
+  EXPECT_DOUBLE_EQ(w.topo.PathDelay(*path).ToMillis(), 10.0);
+}
+
+TEST(TopologyTest, ClassWeightsFlipTheChoice) {
+  Diamond w;
+  // Make backbone 10x expensive: the internet path wins despite its delay.
+  auto cost = Topology::ClassWeightedDelayCost(1, 10, 1, 1);
+  auto path = w.topo.ShortestPath(w.a, w.d, cost);
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->size(), 2u);
+  EXPECT_EQ((*path)[0], w.ac);
+}
+
+TEST(TopologyTest, NegativeMultiplierForbidsClass) {
+  Diamond w;
+  auto cost = Topology::ClassWeightedDelayCost(1, -1, 1, 1);  // no backbone
+  auto path = w.topo.ShortestPath(w.a, w.d, cost);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ((*path)[0], w.ac);
+  // Forbidding everything leaves no path.
+  auto none = Topology::ClassWeightedDelayCost(-1, -1, -1, -1);
+  EXPECT_FALSE(w.topo.ShortestPath(w.a, w.d, none).ok());
+}
+
+TEST(TopologyTest, SamePathForSameNode) {
+  Diamond w;
+  auto path = w.topo.ShortestPath(w.a, w.a, Topology::DelayCost());
+  ASSERT_TRUE(path.ok());
+  EXPECT_TRUE(path->empty());
+}
+
+TEST(TopologyTest, DisconnectedNodesHaveNoPath) {
+  Topology topo;
+  NodeId a = topo.AddNode({"a", NodeKind::kEdgeRouter, "x"});
+  NodeId b = topo.AddNode({"b", NodeKind::kEdgeRouter, "y"});
+  (void)b;
+  NodeId c = topo.AddNode({"c", NodeKind::kEdgeRouter, "z"});
+  auto path = topo.ShortestPath(a, c, Topology::DelayCost());
+  EXPECT_EQ(path.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TopologyTest, HopCostMinimizesHops) {
+  Topology topo;
+  // a->b->c (two 1ms hops) vs a->c (one 10ms hop).
+  NodeId a = topo.AddNode({"a", NodeKind::kEdgeRouter, "x"});
+  NodeId b = topo.AddNode({"b", NodeKind::kEdgeRouter, "x"});
+  NodeId c = topo.AddNode({"c", NodeKind::kEdgeRouter, "x"});
+  topo.AddLink({a, b, 1e9, SimDuration::Millis(1), SimDuration::Zero(), 0,
+                LinkClass::kBackbone});
+  topo.AddLink({b, c, 1e9, SimDuration::Millis(1), SimDuration::Zero(), 0,
+                LinkClass::kBackbone});
+  LinkId direct = topo.AddLink({a, c, 1e9, SimDuration::Millis(10),
+                                SimDuration::Zero(), 0,
+                                LinkClass::kBackbone});
+  auto by_hops = topo.ShortestPath(a, c, Topology::HopCost());
+  ASSERT_TRUE(by_hops.ok());
+  EXPECT_EQ(by_hops->size(), 1u);
+  EXPECT_EQ((*by_hops)[0], direct);
+  auto by_delay = topo.ShortestPath(a, c, Topology::DelayCost());
+  ASSERT_TRUE(by_delay.ok());
+  EXPECT_EQ(by_delay->size(), 2u);
+}
+
+TEST(TopologyTest, SampledDelayIncludesJitterAndExceedsBase) {
+  Topology topo;
+  NodeId a = topo.AddNode({"a", NodeKind::kEdgeRouter, "x"});
+  NodeId b = topo.AddNode({"b", NodeKind::kEdgeRouter, "x"});
+  LinkId l = topo.AddLink({a, b, 1e9, SimDuration::Millis(10),
+                           SimDuration::Millis(2), 0,
+                           LinkClass::kPublicInternet});
+  Rng rng(1);
+  std::vector<LinkId> path{l};
+  double base = topo.PathDelay(path).ToMillis();
+  double total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    double sample = topo.SamplePathDelay(path, rng).ToMillis();
+    EXPECT_GE(sample, base);  // jitter is additive (|normal|)
+    total += sample;
+  }
+  EXPECT_GT(total / 1000, base + 0.5);  // jitter visibly contributes
+}
+
+TEST(TopologyTest, DotExportContainsNodesAndEdges) {
+  Diamond w;
+  std::string dot = w.topo.ToDot();
+  EXPECT_NE(dot.find("graph tenantnet"), std::string::npos);
+  // Every node appears with its label; domains become clusters.
+  for (const char* name : {"\"a\"", "\"b\"", "\"c\"", "\"d\""}) {
+    EXPECT_NE(dot.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(dot.find("subgraph cluster_"), std::string::npos);
+  EXPECT_NE(dot.find("\"internet\""), std::string::npos);
+  // Forward-direction links render as undirected edges.
+  EXPECT_NE(dot.find("n1 -- n2"), std::string::npos);
+  // Link classes color the edges.
+  EXPECT_NE(dot.find("color=blue"), std::string::npos);   // backbone
+  EXPECT_NE(dot.find("color=black"), std::string::npos);  // internet
+}
+
+TEST(TopologyTest, DeliveryProbabilityIsProductOfSurvival) {
+  Diamond w;
+  std::vector<LinkId> internet{w.ac, w.cd};
+  EXPECT_NEAR(w.topo.PathDeliveryProbability(internet), 0.99 * 0.99, 1e-12);
+  std::vector<LinkId> backbone{w.ab, w.bd};
+  EXPECT_DOUBLE_EQ(w.topo.PathDeliveryProbability(backbone), 1.0);
+}
+
+}  // namespace
+}  // namespace tenantnet

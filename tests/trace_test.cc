@@ -1,0 +1,120 @@
+// Tests for the synthetic tenant trace generator.
+
+#include <gtest/gtest.h>
+
+#include "src/app/trace.h"
+
+namespace tenantnet {
+namespace {
+
+TEST(TraceTest, DeterministicForSameParams) {
+  TraceParams params;
+  params.tenants = 3;
+  params.duration = SimDuration::Seconds(200);
+  TenantTrace a = GenerateTrace(params);
+  TenantTrace b = GenerateTrace(params);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].at, b.events[i].at);
+    EXPECT_EQ(a.events[i].instance, b.events[i].instance);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+  }
+  params.seed = 4321;
+  TenantTrace c = GenerateTrace(params);
+  EXPECT_NE(c.events.size(), 0u);
+}
+
+TEST(TraceTest, EventsAreTimeOrdered) {
+  TraceParams params;
+  params.duration = SimDuration::Seconds(600);
+  TenantTrace trace = GenerateTrace(params);
+  for (size_t i = 1; i < trace.events.size(); ++i) {
+    EXPECT_LE(trace.events[i - 1].at, trace.events[i].at);
+  }
+}
+
+TEST(TraceTest, EveryLaunchHasExactlyOneTeardown) {
+  TraceParams params;
+  params.tenants = 4;
+  params.duration = SimDuration::Seconds(300);
+  TenantTrace trace = GenerateTrace(params);
+  std::map<uint64_t, int> balance;
+  for (const TraceEvent& e : trace.events) {
+    balance[e.instance] += (e.kind == TraceEventKind::kLaunch) ? 1 : -1;
+  }
+  for (const auto& [instance, count] : balance) {
+    EXPECT_EQ(count, 0) << "instance " << instance;
+  }
+  EXPECT_EQ(balance.size(), trace.total_instances);
+}
+
+TEST(TraceTest, LaunchRateMatchesConfiguration) {
+  TraceParams params;
+  params.tenants = 5;
+  params.launches_per_second_per_tenant = 3.0;
+  params.duration = SimDuration::Seconds(400);
+  TenantTrace trace = GenerateTrace(params);
+  // Expected launches: 5 * 3 * 400 = 6000; Poisson noise is ~77.
+  EXPECT_NEAR(static_cast<double>(trace.total_instances), 6000, 400);
+}
+
+TEST(TraceTest, PeakLiveTracksChurn) {
+  TraceParams params;
+  params.tenants = 2;
+  params.duration = SimDuration::Seconds(300);
+  params.mean_lifetime_seconds = 50;
+  TenantTrace trace = GenerateTrace(params);
+  EXPECT_GT(trace.peak_live_instances, 0u);
+  EXPECT_LT(trace.peak_live_instances, trace.total_instances);
+  // Rough steady state: rate * mean lifetime per tenant = 2*2*50 = 200...
+  // with heavy-tailed lifetimes the peak exceeds the naive product; just
+  // sanity-bound it.
+  EXPECT_GT(trace.peak_live_instances, 50u);
+}
+
+TEST(TraceTest, LaunchesCarryCommunicationPartners) {
+  TraceParams params;
+  params.tenants = 2;
+  params.duration = SimDuration::Seconds(300);
+  TenantTrace trace = GenerateTrace(params);
+  uint64_t with_partners = 0;
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind == TraceEventKind::kLaunch && !e.talks_to.empty()) {
+      ++with_partners;
+      for (uint64_t partner : e.talks_to) {
+        EXPECT_NE(partner, e.instance);  // no self-communication
+      }
+    }
+  }
+  EXPECT_GT(with_partners, trace.total_instances / 2);
+}
+
+TEST(TraceTest, HeavyTailedLifetimes) {
+  TraceParams params;
+  params.tenants = 4;
+  params.duration = SimDuration::Seconds(1000);
+  params.mean_lifetime_seconds = 100;
+  TenantTrace trace = GenerateTrace(params);
+  // Collect lifetimes from matched launch/teardown pairs.
+  std::map<uint64_t, SimTime> launched;
+  std::vector<double> lifetimes;
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind == TraceEventKind::kLaunch) {
+      launched[e.instance] = e.at;
+    } else {
+      auto it = launched.find(e.instance);
+      if (it != launched.end()) {
+        lifetimes.push_back((e.at - it->second).ToSeconds());
+      }
+    }
+  }
+  ASSERT_GT(lifetimes.size(), 100u);
+  std::sort(lifetimes.begin(), lifetimes.end());
+  double median = lifetimes[lifetimes.size() / 2];
+  double p95 = lifetimes[static_cast<size_t>(0.95 * lifetimes.size())];
+  // Pareto 1.3: the 95th percentile dwarfs the median.
+  EXPECT_GT(p95 / median, 5.0);
+}
+
+}  // namespace
+}  // namespace tenantnet

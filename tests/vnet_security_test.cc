@@ -1,0 +1,146 @@
+// Tests for security groups and network ACLs.
+
+#include <gtest/gtest.h>
+
+#include "src/vnet/security.h"
+
+namespace tenantnet {
+namespace {
+
+FiveTuple Flow(const char* src, const char* dst, uint16_t dport,
+               Protocol proto = Protocol::kTcp) {
+  FiveTuple t;
+  t.src = *IpAddress::Parse(src);
+  t.dst = *IpAddress::Parse(dst);
+  t.src_port = 44444;
+  t.dst_port = dport;
+  t.proto = proto;
+  return t;
+}
+
+TEST(SecurityGroupTest, EmptyGroupDeniesAll) {
+  SecurityGroup sg(SecurityGroupId(1), "empty");
+  EXPECT_FALSE(sg.Allows(TrafficDirection::kIngress,
+                         Flow("10.0.0.1", "10.0.0.2", 443), nullptr));
+}
+
+TEST(SecurityGroupTest, PrefixRuleMatchesDirectionally) {
+  SecurityGroup sg(SecurityGroupId(1), "web");
+  SgRule rule;
+  rule.direction = TrafficDirection::kIngress;
+  rule.proto = Protocol::kTcp;
+  rule.ports = PortRange::Single(443);
+  rule.peer = *IpPrefix::Parse("10.0.0.0/16");
+  sg.AddRule(rule);
+
+  EXPECT_TRUE(sg.Allows(TrafficDirection::kIngress,
+                        Flow("10.0.1.1", "10.9.0.2", 443), nullptr));
+  // Wrong port.
+  EXPECT_FALSE(sg.Allows(TrafficDirection::kIngress,
+                         Flow("10.0.1.1", "10.9.0.2", 80), nullptr));
+  // Wrong direction.
+  EXPECT_FALSE(sg.Allows(TrafficDirection::kEgress,
+                         Flow("10.0.1.1", "10.9.0.2", 443), nullptr));
+  // Source outside the peer prefix.
+  EXPECT_FALSE(sg.Allows(TrafficDirection::kIngress,
+                         Flow("11.0.1.1", "10.9.0.2", 443), nullptr));
+  // Wrong protocol.
+  EXPECT_FALSE(sg.Allows(TrafficDirection::kIngress,
+                         Flow("10.0.1.1", "10.9.0.2", 443, Protocol::kUdp),
+                         nullptr));
+}
+
+TEST(SecurityGroupTest, EgressRuleMatchesDestination) {
+  SecurityGroup sg(SecurityGroupId(1), "db-clients");
+  SgRule rule;
+  rule.direction = TrafficDirection::kEgress;
+  rule.proto = Protocol::kTcp;
+  rule.ports = PortRange::Single(5432);
+  rule.peer = *IpPrefix::Parse("10.4.0.0/16");
+  sg.AddRule(rule);
+  EXPECT_TRUE(sg.Allows(TrafficDirection::kEgress,
+                        Flow("10.0.0.1", "10.4.3.3", 5432), nullptr));
+  EXPECT_FALSE(sg.Allows(TrafficDirection::kEgress,
+                         Flow("10.0.0.1", "10.5.3.3", 5432), nullptr));
+}
+
+TEST(SecurityGroupTest, GroupReferenceUsesMembershipResolver) {
+  SecurityGroup sg(SecurityGroupId(1), "app");
+  SgRule rule;
+  rule.direction = TrafficDirection::kIngress;
+  rule.ports = PortRange::Single(8080);
+  rule.peer = SecurityGroupId(7);
+  sg.AddRule(rule);
+
+  auto membership = [](SecurityGroupId group, IpAddress ip) {
+    return group == SecurityGroupId(7) && ip == IpAddress::V4(10, 0, 0, 5);
+  };
+  EXPECT_TRUE(sg.Allows(TrafficDirection::kIngress,
+                        Flow("10.0.0.5", "10.0.0.9", 8080), membership));
+  EXPECT_FALSE(sg.Allows(TrafficDirection::kIngress,
+                         Flow("10.0.0.6", "10.0.0.9", 8080), membership));
+  // Without a resolver, group references never match.
+  EXPECT_FALSE(sg.Allows(TrafficDirection::kIngress,
+                         Flow("10.0.0.5", "10.0.0.9", 8080), nullptr));
+}
+
+TEST(NetworkAclTest, ImplicitFinalDeny) {
+  NetworkAcl acl(NetworkAclId(1), "empty");
+  EXPECT_FALSE(acl.Allows(TrafficDirection::kIngress,
+                          Flow("1.1.1.1", "2.2.2.2", 80)));
+}
+
+TEST(NetworkAclTest, LowestRuleNumberWins) {
+  NetworkAcl acl(NetworkAclId(1), "ordered");
+  AclEntry deny;
+  deny.rule_number = 50;
+  deny.allow = false;
+  deny.direction = TrafficDirection::kIngress;
+  deny.match = FlowMatch::FromSource(*IpPrefix::Parse("10.0.0.0/8"));
+  AclEntry allow;
+  allow.rule_number = 100;
+  allow.allow = true;
+  allow.direction = TrafficDirection::kIngress;
+  allow.match = FlowMatch::Any();
+  // Insert out of order: AddEntry must keep rule-number order.
+  acl.AddEntry(allow);
+  acl.AddEntry(deny);
+
+  EXPECT_FALSE(acl.Allows(TrafficDirection::kIngress,
+                          Flow("10.1.1.1", "2.2.2.2", 80)));
+  EXPECT_TRUE(acl.Allows(TrafficDirection::kIngress,
+                         Flow("11.1.1.1", "2.2.2.2", 80)));
+}
+
+TEST(NetworkAclTest, DirectionsAreIndependent) {
+  NetworkAcl acl(NetworkAclId(1), "oneway");
+  AclEntry ingress;
+  ingress.rule_number = 100;
+  ingress.allow = true;
+  ingress.direction = TrafficDirection::kIngress;
+  ingress.match = FlowMatch::Any();
+  acl.AddEntry(ingress);
+  EXPECT_TRUE(acl.Allows(TrafficDirection::kIngress,
+                         Flow("1.1.1.1", "2.2.2.2", 80)));
+  // The egress direction has no entries: deny — the stateless trap.
+  EXPECT_FALSE(acl.Allows(TrafficDirection::kEgress,
+                          Flow("2.2.2.2", "1.1.1.1", 44444)));
+}
+
+TEST(NetworkAclTest, PortScopedEntries) {
+  NetworkAcl acl(NetworkAclId(1), "ports");
+  AclEntry web;
+  web.rule_number = 100;
+  web.allow = true;
+  web.direction = TrafficDirection::kIngress;
+  web.match = FlowMatch::Any();
+  web.match.dst_ports = PortRange::Single(443);
+  acl.AddEntry(web);
+  EXPECT_TRUE(acl.Allows(TrafficDirection::kIngress,
+                         Flow("1.1.1.1", "2.2.2.2", 443)));
+  EXPECT_FALSE(acl.Allows(TrafficDirection::kIngress,
+                          Flow("1.1.1.1", "2.2.2.2", 22)));
+}
+
+}  // namespace
+}  // namespace tenantnet
