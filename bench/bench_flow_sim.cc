@@ -1,0 +1,214 @@
+// FlowSim churn microbenchmark — the cost model behind every fluid-plane
+// experiment (E4c, E5, E8, soak).
+//
+// Churns N concurrent flows under two path regimes and reports JSON:
+//   * disjoint     — N/10 independent 2-link chains: congestion components
+//                    stay ~10 flows, so scoped reallocation touches a tiny
+//                    slice of the live set per event.
+//   * overlapping  — 32 pod links feeding one core link: a single giant
+//                    component, the worst case where scoped == global.
+//   * batch        — quota-style burst: re-cap 10% of flows, comparing one
+//                    reallocation per change vs one per BatchUpdate scope.
+//
+// Metrics per run: events/sec (starts+cancels+cap changes+completions over
+// wall time), reallocation_count, mean flows-touched-per-realloc, and the
+// reallocation wall-time histogram mean. Run with arg "small" for the CI
+// smoke (N=1e3 only).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/flow_sim.h"
+
+namespace tenantnet {
+namespace {
+
+struct ChurnWorld {
+  EventQueue queue;
+  Topology topo;
+  std::vector<std::vector<LinkId>> paths;  // candidate paths for new flows
+};
+
+// G disjoint a -1G-> b -0.5G-> c chains; flows in group g share only group
+// g's links, so components never span groups.
+void BuildDisjoint(ChurnWorld& w, size_t groups) {
+  for (size_t g = 0; g < groups; ++g) {
+    NodeId a = w.topo.AddNode({"a", NodeKind::kHostAggregate, "x"});
+    NodeId b = w.topo.AddNode({"b", NodeKind::kBackboneRouter, "x"});
+    NodeId c = w.topo.AddNode({"c", NodeKind::kHostAggregate, "x"});
+    LinkId ab = w.topo.AddLink({a, b, 1e9, SimDuration::Millis(1),
+                                SimDuration::Zero(), 0,
+                                LinkClass::kDatacenter});
+    LinkId bc = w.topo.AddLink({b, c, 0.5e9, SimDuration::Millis(1),
+                                SimDuration::Zero(), 0,
+                                LinkClass::kDatacenter});
+    w.paths.push_back({ab, bc});
+  }
+}
+
+// 32 pod uplinks into one shared core link: every flow shares the core, so
+// all live flows form one congestion component.
+void BuildOverlapping(ChurnWorld& w, size_t pods) {
+  NodeId core_a = w.topo.AddNode({"ca", NodeKind::kBackboneRouter, "x"});
+  NodeId core_b = w.topo.AddNode({"cb", NodeKind::kBackboneRouter, "x"});
+  LinkId core = w.topo.AddLink({core_a, core_b, 40e9, SimDuration::Millis(1),
+                                SimDuration::Zero(), 0, LinkClass::kBackbone});
+  for (size_t p = 0; p < pods; ++p) {
+    NodeId pod = w.topo.AddNode({"p", NodeKind::kHostAggregate, "x"});
+    LinkId up = w.topo.AddLink({pod, core_a, 1e9, SimDuration::Millis(1),
+                                SimDuration::Zero(), 0,
+                                LinkClass::kDatacenter});
+    w.paths.push_back({up, core});
+  }
+}
+
+void EmitJson(const char* scenario, size_t flows, uint64_t events,
+              double wall_seconds, const FlowSim& sim) {
+  std::printf(
+      "{\"bench\":\"flow_sim_churn\",\"scenario\":\"%s\",\"flows\":%zu,"
+      "\"events\":%llu,\"events_per_sec\":%.0f,"
+      "\"reallocation_count\":%llu,"
+      "\"mean_flows_touched_per_realloc\":%.1f,"
+      "\"flows_rescheduled\":%llu,"
+      "\"realloc_mean_us\":%.2f,\"wall_ms\":%.1f}\n",
+      scenario, flows, static_cast<unsigned long long>(events),
+      static_cast<double>(events) / wall_seconds,
+      static_cast<unsigned long long>(sim.reallocation_count()),
+      sim.mean_flows_touched_per_realloc(),
+      static_cast<unsigned long long>(sim.flows_rescheduled()),
+      sim.realloc_micros_histogram().mean(), wall_seconds * 1e3);
+}
+
+void RunChurn(const char* scenario, size_t n, size_t churn_events) {
+  ChurnWorld w;
+  if (std::strcmp(scenario, "disjoint") == 0) {
+    BuildDisjoint(w, std::max<size_t>(1, n / 10));
+  } else {
+    BuildOverlapping(w, 32);
+  }
+  FlowSim sim(w.queue, w.topo);
+  Rng rng(42);
+  std::vector<FlowId> live;
+  live.reserve(n);
+  uint64_t completions = 0;
+  // Weights cycle 1..3 and 20% of flows carry a cap from a small value set
+  // (few distinct freeze levels keeps water-filling rounds realistic for
+  // quota-shaped workloads). A quarter are finite transfers so completion
+  // (re)scheduling — the flows_rescheduled counter — is exercised too.
+  auto start_one = [&](size_t i) {
+    const std::vector<LinkId>& path = w.paths[i % w.paths.size()];
+    double weight = 1.0 + static_cast<double>(i % 3);
+    double cap = (i % 5 == 0) ? 50e6
+                              : std::numeric_limits<double>::infinity();
+    if (i % 4 == 3) {
+      live.push_back(sim.StartFlow(
+          path, 50e3, [&completions](FlowId, SimTime) { ++completions; },
+          weight, cap));
+    } else {
+      live.push_back(sim.StartPersistentFlow(path, weight, cap));
+    }
+  };
+  {
+    // Populate inside one batch: setup is one reallocation, not N. In the
+    // overlapping world sequential starts would each re-fill the whole
+    // giant component (O(N^2) setup) and swamp the churn measurement.
+    FlowSim::BatchScope batch = sim.Batch();
+    for (size_t i = 0; i < n; ++i) {
+      start_one(i);
+    }
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  uint64_t events = 0;
+  for (size_t e = 0; e < churn_events; ++e) {
+    switch (rng.NextU64(3)) {
+      case 0: {
+        size_t victim = rng.NextU64(live.size());
+        (void)sim.CancelFlow(live[victim]);
+        live[victim] = live.back();
+        live.pop_back();
+        start_one(rng.NextU64(1 << 20));
+        events += 2;
+        break;
+      }
+      case 1:
+        (void)sim.SetRateCap(live[rng.NextU64(live.size())],
+                             rng.NextBool(0.5)
+                                 ? 50e6
+                                 : std::numeric_limits<double>::infinity());
+        ++events;
+        break;
+      default: {
+        size_t victim = rng.NextU64(live.size());
+        (void)sim.CancelFlow(live[victim]);
+        live[victim] = live.back();
+        live.pop_back();
+        start_one(rng.NextU64(1 << 20));
+        events += 2;
+        break;
+      }
+    }
+    if (e % 64 == 0) {
+      w.queue.RunUntil(w.queue.now() + SimDuration::Micros(100));
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  // Completed finite flows leave dangling ids in `live`; the cancel / cap
+  // churn on them is a harmless NotFound no-op, matching real callers that
+  // race completion.
+  EmitJson(scenario, n, events + completions,
+           std::chrono::duration<double>(t1 - t0).count(), sim);
+}
+
+// Quota-epoch shape: re-cap 10% of the live set. Without batching that is
+// one reallocation per SetRateCap; a BatchUpdate scope coalesces the burst
+// into exactly one pass.
+void RunBatch(size_t n) {
+  ChurnWorld w;
+  BuildDisjoint(w, std::max<size_t>(1, n / 10));
+  FlowSim sim(w.queue, w.topo);
+  std::vector<FlowId> live;
+  for (size_t i = 0; i < n; ++i) {
+    live.push_back(sim.StartPersistentFlow(w.paths[i % w.paths.size()]));
+  }
+  size_t burst = std::max<size_t>(1, n / 10);
+  uint64_t before = sim.reallocation_count();
+  auto t0 = std::chrono::steady_clock::now();
+  {
+    FlowSim::BatchScope batch = sim.Batch();
+    for (size_t i = 0; i < burst; ++i) {
+      (void)sim.SetRateCap(live[i * 7 % live.size()], 25e6);
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  double wall = std::chrono::duration<double>(t1 - t0).count();
+  std::printf(
+      "{\"bench\":\"flow_sim_batch\",\"scenario\":\"batch\",\"flows\":%zu,"
+      "\"cap_changes\":%zu,\"reallocations_for_burst\":%llu,"
+      "\"mean_flows_touched_per_realloc\":%.1f,\"wall_ms\":%.2f}\n",
+      n, burst,
+      static_cast<unsigned long long>(sim.reallocation_count() - before),
+      sim.mean_flows_touched_per_realloc(), wall * 1e3);
+}
+
+}  // namespace
+}  // namespace tenantnet
+
+int main(int argc, char** argv) {
+  bool small = argc > 1 && std::strcmp(argv[1], "small") == 0;
+  std::vector<size_t> sizes = small ? std::vector<size_t>{1000}
+                                    : std::vector<size_t>{1000, 10000, 100000};
+  for (size_t n : sizes) {
+    tenantnet::RunChurn("disjoint", n, n);
+    // The giant-component worst case is inherently O(N) per event; bound
+    // the churn so the full sweep stays interactive.
+    tenantnet::RunChurn("overlapping", n,
+                        n >= 100000 ? 500 : std::min<size_t>(n, 2000));
+    tenantnet::RunBatch(n);
+  }
+  return 0;
+}

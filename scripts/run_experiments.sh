@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates bench_output.txt (all experiment tables) and test_output.txt.
+# bench_flow_sim emits JSON lines (the flow-churn cost model); set
+# BENCH_FLOW_SIM_SMALL=1 to run only its quick N=1e3 sweep.
 set -u
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja && cmake --build build || exit 1
@@ -8,5 +10,10 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "### $(basename "$b")" | tee -a bench_output.txt
-  "$b" 2>&1 | tee -a bench_output.txt
+  args=""
+  if [ "$(basename "$b")" = bench_flow_sim ] &&
+     [ "${BENCH_FLOW_SIM_SMALL:-0}" = 1 ]; then
+    args="small"
+  fi
+  "$b" $args 2>&1 | tee -a bench_output.txt
 done

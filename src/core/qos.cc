@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace tenantnet {
 
@@ -43,7 +44,7 @@ size_t EgressQuotaManager::RegisterPoint(RegionId region, std::string name) {
   for (auto& [key, state] : quotas_) {
     if (RegionId(key.second) == region) {
       state.points.push_back(PointState{points.back(), TokenBucket{0, 0},
-                                        0, 0, 0, 0});
+                                        0, 0, 0, 0, {}});
     }
   }
   return points.size() - 1;
@@ -71,7 +72,8 @@ Status EgressQuotaManager::SetQuota(TenantId tenant, RegionId region,
   state.selector = std::move(selector);
   if (state.points.empty()) {
     for (const std::string& name : rit->second) {
-      state.points.push_back(PointState{name, TokenBucket{0, 0}, 0, 0, 0, 0});
+      state.points.push_back(
+          PointState{name, TokenBucket{0, 0}, 0, 0, 0, 0, {}});
     }
   }
   // Initial division: equal shares (no demand signal yet).
@@ -150,6 +152,73 @@ Result<double> EgressQuotaManager::ShareOf(TenantId tenant, RegionId region,
   return it->second.points[point].bucket.rate_bps();
 }
 
+void EgressQuotaManager::ApplyPointCaps(PointState& point) {
+  if (flow_sim_ == nullptr || point.flows.empty()) {
+    return;
+  }
+  // Prune flows that completed or were cancelled since the last epoch.
+  point.flows.erase(
+      std::remove_if(point.flows.begin(), point.flows.end(),
+                     [this](FlowId f) {
+                       return flow_sim_->FindFlow(f) == nullptr;
+                     }),
+      point.flows.end());
+  if (point.flows.empty()) {
+    return;
+  }
+  double cap = point.bucket.rate_bps() /
+               static_cast<double>(point.flows.size());
+  for (FlowId f : point.flows) {
+    (void)flow_sim_->SetRateCap(f, cap);
+  }
+}
+
+Status EgressQuotaManager::RegisterFlow(TenantId tenant, RegionId region,
+                                        size_t point, FlowId flow) {
+  auto it = quotas_.find(MakeKey(tenant, region));
+  if (it == quotas_.end()) {
+    return NotFoundError("no quota configured");
+  }
+  if (point >= it->second.points.size()) {
+    return InvalidArgumentError("bad enforcement point");
+  }
+  PointState& p = it->second.points[point];
+  p.flows.push_back(flow);
+  if (flow_sim_ != nullptr) {
+    FlowSim::BatchScope batch = flow_sim_->Batch();
+    ApplyPointCaps(p);
+  }
+  return Status::Ok();
+}
+
+Status EgressQuotaManager::UnregisterFlow(TenantId tenant, RegionId region,
+                                          size_t point, FlowId flow) {
+  auto it = quotas_.find(MakeKey(tenant, region));
+  if (it == quotas_.end()) {
+    return NotFoundError("no quota configured");
+  }
+  if (point >= it->second.points.size()) {
+    return InvalidArgumentError("bad enforcement point");
+  }
+  PointState& p = it->second.points[point];
+  auto fit = std::find(p.flows.begin(), p.flows.end(), flow);
+  if (fit == p.flows.end()) {
+    return NotFoundError("flow not registered at this point");
+  }
+  p.flows.erase(fit);
+  if (flow_sim_ != nullptr) {
+    FlowSim::BatchScope batch = flow_sim_->Batch();
+    // The departing flow is no longer quota-managed: lift its cap so it
+    // returns to plain max-min sharing.
+    if (flow_sim_->FindFlow(flow) != nullptr) {
+      (void)flow_sim_->SetRateCap(flow,
+                                  std::numeric_limits<double>::infinity());
+    }
+    ApplyPointCaps(p);
+  }
+  return Status::Ok();
+}
+
 void EgressQuotaManager::Redivide(QuotaState& state, SimTime now,
                                   SimDuration elapsed) {
   double seconds = std::max(1e-9, elapsed.ToSeconds());
@@ -182,6 +251,7 @@ void EgressQuotaManager::Redivide(QuotaState& state, SimTime now,
     p.bucket.SetRate(share, now);
     p.bucket.SetBurst(share * params_.burst_seconds);
     messages_ += 1;  // coordinator -> point new share
+    ApplyPointCaps(p);
   }
 }
 
@@ -190,6 +260,12 @@ void EgressQuotaManager::RunEpoch(SimTime now) {
       epochs_ == 0 ? params_.epoch : (now - last_epoch_);
   if (elapsed <= SimDuration::Zero()) {
     elapsed = params_.epoch;
+  }
+  // With a FlowSim attached, the whole epoch's cap updates — every quota,
+  // every point, every registered flow — coalesce into one reallocation.
+  std::optional<FlowSim::BatchScope> batch;
+  if (flow_sim_ != nullptr) {
+    batch.emplace(*flow_sim_);
   }
   for (auto& [key, state] : quotas_) {
     Redivide(state, now, elapsed);

@@ -28,6 +28,7 @@
 #include "src/common/status.h"
 #include "src/common/time.h"
 #include "src/net/flow.h"
+#include "src/sim/flow_sim.h"
 
 namespace tenantnet {
 
@@ -117,7 +118,26 @@ class EgressQuotaManager {
 
   // Runs one coordination epoch across all quotas: converts accumulated
   // offered bits to demand rates, EWMA-smooths, re-divides every quota.
+  // With a FlowSim attached, every registered flow's rate cap is updated
+  // from its point's new share inside ONE batched reallocation (see
+  // FlowSim::Batch) instead of one water-filling pass per flow.
   void RunEpoch(SimTime now);
+
+  // --- Data-plane coupling (optional) ---------------------------------------
+  // Attaches the fluid simulator so re-division acts on live flows. The
+  // FlowSim must outlive this manager (or be detached with nullptr).
+  void AttachFlowSim(FlowSim* sim) { flow_sim_ = sim; }
+
+  // Registers a live flow under (tenant, region, point). The point's share
+  // is split equally across its registered flows and applied as FlowSim
+  // rate caps — immediately on (un)registration and again at every epoch.
+  // Unregistering lifts the departing flow's cap (it returns to unmanaged
+  // max-min sharing). Flows that completed or were cancelled are pruned
+  // automatically.
+  Status RegisterFlow(TenantId tenant, RegionId region, size_t point,
+                      FlowId flow);
+  Status UnregisterFlow(TenantId tenant, RegionId region, size_t point,
+                        FlowId flow);
 
   // --- Metrics ---------------------------------------------------------------
   uint64_t coordination_messages() const { return messages_; }
@@ -134,6 +154,7 @@ class EgressQuotaManager {
     double offered_bits_epoch = 0;  // since last epoch
     double admitted_bits = 0;
     double offered_bits = 0;
+    std::vector<FlowId> flows;  // live flows capped by this point's share
   };
   struct QuotaState {
     double quota_bps = 0;
@@ -149,7 +170,12 @@ class EgressQuotaManager {
 
   void Redivide(QuotaState& state, SimTime now, SimDuration elapsed);
 
+  // Prunes dead flows and re-applies the point's share as equal-split rate
+  // caps. Caller is responsible for holding a FlowSim batch scope.
+  void ApplyPointCaps(PointState& point);
+
   QuotaParams params_;
+  FlowSim* flow_sim_ = nullptr;
   std::map<RegionId, std::vector<std::string>> region_points_;
   std::map<Key, QuotaState> quotas_;
   SimTime last_epoch_;

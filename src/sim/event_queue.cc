@@ -1,15 +1,14 @@
 #include "src/sim/event_queue.h"
 
 #include <cassert>
-#include <memory>
+#include <utility>
 
 namespace tenantnet {
 
-EventQueue::~EventQueue() {
-  while (!heap_.empty()) {
-    delete heap_.top();
-    heap_.pop();
-  }
+void EventQueue::ReleaseSlot(uint32_t slot) {
+  slots_[slot].fn = nullptr;
+  slots_[slot].seq = 0;
+  free_slots_.push_back(slot);
 }
 
 EventHandle EventQueue::ScheduleAt(SimTime when, Callback fn) {
@@ -18,11 +17,19 @@ EventHandle EventQueue::ScheduleAt(SimTime when, Callback fn) {
     when = now_;
   }
   uint64_t seq = next_seq_++;
-  auto* entry = new Entry{when, seq, std::move(fn), /*cancelled=*/false};
-  heap_.push(entry);
-  index_.emplace(seq, entry);
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  slots_[slot].seq = seq;
+  heap_.push(HeapItem{when, seq, slot});
   ++live_count_;
-  return EventHandle(seq);
+  return EventHandle(slot + 1, seq);
 }
 
 EventHandle EventQueue::ScheduleAfter(SimDuration delay, Callback fn) {
@@ -30,33 +37,31 @@ EventHandle EventQueue::ScheduleAfter(SimDuration delay, Callback fn) {
 }
 
 void EventQueue::Cancel(EventHandle handle) {
-  if (!handle.valid()) {
+  if (!handle.valid() || handle.slot_ == 0) {
     return;
   }
-  auto it = index_.find(handle.seq_);
-  if (it == index_.end()) {
-    return;  // already fired or cancelled
+  uint32_t slot = handle.slot_ - 1;
+  if (slot >= slots_.size() || slots_[slot].seq != handle.seq_) {
+    return;  // already fired, cancelled, or slot recycled for a newer event
   }
-  it->second->cancelled = true;
-  index_.erase(it);
+  ReleaseSlot(slot);
   --live_count_;
+  // The heap item stays behind; it is discarded on pop (seq mismatch).
 }
 
 bool EventQueue::Step() {
   while (!heap_.empty()) {
-    Entry* entry = heap_.top();
+    HeapItem item = heap_.top();
     heap_.pop();
-    if (entry->cancelled) {
-      delete entry;
-      continue;
+    if (Stale(item)) {
+      continue;  // cancelled (slot possibly already recycled)
     }
-    index_.erase(entry->seq);
+    // Detach the callback and free the slot before running: the callback
+    // may schedule or cancel other events, including reusing this slot.
+    Callback fn = std::move(slots_[item.slot].fn);
+    ReleaseSlot(item.slot);
     --live_count_;
-    now_ = entry->when;
-    // Move the callback out before running: the callback may schedule or
-    // cancel other events, but this entry is already detached.
-    Callback fn = std::move(entry->fn);
-    delete entry;
+    now_ = item.when;
     fn();
     return true;
   }
@@ -66,12 +71,11 @@ bool EventQueue::Step() {
 uint64_t EventQueue::RunUntil(SimTime deadline) {
   uint64_t fired = 0;
   for (;;) {
-    // Skim cancelled entries to find the real next event time.
-    while (!heap_.empty() && heap_.top()->cancelled) {
-      delete heap_.top();
+    // Skim stale entries to find the real next event time.
+    while (!heap_.empty() && Stale(heap_.top())) {
       heap_.pop();
     }
-    if (heap_.empty() || heap_.top()->when > deadline) {
+    if (heap_.empty() || heap_.top().when > deadline) {
       break;
     }
     if (Step()) {

@@ -4,6 +4,14 @@
 // same timestamp fire in scheduling order (FIFO tie-break via a sequence
 // number), so runs are exactly reproducible. Events can be cancelled through
 // the handle returned at scheduling time.
+//
+// Storage is a slab with a free list: callbacks live in stable slots that
+// are recycled after an event fires or is cancelled, and the heap holds
+// plain {when, seq, slot} values. In steady state schedule/cancel perform
+// no heap allocation (beyond what the callback's own captures need) — the
+// slab, free list, and binary heap all reuse their capacity. Handles are
+// generation-checked: a slot recycled for a newer event invalidates every
+// handle to its former occupant, so stale cancels are safe no-ops.
 
 #ifndef TENANTNET_SRC_SIM_EVENT_QUEUE_H_
 #define TENANTNET_SRC_SIM_EVENT_QUEUE_H_
@@ -11,7 +19,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/time.h"
@@ -19,7 +26,8 @@
 namespace tenantnet {
 
 // Opaque handle for cancellation. Valid until the event fires or is
-// cancelled.
+// cancelled; after that it goes stale and Cancel() ignores it, even if the
+// underlying slot has been recycled for a different event.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -27,8 +35,9 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  explicit EventHandle(uint64_t seq) : seq_(seq) {}
-  uint64_t seq_ = 0;
+  EventHandle(uint32_t slot, uint64_t seq) : slot_(slot), seq_(seq) {}
+  uint32_t slot_ = 0;  // 1-based slab index; 0 = never scheduled
+  uint64_t seq_ = 0;   // generation: must match the slot's current seq
 };
 
 class EventQueue {
@@ -36,7 +45,7 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   EventQueue() = default;
-  ~EventQueue();
+  ~EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
@@ -49,6 +58,8 @@ class EventQueue {
   EventHandle ScheduleAfter(SimDuration delay, Callback fn);
 
   // Cancels a pending event; no-op if it already fired or was cancelled.
+  // The callback is destroyed immediately (its captures release now, not
+  // when the heap entry is eventually skimmed).
   void Cancel(EventHandle handle);
 
   // Runs events until the queue is empty or the next event is after
@@ -66,30 +77,45 @@ class EventQueue {
   bool empty() const { return live_count_ == 0; }
   size_t pending_count() const { return live_count_; }
 
+  // Slab occupancy (live + free slots); a capacity/diagnostics metric.
+  size_t slab_size() const { return slots_.size(); }
+
  private:
-  struct Entry {
+  // One slab cell. seq == 0 marks a free slot (real sequence numbers start
+  // at 1); otherwise it is the generation the outstanding handle and heap
+  // entry must match.
+  struct Slot {
+    Callback fn;
+    uint64_t seq = 0;
+  };
+  // What the heap orders. Cancellation leaves the item in place; it is
+  // discarded when popped because the slot's seq no longer matches.
+  struct HeapItem {
     SimTime when;
     uint64_t seq;
-    Callback fn;
-    bool cancelled;
+    uint32_t slot;  // 0-based slab index
   };
-  struct EntryOrder {
+  struct HeapOrder {
     // std::priority_queue is a max-heap; invert for earliest-first.
-    bool operator()(const Entry* a, const Entry* b) const {
-      if (a->when != b->when) {
-        return b->when < a->when;
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.when != b.when) {
+        return b.when < a.when;
       }
-      return b->seq < a->seq;
+      return b.seq < a.seq;
     }
   };
+
+  bool Stale(const HeapItem& item) const {
+    return slots_[item.slot].seq != item.seq;
+  }
+  void ReleaseSlot(uint32_t slot);
 
   SimTime now_ = SimTime::Epoch();
   uint64_t next_seq_ = 1;
   size_t live_count_ = 0;
-  // Owned entries; the heap holds raw pointers. Cancel flags the entry via
-  // the seq -> entry index (lazy deletion: the heap pops and discards it).
-  std::priority_queue<Entry*, std::vector<Entry*>, EntryOrder> heap_;
-  std::unordered_map<uint64_t, Entry*> index_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, HeapOrder> heap_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace tenantnet

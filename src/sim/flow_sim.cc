@@ -8,10 +8,59 @@ namespace tenantnet {
 
 namespace {
 constexpr double kEps = 1e-9;
+
+// Relative rate-change threshold below which a completion event is kept:
+// with an unchanged rate the previously predicted finish time is still
+// exact, so rescheduling would be pure queue churn.
+constexpr double kRateEps = 1e-9;
+
+bool RateChanged(double old_rate, double new_rate) {
+  double scale = std::max({1.0, std::abs(old_rate), std::abs(new_rate)});
+  return std::abs(new_rate - old_rate) > kRateEps * scale;
+}
 }  // namespace
 
 FlowSim::FlowSim(EventQueue& queue, const Topology& topology)
-    : queue_(queue), topology_(topology), last_settle_(queue.now()) {}
+    : queue_(queue), topology_(topology) {}
+
+void FlowSim::EnsureLinkArrays(size_t dense_index) {
+  if (dense_index < link_members_.size()) {
+    return;
+  }
+  size_t size = std::max(dense_index + 1, topology_.link_count());
+  link_members_.resize(size);
+  link_allocated_bps_.resize(size, 0.0);
+  link_stamp_.resize(size, 0);
+  link_slot_.resize(size, 0);
+}
+
+void FlowSim::AddFlowToLinks(FlowId id, LiveFlow& flow) {
+  flow.member_pos.resize(flow.state.path.size());
+  for (size_t i = 0; i < flow.state.path.size(); ++i) {
+    size_t idx = Topology::DenseLinkIndex(flow.state.path[i]);
+    EnsureLinkArrays(idx);
+    flow.member_pos[i] = static_cast<uint32_t>(link_members_[idx].size());
+    link_members_[idx].push_back(
+        LinkMember{id, &flow, static_cast<uint32_t>(i)});
+  }
+}
+
+void FlowSim::RemoveFlowFromLinks(FlowId id, LiveFlow& flow) {
+  for (size_t i = 0; i < flow.state.path.size(); ++i) {
+    size_t idx = Topology::DenseLinkIndex(flow.state.path[i]);
+    std::vector<LinkMember>& members = link_members_[idx];
+    uint32_t pos = flow.member_pos[i];
+    members[pos] = members.back();
+    members.pop_back();
+    if (pos < members.size()) {
+      // Fix the moved entry's back-pointer (it may be this same flow if
+      // the path crosses the link twice).
+      LiveFlow& moved =
+          members[pos].flow == id ? flow : *members[pos].live;
+      moved.member_pos[members[pos].path_index] = pos;
+    }
+  }
+}
 
 FlowId FlowSim::StartFlow(std::vector<LinkId> path, double bytes,
                           CompletionFn on_complete, double weight,
@@ -19,30 +68,46 @@ FlowId FlowSim::StartFlow(std::vector<LinkId> path, double bytes,
   assert(bytes >= 0);
   assert(weight > 0);
   FlowId id = flow_ids_.Next();
+  SimTime now = queue_.now();
   if (path.empty()) {
-    // Same-node transfer: delivered instantaneously in the fluid model.
     if (std::isfinite(bytes)) {
+      // Same-node finite transfer: delivered instantaneously in the fluid
+      // model; never enters the tracked set.
       bytes_delivered_ += bytes;
+      if (on_complete) {
+        queue_.ScheduleAt(now, [on_complete = std::move(on_complete), id,
+                                now] { on_complete(id, now); });
+      }
+      return id;
     }
-    SimTime now = queue_.now();
-    if (on_complete) {
-      queue_.ScheduleAt(now, [on_complete = std::move(on_complete), id, now] {
-        on_complete(id, now);
-      });
-    }
+    // Persistent zero-link flow: tracked as a no-op (rate 0, no links, no
+    // bytes) so a later CancelFlow finds it. No reallocation needed.
+    LiveFlow flow;
+    flow.state.bytes_total = bytes;
+    flow.state.bytes_left = bytes;
+    flow.state.weight = weight;
+    flow.state.rate_cap_bps = rate_cap_bps;
+    flow.state.start_time = now;
+    flow.last_settle = now;
+    flows_.emplace(id, std::move(flow));
     return id;
   }
-  SettleProgress();
   LiveFlow flow;
   flow.state.path = std::move(path);
   flow.state.bytes_total = bytes;
   flow.state.bytes_left = bytes;
   flow.state.weight = weight;
   flow.state.rate_cap_bps = rate_cap_bps;
-  flow.state.start_time = queue_.now();
+  flow.state.start_time = now;
   flow.on_complete = std::move(on_complete);
-  flows_.emplace(id, std::move(flow));
-  Reallocate();
+  flow.last_settle = now;
+  auto [it, inserted] = flows_.emplace(id, std::move(flow));
+  AddFlowToLinks(id, it->second);
+  if (batch_depth_ > 0) {
+    pending_flows_.push_back(id);
+  } else {
+    ReallocateOne(id);
+  }
   return id;
 }
 
@@ -57,14 +122,27 @@ Status FlowSim::CancelFlow(FlowId id) {
   if (it == flows_.end()) {
     return NotFoundError("no such flow");
   }
-  SettleProgress();
-  queue_.Cancel(it->second.completion_event);
-  double sent = it->second.state.bytes_total - it->second.state.bytes_left;
-  if (std::isfinite(sent)) {
-    bytes_delivered_ += sent;
+  LiveFlow& flow = it->second;
+  SettleFlow(flow);
+  queue_.Cancel(flow.completion_event);
+  if (std::isfinite(flow.state.bytes_total)) {
+    bytes_delivered_ += flow.state.bytes_total - flow.state.bytes_left;
   }
+  seed_links_scratch_.clear();
+  for (LinkId link : flow.state.path) {
+    seed_links_scratch_.push_back(Topology::DenseLinkIndex(link));
+  }
+  RemoveFlowFromLinks(id, flow);
   flows_.erase(it);
-  Reallocate();
+  if (!seed_links_scratch_.empty()) {
+    if (batch_depth_ > 0) {
+      pending_links_.insert(pending_links_.end(), seed_links_scratch_.begin(),
+                            seed_links_scratch_.end());
+    } else {
+      ReallocateScoped(nullptr, 0, seed_links_scratch_.data(),
+                       seed_links_scratch_.size());
+    }
+  }
   return Status::Ok();
 }
 
@@ -73,9 +151,15 @@ Status FlowSim::SetRateCap(FlowId id, double rate_cap_bps) {
   if (it == flows_.end()) {
     return NotFoundError("no such flow");
   }
-  SettleProgress();
   it->second.state.rate_cap_bps = rate_cap_bps;
-  Reallocate();
+  if (it->second.state.path.empty()) {
+    return Status::Ok();  // zero-link no-op flow: nothing to reallocate
+  }
+  if (batch_depth_ > 0) {
+    pending_flows_.push_back(id);
+  } else {
+    ReallocateOne(id);
+  }
   return Status::Ok();
 }
 
@@ -93,12 +177,12 @@ const FlowState* FlowSim::FindFlow(FlowId id) const {
 }
 
 double FlowSim::LinkUtilization(LinkId link) const {
-  auto it = link_allocated_bps_.find(link);
-  if (it == link_allocated_bps_.end()) {
+  size_t idx = Topology::DenseLinkIndex(link);
+  if (idx >= link_allocated_bps_.size()) {
     return 0;
   }
   double cap = topology_.link(link).capacity_bps;
-  return cap > 0 ? std::min(1.0, it->second / cap) : 0;
+  return cap > 0 ? std::min(1.0, link_allocated_bps_[idx] / cap) : 0;
 }
 
 SimDuration FlowSim::QueuePenalty(const std::vector<LinkId>& path,
@@ -115,74 +199,160 @@ SimDuration FlowSim::QueuePenalty(const std::vector<LinkId>& path,
   return total;
 }
 
-void FlowSim::SettleProgress() {
+double FlowSim::total_bytes_delivered() const {
+  // Persistent flows deliver continuously; fold in the stretch since each
+  // one's last settle point. Finite flows are credited at completion or
+  // cancellation, as before.
+  double total = bytes_delivered_;
   SimTime now = queue_.now();
-  if (now == last_settle_) {
+  for (const auto& [id, flow] : flows_) {
+    if (!std::isfinite(flow.state.bytes_total)) {
+      total += flow.state.current_rate_bps *
+               (now - flow.last_settle).ToSeconds() / 8.0;
+    }
+  }
+  return total;
+}
+
+void FlowSim::SettleFlow(LiveFlow& flow) {
+  SimTime now = queue_.now();
+  if (now == flow.last_settle) {
     return;
   }
-  double dt = (now - last_settle_).ToSeconds();
-  last_settle_ = now;
+  double dt = (now - flow.last_settle).ToSeconds();
+  flow.last_settle = now;
   if (dt <= 0) {
     return;
   }
-  for (auto& [id, flow] : flows_) {
-    if (!std::isfinite(flow.state.bytes_total)) {
-      bytes_delivered_ += flow.state.current_rate_bps * dt / 8.0;
-      continue;
-    }
-    flow.state.bytes_left =
-        std::max(0.0, flow.state.bytes_left -
-                          flow.state.current_rate_bps * dt / 8.0);
+  if (!std::isfinite(flow.state.bytes_total)) {
+    bytes_delivered_ += flow.state.current_rate_bps * dt / 8.0;
+    return;
   }
+  flow.state.bytes_left = std::max(
+      0.0, flow.state.bytes_left - flow.state.current_rate_bps * dt / 8.0);
 }
 
-void FlowSim::Reallocate() {
-  ++reallocations_;
-  link_allocated_bps_.clear();
+void FlowSim::EndBatch() {
+  assert(batch_depth_ > 0);
+  if (--batch_depth_ > 0) {
+    return;
+  }
+  if (pending_flows_.empty() && pending_links_.empty()) {
+    return;
+  }
+  ReallocateScoped(pending_flows_.data(), pending_flows_.size(),
+                   pending_links_.data(), pending_links_.size());
+  pending_flows_.clear();
+  pending_links_.clear();
+}
 
-  // Water-filling: the fair level lambda rises uniformly; a flow's rate is
-  // weight * lambda until its own cap or one of its links freezes it.
-  struct LinkBudget {
-    double remaining;
-    double weight_sum = 0;
+void FlowSim::ReallocateOne(FlowId seed) {
+  ReallocateScoped(&seed, 1, nullptr, 0);
+}
+
+void FlowSim::ReallocateScoped(const FlowId* seed_flows,
+                               size_t seed_flow_count,
+                               const size_t* seed_links,
+                               size_t seed_link_count) {
+  ++reallocations_;
+  ScopedTimerUs timer(realloc_micros_hist_);
+
+  // --- Collect the affected component(s): flows transitively sharing links
+  // with any seed. Stamps avoid clearing marker state between passes.
+  ++stamp_;
+  comp_flows_.clear();
+  comp_links_.clear();
+  auto add_link = [this](size_t idx) {
+    if (link_stamp_[idx] != stamp_) {
+      link_stamp_[idx] = stamp_;
+      link_slot_[idx] = static_cast<uint32_t>(comp_links_.size());
+      comp_links_.push_back(idx);
+    }
   };
-  std::unordered_map<LinkId, LinkBudget> budgets;
-  std::vector<std::pair<FlowId, LiveFlow*>> unfrozen;
-  unfrozen.reserve(flows_.size());
-  for (auto& [id, flow] : flows_) {
-    unfrozen.push_back({id, &flow});
-    for (LinkId link : flow.state.path) {
-      auto [it, inserted] = budgets.try_emplace(
-          link, LinkBudget{topology_.link(link).capacity_bps, 0});
-      it->second.weight_sum += flow.state.weight;
+  auto add_flow = [this](FlowId fid, LiveFlow* live) {
+    if (live->visit_stamp != stamp_ && !live->state.path.empty()) {
+      live->visit_stamp = stamp_;
+      comp_flows_.emplace_back(fid, live);
+    }
+  };
+  for (size_t i = 0; i < seed_flow_count; ++i) {
+    auto it = flows_.find(seed_flows[i]);
+    if (it != flows_.end()) {
+      add_flow(seed_flows[i], &it->second);
+    }
+  }
+  for (size_t i = 0; i < seed_link_count; ++i) {
+    EnsureLinkArrays(seed_links[i]);
+    add_link(seed_links[i]);
+  }
+  size_t fi = 0;
+  size_t li = 0;
+  while (fi < comp_flows_.size() || li < comp_links_.size()) {
+    for (; fi < comp_flows_.size(); ++fi) {
+      for (LinkId link : comp_flows_[fi].second->state.path) {
+        add_link(Topology::DenseLinkIndex(link));
+      }
+    }
+    for (; li < comp_links_.size(); ++li) {
+      for (const LinkMember& m : link_members_[comp_links_[li]]) {
+        add_flow(m.flow, m.live);
+      }
     }
   }
 
-  while (!unfrozen.empty()) {
+  component_size_hist_.Record(static_cast<double>(comp_flows_.size()));
+
+  if (comp_flows_.empty()) {
+    // Links freed by the last flow on them: zero their allocation.
+    for (size_t idx : comp_links_) {
+      link_allocated_bps_[idx] = 0;
+    }
+    return;
+  }
+
+  // --- Water-filling over the component: the fair level lambda rises
+  // uniformly; a flow's rate is weight * lambda until its own cap or one of
+  // its links freezes it. Budgets live in dense component-slot arrays.
+  budget_remaining_.resize(comp_links_.size());
+  budget_weight_.resize(comp_links_.size());
+  for (size_t s = 0; s < comp_links_.size(); ++s) {
+    budget_remaining_[s] =
+        topology_.link(LinkId(comp_links_[s] + 1)).capacity_bps;
+    budget_weight_[s] = 0;
+  }
+  for (auto& [fid, flow] : comp_flows_) {
+    for (LinkId link : flow->state.path) {
+      budget_weight_[link_slot_[Topology::DenseLinkIndex(link)]] +=
+          flow->state.weight;
+    }
+  }
+
+  unfrozen_ = comp_flows_;
+  while (!unfrozen_.empty()) {
     // Next freeze level.
     double lambda = std::numeric_limits<double>::infinity();
-    for (auto& [id, flow] : unfrozen) {
+    for (auto& [fid, flow] : unfrozen_) {
       lambda = std::min(lambda, flow->state.rate_cap_bps / flow->state.weight);
       for (LinkId link : flow->state.path) {
-        const LinkBudget& b = budgets[link];
-        if (b.weight_sum > 0) {
-          lambda = std::min(lambda, std::max(0.0, b.remaining) / b.weight_sum);
+        size_t s = link_slot_[Topology::DenseLinkIndex(link)];
+        if (budget_weight_[s] > 0) {
+          lambda = std::min(
+              lambda, std::max(0.0, budget_remaining_[s]) / budget_weight_[s]);
         }
       }
     }
     if (!std::isfinite(lambda)) {
       // All remaining flows are uncapped and cross no finite constraint;
       // give them an effectively unbounded rate.
-      for (auto& [id, flow] : unfrozen) {
-        flow->state.current_rate_bps = 1e18;
+      for (auto& [fid, flow] : unfrozen_) {
+        flow->pending_rate = 1e18;
       }
       break;
     }
 
     // Freeze every flow whose own constraint binds at this level.
-    std::vector<std::pair<FlowId, LiveFlow*>> still_unfrozen;
-    still_unfrozen.reserve(unfrozen.size());
-    for (auto& [id, flow] : unfrozen) {
+    still_unfrozen_.clear();
+    for (auto& [fid, flow] : unfrozen_) {
       bool frozen = false;
       double rate = flow->state.weight * lambda;
       if (flow->state.rate_cap_bps / flow->state.weight <=
@@ -191,9 +361,9 @@ void FlowSim::Reallocate() {
         frozen = true;
       } else {
         for (LinkId link : flow->state.path) {
-          const LinkBudget& b = budgets[link];
-          if (b.weight_sum > 0 &&
-              std::max(0.0, b.remaining) / b.weight_sum <=
+          size_t s = link_slot_[Topology::DenseLinkIndex(link)];
+          if (budget_weight_[s] > 0 &&
+              std::max(0.0, budget_remaining_[s]) / budget_weight_[s] <=
                   lambda * (1 + kEps) + kEps) {
             frozen = true;
             break;
@@ -201,51 +371,65 @@ void FlowSim::Reallocate() {
         }
       }
       if (frozen) {
-        flow->state.current_rate_bps = rate;
+        flow->pending_rate = rate;
         for (LinkId link : flow->state.path) {
-          LinkBudget& b = budgets[link];
-          b.remaining -= rate;
-          b.weight_sum -= flow->state.weight;
+          size_t s = link_slot_[Topology::DenseLinkIndex(link)];
+          budget_remaining_[s] -= rate;
+          budget_weight_[s] -= flow->state.weight;
         }
       } else {
-        still_unfrozen.push_back({id, flow});
+        still_unfrozen_.emplace_back(fid, flow);
       }
     }
     // Progress guarantee: at least one flow freezes each round (the one
     // defining lambda). Guard against numerical stalls anyway.
-    if (still_unfrozen.size() == unfrozen.size()) {
-      for (auto& [id, flow] : still_unfrozen) {
-        flow->state.current_rate_bps = flow->state.weight * lambda;
+    if (still_unfrozen_.size() == unfrozen_.size()) {
+      for (auto& [fid, flow] : still_unfrozen_) {
+        flow->pending_rate = flow->state.weight * lambda;
       }
-      still_unfrozen.clear();
+      still_unfrozen_.clear();
     }
-    unfrozen.swap(still_unfrozen);
+    unfrozen_.swap(still_unfrozen_);
   }
 
-  // Record allocations and reschedule completions.
+  // --- Write-back: record allocations, settle flows whose rate moved, and
+  // reschedule completions only where the predicted finish changed.
   SimTime now = queue_.now();
-  for (auto& [id, flow] : flows_) {
-    for (LinkId link : flow.state.path) {
-      link_allocated_bps_[link] += flow.state.current_rate_bps;
+  for (size_t idx : comp_links_) {
+    link_allocated_bps_[idx] = 0;
+  }
+  for (auto& [fid, flow] : comp_flows_) {
+    double new_rate = flow->pending_rate;
+    double old_rate = flow->state.current_rate_bps;
+    if (new_rate != old_rate) {
+      // Integrate progress under the old rate before switching slope.
+      SettleFlow(*flow);
+      flow->state.current_rate_bps = new_rate;
     }
-    queue_.Cancel(flow.completion_event);
-    flow.completion_event = EventHandle();
-    if (!std::isfinite(flow.state.bytes_total)) {
-      continue;  // persistent
+    for (LinkId link : flow->state.path) {
+      link_allocated_bps_[Topology::DenseLinkIndex(link)] += new_rate;
     }
-    if (flow.state.bytes_left <= 0) {
-      FlowId fid = id;
-      flow.completion_event =
-          queue_.ScheduleAt(now, [this, fid] { HandleCompletion(fid); });
-      continue;
+    if (!std::isfinite(flow->state.bytes_total)) {
+      continue;  // persistent: no completion to schedule
     }
-    if (flow.state.current_rate_bps <= 0) {
-      continue;  // stalled (zero cap); waits for a cap change
+    if (!RateChanged(old_rate, new_rate) && flow->completion_event.valid()) {
+      continue;  // same slope: the scheduled finish time is still exact
     }
-    double seconds = flow.state.bytes_left * 8.0 / flow.state.current_rate_bps;
-    FlowId fid = id;
-    flow.completion_event = queue_.ScheduleAfter(
-        SimDuration::Seconds(seconds), [this, fid] { HandleCompletion(fid); });
+    queue_.Cancel(flow->completion_event);
+    flow->completion_event = EventHandle();
+    if (flow->state.bytes_left <= 0) {
+      FlowId id = fid;
+      flow->completion_event =
+          queue_.ScheduleAt(now, [this, id] { HandleCompletion(id); });
+      ++flows_rescheduled_;
+    } else if (new_rate > 0) {
+      double seconds = flow->state.bytes_left * 8.0 / new_rate;
+      FlowId id = fid;
+      flow->completion_event = queue_.ScheduleAfter(
+          SimDuration::Seconds(seconds), [this, id] { HandleCompletion(id); });
+      ++flows_rescheduled_;
+    }
+    // else: stalled (zero cap); waits for a cap change.
   }
 }
 
@@ -254,12 +438,26 @@ void FlowSim::HandleCompletion(FlowId id) {
   if (it == flows_.end()) {
     return;
   }
-  SettleProgress();
-  // The scheduled finish is exact in the fluid model; clamp residue.
-  bytes_delivered_ += it->second.state.bytes_total;
-  CompletionFn on_complete = std::move(it->second.on_complete);
+  LiveFlow& flow = it->second;
+  // The scheduled finish is exact in the fluid model; credit the full
+  // payload rather than integrating residue.
+  bytes_delivered_ += flow.state.bytes_total;
+  CompletionFn on_complete = std::move(flow.on_complete);
+  seed_links_scratch_.clear();
+  for (LinkId link : flow.state.path) {
+    seed_links_scratch_.push_back(Topology::DenseLinkIndex(link));
+  }
+  RemoveFlowFromLinks(id, flow);
   flows_.erase(it);
-  Reallocate();
+  if (!seed_links_scratch_.empty()) {
+    if (batch_depth_ > 0) {
+      pending_links_.insert(pending_links_.end(), seed_links_scratch_.begin(),
+                            seed_links_scratch_.end());
+    } else {
+      ReallocateScoped(nullptr, 0, seed_links_scratch_.data(),
+                       seed_links_scratch_.size());
+    }
+  }
   if (on_complete) {
     on_complete(id, queue_.now());
   }

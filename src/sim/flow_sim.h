@@ -3,14 +3,28 @@
 // Active flows share link capacity max-min fairly, with optional per-flow
 // rate caps (how egress quotas and VM egress limits act on the data plane)
 // and per-flow weights (how weighted SIP load balancing biases sharing).
-// Whenever the active set changes, rates are recomputed by water-filling and
-// each flow's completion is (re)scheduled on the event queue. This is the
-// standard fluid approximation: it captures throughput shares, transfer
+// When the active set changes, rates are recomputed by water-filling and
+// affected flows' completions are (re)scheduled on the event queue. This is
+// the standard fluid approximation: it captures throughput shares, transfer
 // times and congestion crossovers without per-packet cost.
+//
+// Reallocation is *incremental and component-scoped*: flows that
+// transitively share links form a congestion component, and any start /
+// finish / cancel / cap change re-runs water-filling only over the affected
+// component. Disjoint components keep their rates and completion events
+// untouched, so a churn event costs O(component) rather than O(all flows).
+// Per-link budgets and allocations live in dense vectors keyed by the
+// topology's contiguous link index (no per-call hash-map churn), flow
+// progress is settled lazily per flow, and completion events are
+// rescheduled only for flows whose rate actually changed (epsilon compare).
+// A BatchUpdate scope (see Batch()) coalesces a burst of starts / cancels /
+// cap changes — e.g. a quota re-division across hundreds of flows — into a
+// single reallocation pass.
 //
 // Latency-sensitive callers (request/response traffic) use Topology's
 // sampled path delay plus QueuePenalty(), which adds an M/M/1-style
-// utilization-dependent term per congested link.
+// utilization-dependent term per congested link; both are O(1) per link on
+// the dense index.
 
 #ifndef TENANTNET_SRC_SIM_FLOW_SIM_H_
 #define TENANTNET_SRC_SIM_FLOW_SIM_H_
@@ -26,6 +40,7 @@
 #include "src/common/time.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/topology.h"
+#include "src/telemetry/metrics.h"
 
 namespace tenantnet {
 
@@ -57,6 +72,9 @@ class FlowSim {
                    double rate_cap_bps = std::numeric_limits<double>::infinity());
 
   // Starts a persistent (infinite-backlog) flow; it runs until CancelFlow.
+  // An empty path yields a *tracked zero-link no-op flow*: it consumes no
+  // link capacity, reports rate 0 and transfers no bytes, but counts in
+  // active_flow_count() and can be cancelled like any other flow.
   FlowId StartPersistentFlow(std::vector<LinkId> path, double weight = 1.0,
                              double rate_cap_bps =
                                  std::numeric_limits<double>::infinity());
@@ -67,12 +85,15 @@ class FlowSim {
   // Tightens/loosens a live flow's rate cap (quota re-division does this).
   Status SetRateCap(FlowId id, double rate_cap_bps);
 
-  // Current max-min allocation for a live flow, in bits/sec.
+  // Current max-min allocation for a live flow, in bits/sec. Inside a
+  // batch, flows touched since BeginBatch report their pre-batch rate
+  // (new flows report 0) until EndBatch reallocates.
   Result<double> CurrentRate(FlowId id) const;
 
   const FlowState* FindFlow(FlowId id) const;
 
-  // Fraction of `link`'s capacity currently allocated, in [0, 1].
+  // Fraction of `link`'s capacity currently allocated, in [0, 1]. O(1) on
+  // the dense link index.
   double LinkUtilization(LinkId link) const;
 
   // Extra queueing delay a probe sees on `path` right now: per link,
@@ -85,34 +106,128 @@ class FlowSim {
   size_t active_flow_count() const { return flows_.size(); }
 
   // Total bytes delivered by completed+cancelled+running flows so far.
-  double total_bytes_delivered() const { return bytes_delivered_; }
+  double total_bytes_delivered() const;
 
-  // Number of water-filling recomputations performed (cost metric).
+  // Number of water-filling recomputations performed (cost metric). Every
+  // non-batched start/finish/cancel/cap change counts one; a BatchUpdate
+  // scope counts one for the whole burst.
   uint64_t reallocation_count() const { return reallocations_; }
+
+  // --- BatchUpdate -----------------------------------------------------------
+  // Coalesces a burst of starts/cancels/cap changes into one reallocation.
+  // While the scope is open, mutations update flow/link state but defer
+  // water-filling; the destructor (or EndBatch) runs a single scoped pass
+  // over the union of touched components. Scopes nest; the outermost one
+  // reallocates. Do not run the event queue while a batch is open.
+  class BatchScope {
+   public:
+    explicit BatchScope(FlowSim& sim) : sim_(&sim) { sim_->BeginBatch(); }
+    BatchScope(BatchScope&& other) noexcept : sim_(other.sim_) {
+      other.sim_ = nullptr;
+    }
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+    BatchScope& operator=(BatchScope&&) = delete;
+    ~BatchScope() {
+      if (sim_ != nullptr) {
+        sim_->EndBatch();
+      }
+    }
+
+   private:
+    FlowSim* sim_;
+  };
+  BatchScope Batch() { return BatchScope(*this); }
+  void BeginBatch() { ++batch_depth_; }
+  void EndBatch();
+
+  // --- Telemetry -------------------------------------------------------------
+  // Completion events actually (re)scheduled; flows whose rate survived a
+  // reallocation unchanged keep their event and are not counted.
+  uint64_t flows_rescheduled() const { return flows_rescheduled_; }
+  // Flows touched per reallocation pass (mean == mean component size).
+  const Histogram& component_size_histogram() const {
+    return component_size_hist_;
+  }
+  double mean_flows_touched_per_realloc() const {
+    return component_size_hist_.mean();
+  }
+  // Wall-clock cost of each reallocation pass, in microseconds
+  // (observability only; never feeds back into simulated time).
+  const Histogram& realloc_micros_histogram() const {
+    return realloc_micros_hist_;
+  }
 
  private:
   struct LiveFlow {
     FlowState state;
     CompletionFn on_complete;
     EventHandle completion_event;
+    SimTime last_settle;        // progress integrated up to here
+    uint64_t visit_stamp = 0;   // component-BFS marker
+    double pending_rate = 0;    // scratch: rate computed by water-filling
+    // Position of this flow's entry in link_members_[dense(path[i])], kept
+    // in lockstep by swap-erase so removal is O(path).
+    std::vector<uint32_t> member_pos;
+  };
+  // Reverse index entry: a flow crossing a link, with the index of that
+  // link within the flow's own path (disambiguates repeated links).
+  struct LinkMember {
+    FlowId flow;
+    LiveFlow* live;
+    uint32_t path_index;
   };
 
-  // Recomputes all rates and completion events. Called on any change.
-  void Reallocate();
+  void EnsureLinkArrays(size_t dense_index);
+  void AddFlowToLinks(FlowId id, LiveFlow& flow);
+  void RemoveFlowFromLinks(FlowId id, LiveFlow& flow);
 
-  // Advances every live flow's bytes_left to `now` using current rates.
-  void SettleProgress();
+  // Advances one flow's bytes_left / delivered accounting to now() using
+  // its current rate. Called lazily: only when the rate is about to change
+  // or the flow's progress is read.
+  void SettleFlow(LiveFlow& flow);
+
+  // Collects the congestion component(s) reachable from the seed flows and
+  // links, re-runs water-filling over exactly those flows, and reschedules
+  // completions for flows whose rate changed.
+  void ReallocateScoped(const FlowId* seed_flows, size_t seed_flow_count,
+                        const size_t* seed_links, size_t seed_link_count);
+  void ReallocateOne(FlowId seed);
 
   void HandleCompletion(FlowId id);
 
   EventQueue& queue_;
   const Topology& topology_;
   std::unordered_map<FlowId, LiveFlow> flows_;
-  std::unordered_map<LinkId, double> link_allocated_bps_;
   IdGenerator<FlowId> flow_ids_;
-  SimTime last_settle_;
   double bytes_delivered_ = 0;
   uint64_t reallocations_ = 0;
+  uint64_t flows_rescheduled_ = 0;
+
+  // Dense per-link state, indexed by Topology::DenseLinkIndex.
+  std::vector<std::vector<LinkMember>> link_members_;
+  std::vector<double> link_allocated_bps_;
+  std::vector<uint64_t> link_stamp_;  // BFS inclusion marker
+  std::vector<uint32_t> link_slot_;   // dense index -> component slot
+
+  // Component-BFS / water-filling scratch (reused; allocation-free in
+  // steady state).
+  uint64_t stamp_ = 0;
+  std::vector<std::pair<FlowId, LiveFlow*>> comp_flows_;
+  std::vector<size_t> comp_links_;
+  std::vector<double> budget_remaining_;
+  std::vector<double> budget_weight_;
+  std::vector<std::pair<FlowId, LiveFlow*>> unfrozen_;
+  std::vector<std::pair<FlowId, LiveFlow*>> still_unfrozen_;
+  std::vector<size_t> seed_links_scratch_;
+
+  // Batch state.
+  uint32_t batch_depth_ = 0;
+  std::vector<FlowId> pending_flows_;
+  std::vector<size_t> pending_links_;
+
+  Histogram component_size_hist_;
+  Histogram realloc_micros_hist_;
 };
 
 }  // namespace tenantnet

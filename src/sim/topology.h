@@ -118,6 +118,11 @@ class Topology {
   // links colored by class). Duplex pairs collapse to one undirected edge.
   std::string ToDot() const;
 
+  // Dense 0-based index of a link (ids are allocated contiguously from 1).
+  // Lets hot-path consumers (FlowSim) keep per-link state in flat arrays
+  // instead of hash maps.
+  static constexpr size_t DenseLinkIndex(LinkId id) { return id.value() - 1; }
+
  private:
   static size_t Index(NodeId id) { return id.value() - 1; }
   static size_t Index(LinkId id) { return id.value() - 1; }

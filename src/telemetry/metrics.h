@@ -9,6 +9,7 @@
 #ifndef TENANTNET_SRC_TELEMETRY_METRICS_H_
 #define TENANTNET_SRC_TELEMETRY_METRICS_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -79,6 +80,27 @@ class Histogram {
   double max_ = 0;
   double mean_run_ = 0;   // Welford running mean
   double m2_run_ = 0;     // Welford running M2
+};
+
+// Records wall-clock microseconds elapsed over its scope into a Histogram.
+// For instrumenting hot paths (e.g. FlowSim reallocation cost): wall time is
+// observability only and never feeds back into simulated time, so runs stay
+// deterministic.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Histogram& hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimerUs() {
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_.Record(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  Histogram& hist_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 // Named metric registry so an experiment can dump everything it touched.

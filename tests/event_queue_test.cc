@@ -101,6 +101,75 @@ TEST(EventQueueTest, PendingCountTracksLiveEvents) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueueTest, StaleHandleDoesNotCancelSlotReuseAfterCancel) {
+  EventQueue q;
+  int a_fired = 0;
+  int b_fired = 0;
+  EventHandle a = q.ScheduleAfter(SimDuration::Seconds(1), [&] { ++a_fired; });
+  q.Cancel(a);
+  // The next event recycles a's slot with a fresh generation.
+  q.ScheduleAfter(SimDuration::Seconds(2), [&] { ++b_fired; });
+  EXPECT_EQ(q.slab_size(), 1u);
+  q.Cancel(a);  // stale generation: must not touch the new occupant
+  EXPECT_EQ(q.pending_count(), 1u);
+  q.RunAll();
+  EXPECT_EQ(a_fired, 0);
+  EXPECT_EQ(b_fired, 1);
+}
+
+TEST(EventQueueTest, StaleHandleDoesNotCancelSlotReuseAfterFire) {
+  EventQueue q;
+  EventHandle a = q.ScheduleAfter(SimDuration::Seconds(1), [] {});
+  q.RunAll();
+  int fired = 0;
+  q.ScheduleAfter(SimDuration::Seconds(1), [&] { ++fired; });
+  q.Cancel(a);  // a already fired; its slot now belongs to the new event
+  EXPECT_EQ(q.pending_count(), 1u);
+  q.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, DefaultHandleCancelIsNoop) {
+  EventQueue q;
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  int fired = 0;
+  q.ScheduleAfter(SimDuration::Seconds(1), [&] { ++fired; });
+  q.Cancel(h);
+  q.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, SlabStaysBoundedUnderSteadyChurn) {
+  // Schedule/fire/cancel cycles must recycle slots, not grow the slab:
+  // allocation-free steady state.
+  EventQueue q;
+  for (int i = 0; i < 10000; ++i) {
+    EventHandle h = q.ScheduleAfter(SimDuration::Micros(1), [] {});
+    if (i % 2 == 0) {
+      q.Cancel(h);
+    }
+    q.RunAll();
+  }
+  EXPECT_LE(q.slab_size(), 2u);
+}
+
+TEST(EventQueueTest, FifoTieBreakSurvivesSlotRecycling) {
+  // Recycled slots carry fresh sequence numbers, so same-timestamp events
+  // still fire in scheduling order even when a later event reuses an
+  // earlier (cancelled) event's slot.
+  EventQueue q;
+  std::vector<int> order;
+  EventHandle a =
+      q.ScheduleAt(SimTime::FromSeconds(1), [&] { order.push_back(0); });
+  q.Cancel(a);
+  for (int i = 1; i <= 5; ++i) {
+    q.ScheduleAt(SimTime::FromSeconds(1), [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
 TEST(EventQueueTest, CancelDuringCallback) {
   EventQueue q;
   int fired = 0;

@@ -122,5 +122,49 @@ TEST(QosIsolationTest, SharesTrackDemandAcrossPointsPerTenant) {
   EXPECT_LT(*qos.ShareOf(b, region, 0), 0.2e9);
 }
 
+TEST(QosIsolationTest, EpochRedivisionBatchesFlowCapsIntoOneReallocation) {
+  // With a FlowSim attached, the quota manager applies each point's share
+  // to its registered flows as equal-split rate caps — and a whole epoch's
+  // worth of cap updates collapses into a single water-filling pass.
+  SharedLink w;
+  FlowSim sim(w.queue, w.topo);
+  QuotaParams params;
+  EgressQuotaManager qos(params);
+  qos.AttachFlowSim(&sim);
+  RegionId region(1);
+  qos.RegisterPoint(region, "p0");
+  TenantId tenant(1);
+  SimTime now = SimTime::Epoch();
+  ASSERT_TRUE(qos.SetQuota(tenant, region, 400e6, now).ok());
+
+  FlowId f1 = sim.StartPersistentFlow({w.ab});
+  FlowId f2 = sim.StartPersistentFlow({w.ab});
+  ASSERT_TRUE(qos.RegisterFlow(tenant, region, 0, f1).ok());
+  ASSERT_TRUE(qos.RegisterFlow(tenant, region, 0, f2).ok());
+  // Registration applies the split immediately: 400M over two flows.
+  EXPECT_NEAR(*sim.CurrentRate(f1), 200e6, 1e3);
+  EXPECT_NEAR(*sim.CurrentRate(f2), 200e6, 1e3);
+
+  uint64_t before = sim.reallocation_count();
+  now += params.epoch;
+  qos.RunEpoch(now);
+  EXPECT_EQ(sim.reallocation_count(), before + 1);
+  EXPECT_NEAR(*sim.CurrentRate(f1) + *sim.CurrentRate(f2), 400e6, 1e4);
+
+  // Dead flows are pruned at the next re-division; the survivor inherits
+  // the whole point share.
+  ASSERT_TRUE(sim.CancelFlow(f2).ok());
+  now += params.epoch;
+  qos.RunEpoch(now);
+  EXPECT_NEAR(*sim.CurrentRate(f1), 400e6, 1e4);
+
+  // Unregistering lifts the quota cap: the flow returns to unmanaged
+  // max-min sharing (alone on the 1G link, it takes all of it).
+  ASSERT_TRUE(qos.UnregisterFlow(tenant, region, 0, f1).ok());
+  EXPECT_NEAR(*sim.CurrentRate(f1), 1e9, 1e3);
+  EXPECT_EQ(qos.UnregisterFlow(tenant, region, 0, f2).code(),
+            StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace tenantnet
