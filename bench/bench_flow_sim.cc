@@ -1,5 +1,5 @@
 // FlowSim churn microbenchmark — the cost model behind every fluid-plane
-// experiment (E4c, E5, E8, soak).
+// experiment (E4c, E5, E8a/E8b, soak).
 //
 // Churns N concurrent flows under two path regimes and reports JSON:
 //   * disjoint     — N/10 independent 2-link chains: congestion components

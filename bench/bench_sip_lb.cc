@@ -1,4 +1,4 @@
-// E8 — §4 Availability: provider-managed SIP load balancing under backend
+// E8a — §4 Availability: provider-managed SIP load balancing under backend
 // failure, versus the baseline tenant-configured NLB.
 //
 // A client stream resolves the service at a steady rate while `kKilled`
@@ -182,7 +182,7 @@ AvailabilityResult RunDeclarative(SimDuration provider_detection) {
 }
 
 void Run() {
-  Banner("E8", "Availability: SIP binding vs tenant-configured NLB");
+  Banner("E8a", "Availability: SIP binding vs tenant-configured NLB");
   std::printf(
       "\n%d of %d backends die at t=%.0fs; %.0f req/s for %.0fs.\n",
       kKilled, kBackends, kKillAt, kRps, kRunSeconds);

@@ -2,6 +2,8 @@
 # Regenerates bench_output.txt (all experiment tables) and test_output.txt.
 # bench_flow_sim emits JSON lines (the flow-churn cost model); set
 # BENCH_FLOW_SIM_SMALL=1 to run only its quick N=1e3 sweep.
+# bench_resilience (E8b) emits JSON lines comparing both worlds under
+# identical fault storms; set E8_SMOKE=1 for the quick single-seed run.
 set -u
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja && cmake --build build || exit 1
@@ -14,6 +16,10 @@ for b in build/bench/*; do
   if [ "$(basename "$b")" = bench_flow_sim ] &&
      [ "${BENCH_FLOW_SIM_SMALL:-0}" = 1 ]; then
     args="small"
+  fi
+  if [ "$(basename "$b")" = bench_resilience ] &&
+     [ "${E8_SMOKE:-0}" = 1 ]; then
+    args="smoke"
   fi
   "$b" $args 2>&1 | tee -a bench_output.txt
 done

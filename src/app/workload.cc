@@ -1,5 +1,6 @@
 #include "src/app/workload.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace tenantnet {
@@ -42,33 +43,71 @@ void RequestWorkload::Start(SimDuration duration) {
 
 void RequestWorkload::RunTransaction(size_t pattern_index) {
   Pattern& pattern = patterns_[pattern_index];
-  PatternStats& stats = pattern.stats;
-  ++stats.attempted;
-
+  ++pattern.stats.attempted;
   InstanceId src =
       pattern.sources[rng_.NextU64(pattern.sources.size())];
   InstanceId dst =
       pattern.destinations[rng_.NextU64(pattern.destinations.size())];
+  Attempt(pattern_index, src, dst, queue_.now(), 0);
+}
 
+void RequestWorkload::RetryOrGiveUp(size_t pattern_index, InstanceId src,
+                                    InstanceId dst, SimTime start,
+                                    int attempt) {
+  PatternStats& stats = patterns_[pattern_index].stats;
+  if (attempt >= params_.max_retries) {
+    ++stats.gave_up;
+    --inflight_;
+    return;
+  }
+  ++stats.retries;
+  SimDuration backoff = params_.retry_base;
+  for (int i = 0; i < attempt && backoff < params_.retry_cap; ++i) {
+    backoff = backoff * 2.0;
+  }
+  backoff = std::min(backoff, params_.retry_cap);
+  backoff = backoff * (1.0 + params_.retry_jitter * rng_.NextDouble(-1.0, 1.0));
+  queue_.ScheduleAfter(backoff, [this, pattern_index, src, dst, start,
+                                 attempt] {
+    Attempt(pattern_index, src, dst, start, attempt + 1);
+  });
+}
+
+void RequestWorkload::Attempt(size_t pattern_index, InstanceId src,
+                              InstanceId dst, SimTime start, int attempt) {
+  Pattern& pattern = patterns_[pattern_index];
+  PatternStats& stats = pattern.stats;
+
+  // Re-resolve on every attempt: faults move routes and health state
+  // between tries, and ShortestPath skips downed links, so a retry is also
+  // a reroute.
   ResolvedRoute route = pattern.connector(src, dst);
   if (!route.allowed) {
-    ++stats.denied;
-    ++stats.deny_by_stage[route.deny_stage.empty() ? "denied"
-                                                   : route.deny_stage];
+    if (attempt == 0) {
+      ++stats.denied;
+      ++stats.deny_by_stage[route.deny_stage.empty() ? "denied"
+                                                     : route.deny_stage];
+      return;
+    }
+    // Mid-retry denial (e.g. destination still down): keep backing off.
+    RetryOrGiveUp(pattern_index, src, dst, start, attempt);
     return;
   }
 
   const Topology& topology = world_.topology();
   auto path = world_.ResolvePath(route.src_node, route.dst_node, route.policy);
   if (!path.ok()) {
-    ++stats.denied;
-    ++stats.deny_by_stage["no-physical-path"];
+    if (attempt == 0) {
+      ++stats.denied;
+      ++stats.deny_by_stage["no-physical-path"];
+      return;
+    }
+    RetryOrGiveUp(pattern_index, src, dst, start, attempt);
     return;
   }
   auto reverse_path =
       world_.ResolvePath(route.dst_node, route.src_node, route.policy);
 
-  SimTime start = queue_.now();
   SimDuration forward = topology.SamplePathDelay(*path, rng_) +
                         flows_.QueuePenalty(*path, params_.queue_penalty_base,
                                             params_.queue_penalty_cap);
@@ -80,7 +119,9 @@ void RequestWorkload::RunTransaction(size_t pattern_index) {
       rng_.NextPareto(x_min, params_.response_pareto_alpha);
   response_bytes = std::min(response_bytes, params_.mean_response_bytes * 50);
 
-  ++inflight_;
+  if (attempt == 0) {
+    ++inflight_;
+  }
   // Request arrives at the server after the forward delay + server time;
   // the response then streams back through the fluid simulator.
   SimDuration until_response_start =
@@ -91,9 +132,8 @@ void RequestWorkload::RunTransaction(size_t pattern_index) {
   double weight = route.weight;
   queue_.ScheduleAfter(
       until_response_start,
-      [this, pattern_index, start, response_bytes, response_path, cap,
-       weight] {
-        Pattern& p = patterns_[pattern_index];
+      [this, pattern_index, src, dst, start, attempt, response_bytes,
+       response_path, cap, weight] {
         SimDuration tail_delay =
             world_.topology().SamplePathDelay(response_path, rng_);
         flows_.StartFlow(
@@ -107,8 +147,11 @@ void RequestWorkload::RunTransaction(size_t pattern_index) {
               pat.stats.bytes_transferred += response_bytes;
               --inflight_;
             },
-            weight, cap);
-        (void)p;
+            weight, cap,
+            [this, pattern_index, src, dst, start, attempt](FlowId, SimTime) {
+              ++patterns_[pattern_index].stats.aborted;
+              RetryOrGiveUp(pattern_index, src, dst, start, attempt);
+            });
       });
 }
 

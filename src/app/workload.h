@@ -52,12 +52,28 @@ struct WorkloadParams {
   SimDuration queue_penalty_base = SimDuration::Millis(1);
   SimDuration queue_penalty_cap = SimDuration::Millis(50);
   uint64_t seed = 7;
+
+  // Retry policy for fault-aborted transactions: bounded exponential
+  // backoff (retry_base * 2^attempt, capped at retry_cap) with a seeded
+  // jitter factor in [1-retry_jitter, 1+retry_jitter]. Each retry
+  // re-resolves the route, so traffic reroutes around downed links. The
+  // default max_retries=0 disables retries entirely — aborted transactions
+  // are dropped — which also leaves the RNG draw sequence identical to a
+  // fault-free run (replays stay deterministic either way: all draws come
+  // from the workload's seeded RNG).
+  int max_retries = 0;
+  SimDuration retry_base = SimDuration::Millis(10);
+  SimDuration retry_cap = SimDuration::Seconds(1);
+  double retry_jitter = 0.2;
 };
 
 struct PatternStats {
   uint64_t attempted = 0;
   uint64_t denied = 0;
   uint64_t completed = 0;
+  uint64_t aborted = 0;     // response flows killed by faults
+  uint64_t retries = 0;     // retry attempts issued (reroutes)
+  uint64_t gave_up = 0;     // transactions dead after max_retries
   std::map<std::string, uint64_t> deny_by_stage;
   Histogram latency_ms;
   double bytes_transferred = 0;
@@ -100,6 +116,16 @@ class RequestWorkload {
   };
 
   void RunTransaction(size_t pattern_index);
+  // One (re)try of a transaction: resolve, fly the request, stream the
+  // response. `attempt` 0 is the original; retries keep the original
+  // `start` so latency includes every backoff.
+  void Attempt(size_t pattern_index, InstanceId src, InstanceId dst,
+               SimTime start, int attempt);
+  // Retry `attempt+1` after backoff, or give up. `attempt` is the attempt
+  // that just failed. Callers have already counted the transaction in
+  // inflight_.
+  void RetryOrGiveUp(size_t pattern_index, InstanceId src, InstanceId dst,
+                     SimTime start, int attempt);
 
   EventQueue& queue_;
   FlowSim& flows_;

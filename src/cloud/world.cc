@@ -314,6 +314,19 @@ Status CloudWorld::TerminateInstance(InstanceId id) {
   return Status::Ok();
 }
 
+Status CloudWorld::SetInstanceRunning(InstanceId id, bool running) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    return NotFoundError("no such instance");
+  }
+  if (it->second.running == running) {
+    return Status::Ok();
+  }
+  it->second.running = running;
+  live_instance_count_ += running ? 1 : -1;
+  return Status::Ok();
+}
+
 const ProviderSite& CloudWorld::provider(ProviderId id) const {
   assert(id.valid() && id.value() <= providers_.size());
   return providers_[id.value() - 1];

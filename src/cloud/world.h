@@ -171,6 +171,12 @@ class CloudWorld {
   Result<InstanceId> LaunchOnPremInstance(TenantId tenant, OnPremId on_prem);
   Status TerminateInstance(InstanceId id);
 
+  // Fault toggle: a crashed instance (running=false) keeps its slot and can
+  // come back, unlike TerminateInstance. Idempotent per state. Fault
+  // injectors pair this with the per-world health notifications (LB probes
+  // in the baseline, NotifyInstanceDown/Up in the declarative API).
+  Status SetInstanceRunning(InstanceId id, bool running);
+
   // --- Lookup ---------------------------------------------------------------
 
   const ProviderSite& provider(ProviderId id) const;

@@ -372,15 +372,34 @@ EgressPolicy DeclarativeCloud::EgressProfileOf(TenantId tenant) const {
 
 void DeclarativeCloud::NotifyInstanceDown(InstanceId instance) {
   auto it = eip_by_instance_.find(instance);
-  if (it != eip_by_instance_.end()) {
-    sip_lb_.SetHealth(it->second, false);
+  if (it == eip_by_instance_.end()) {
+    return;
+  }
+  IpAddress eip = it->second;
+  sip_lb_.SetHealth(eip, false);
+  // The provider stops announcing reachability for a dead endpoint: the EIP
+  // host route leaves the RIB (the BGP analogue of WithdrawOrigin), so
+  // routed delivery fails fast instead of blackholing into the host.
+  auto eit = eips_.find(eip);
+  if (eit != eips_.end() && eit->second.provider.valid()) {
+    // Idempotent: a second Down for the same instance finds no route.
+    (void)Provider(eit->second.provider).rib.Withdraw(IpPrefix::Host(eip));
   }
 }
 
 void DeclarativeCloud::NotifyInstanceUp(InstanceId instance) {
   auto it = eip_by_instance_.find(instance);
-  if (it != eip_by_instance_.end()) {
-    sip_lb_.SetHealth(it->second, true);
+  if (it == eip_by_instance_.end()) {
+    return;
+  }
+  IpAddress eip = it->second;
+  sip_lb_.SetHealth(eip, true);
+  auto eit = eips_.find(eip);
+  if (eit != eips_.end() && eit->second.provider.valid()) {
+    Provider(eit->second.provider)
+        .rib.Install(IpPrefix::Host(eip),
+                     RouteEntry{world_->region(eit->second.region).edge_node,
+                                RouteOrigin::kLocal, 0, "eip"});
   }
 }
 
@@ -451,6 +470,13 @@ Result<DeclarativeDelivery> DeclarativeCloud::Evaluate(InstanceId src,
     return d;
   }
   const EipRecord& dst_record = dit->second;
+
+  const Instance* dst_inst = world_->FindInstance(dst_record.instance);
+  if (dst_inst == nullptr || !dst_inst->running) {
+    d.drop_stage = "instance-down";
+    d.drop_reason = "endpoint " + flow.dst.ToString() + " is not running";
+    return d;
+  }
 
   std::string where;
   bool admitted = AdmittedAtDestination(dst_record, flow, &where);

@@ -14,6 +14,28 @@ size_t EdgeFilterBank::AddEdge(const std::string& name) {
   return edges_.size() - 1;
 }
 
+SimDuration EdgeFilterBank::SampleDeliveryLatency() {
+  SimDuration latency =
+      params_.install_base +
+      SimDuration::Seconds(rng_.NextExponential(
+          1.0 / std::max(1e-9, params_.install_extra_mean.ToSeconds())));
+  if (!degraded_) {
+    return latency;
+  }
+  // Each attempt (original and every retransmit) drops independently; the
+  // loop resolves the whole retry chain now so the eventual apply time is a
+  // pure function of RNG state at send time. The attempt cap keeps a
+  // drop_prob of 1.0 finite (delivery after the worst-case chain).
+  for (int attempt = 0;
+       attempt < 64 && rng_.NextBool(params_.degraded_drop_prob); ++attempt) {
+    ++messages_dropped_;
+    ++retransmissions_;
+    ++messages_;  // the retransmit is one more control-plane message
+    latency += params_.degraded_retransmit;
+  }
+  return latency + params_.degraded_extra;
+}
+
 SimTime EdgeFilterBank::UpdatePermitList(
     IpAddress endpoint, std::vector<PermitEntry> add,
     const std::vector<PermitEntry>& remove) {
@@ -60,11 +82,7 @@ SimTime EdgeFilterBank::SetPermitList(IpAddress endpoint,
       apply();
       continue;
     }
-    SimDuration latency =
-        params_.install_base +
-        SimDuration::Seconds(rng_.NextExponential(
-            1.0 / std::max(1e-9, params_.install_extra_mean.ToSeconds())));
-    SimTime when = queue_->now() + latency;
+    SimTime when = queue_->now() + SampleDeliveryLatency();
     last_applied = std::max(last_applied, when);
     queue_->ScheduleAt(when, apply);
   }
@@ -128,11 +146,7 @@ SimTime EdgeFilterBank::SetGroup(EndpointGroupId group,
       apply();
       continue;
     }
-    SimDuration latency =
-        params_.install_base +
-        SimDuration::Seconds(rng_.NextExponential(
-            1.0 / std::max(1e-9, params_.install_extra_mean.ToSeconds())));
-    SimTime when = queue_->now() + latency;
+    SimTime when = queue_->now() + SampleDeliveryLatency();
     last_applied = std::max(last_applied, when);
     queue_->ScheduleAt(when, apply);
   }

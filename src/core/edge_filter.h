@@ -65,6 +65,16 @@ struct EdgeFilterParams {
   // Control-plane install latency per edge: base + Exp(1/mean_extra).
   SimDuration install_base = SimDuration::Millis(5);
   SimDuration install_extra_mean = SimDuration::Millis(10);
+
+  // Degraded-replication model (control-plane faults). While degraded, each
+  // replication message is independently dropped with `degraded_drop_prob`
+  // and retransmitted after `degraded_retransmit` (a retransmit may drop
+  // again); deliveries that do land also pay `degraded_extra`. Drop/retry
+  // outcomes are drawn up front at send time from the bank's seeded RNG, so
+  // a replayed schedule produces byte-identical apply times.
+  double degraded_drop_prob = 0.35;
+  SimDuration degraded_retransmit = SimDuration::Millis(50);
+  SimDuration degraded_extra = SimDuration::Millis(20);
 };
 
 // The replicated filter state of one enforcement domain (a provider or an
@@ -112,10 +122,18 @@ class EdgeFilterBank {
   // True if every edge has the same (latest) version for this endpoint.
   bool IsConverged(IpAddress endpoint) const;
 
+  // --- Fault injection ------------------------------------------------------
+  // Toggles degraded replication (see EdgeFilterParams). Only affects
+  // updates sent while degraded; in-flight messages keep their schedule.
+  void SetReplicationDegraded(bool degraded) { degraded_ = degraded; }
+  bool replication_degraded() const { return degraded_; }
+
   // --- Scale metrics --------------------------------------------------------
   uint64_t total_installed_entries() const;       // sum over edges
   uint64_t update_messages_sent() const { return messages_; }
   uint64_t endpoints_with_lists() const { return latest_version_.size(); }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t retransmissions() const { return retransmissions_; }
 
  private:
   struct EdgeState {
@@ -129,10 +147,17 @@ class EdgeFilterBank {
     uint64_t entry_count = 0;
   };
 
+  // One message's delivery delay, including any degraded-mode drop/retry
+  // rounds. Advances the RNG; all draws happen here, at send time.
+  SimDuration SampleDeliveryLatency();
+
   std::string domain_;
   EventQueue* queue_;
   Rng rng_;
   EdgeFilterParams params_;
+  bool degraded_ = false;
+  uint64_t messages_dropped_ = 0;
+  uint64_t retransmissions_ = 0;
   std::vector<EdgeState> edges_;
   // The control plane's master copy (edges may lag behind it).
   std::unordered_map<IpAddress, std::vector<PermitEntry>> latest_entries_;

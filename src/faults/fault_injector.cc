@@ -1,0 +1,204 @@
+#include "src/faults/fault_injector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace tenantnet {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown:
+      return "link-down";
+    case FaultKind::kInstanceCrash:
+      return "instance-crash";
+    case FaultKind::kGatewayRestart:
+      return "gateway-restart";
+    case FaultKind::kControlPlaneDegrade:
+      return "control-plane-degrade";
+  }
+  return "?";
+}
+
+FaultSchedule FaultSchedule::Storm(uint64_t seed, const StormParams& params) {
+  Rng rng(seed);
+  // Kinds that actually have targets; drawn uniformly among themselves.
+  std::vector<FaultKind> kinds;
+  if (!params.links.empty()) {
+    kinds.push_back(FaultKind::kLinkDown);
+  }
+  if (!params.instances.empty()) {
+    kinds.push_back(FaultKind::kInstanceCrash);
+  }
+  if (!params.gateways.empty()) {
+    kinds.push_back(FaultKind::kGatewayRestart);
+  }
+  if (params.include_control_plane) {
+    kinds.push_back(FaultKind::kControlPlaneDegrade);
+  }
+  FaultSchedule schedule;
+  if (kinds.empty()) {
+    return schedule;
+  }
+  int64_t window_ns = std::max<int64_t>(1, params.window.nanos());
+  int64_t min_ns = std::max<int64_t>(0, params.min_duration.nanos());
+  int64_t max_ns = std::max(min_ns + 1, params.max_duration.nanos());
+  for (size_t i = 0; i < params.event_count; ++i) {
+    FaultSpec spec;
+    spec.kind = kinds[rng.NextU64(kinds.size())];
+    spec.at = SimDuration::Nanos(
+        static_cast<int64_t>(rng.NextU64(static_cast<uint64_t>(window_ns))));
+    spec.duration = SimDuration::Nanos(
+        min_ns + static_cast<int64_t>(rng.NextU64(
+                     static_cast<uint64_t>(max_ns - min_ns))));
+    switch (spec.kind) {
+      case FaultKind::kLinkDown:
+        spec.link = params.links[rng.NextU64(params.links.size())];
+        break;
+      case FaultKind::kInstanceCrash:
+        spec.instance = params.instances[rng.NextU64(params.instances.size())];
+        break;
+      case FaultKind::kGatewayRestart:
+        spec.node = params.gateways[rng.NextU64(params.gateways.size())];
+        break;
+      case FaultKind::kControlPlaneDegrade:
+        break;
+    }
+    schedule.events.push_back(spec);
+  }
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const FaultSpec& a, const FaultSpec& b) {
+                     return a.at < b.at;
+                   });
+  return schedule;
+}
+
+FaultInjector::FaultInjector(EventQueue& queue, Topology& topology,
+                             FlowSim& flow_sim, CloudWorld* world,
+                             MetricRegistry& metrics, FaultHooks hooks,
+                             SimDuration probe_interval)
+    : queue_(queue), topology_(topology), flow_sim_(flow_sim), world_(world),
+      hooks_(std::move(hooks)), probe_interval_(probe_interval) {
+  injected_counter_ = &metrics.GetCounter("faults.injected");
+  unconverged_counter_ = &metrics.GetCounter("faults.unconverged");
+  for (uint8_t k = 0; k < 4; ++k) {
+    reconverge_ms_[k] = &metrics.GetHistogram(
+        "faults.reconverge_ms." +
+        std::string(FaultKindName(static_cast<FaultKind>(k))));
+  }
+  permit_staleness_ms_ = &metrics.GetHistogram("faults.permit_staleness_ms");
+}
+
+void FaultInjector::Schedule(const FaultSchedule& schedule) {
+  SimTime base = queue_.now();
+  for (const FaultSpec& spec : schedule.events) {
+    queue_.ScheduleAt(base + spec.at, [this, spec] { Inject(spec); });
+  }
+}
+
+void FaultInjector::InjectNow(const FaultSpec& spec) { Inject(spec); }
+
+void FaultInjector::DownLink(LinkId link) {
+  size_t idx = Topology::DenseLinkIndex(link);
+  if (link_refs_.size() < topology_.link_count()) {
+    link_refs_.resize(topology_.link_count(), 0);
+  }
+  if (++link_refs_[idx] == 1) {
+    topology_.SetLinkUp(link, false);
+    flow_sim_.SetLinkUp(link, false);
+  }
+}
+
+void FaultInjector::RestoreLink(LinkId link) {
+  size_t idx = Topology::DenseLinkIndex(link);
+  assert(idx < link_refs_.size() && link_refs_[idx] > 0);
+  if (--link_refs_[idx] == 0) {
+    topology_.SetLinkUp(link, true);
+    flow_sim_.SetLinkUp(link, true);
+  }
+}
+
+void FaultInjector::Inject(const FaultSpec& spec) {
+  ++faults_injected_;
+  injected_counter_->Increment();
+  switch (spec.kind) {
+    case FaultKind::kLinkDown:
+      DownLink(spec.link);
+      break;
+    case FaultKind::kInstanceCrash:
+      assert(world_ != nullptr);
+      if (++instance_refs_[spec.instance] == 1) {
+        (void)world_->SetInstanceRunning(spec.instance, false);
+      }
+      break;
+    case FaultKind::kGatewayRestart:
+      for (LinkId link : topology_.IncidentLinks(spec.node)) {
+        DownLink(link);
+      }
+      break;
+    case FaultKind::kControlPlaneDegrade:
+      if (++degrade_refs_ == 1 && hooks_.set_control_degraded) {
+        hooks_.set_control_degraded(true);
+      }
+      break;
+  }
+  if (hooks_.on_inject) {
+    hooks_.on_inject(spec);
+  }
+  queue_.ScheduleAfter(spec.duration, [this, spec] { Recover(spec); });
+}
+
+void FaultInjector::Recover(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kLinkDown:
+      RestoreLink(spec.link);
+      break;
+    case FaultKind::kInstanceCrash:
+      if (--instance_refs_[spec.instance] == 0) {
+        (void)world_->SetInstanceRunning(spec.instance, true);
+      }
+      break;
+    case FaultKind::kGatewayRestart:
+      for (LinkId link : topology_.IncidentLinks(spec.node)) {
+        RestoreLink(link);
+      }
+      break;
+    case FaultKind::kControlPlaneDegrade:
+      if (--degrade_refs_ == 0 && hooks_.set_control_degraded) {
+        hooks_.set_control_degraded(false);
+      }
+      break;
+  }
+  if (hooks_.on_recover) {
+    hooks_.on_recover(spec);
+  }
+  Probe(spec, queue_.now(), 0);
+}
+
+bool FaultInjector::IsReconverged(const FaultSpec& spec) const {
+  if (hooks_.recovered) {
+    return hooks_.recovered(spec);
+  }
+  return flow_sim_.stalled_flow_count() == 0;
+}
+
+void FaultInjector::Probe(const FaultSpec& spec, SimTime recovered_at,
+                          int tries) {
+  if (IsReconverged(spec)) {
+    ++faults_reconverged_;
+    reconverge_ms_[static_cast<size_t>(spec.kind)]->Record(
+        (queue_.now() - recovered_at).ToMillis());
+    return;
+  }
+  if (tries >= max_probe_tries_) {
+    // Permanently unconverged — the failure the parity tests look for.
+    ++faults_unconverged_;
+    unconverged_counter_->Increment();
+    return;
+  }
+  queue_.ScheduleAfter(probe_interval_, [this, spec, recovered_at, tries] {
+    Probe(spec, recovered_at, tries + 1);
+  });
+}
+
+}  // namespace tenantnet

@@ -1,0 +1,175 @@
+// Deterministic fault injection.
+//
+// The resilience experiments (E8b) ask a single question of both worlds:
+// when links die, instances crash, gateways restart and the control plane
+// degrades, how long until the abstraction recovers, and how much traffic
+// falls into the hole meanwhile? This module supplies the machinery: a
+// seeded fault-schedule generator (identical schedules replay byte-for-byte
+// on any world) and an injector that applies each fault's world-agnostic
+// part — Topology/FlowSim link state, CloudWorld instance state — then lets
+// world-specific hooks react (LB health checks and BGP withdrawal in the
+// baseline, NotifyInstanceDown/Up in the declarative API).
+//
+// Determinism guarantees:
+//   * A schedule is a pure function of (seed, StormParams). Replaying it
+//     against the same world yields identical event sequences; the injector
+//     draws no randomness of its own.
+//   * Overlapping faults reference-count shared state (two faults downing
+//     the same link — directly and via a gateway restart — must not restore
+//     it at the first recovery).
+//   * Recovery probing is periodic on the shared EventQueue, so
+//     time-to-reconverge is quantized at probe_interval and replays
+//     identically.
+
+#ifndef TENANTNET_SRC_FAULTS_FAULT_INJECTOR_H_
+#define TENANTNET_SRC_FAULTS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cloud/world.h"
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/flow_sim.h"
+#include "src/sim/topology.h"
+#include "src/telemetry/metrics.h"
+
+namespace tenantnet {
+
+enum class FaultKind : uint8_t {
+  kLinkDown,            // one link loses capacity and leaves path selection
+  kInstanceCrash,       // an instance stops running (and later restarts)
+  kGatewayRestart,      // a node restarts: every incident link goes down
+  kControlPlaneDegrade, // filter replication drops/delays messages
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+// One failure + its recovery. `at` is relative to the Schedule() call.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kLinkDown;
+  SimDuration at = SimDuration::Zero();
+  SimDuration duration = SimDuration::Millis(500);
+  LinkId link;           // kLinkDown
+  InstanceId instance;   // kInstanceCrash
+  NodeId node;           // kGatewayRestart
+};
+
+// Knobs for the seeded storm generator. Kinds with no candidate targets
+// (and control-plane faults when disabled) are simply never drawn.
+struct StormParams {
+  size_t event_count = 100;
+  SimDuration window = SimDuration::Seconds(30);    // injection times
+  SimDuration min_duration = SimDuration::Millis(100);
+  SimDuration max_duration = SimDuration::Seconds(2);
+  std::vector<LinkId> links;
+  std::vector<InstanceId> instances;
+  std::vector<NodeId> gateways;
+  bool include_control_plane = true;
+};
+
+struct FaultSchedule {
+  std::vector<FaultSpec> events;  // sorted by `at`
+
+  // Deterministic storm: a pure function of (seed, params).
+  static FaultSchedule Storm(uint64_t seed, const StormParams& params);
+};
+
+// World-specific reactions. All optional.
+struct FaultHooks {
+  // Runs right after the injector applies a fault's world-agnostic part
+  // (links downed / instance stopped). Baseline: nothing — health probes
+  // discover the crash. Declarative: NotifyInstanceDown, etc.
+  std::function<void(const FaultSpec&)> on_inject;
+  // Runs right after the injector restores state at recovery time.
+  std::function<void(const FaultSpec&)> on_recover;
+  // Convergence predicate, probed every probe_interval after recovery until
+  // true (or the probe budget runs out). Default: no flow is stalled on a
+  // downed link anywhere in the sim.
+  std::function<bool(const FaultSpec&)> recovered;
+  // Toggled at the first/last overlapping kControlPlaneDegrade fault.
+  std::function<void(bool degraded)> set_control_degraded;
+};
+
+class FaultInjector {
+ public:
+  // All references must outlive the injector. `world` may be null when the
+  // schedule contains no instance faults. Metrics land in `metrics` under
+  // "faults.*" names.
+  FaultInjector(EventQueue& queue, Topology& topology, FlowSim& flow_sim,
+                CloudWorld* world, MetricRegistry& metrics, FaultHooks hooks,
+                SimDuration probe_interval = SimDuration::Millis(10));
+
+  // Schedules every event of `schedule` relative to now. May be called
+  // more than once (schedules accumulate).
+  void Schedule(const FaultSchedule& schedule);
+
+  // Injects one fault immediately (tests drive single faults this way).
+  void InjectNow(const FaultSpec& spec);
+
+  // --- Telemetry ------------------------------------------------------------
+  uint64_t faults_injected() const { return faults_injected_; }
+  // Faults whose recovery probe confirmed reconvergence.
+  uint64_t faults_reconverged() const { return faults_reconverged_; }
+  // Faults that exhausted the probe budget without reconverging.
+  uint64_t faults_unconverged() const { return faults_unconverged_; }
+  // Faults injected but whose recovery/probe has not resolved yet.
+  uint64_t faults_outstanding() const {
+    return faults_injected_ - faults_reconverged_ - faults_unconverged_;
+  }
+  bool AllRecovered() const {
+    return faults_outstanding() == 0 && faults_unconverged_ == 0;
+  }
+
+  // Time from fault recovery until the convergence predicate held, per kind.
+  const Histogram& reconverge_ms(FaultKind kind) const {
+    return *reconverge_ms_[static_cast<size_t>(kind)];
+  }
+
+  // Extra channel for the permit-staleness experiments: how long a revoked
+  // peer kept getting through after the revocation was issued. Recorded by
+  // the caller (it owns the filter bank); stored here so every resilience
+  // metric is in one registry.
+  void RecordPermitStaleness(SimDuration window) {
+    permit_staleness_ms_->Record(window.ToMillis());
+  }
+  const Histogram& permit_staleness_ms() const { return *permit_staleness_ms_; }
+
+ private:
+  void Inject(const FaultSpec& spec);
+  void Recover(const FaultSpec& spec);
+  void Probe(const FaultSpec& spec, SimTime recovered_at, int tries);
+  bool IsReconverged(const FaultSpec& spec) const;
+
+  void DownLink(LinkId link);
+  void RestoreLink(LinkId link);
+
+  EventQueue& queue_;
+  Topology& topology_;
+  FlowSim& flow_sim_;
+  CloudWorld* world_;
+  FaultHooks hooks_;
+  SimDuration probe_interval_;
+  int max_probe_tries_ = 10000;
+
+  // Overlap reference counts.
+  std::vector<int> link_refs_;                       // dense link index
+  std::unordered_map<InstanceId, int> instance_refs_;
+  int degrade_refs_ = 0;
+
+  uint64_t faults_injected_ = 0;
+  uint64_t faults_reconverged_ = 0;
+  uint64_t faults_unconverged_ = 0;
+  Counter* injected_counter_;
+  Counter* unconverged_counter_;
+  Histogram* reconverge_ms_[4];
+  Histogram* permit_staleness_ms_;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_FAULTS_FAULT_INJECTOR_H_

@@ -32,6 +32,14 @@ void FlowSim::EnsureLinkArrays(size_t dense_index) {
   link_allocated_bps_.resize(size, 0.0);
   link_stamp_.resize(size, 0);
   link_slot_.resize(size, 0);
+  link_down_.resize(size, 0);
+}
+
+double FlowSim::EffectiveCapacityBps(size_t dense_index) const {
+  if (dense_index < link_down_.size() && link_down_[dense_index]) {
+    return 0.0;
+  }
+  return topology_.link(LinkId(dense_index + 1)).capacity_bps;
 }
 
 void FlowSim::AddFlowToLinks(FlowId id, LiveFlow& flow) {
@@ -64,7 +72,7 @@ void FlowSim::RemoveFlowFromLinks(FlowId id, LiveFlow& flow) {
 
 FlowId FlowSim::StartFlow(std::vector<LinkId> path, double bytes,
                           CompletionFn on_complete, double weight,
-                          double rate_cap_bps) {
+                          double rate_cap_bps, AbortFn on_abort) {
   assert(bytes >= 0);
   assert(weight > 0);
   FlowId id = flow_ids_.Next();
@@ -100,6 +108,7 @@ FlowId FlowSim::StartFlow(std::vector<LinkId> path, double bytes,
   flow.state.rate_cap_bps = rate_cap_bps;
   flow.state.start_time = now;
   flow.on_complete = std::move(on_complete);
+  flow.on_abort = std::move(on_abort);
   flow.last_settle = now;
   auto [it, inserted] = flows_.emplace(id, std::move(flow));
   AddFlowToLinks(id, it->second);
@@ -112,9 +121,9 @@ FlowId FlowSim::StartFlow(std::vector<LinkId> path, double bytes,
 }
 
 FlowId FlowSim::StartPersistentFlow(std::vector<LinkId> path, double weight,
-                                    double rate_cap_bps) {
+                                    double rate_cap_bps, AbortFn on_abort) {
   return StartFlow(std::move(path), std::numeric_limits<double>::infinity(),
-                   CompletionFn(), weight, rate_cap_bps);
+                   CompletionFn(), weight, rate_cap_bps, std::move(on_abort));
 }
 
 Status FlowSim::CancelFlow(FlowId id) {
@@ -144,6 +153,119 @@ Status FlowSim::CancelFlow(FlowId id) {
     }
   }
   return Status::Ok();
+}
+
+Status FlowSim::SetLinkUp(LinkId link, bool up) {
+  if (!link.valid() || Topology::DenseLinkIndex(link) >= topology_.link_count()) {
+    return InvalidArgumentError("unknown link id");
+  }
+  size_t idx = Topology::DenseLinkIndex(link);
+  EnsureLinkArrays(idx);
+  uint8_t down = up ? 0 : 1;
+  if (link_down_[idx] == down) {
+    return Status::Ok();
+  }
+  link_down_[idx] = down;
+
+  // Abort callbacks are collected inside the batch but fired only after it
+  // closes (the component has reallocated by then), in ascending FlowId
+  // order so replays of the same schedule are deterministic.
+  std::vector<std::pair<FlowId, AbortFn>> aborted;
+  {
+    auto batch = Batch();
+    if (!up) {
+      std::vector<FlowId> crossing;
+      crossing.reserve(link_members_[idx].size());
+      for (const LinkMember& m : link_members_[idx]) {
+        crossing.push_back(m.flow);
+      }
+      std::sort(crossing.begin(), crossing.end(),
+                [](FlowId a, FlowId b) { return a.value() < b.value(); });
+      crossing.erase(std::unique(crossing.begin(), crossing.end()),
+                     crossing.end());
+      for (FlowId fid : crossing) {
+        auto it = flows_.find(fid);
+        if (it == flows_.end()) {
+          continue;
+        }
+        LiveFlow& flow = it->second;
+        if (flow.on_abort) {
+          AbortFn cb = AbortFlow(fid);
+          if (cb) {
+            aborted.emplace_back(fid, std::move(cb));
+          }
+        } else if (!flow.blackhole_counted) {
+          SettleFlow(flow);
+          if (std::isfinite(flow.state.bytes_total) &&
+              flow.state.bytes_left <= 0) {
+            // Payload fully settled at this very timestamp: the write-back
+            // re-completes it now (delivered), so regardless of whether the
+            // fault or the completion event wins the FIFO tie-break the
+            // flow is never charged as blackholed.
+            continue;
+          }
+          // The flow stays live but the water-filler will pin it at rate 0
+          // (the downed link's budget is 0). Charge the blackhole tally at
+          // the moment of the stall, with progress settled up to now.
+          flow.blackhole_counted = true;
+          ++flows_blackholed_;
+          if (std::isfinite(flow.state.bytes_total)) {
+            bytes_blackholed_ += flow.state.bytes_left;
+          }
+        }
+      }
+    }
+    pending_links_.push_back(idx);
+  }
+  SimTime now = queue_.now();
+  for (auto& [fid, cb] : aborted) {
+    cb(fid, now);
+  }
+  return Status::Ok();
+}
+
+bool FlowSim::IsLinkUp(LinkId link) const {
+  size_t idx = Topology::DenseLinkIndex(link);
+  return idx >= link_down_.size() || !link_down_[idx];
+}
+
+size_t FlowSim::stalled_flow_count() const {
+  size_t n = 0;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.state.current_rate_bps > 0 || flow.state.path.empty()) {
+      continue;
+    }
+    for (LinkId link : flow.state.path) {
+      if (!IsLinkUp(link)) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+FlowSim::AbortFn FlowSim::AbortFlow(FlowId id) {
+  assert(batch_depth_ > 0);
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return AbortFn();
+  }
+  LiveFlow& flow = it->second;
+  SettleFlow(flow);
+  queue_.Cancel(flow.completion_event);
+  ++flows_aborted_;
+  if (std::isfinite(flow.state.bytes_total)) {
+    bytes_blackholed_ += flow.state.bytes_left;
+    bytes_delivered_ += flow.state.bytes_total - flow.state.bytes_left;
+  }
+  AbortFn cb = std::move(flow.on_abort);
+  for (LinkId link : flow.state.path) {
+    pending_links_.push_back(Topology::DenseLinkIndex(link));
+  }
+  RemoveFlowFromLinks(id, flow);
+  flows_.erase(it);
+  return cb;
 }
 
 Status FlowSim::SetRateCap(FlowId id, double rate_cap_bps) {
@@ -180,6 +302,9 @@ double FlowSim::LinkUtilization(LinkId link) const {
   size_t idx = Topology::DenseLinkIndex(link);
   if (idx >= link_allocated_bps_.size()) {
     return 0;
+  }
+  if (idx < link_down_.size() && link_down_[idx]) {
+    return 1.0;  // a downed link has no headroom at all
   }
   double cap = topology_.link(link).capacity_bps;
   return cap > 0 ? std::min(1.0, link_allocated_bps_[idx] / cap) : 0;
@@ -316,8 +441,7 @@ void FlowSim::ReallocateScoped(const FlowId* seed_flows,
   budget_remaining_.resize(comp_links_.size());
   budget_weight_.resize(comp_links_.size());
   for (size_t s = 0; s < comp_links_.size(); ++s) {
-    budget_remaining_[s] =
-        topology_.link(LinkId(comp_links_[s] + 1)).capacity_bps;
+    budget_remaining_[s] = EffectiveCapacityBps(comp_links_[s]);
     budget_weight_[s] = 0;
   }
   for (auto& [fid, flow] : comp_flows_) {

@@ -63,13 +63,20 @@ class FlowSim {
   FlowSim(EventQueue& queue, const Topology& topology);
 
   using CompletionFn = std::function<void(FlowId, SimTime finish)>;
+  // Fired when a fault kills a flow (the path lost a link). The flow is
+  // already gone when this runs; callers reroute/retry (see
+  // RequestWorkload's bounded backoff). Never fired by CancelFlow.
+  using AbortFn = std::function<void(FlowId, SimTime when)>;
 
   // Starts a finite transfer of `bytes` along `path`. `on_complete` fires
   // when the last byte is delivered. Empty paths complete immediately
-  // (same-node transfer).
+  // (same-node transfer). If `on_abort` is set, a link fault on the path
+  // aborts the flow and fires it; without one the flow stalls at rate 0
+  // until the link recovers (a blackhole, counted in the fault telemetry).
   FlowId StartFlow(std::vector<LinkId> path, double bytes,
                    CompletionFn on_complete, double weight = 1.0,
-                   double rate_cap_bps = std::numeric_limits<double>::infinity());
+                   double rate_cap_bps = std::numeric_limits<double>::infinity(),
+                   AbortFn on_abort = AbortFn());
 
   // Starts a persistent (infinite-backlog) flow; it runs until CancelFlow.
   // An empty path yields a *tracked zero-link no-op flow*: it consumes no
@@ -77,10 +84,34 @@ class FlowSim {
   // active_flow_count() and can be cancelled like any other flow.
   FlowId StartPersistentFlow(std::vector<LinkId> path, double weight = 1.0,
                              double rate_cap_bps =
-                                 std::numeric_limits<double>::infinity());
+                                 std::numeric_limits<double>::infinity(),
+                             AbortFn on_abort = AbortFn());
 
   // Stops a flow early (persistent or finite). No completion callback fires.
   Status CancelFlow(FlowId id);
+
+  // --- Fault injection -------------------------------------------------------
+  // Downs (up=false) or restores (up=true) a link's capacity. On a down
+  // transition, inside one Batch(): flows crossing the link that carry an
+  // abort handler are killed (handlers fire after the batch reallocates, in
+  // deterministic path order); flows without one stall at rate 0 — they are
+  // blackholed until recovery, when the single batched reallocation restores
+  // their rates and reschedules completions. Idempotent per state. This
+  // mirrors (but does not read) Topology::SetLinkUp — fault injectors set
+  // both so path selection and capacity agree.
+  Status SetLinkUp(LinkId link, bool up);
+  bool IsLinkUp(LinkId link) const;
+
+  // Flows currently stalled at rate 0 on a downed link (excludes tracked
+  // zero-link no-op flows). Zero after every fault has recovered — the
+  // "no permanently blackholed flows" invariant the resilience tests check.
+  size_t stalled_flow_count() const;
+
+  // Cumulative fault damage: flows aborted (handler fired) / first-time
+  // stalls, and the payload bytes left undelivered at that moment.
+  uint64_t flows_aborted() const { return flows_aborted_; }
+  uint64_t flows_blackholed() const { return flows_blackholed_; }
+  double bytes_blackholed() const { return bytes_blackholed_; }
 
   // Tightens/loosens a live flow's rate cap (quota re-division does this).
   Status SetRateCap(FlowId id, double rate_cap_bps);
@@ -162,10 +193,12 @@ class FlowSim {
   struct LiveFlow {
     FlowState state;
     CompletionFn on_complete;
+    AbortFn on_abort;
     EventHandle completion_event;
     SimTime last_settle;        // progress integrated up to here
     uint64_t visit_stamp = 0;   // component-BFS marker
     double pending_rate = 0;    // scratch: rate computed by water-filling
+    bool blackhole_counted = false;  // first stall/abort already tallied
     // Position of this flow's entry in link_members_[dense(path[i])], kept
     // in lockstep by swap-erase so removal is O(path).
     std::vector<uint32_t> member_pos;
@@ -181,6 +214,14 @@ class FlowSim {
   void EnsureLinkArrays(size_t dense_index);
   void AddFlowToLinks(FlowId id, LiveFlow& flow);
   void RemoveFlowFromLinks(FlowId id, LiveFlow& flow);
+
+  // Link capacity as the water-filler sees it: zero while down.
+  double EffectiveCapacityBps(size_t dense_index) const;
+
+  // Tears a flow down (fault path): settles progress, charges the blackhole
+  // counters, and hands back the abort callback to fire once the enclosing
+  // batch has reallocated.
+  AbortFn AbortFlow(FlowId id);
 
   // Advances one flow's bytes_left / delivered accounting to now() using
   // its current rate. Called lazily: only when the rate is about to change
@@ -209,6 +250,11 @@ class FlowSim {
   std::vector<double> link_allocated_bps_;
   std::vector<uint64_t> link_stamp_;  // BFS inclusion marker
   std::vector<uint32_t> link_slot_;   // dense index -> component slot
+  std::vector<uint8_t> link_down_;    // fault overlay (1 = down)
+
+  uint64_t flows_aborted_ = 0;
+  uint64_t flows_blackholed_ = 0;
+  double bytes_blackholed_ = 0;
 
   // Component-BFS / water-filling scratch (reused; allocation-free in
   // steady state).

@@ -114,6 +114,9 @@ Result<std::vector<LinkId>> Topology::ShortestPath(NodeId src, NodeId dst,
     }
     for (LinkId link_id : out_links_[Index(node)]) {
       const LinkInfo& link = links_[Index(link_id)];
+      if (!link.up) {
+        continue;  // faulted links are unusable regardless of cost policy
+      }
       std::optional<double> c = cost(link);
       if (!c.has_value()) {
         continue;
@@ -139,6 +142,24 @@ Result<std::vector<LinkId>> Topology::ShortestPath(NodeId src, NodeId dst,
   }
   std::reverse(path.begin(), path.end());
   return path;
+}
+
+size_t Topology::down_link_count() const {
+  size_t n = 0;
+  for (const LinkInfo& link : links_) {
+    n += link.up ? 0 : 1;
+  }
+  return n;
+}
+
+std::vector<LinkId> Topology::IncidentLinks(NodeId node) const {
+  std::vector<LinkId> incident;
+  for (size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].src == node || links_[i].dst == node) {
+      incident.push_back(LinkId(i + 1));
+    }
+  }
+  return incident;
 }
 
 SimDuration Topology::PathDelay(const std::vector<LinkId>& path) const {

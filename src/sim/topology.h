@@ -64,6 +64,10 @@ struct LinkInfo {
   // Random loss probability per traversal (public internet > backbone).
   double loss_rate = 0;
   LinkClass cls = LinkClass::kBackbone;
+  // Administrative/fault state. A down link is invisible to path selection
+  // (ShortestPath skips it before consulting the cost function) and carries
+  // no capacity in the flow simulator.
+  bool up = true;
 };
 
 class Topology {
@@ -82,6 +86,17 @@ class Topology {
 
   size_t node_count() const { return nodes_.size(); }
   size_t link_count() const { return links_.size(); }
+
+  // Fault state. Downing a link removes it from path selection; recovery
+  // restores it. FlowSim mirrors this state for capacity (see
+  // FlowSim::SetLinkUp); fault injectors set both.
+  void SetLinkUp(LinkId id, bool up) { links_[Index(id)].up = up; }
+  bool IsLinkUp(LinkId id) const { return links_[Index(id)].up; }
+  size_t down_link_count() const;
+
+  // All links touching `node`, in either direction (for node-level faults:
+  // an edge-router restart downs everything incident). O(links).
+  std::vector<LinkId> IncidentLinks(NodeId node) const;
 
   // All links leaving `node`.
   const std::vector<LinkId>& OutLinks(NodeId node) const {

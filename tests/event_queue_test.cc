@@ -170,6 +170,25 @@ TEST(EventQueueTest, FifoTieBreakSurvivesSlotRecycling) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
 }
 
+TEST(EventQueueTest, CancelOfHandleFiredEarlierAtSameTimestamp) {
+  // A callback cancelling a handle that already fired at the SAME
+  // timestamp must be a no-op, even when a new same-time event has
+  // recycled the fired handle's slot (the FlowSim fault path cancels
+  // possibly-fired completion handles from inside a fault batch).
+  EventQueue q;
+  std::vector<int> order;
+  EventHandle first =
+      q.ScheduleAt(SimTime::FromSeconds(1), [&] { order.push_back(1); });
+  q.ScheduleAt(SimTime::FromSeconds(1), [&] {
+    order.push_back(2);
+    q.Cancel(first);  // already fired this timestamp: no-op
+    q.ScheduleAt(q.now(), [&] { order.push_back(3); });
+    q.Cancel(first);  // still a no-op even if the new event reused the slot
+  });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(EventQueueTest, CancelDuringCallback) {
   EventQueue q;
   int fired = 0;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <map>
 #include <tuple>
 
@@ -694,6 +695,153 @@ TEST(FlowSimDeterminismTest, SameSeedYieldsIdenticalEventTrace) {
   EXPECT_EQ(std::get<2>(a), std::get<2>(b));
   EXPECT_DOUBLE_EQ(std::get<3>(a), std::get<3>(b));
   EXPECT_GT(std::get<0>(a).size(), 100u);  // the trace actually ran
+}
+
+TEST(FlowSimTest, DownLinkStallsFlowAndRestoreResumes) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  FlowId f = sim.StartPersistentFlow({w.ab, w.bc});
+  ASSERT_TRUE(sim.SetLinkUp(w.bc, false).ok());
+  EXPECT_FALSE(sim.IsLinkUp(w.bc));
+  EXPECT_DOUBLE_EQ(*sim.CurrentRate(f), 0.0);
+  EXPECT_EQ(sim.stalled_flow_count(), 1u);
+  EXPECT_EQ(sim.flows_blackholed(), 1u);
+  // Re-downing an already-down link is a no-op: no double counting.
+  ASSERT_TRUE(sim.SetLinkUp(w.bc, false).ok());
+  EXPECT_EQ(sim.flows_blackholed(), 1u);
+  ASSERT_TRUE(sim.SetLinkUp(w.bc, true).ok());
+  EXPECT_TRUE(sim.IsLinkUp(w.bc));
+  EXPECT_DOUBLE_EQ(*sim.CurrentRate(f), 0.5e9);
+  EXPECT_EQ(sim.stalled_flow_count(), 0u);
+}
+
+TEST(FlowSimTest, DownLinkAbortsFlowsWithAbortHandlers) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  bool completed = false;
+  int aborts = 0;
+  FlowId aborted_id;
+  SimTime abort_time;
+  FlowId f = sim.StartFlow(
+      {w.ab, w.bc}, 62.5e6, [&](FlowId, SimTime) { completed = true; }, 1.0,
+      std::numeric_limits<double>::infinity(), [&](FlowId id, SimTime t) {
+        ++aborts;
+        aborted_id = id;
+        abort_time = t;
+      });
+  // Halfway through the 1-second transfer the bottleneck link dies.
+  w.queue.ScheduleAt(SimTime::FromSeconds(0.5), [&] {
+    ASSERT_TRUE(sim.SetLinkUp(w.bc, false).ok());
+  });
+  w.queue.RunAll();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(aborts, 1);
+  EXPECT_EQ(aborted_id.value(), f.value());
+  EXPECT_NEAR(abort_time.ToSeconds(), 0.5, 1e-9);
+  EXPECT_EQ(sim.flows_aborted(), 1u);
+  EXPECT_EQ(sim.active_flow_count(), 0u);
+  // Half the payload made it out before the fault; the rest blackholed.
+  EXPECT_NEAR(sim.total_bytes_delivered(), 31.25e6, 1.0);
+  EXPECT_NEAR(sim.bytes_blackholed(), 31.25e6, 1.0);
+}
+
+TEST(FlowSimTest, DownLinkFreesCapacityForSurvivors) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  FlowId through = sim.StartPersistentFlow({w.ab, w.bc});
+  FlowId local = sim.StartPersistentFlow({w.ab});
+  EXPECT_NEAR(*sim.CurrentRate(local), 0.5e9, 1);
+  ASSERT_TRUE(sim.SetLinkUp(w.bc, false).ok());
+  // The stalled flow's share of ab is released to the survivor.
+  EXPECT_DOUBLE_EQ(*sim.CurrentRate(through), 0.0);
+  EXPECT_NEAR(*sim.CurrentRate(local), 1e9, 1);
+  EXPECT_DOUBLE_EQ(sim.LinkUtilization(w.bc), 1.0);  // down reads saturated
+  ASSERT_TRUE(sim.SetLinkUp(w.bc, true).ok());
+  EXPECT_NEAR(*sim.CurrentRate(through), 0.5e9, 1);
+  EXPECT_NEAR(*sim.CurrentRate(local), 0.5e9, 1);
+}
+
+TEST(FlowSimTest, NestedBatchAppliesLinkDownAndStartsAtomically) {
+  // Satellite: Batch() nesting under concurrent link-down + flow-start.
+  // SetLinkUp opens its own nested batch; wrapped in an outer scope the
+  // whole burst must settle in a single reallocation at the outermost end.
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  FlowId f1 = sim.StartPersistentFlow({w.ab, w.bc});
+  uint64_t reallocs_before = sim.reallocation_count();
+  FlowId f2;
+  {
+    auto outer = sim.Batch();
+    ASSERT_TRUE(sim.SetLinkUp(w.bc, false).ok());
+    {
+      auto inner = sim.Batch();
+      f2 = sim.StartPersistentFlow({w.ab});
+    }
+    // Neither the inner scope's close nor SetLinkUp reallocated yet.
+    EXPECT_EQ(sim.reallocation_count(), reallocs_before);
+  }
+  EXPECT_EQ(sim.reallocation_count(), reallocs_before + 1);
+  EXPECT_DOUBLE_EQ(*sim.CurrentRate(f1), 0.0);
+  EXPECT_NEAR(*sim.CurrentRate(f2), 1e9, 1);
+  EXPECT_EQ(sim.flows_blackholed(), 1u);
+  EXPECT_EQ(sim.stalled_flow_count(), 1u);
+}
+
+TEST(FlowSimTest, SameTimestampFaultAndCompletionBothOrdersDeliver) {
+  // Satellite: a fault batch that removes a flow's last link at the exact
+  // sim timestamp where the flow's completion is due. The EventQueue FIFO
+  // tie-break makes both interleavings reachable; in BOTH the flow must be
+  // delivered exactly once and never charged as blackholed.
+  //
+  // Order A: the fault event is scheduled before the flow starts, so at
+  // t=1s the fault fires first. Settling inside the fault batch leaves
+  // bytes_left == 0 and the write-back re-completes the flow at `now`.
+  {
+    Line w;
+    FlowSim sim(w.queue, w.topo);
+    w.queue.ScheduleAt(SimTime::FromSeconds(1), [&] {
+      ASSERT_TRUE(sim.SetLinkUp(w.bc, false).ok());
+    });
+    int completions = 0;
+    SimTime finish;
+    sim.StartFlow({w.ab, w.bc}, 62.5e6, [&](FlowId, SimTime t) {
+      ++completions;
+      finish = t;
+    });
+    w.queue.RunAll();
+    EXPECT_EQ(completions, 1);
+    EXPECT_NEAR(finish.ToSeconds(), 1.0, 1e-9);
+    EXPECT_EQ(sim.flows_blackholed(), 0u);
+    EXPECT_DOUBLE_EQ(sim.bytes_blackholed(), 0.0);
+    EXPECT_NEAR(sim.total_bytes_delivered(), 62.5e6, 1.0);
+    EXPECT_EQ(sim.active_flow_count(), 0u);
+  }
+  // Order B: the completion event was scheduled first and wins the
+  // tie-break; the fault batch then finds no crossing flows and the stale
+  // completion-handle Cancel inside the batch must be a safe no-op.
+  {
+    Line w;
+    FlowSim sim(w.queue, w.topo);
+    int completions = 0;
+    sim.StartFlow({w.ab, w.bc}, 62.5e6,
+                  [&](FlowId, SimTime) { ++completions; });
+    w.queue.ScheduleAt(SimTime::FromSeconds(1), [&] {
+      ASSERT_TRUE(sim.SetLinkUp(w.bc, false).ok());
+    });
+    w.queue.RunAll();
+    EXPECT_EQ(completions, 1);
+    EXPECT_EQ(sim.flows_blackholed(), 0u);
+    EXPECT_DOUBLE_EQ(sim.bytes_blackholed(), 0.0);
+    EXPECT_NEAR(sim.total_bytes_delivered(), 62.5e6, 1.0);
+    EXPECT_EQ(sim.active_flow_count(), 0u);
+  }
+}
+
+TEST(FlowSimTest, SetLinkUpRejectsUnknownLink) {
+  Line w;
+  FlowSim sim(w.queue, w.topo);
+  EXPECT_FALSE(sim.SetLinkUp(LinkId(), false).ok());
+  EXPECT_FALSE(sim.SetLinkUp(LinkId(999), false).ok());
 }
 
 }  // namespace

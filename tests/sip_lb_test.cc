@@ -87,7 +87,7 @@ TEST(SipLbTest, UnbindEverywhereClearsAllSips) {
 }
 
 TEST(SipLbTest, FailoverKeepsServing) {
-  // The provider-managed failover story of E8: kill one of three backends
+  // The provider-managed failover story of E8a: kill one of three backends
   // and every subsequent resolution lands on a survivor.
   SipLoadBalancer lb;
   ASSERT_TRUE(lb.AddSip(Ip("5.128.0.1")).ok());
