@@ -21,11 +21,15 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/sim/flow_sim.h"
 
 namespace tenantnet {
 namespace {
+
+// Set in main(); all JSON lines flow through it into BENCH_flow_sim.json.
+BenchJsonWriter* g_json = nullptr;
 
 struct ChurnWorld {
   EventQueue queue;
@@ -68,13 +72,13 @@ void BuildOverlapping(ChurnWorld& w, size_t pods) {
 
 void EmitJson(const char* scenario, size_t flows, uint64_t events,
               double wall_seconds, const FlowSim& sim) {
-  std::printf(
+  g_json->Recordf(
       "{\"bench\":\"flow_sim_churn\",\"scenario\":\"%s\",\"flows\":%zu,"
       "\"events\":%llu,\"events_per_sec\":%.0f,"
       "\"reallocation_count\":%llu,"
       "\"mean_flows_touched_per_realloc\":%.1f,"
       "\"flows_rescheduled\":%llu,"
-      "\"realloc_mean_us\":%.2f,\"wall_ms\":%.1f}\n",
+      "\"realloc_mean_us\":%.2f,\"wall_ms\":%.1f}",
       scenario, flows, static_cast<unsigned long long>(events),
       static_cast<double>(events) / wall_seconds,
       static_cast<unsigned long long>(sim.reallocation_count()),
@@ -186,10 +190,10 @@ void RunBatch(size_t n) {
   }
   auto t1 = std::chrono::steady_clock::now();
   double wall = std::chrono::duration<double>(t1 - t0).count();
-  std::printf(
+  g_json->Recordf(
       "{\"bench\":\"flow_sim_batch\",\"scenario\":\"batch\",\"flows\":%zu,"
       "\"cap_changes\":%zu,\"reallocations_for_burst\":%llu,"
-      "\"mean_flows_touched_per_realloc\":%.1f,\"wall_ms\":%.2f}\n",
+      "\"mean_flows_touched_per_realloc\":%.1f,\"wall_ms\":%.2f}",
       n, burst,
       static_cast<unsigned long long>(sim.reallocation_count() - before),
       sim.mean_flows_touched_per_realloc(), wall * 1e3);
@@ -200,6 +204,8 @@ void RunBatch(size_t n) {
 
 int main(int argc, char** argv) {
   bool small = argc > 1 && std::strcmp(argv[1], "small") == 0;
+  tenantnet::BenchJsonWriter json("flow_sim", argc, argv);
+  tenantnet::g_json = &json;
   std::vector<size_t> sizes = small ? std::vector<size_t>{1000}
                                     : std::vector<size_t>{1000, 10000, 100000};
   for (size_t n : sizes) {

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/app/workload.h"
 #include "src/cloud/presets.h"
 #include "src/core/api.h"
@@ -35,6 +36,9 @@
 
 namespace tenantnet {
 namespace {
+
+// Set in main(); all JSON lines flow through it into BENCH_resilience.json.
+BenchJsonWriter* g_json = nullptr;
 
 struct StormConfig {
   uint64_t storm_seed = 7;
@@ -191,7 +195,7 @@ void RunStorm(bool declarative, const StormConfig& cfg) {
   }
 
   const PatternStats& stats = workload.stats(pattern);
-  std::printf(
+  g_json->Recordf(
       "{\"bench\":\"resilience\",\"world\":\"%s\",\"storm_seed\":%llu,"
       "\"fault_events\":%zu,"
       "\"injected\":%llu,\"reconverged\":%llu,\"unconverged\":%llu,"
@@ -201,7 +205,7 @@ void RunStorm(bool declarative, const StormConfig& cfg) {
       "\"attempted\":%llu,\"completed\":%llu,\"denied\":%llu,"
       "\"retries\":%llu,\"gave_up\":%llu,"
       "\"latency_ms_p50\":%.2f,\"latency_ms_p99\":%.2f,"
-      "\"stalled_after\":%zu}\n",
+      "\"stalled_after\":%zu}",
       declarative ? "declarative" : "baseline",
       static_cast<unsigned long long>(cfg.storm_seed), cfg.event_count,
       static_cast<unsigned long long>(injector.faults_injected()),
@@ -304,10 +308,10 @@ void RunStaleness(double drop_prob, int rounds) {
   queue.RunAll();  // drain the degrade recovery so the injector converges
 
   const Histogram& h = injector.permit_staleness_ms();
-  std::printf(
+  g_json->Recordf(
       "{\"bench\":\"resilience_staleness\",\"drop_prob\":%.2f,"
       "\"revocations\":%d,\"messages_dropped\":%llu,"
-      "\"staleness_ms_mean\":%.2f,\"staleness_ms_max\":%.2f}\n",
+      "\"staleness_ms_mean\":%.2f,\"staleness_ms_max\":%.2f}",
       drop_prob, rounds,
       static_cast<unsigned long long>(bank.messages_dropped()), h.mean(),
       h.max());
@@ -318,6 +322,8 @@ void RunStaleness(double drop_prob, int rounds) {
 
 int main(int argc, char** argv) {
   bool smoke = argc > 1 && std::strcmp(argv[1], "smoke") == 0;
+  tenantnet::BenchJsonWriter json("resilience", argc, argv);
+  tenantnet::g_json = &json;
   tenantnet::StormConfig cfg;
   if (smoke) {
     cfg.event_count = 40;

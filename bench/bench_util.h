@@ -1,10 +1,13 @@
 // Shared helpers for the experiment binaries: fixed-width table printing so
-// every bench emits the paper-style rows EXPERIMENTS.md records.
+// every bench emits the paper-style rows EXPERIMENTS.md records, plus the
+// standard machine-readable artifact every JSON-emitting bench writes.
 
 #ifndef TENANTNET_BENCH_BENCH_UTIL_H_
 #define TENANTNET_BENCH_BENCH_UTIL_H_
 
+#include <cstdarg>
 #include <cstdio>
+#include <cstring>
 #include <initializer_list>
 #include <string>
 #include <vector>
@@ -50,6 +53,61 @@ inline std::string FmtF(double v, int decimals = 2) {
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
   return buf;
 }
+
+// Standard bench JSON artifact. Each Record()ed line is one JSON object:
+// it is printed to stdout (the JSONL stream EXPERIMENTS.md greps) and
+// buffered; the destructor writes all lines as a JSON array to
+// BENCH_<name>.json in the working directory (run_experiments.sh runs from
+// the repo root) or wherever `--json_out=<path>` points. CI uploads these
+// artifacts and diffs them against checked-in baselines.
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(std::string name, int argc = 0, char** argv = nullptr)
+      : path_("BENCH_" + name + ".json") {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
+        path_ = argv[i] + 11;
+      }
+    }
+  }
+
+  ~BenchJsonWriter() {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", lines_[i].c_str(),
+                   i + 1 < lines_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+  }
+
+  // `json_object` must be one complete JSON object, no trailing newline.
+  void Record(std::string json_object) {
+    std::printf("%s\n", json_object.c_str());
+    lines_.push_back(std::move(json_object));
+  }
+
+  // printf-style convenience for the existing inline-JSON benches.
+  void Recordf(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    char buf[4096];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    Record(buf);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::vector<std::string> lines_;
+};
 
 inline void Banner(const char* experiment, const char* title) {
   std::printf("\n==============================================================\n");

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Gate on warm verdict throughput: compare BENCH_*.json against a baseline.
+
+Usage:
+  check_bench_regression.py BASELINE CURRENT [CURRENT ...] [--max-regression R]
+
+BASELINE is a checked-in JSON array of verdict-sweep records (see
+bench/baselines/verdict_smoke_baseline.json). Each CURRENT file is a
+BENCH_<name>.json emitted by a bench run. Records are matched on
+(bench, endpoints|instances, entries_per_ep); a matched record whose
+warm_vps fell more than R (default 0.30) below the baseline fails the
+gate, as does a baseline record with no current counterpart.
+
+warm_hit_rate is also checked (absolute drop > 0.2 fails): throughput
+is machine-dependent, but hit rate is not — a cache that stopped
+caching shows up there regardless of how fast the runner is.
+"""
+
+import argparse
+import json
+import sys
+
+
+def key(rec):
+    return (
+        rec.get("bench"),
+        rec.get("endpoints"),
+        rec.get("instances"),
+        rec.get("entries_per_ep"),
+    )
+
+
+def load_verdict_records(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array")
+    return [r for r in data if isinstance(r, dict) and "warm_vps" in r]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current", nargs="+")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop in warm_vps before failing (default 0.30)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_verdict_records(args.baseline)
+    if not baseline:
+        print(f"error: no verdict records in baseline {args.baseline}")
+        return 1
+
+    current = {}
+    for path in args.current:
+        for rec in load_verdict_records(path):
+            current[key(rec)] = rec
+
+    failed = False
+    floor = 1.0 - args.max_regression
+    print(f"{'bench':<28} {'size':>8} {'baseline':>14} {'current':>14} {'ratio':>7}")
+    for base in baseline:
+        k = key(base)
+        size = base.get("endpoints") or base.get("instances") or "-"
+        cur = current.get(k)
+        if cur is None:
+            print(f"{k[0]:<28} {size:>8} {base['warm_vps']:>14.0f} {'MISSING':>14}")
+            failed = True
+            continue
+        ratio = cur["warm_vps"] / base["warm_vps"] if base["warm_vps"] else 0.0
+        verdict = "" if ratio >= floor else "  << REGRESSION"
+        print(
+            f"{k[0]:<28} {size:>8} {base['warm_vps']:>14.0f} "
+            f"{cur['warm_vps']:>14.0f} {ratio:>7.2f}{verdict}"
+        )
+        if ratio < floor:
+            failed = True
+        base_hr = base.get("warm_hit_rate")
+        cur_hr = cur.get("warm_hit_rate")
+        if base_hr is not None and cur_hr is not None and cur_hr < base_hr - 0.2:
+            print(f"  warm_hit_rate fell {base_hr:.3f} -> {cur_hr:.3f}")
+            failed = True
+
+    if failed:
+        print(f"\nFAIL: warm verdict throughput regressed >{args.max_regression:.0%} "
+              "(or a baseline record is missing)")
+        return 1
+    print("\nOK: warm verdict throughput within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

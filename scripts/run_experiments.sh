@@ -4,6 +4,11 @@
 # BENCH_FLOW_SIM_SMALL=1 to run only its quick N=1e3 sweep.
 # bench_resilience (E8b) emits JSON lines comparing both worlds under
 # identical fault storms; set E8_SMOKE=1 for the quick single-seed run.
+# bench_scale_permits / bench_scale_routing run the verdict fast-path
+# sweeps (E4b/E5b); set VERDICT_SMOKE=1 for the quick sizes.
+# JSON-emitting benches each write BENCH_<name>.json at the repo root
+# (override per bench with --json_out=<path>); CI uploads these as
+# artifacts and gates on them via scripts/check_bench_regression.py.
 set -u
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja && cmake --build build || exit 1
@@ -21,5 +26,9 @@ for b in build/bench/*; do
      [ "${E8_SMOKE:-0}" = 1 ]; then
     args="smoke"
   fi
+  case "$(basename "$b")" in
+    bench_scale_permits|bench_scale_routing)
+      [ "${VERDICT_SMOKE:-0}" = 1 ] && args="smoke" ;;
+  esac
   "$b" $args 2>&1 | tee -a bench_output.txt
 done

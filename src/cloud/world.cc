@@ -281,6 +281,7 @@ Result<InstanceId> CloudWorld::LaunchInstance(TenantId tenant,
   InstanceId id = inst.id;
   instances_.emplace(id, inst);
   ++live_instance_count_;
+  ++instance_state_epoch_;
   return id;
 }
 
@@ -301,6 +302,7 @@ Result<InstanceId> CloudWorld::LaunchOnPremInstance(TenantId tenant,
   InstanceId id = inst.id;
   instances_.emplace(id, inst);
   ++live_instance_count_;
+  ++instance_state_epoch_;
   return id;
 }
 
@@ -311,6 +313,7 @@ Status CloudWorld::TerminateInstance(InstanceId id) {
   }
   it->second.running = false;
   --live_instance_count_;
+  ++instance_state_epoch_;
   return Status::Ok();
 }
 
@@ -324,6 +327,7 @@ Status CloudWorld::SetInstanceRunning(InstanceId id, bool running) {
   }
   it->second.running = running;
   live_instance_count_ += running ? 1 : -1;
+  ++instance_state_epoch_;
   return Status::Ok();
 }
 

@@ -190,6 +190,11 @@ class CloudWorld {
   size_t region_count() const { return regions_.size(); }
   size_t instance_count() const { return live_instance_count_; }
 
+  // Bumped whenever instance liveness changes (launch, terminate, crash,
+  // recover). Verdict caches validate against it so a cached "delivered"
+  // never outlives the instance it was computed for.
+  uint64_t instance_state_epoch() const { return instance_state_epoch_; }
+
   std::vector<InstanceId> TenantInstances(TenantId tenant) const;
 
   // --- Paths ----------------------------------------------------------------
@@ -220,6 +225,7 @@ class CloudWorld {
   std::unordered_map<InstanceId, Instance> instances_;
   IdGenerator<InstanceId> instance_ids_;
   size_t live_instance_count_ = 0;
+  uint64_t instance_state_epoch_ = 0;
 };
 
 }  // namespace tenantnet

@@ -1,13 +1,59 @@
 #include "src/core/edge_filter.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace tenantnet {
+
+void CompiledPermitList::ScopeSet::Add(Protocol proto, PortRange ports) {
+  if (admit_all) {
+    return;  // already admits every scope
+  }
+  if (proto == Protocol::kAny && ports.IsAny()) {
+    admit_all = true;
+    scopes.clear();
+    scopes.shrink_to_fit();
+    return;
+  }
+  for (const auto& [p, r] : scopes) {
+    if (p == proto && r == ports) {
+      return;  // exact duplicate scope
+    }
+  }
+  scopes.emplace_back(proto, ports);
+}
+
+CompiledPermitList::CompiledPermitList(
+    const std::vector<PermitEntry>& entries) {
+  for (const PermitEntry& entry : entries) {
+    if (entry.source_group.valid()) {
+      ScopeSet* set = nullptr;
+      for (auto& [group, scopes] : group_scopes_) {
+        if (group == entry.source_group) {
+          set = &scopes;
+          break;
+        }
+      }
+      if (set == nullptr) {
+        set = &group_scopes_.emplace_back(entry.source_group, ScopeSet{})
+                   .second;
+      }
+      set->Add(entry.proto, entry.dst_ports);
+      continue;
+    }
+    ScopeSet* set = prefix_index_.ExactMatch(entry.source);
+    if (set == nullptr) {
+      prefix_index_.Insert(entry.source, ScopeSet{});
+      set = prefix_index_.ExactMatch(entry.source);
+    }
+    set->Add(entry.proto, entry.dst_ports);
+  }
+}
 
 EdgeFilterBank::EdgeFilterBank(std::string domain, EventQueue* queue,
                                uint64_t rng_seed, EdgeFilterParams params)
     : domain_(std::move(domain)), queue_(queue), rng_(rng_seed),
-      params_(params) {}
+      params_(params), cache_(params.verdict_cache_slots) {}
 
 size_t EdgeFilterBank::AddEdge(const std::string& name) {
   edges_.push_back(EdgeState{name, {}, {}, 0});
@@ -61,22 +107,26 @@ SimTime EdgeFilterBank::SetPermitList(IpAddress endpoint,
   uint64_t version = next_version_++;
   latest_version_[endpoint] = version;
   latest_entries_[endpoint] = entries;
+  // Compile once; every edge's apply shares the same immutable matcher.
+  auto compiled = std::make_shared<const CompiledPermitList>(entries);
+  ++compiles_;
   SimTime last_applied =
       queue_ != nullptr ? queue_->now() : SimTime::Epoch();
 
   for (size_t i = 0; i < edges_.size(); ++i) {
     ++messages_;
-    auto apply = [this, i, endpoint, version, entries]() {
+    auto apply = [this, i, endpoint, version, entries, compiled]() {
       EdgeState& edge = edges_[i];
       auto it = edge.lists.find(endpoint);
       if (it != edge.lists.end()) {
-        if (it->second.first >= version) {
+        if (it->second.version >= version) {
           return;  // stale update arrived after a newer one
         }
-        edge.entry_count -= it->second.second.size();
+        edge.entry_count -= it->second.entries.size();
       }
       edge.entry_count += entries.size();
-      edge.lists[endpoint] = {version, entries};
+      edge.lists[endpoint] = InstalledList{version, entries, compiled};
+      BumpEndpointEpoch(endpoint);
     };
     if (queue_ == nullptr) {
       apply();
@@ -92,30 +142,71 @@ SimTime EdgeFilterBank::SetPermitList(IpAddress endpoint,
 void EdgeFilterBank::RemovePermitList(IpAddress endpoint) {
   latest_version_.erase(endpoint);
   latest_entries_.erase(endpoint);
+  bool removed_any = false;
   for (EdgeState& edge : edges_) {
     auto it = edge.lists.find(endpoint);
     if (it != edge.lists.end()) {
-      edge.entry_count -= it->second.second.size();
+      edge.entry_count -= it->second.entries.size();
       edge.lists.erase(it);
+      removed_any = true;
     }
     ++messages_;
+  }
+  if (removed_any) {
+    BumpEndpointEpoch(endpoint);
   }
 }
 
 bool EdgeFilterBank::Admits(size_t edge_index, const FiveTuple& flow) const {
+  VerdictKey key{edge_index, flow.src, flow.dst, flow.dst_port, flow.proto};
+  if (const bool* cached = cache_.Lookup(
+          key, gen_, global_epoch_,
+          [&] { return EndpointEpochOf(flow.dst); })) {
+    return *cached;
+  }
+  bool verdict = AdmitsUncached(edge_index, flow);
+  cache_.Insert(key, gen_, global_epoch_, EndpointEpochOf(flow.dst), verdict);
+  return verdict;
+}
+
+bool EdgeFilterBank::AdmitsUncached(size_t edge_index,
+                                    const FiveTuple& flow) const {
   const EdgeState& edge = edges_[edge_index];
   auto it = edge.lists.find(flow.dst);
   if (it == edge.lists.end()) {
     return false;  // default-off
   }
-  for (const PermitEntry& entry : it->second.second) {
+  const CompiledPermitList& compiled = *it->second.compiled;
+  if (compiled.PrefixAdmits(flow)) {
+    return true;
+  }
+  for (const auto& [group, scopes] : compiled.group_scopes()) {
+    if (!scopes.Matches(flow)) {
+      continue;
+    }
+    auto git = edge.groups.find(group);
+    if (git != edge.groups.end() && git->second.members.contains(flow.src)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EdgeFilterBank::AdmitsLinear(size_t edge_index,
+                                  const FiveTuple& flow) const {
+  const EdgeState& edge = edges_[edge_index];
+  auto it = edge.lists.find(flow.dst);
+  if (it == edge.lists.end()) {
+    return false;  // default-off
+  }
+  for (const PermitEntry& entry : it->second.entries) {
     if (entry.source_group.valid()) {
       if (!entry.ScopeMatches(flow)) {
         continue;
       }
       auto git = edge.groups.find(entry.source_group);
       if (git != edge.groups.end() &&
-          git->second.second.count(flow.src) > 0) {
+          git->second.members.count(flow.src) > 0) {
         return true;
       }
       continue;
@@ -130,17 +221,18 @@ bool EdgeFilterBank::Admits(size_t edge_index, const FiveTuple& flow) const {
 SimTime EdgeFilterBank::SetGroup(EndpointGroupId group,
                                  std::vector<IpAddress> members) {
   uint64_t version = next_version_++;
-  std::set<IpAddress> member_set(members.begin(), members.end());
+  std::unordered_set<IpAddress> member_set(members.begin(), members.end());
   SimTime last_applied = queue_ != nullptr ? queue_->now() : SimTime::Epoch();
   for (size_t i = 0; i < edges_.size(); ++i) {
     ++messages_;
     auto apply = [this, i, group, version, member_set]() {
       EdgeState& edge = edges_[i];
       auto it = edge.groups.find(group);
-      if (it != edge.groups.end() && it->second.first >= version) {
+      if (it != edge.groups.end() && it->second.version >= version) {
         return;  // stale
       }
-      edge.groups[group] = {version, member_set};
+      edge.groups[group] = GroupState{version, member_set};
+      BumpGlobalEpoch();
     };
     if (queue_ == nullptr) {
       apply();
@@ -154,9 +246,13 @@ SimTime EdgeFilterBank::SetGroup(EndpointGroupId group,
 }
 
 void EdgeFilterBank::RemoveGroup(EndpointGroupId group) {
+  bool removed_any = false;
   for (EdgeState& edge : edges_) {
-    edge.groups.erase(group);
+    removed_any |= edge.groups.erase(group) > 0;
     ++messages_;
+  }
+  if (removed_any) {
+    BumpGlobalEpoch();
   }
 }
 
@@ -177,7 +273,7 @@ bool EdgeFilterBank::IsConverged(IpAddress endpoint) const {
   }
   for (const EdgeState& edge : edges_) {
     auto it = edge.lists.find(endpoint);
-    if (it == edge.lists.end() || it->second.first != vit->second) {
+    if (it == edge.lists.end() || it->second.version != vit->second) {
       return false;
     }
   }

@@ -10,14 +10,25 @@
 // The bank tracks exactly what E4b asks about: total filter entries per
 // edge (memory), update fan-out (messages), and install latency until the
 // last edge converges.
+//
+// Data-plane fast path: each installed list is compiled once into a
+// CompiledPermitList (prefix entries in an LPM trie whose nodes carry the
+// port/protocol scopes, group entries deduped into per-group scope sets),
+// and verdicts are memoized in a generational VerdictCache. List applies
+// bump the endpoint's epoch, group applies bump the bank-wide epoch, so
+// cached verdicts self-invalidate without enumeration. Admits() is the
+// cached entry point; AdmitsUncached() always evaluates the compiled
+// matcher; AdmitsLinear() is the original O(entries) reference kept for
+// equivalence tests and as the bench baseline.
 
 #ifndef TENANTNET_SRC_CORE_EDGE_FILTER_H_
 #define TENANTNET_SRC_CORE_EDGE_FILTER_H_
 
 #include <cstdint>
-#include <set>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/ids.h"
@@ -25,6 +36,8 @@
 #include "src/common/status.h"
 #include "src/common/time.h"
 #include "src/net/flow.h"
+#include "src/net/verdict_cache.h"
+#include "src/routing/lpm_trie.h"
 #include "src/sim/event_queue.h"
 
 namespace tenantnet {
@@ -61,6 +74,59 @@ struct PermitEntry {
   friend bool operator==(const PermitEntry& a, const PermitEntry& b) = default;
 };
 
+// A permit list compiled for the data plane. Prefix entries live in an LPM
+// trie whose node values hold the port/protocol scopes attached to that
+// source prefix; group entries are deduplicated into one scope set per
+// referenced group. Evaluation is a trie walk over the covering prefixes of
+// flow.src plus one hash probe per distinct referenced group, instead of a
+// linear scan of every entry.
+class CompiledPermitList {
+ public:
+  // One (protocol, port-range) guard; `admit_all` short-circuits scope sets
+  // that contain an unscoped entry (any proto, any port).
+  struct ScopeSet {
+    bool admit_all = false;
+    std::vector<std::pair<Protocol, PortRange>> scopes;
+
+    void Add(Protocol proto, PortRange ports);
+    bool Matches(const FiveTuple& flow) const {
+      if (admit_all) {
+        return true;
+      }
+      for (const auto& [proto, ports] : scopes) {
+        if ((proto == Protocol::kAny || proto == flow.proto) &&
+            ports.Contains(flow.dst_port)) {
+          return true;
+        }
+      }
+      return false;
+    }
+  };
+
+  explicit CompiledPermitList(const std::vector<PermitEntry>& entries);
+
+  // True if any prefix entry covering flow.src has a matching scope.
+  bool PrefixAdmits(const FiveTuple& flow) const {
+    if (prefix_index_.entry_count() == 0) {
+      return false;
+    }
+    return prefix_index_.ForEachMatch(
+        flow.src, [&](const ScopeSet& set) { return !set.Matches(flow); });
+  }
+
+  // Distinct groups referenced by this list, with their merged scopes.
+  const std::vector<std::pair<EndpointGroupId, ScopeSet>>& group_scopes()
+      const {
+    return group_scopes_;
+  }
+
+  size_t prefix_node_count() const { return prefix_index_.node_count(); }
+
+ private:
+  LpmTrie<ScopeSet> prefix_index_;
+  std::vector<std::pair<EndpointGroupId, ScopeSet>> group_scopes_;
+};
+
 struct EdgeFilterParams {
   // Control-plane install latency per edge: base + Exp(1/mean_extra).
   SimDuration install_base = SimDuration::Millis(5);
@@ -75,6 +141,10 @@ struct EdgeFilterParams {
   double degraded_drop_prob = 0.35;
   SimDuration degraded_retransmit = SimDuration::Millis(50);
   SimDuration degraded_extra = SimDuration::Millis(20);
+
+  // Slot count of the bank's verdict cache (rounded up to a power of two;
+  // storage is lazy, so untouched banks cost nothing).
+  size_t verdict_cache_slots = 1 << 16;
 };
 
 // The replicated filter state of one enforcement domain (a provider or an
@@ -93,7 +163,8 @@ class EdgeFilterBank {
 
   // Replaces the permit list for `endpoint` on every edge. Returns the
   // simulated time at which the *last* edge has applied it (== now when no
-  // queue is attached).
+  // queue is attached). The list is compiled once per update and the
+  // compiled form shared by every edge's apply.
   SimTime SetPermitList(IpAddress endpoint, std::vector<PermitEntry> entries);
 
   // Incremental update (API extension): adds `add` and removes entries
@@ -113,7 +184,18 @@ class EdgeFilterBank {
 
   // Data plane: does edge `edge_index` admit this flow toward flow.dst?
   // Default-off: no installed list, or an empty list, admits nothing.
+  // Memoized in the bank's verdict cache; epoch bumps on list/group applies
+  // keep cached verdicts honest without enumeration.
   bool Admits(size_t edge_index, const FiveTuple& flow) const;
+
+  // Same verdict via the compiled matcher, skipping the cache. The cache
+  // miss path; exposed for benches and equivalence tests.
+  bool AdmitsUncached(size_t edge_index, const FiveTuple& flow) const;
+
+  // Same verdict via the original linear scan over the installed entries
+  // (the pre-fast-path data plane). Reference implementation for the
+  // equivalence property test and the bench speedup baseline.
+  bool AdmitsLinear(size_t edge_index, const FiveTuple& flow) const;
 
   // True if the edge currently holds any list for `endpoint` (distinguishes
   // "default-off, nothing installed" from "installed but not permitted").
@@ -125,6 +207,7 @@ class EdgeFilterBank {
   // --- Fault injection ------------------------------------------------------
   // Toggles degraded replication (see EdgeFilterParams). Only affects
   // updates sent while degraded; in-flight messages keep their schedule.
+  // Timing-only: does not bump any verdict epoch.
   void SetReplicationDegraded(bool degraded) { degraded_ = degraded; }
   bool replication_degraded() const { return degraded_; }
 
@@ -135,21 +218,71 @@ class EdgeFilterBank {
   uint64_t messages_dropped() const { return messages_dropped_; }
   uint64_t retransmissions() const { return retransmissions_; }
 
+  // --- Verdict fast-path introspection -------------------------------------
+  const VerdictCacheStats& verdict_cache_stats() const {
+    return cache_.stats();
+  }
+  void ResetVerdictCacheStats() { cache_.ResetStats(); }
+  // Drops all memoized verdicts (benches: cold-start measurement).
+  void ClearVerdictCache() { cache_.Clear(); }
+  uint64_t permit_compiles() const { return compiles_; }
+  uint64_t verdict_epoch() const { return gen_; }
+
  private:
+  struct InstalledList {
+    uint64_t version = 0;
+    std::vector<PermitEntry> entries;
+    // Shared across edges: compiled once per SetPermitList.
+    std::shared_ptr<const CompiledPermitList> compiled;
+  };
+  struct GroupState {
+    uint64_t version = 0;
+    std::unordered_set<IpAddress> members;
+  };
   struct EdgeState {
     std::string name;
-    // endpoint -> (version, entries)
-    std::unordered_map<IpAddress,
-                       std::pair<uint64_t, std::vector<PermitEntry>>> lists;
-    // group -> (version, member set)
-    std::unordered_map<EndpointGroupId,
-                       std::pair<uint64_t, std::set<IpAddress>>> groups;
+    std::unordered_map<IpAddress, InstalledList> lists;
+    std::unordered_map<EndpointGroupId, GroupState> groups;
     uint64_t entry_count = 0;
+  };
+
+  struct VerdictKey {
+    uint64_t edge = 0;
+    IpAddress src;
+    IpAddress dst;
+    uint16_t dst_port = 0;
+    Protocol proto = Protocol::kAny;
+
+    friend bool operator==(const VerdictKey& a, const VerdictKey& b) = default;
+  };
+  struct VerdictKeyHash {
+    size_t operator()(const VerdictKey& k) const {
+      size_t h = std::hash<IpAddress>{}(k.src);
+      h = h * 1099511628211ull ^ std::hash<IpAddress>{}(k.dst);
+      h = h * 1099511628211ull ^
+          (k.edge << 24 | static_cast<size_t>(k.dst_port) << 8 |
+           static_cast<size_t>(k.proto));
+      return h;
+    }
   };
 
   // One message's delivery delay, including any degraded-mode drop/retry
   // rounds. Advances the RNG; all draws happen here, at send time.
   SimDuration SampleDeliveryLatency();
+
+  // Epoch bumps, called at *apply* time (when edge state actually changes).
+  void BumpEndpointEpoch(IpAddress endpoint) {
+    ++endpoint_epoch_[endpoint];
+    ++gen_;
+  }
+  void BumpGlobalEpoch() {
+    ++global_epoch_;
+    ++gen_;
+  }
+  uint64_t EndpointEpochOf(IpAddress endpoint) const {
+    auto it = endpoint_epoch_.find(endpoint);
+    return it == endpoint_epoch_.end() ? 0 : it->second;
+  }
 
   std::string domain_;
   EventQueue* queue_;
@@ -164,6 +297,15 @@ class EdgeFilterBank {
   std::unordered_map<IpAddress, uint64_t> latest_version_;
   uint64_t next_version_ = 1;
   uint64_t messages_ = 0;
+
+  // Verdict fast path. Scoped epochs: list applies/removals bump the
+  // endpoint's epoch, group applies/removals bump the bank-wide one; gen_
+  // moves with every bump so validated slots hit with one integer compare.
+  std::unordered_map<IpAddress, uint64_t> endpoint_epoch_;
+  uint64_t global_epoch_ = 0;
+  uint64_t gen_ = 0;
+  uint64_t compiles_ = 0;
+  mutable VerdictCache<VerdictKey, bool, VerdictKeyHash> cache_;
 };
 
 }  // namespace tenantnet

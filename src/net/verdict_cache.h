@@ -1,0 +1,171 @@
+// Generational (epoch-invalidated) verdict cache.
+//
+// Both worlds answer the same hot question — "does this flow get through?" —
+// and both answer it with work proportional to configuration size. The
+// VerdictCache memoizes those answers without ever enumerating entries to
+// invalidate them: every cached verdict is stamped with the epochs of the
+// state it was derived from, and a mutation bumps an epoch instead of
+// touching the cache. Stale entries simply stop validating and get
+// overwritten in place.
+//
+// Validation is two-tier so the steady-state hit costs one probe:
+//   1. `validated_gen == gen` — nothing at all has mutated since this slot
+//      was last validated: pure integer compare, no second lookup.
+//   2. Otherwise the slot re-validates against (global_epoch, scope_epoch):
+//      the caller supplies the entry's *scope* epoch lazily (e.g. the
+//      per-endpoint epoch in the declarative world), and a match re-stamps
+//      validated_gen so subsequent hits take tier 1 again.
+// `gen` must bump whenever *any* epoch the cache can observe bumps.
+//
+// The table is set-associative (kWays) and direct-mapped within a set:
+// collisions overwrite, nothing is chained, memory is bounded and allocated
+// lazily on first insert. Single-threaded like the rest of the simulator.
+
+#ifndef TENANTNET_SRC_NET_VERDICT_CACHE_H_
+#define TENANTNET_SRC_NET_VERDICT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace tenantnet {
+
+struct VerdictCacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;           // fast-path + revalidated
+  uint64_t revalidations = 0;  // hits that took the tier-2 epoch check
+  uint64_t stale = 0;          // key matched but epochs no longer valid
+  uint64_t misses = 0;         // no matching key (includes stale)
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;      // insert displaced a live, still-valid entry
+
+  double hit_rate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+template <typename Key, typename Verdict, typename Hash = std::hash<Key>>
+class VerdictCache {
+ public:
+  // `capacity` is the slot count, rounded up to a power of two (minimum one
+  // set). Slots are kWays-associative; storage is allocated on first insert.
+  explicit VerdictCache(size_t capacity = kDefaultCapacity) {
+    size_t slots = kWays;
+    while (slots < capacity) {
+      slots <<= 1;
+    }
+    mask_ = (slots / kWays) - 1;
+    capacity_ = slots;
+  }
+
+  // Returns the cached verdict for `key` if present and still valid, else
+  // nullptr. `gen` is the caller's total mutation counter, `global_epoch`
+  // its coarse epoch, and `scope_epoch_of()` lazily produces the fine-grained
+  // epoch the entry was scoped to (only consulted when `gen` moved).
+  template <typename ScopeFn>
+  const Verdict* Lookup(const Key& key, uint64_t gen, uint64_t global_epoch,
+                        ScopeFn&& scope_epoch_of) {
+    ++stats_.lookups;
+    if (slots_.empty()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    Slot* set = SetFor(key);
+    for (size_t w = 0; w < kWays; ++w) {
+      Slot& slot = set[w];
+      if (!slot.occupied || !(slot.key == key)) {
+        continue;
+      }
+      if (slot.validated_gen == gen) {
+        ++stats_.hits;
+        return &slot.verdict;
+      }
+      if (slot.global_epoch == global_epoch &&
+          slot.scope_epoch == scope_epoch_of()) {
+        slot.validated_gen = gen;  // revalidated; next hit is tier 1
+        ++stats_.hits;
+        ++stats_.revalidations;
+        return &slot.verdict;
+      }
+      ++stats_.stale;
+      ++stats_.misses;
+      slot.occupied = false;  // self-invalidated; free the way for reuse
+      return nullptr;
+    }
+    ++stats_.misses;
+    return nullptr;
+  }
+
+  void Insert(const Key& key, uint64_t gen, uint64_t global_epoch,
+              uint64_t scope_epoch, Verdict verdict) {
+    if (slots_.empty()) {
+      slots_.resize(capacity_);
+    }
+    Slot* set = SetFor(key);
+    Slot* victim = nullptr;
+    for (size_t w = 0; w < kWays; ++w) {
+      Slot& slot = set[w];
+      if (slot.occupied && slot.key == key) {
+        victim = &slot;  // refresh in place
+        break;
+      }
+      if (victim == nullptr && !slot.occupied) {
+        victim = &slot;
+      }
+    }
+    if (victim == nullptr) {
+      victim = &set[round_robin_++ % kWays];
+      ++stats_.evictions;
+    }
+    victim->occupied = true;
+    victim->key = key;
+    victim->scope_epoch = scope_epoch;
+    victim->global_epoch = global_epoch;
+    victim->validated_gen = gen;
+    victim->verdict = std::move(verdict);
+    ++stats_.insertions;
+  }
+
+  // Drops every entry (epoch bumps make this unnecessary for correctness;
+  // benches use it to measure cold-start throughput).
+  void Clear() {
+    slots_.clear();
+    slots_.shrink_to_fit();
+  }
+
+  const VerdictCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = VerdictCacheStats{}; }
+  size_t capacity() const { return capacity_; }
+
+  static constexpr size_t kWays = 4;
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+ private:
+  struct Slot {
+    Key key{};
+    uint64_t scope_epoch = 0;
+    uint64_t global_epoch = 0;
+    uint64_t validated_gen = 0;
+    Verdict verdict{};
+    bool occupied = false;
+  };
+
+  Slot* SetFor(const Key& key) {
+    // One multiplicative scramble on top of the key hash: std::hash for
+    // integral types is often the identity, which would alias sets badly.
+    uint64_t h = Hash{}(key) * 0x9E3779B97F4A7C15ull;
+    return &slots_[((h >> 17) & mask_) * kWays];
+  }
+
+  size_t capacity_;
+  uint64_t mask_;
+  uint64_t round_robin_ = 0;
+  std::vector<Slot> slots_;
+  VerdictCacheStats stats_;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_NET_VERDICT_CACHE_H_

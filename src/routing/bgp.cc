@@ -7,6 +7,7 @@ namespace tenantnet {
 
 SpeakerId BgpMesh::AddSpeaker(uint32_t asn, std::string name) {
   speakers_.push_back(Speaker{asn, std::move(name), {}, {}, {}});
+  ++mutations_;
   return SpeakerId(speakers_.size());
 }
 
@@ -22,6 +23,7 @@ Status BgpMesh::AddSession(SpeakerId a, SpeakerId b, SessionPolicy a_to_b,
   Get(a).sessions.push_back(Session{b, std::move(a_to_b)});
   Get(b).sessions.push_back(Session{a, std::move(b_to_a)});
   ++session_count_;
+  ++mutations_;
   return Status::Ok();
 }
 
@@ -35,6 +37,7 @@ Status BgpMesh::Originate(SpeakerId speaker, const IpPrefix& prefix) {
     return AlreadyExistsError("already originated: " + prefix.ToString());
   }
   s.originated.push_back(prefix);
+  ++mutations_;
   return Status::Ok();
 }
 
@@ -48,6 +51,7 @@ Status BgpMesh::WithdrawOrigin(SpeakerId speaker, const IpPrefix& prefix) {
     return NotFoundError("not originated here: " + prefix.ToString());
   }
   s.originated.erase(it);
+  ++mutations_;
   return Status::Ok();
 }
 
@@ -73,6 +77,7 @@ bool BgpMesh::Better(const BgpRoute& candidate, const BgpRoute& incumbent,
 
 BgpMesh::ConvergenceStats BgpMesh::Converge(uint64_t max_rounds) {
   ConvergenceStats stats;
+  ++mutations_;  // RIBs are rebuilt below even if the outcome is identical
 
   // Reset Loc-RIBs to locally originated routes; convergence is recomputed
   // from scratch so that withdrawals are handled soundly.

@@ -83,6 +83,11 @@ class BgpMesh {
   // Total best-route entries across all speakers (global routing state).
   size_t TotalRibEntries() const;
 
+  // Bumped by every mesh mutation (speakers, sessions, origins) and every
+  // Converge() run. Verdict caches fold it into their generation so cached
+  // deliveries never outlive the RIBs they were computed from.
+  uint64_t mutation_count() const { return mutations_; }
+
  private:
   struct Session {
     SpeakerId peer;
@@ -106,6 +111,7 @@ class BgpMesh {
 
   std::vector<Speaker> speakers_;
   size_t session_count_ = 0;
+  uint64_t mutations_ = 0;
 };
 
 }  // namespace tenantnet

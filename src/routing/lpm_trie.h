@@ -100,6 +100,30 @@ class LpmTrie {
     return best;
   }
 
+  // Visits the value of *every* prefix covering `ip`, shortest first, while
+  // `fn(value)` returns true. Returns true if the walk was cut short (fn
+  // returned false — "found what I wanted"). Admission checks need this
+  // rather than LongestMatch: a permit list admits a flow if *any* covering
+  // prefix carries a matching scope, not just the most specific one.
+  template <typename Fn>
+  bool ForEachMatch(IpAddress ip, Fn&& fn) const {
+    const Node* node = RootFor(ip.family());
+    if (node->value.has_value() && !fn(*node->value)) {
+      return true;
+    }
+    int width = ip.width();
+    for (int depth = 0; depth < width; ++depth) {
+      node = ip.BitFromMsb(depth) ? node->one.get() : node->zero.get();
+      if (node == nullptr) {
+        return false;
+      }
+      if (node->value.has_value() && !fn(*node->value)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   // Visits every entry as (prefix, value).
   template <typename Fn>
   void ForEach(Fn&& fn) const {

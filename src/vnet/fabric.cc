@@ -56,6 +56,7 @@ Result<VpcId> BaselineNetwork::CreateVpc(TenantId tenant, ProviderId provider,
   VpcRouteTableId table_id = table_ids_.Next();
   tables_.emplace(table_id, std::make_unique<VpcRouteTable>(
                                 table_id, name + ":main-rt"));
+  tables_[table_id]->AttachRevisionCounter(&config_epoch_);
   ledger_->CreateComponent("route-table", name + ":main-rt");
   tables_[table_id]->Install(cidr, VpcRouteTarget{VpcRouteTargetKind::kLocal, 0});
   ledger_->SetParameter("route-table", "local-route");
@@ -64,10 +65,12 @@ Result<VpcId> BaselineNetwork::CreateVpc(TenantId tenant, ProviderId provider,
   NetworkAclId acl_id = acl_ids_.Next();
   acls_.emplace(acl_id,
                 std::make_unique<NetworkAcl>(acl_id, name + ":default-acl"));
+  acls_[acl_id]->AttachRevisionCounter(&config_epoch_);
   ledger_->CreateComponent("network-acl", name + ":default-acl");
   vpc->default_acl = acl_id;
 
   vpcs_.emplace(id, std::move(vpc));
+  BumpConfigEpoch();
   return id;
 }
 
@@ -100,6 +103,7 @@ Result<SubnetId> BaselineNetwork::CreateSubnet(VpcId vpc_id,
   ledger_->CrossReference("subnet", "vpc");
 
   subnets_.emplace(id, std::move(subnet));
+  BumpConfigEpoch();
   return id;
 }
 
@@ -111,6 +115,7 @@ Result<VpcRouteTableId> BaselineNetwork::CreateRouteTable(
   }
   VpcRouteTableId id = table_ids_.Next();
   auto table = std::make_unique<VpcRouteTable>(id, name);
+  table->AttachRevisionCounter(&config_epoch_);
   // Every route table implicitly carries the VPC-local route.
   table->Install(vpc->cidr, VpcRouteTarget{VpcRouteTargetKind::kLocal, 0});
   tables_.emplace(id, std::move(table));
@@ -130,6 +135,7 @@ Status BaselineNetwork::AssociateRouteTable(SubnetId subnet_id,
   }
   it->second->route_table = table_id;
   ledger_->CrossReference("route-table", "subnet-association");
+  BumpConfigEpoch();
   return Status::Ok();
 }
 
@@ -182,6 +188,7 @@ Result<SecurityGroupId> BaselineNetwork::CreateSecurityGroup(
   }
   SecurityGroupId id = group_ids_.Next();
   groups_.emplace(id, std::make_unique<SecurityGroup>(id, name));
+  groups_[id]->AttachRevisionCounter(&config_epoch_);
   ledger_->CreateComponent("security-group", name);
   ledger_->CrossReference("security-group", "vpc");
   return id;
@@ -207,6 +214,7 @@ Result<NetworkAclId> BaselineNetwork::CreateNetworkAcl(
   }
   NetworkAclId id = acl_ids_.Next();
   acls_.emplace(id, std::make_unique<NetworkAcl>(id, name));
+  acls_[id]->AttachRevisionCounter(&config_epoch_);
   ledger_->CreateComponent("network-acl", name);
   ledger_->CrossReference("network-acl", "vpc");
   return id;
@@ -233,6 +241,7 @@ Status BaselineNetwork::AssociateAcl(SubnetId subnet_id, NetworkAclId acl) {
   }
   it->second->acl = acl;
   ledger_->CrossReference("network-acl", "subnet-association");
+  BumpConfigEpoch();
   return Status::Ok();
 }
 
@@ -293,6 +302,7 @@ Result<EniId> BaselineNetwork::AttachInstance(
   eni_by_ip_[private_ip] = id;
   eni_by_instance_[instance] = id;
   enis_.emplace(id, std::move(eni));
+  BumpConfigEpoch();
   return id;
 }
 
@@ -313,6 +323,7 @@ Status BaselineNetwork::DetachInstance(InstanceId instance) {
   }
   enis_.erase(eni_id);
   eni_by_instance_.erase(it);
+  BumpConfigEpoch();
   return Status::Ok();
 }
 
@@ -331,6 +342,7 @@ Result<IpAddress> BaselineNetwork::AttachOnPremInstance(InstanceId instance) {
   }
   TN_ASSIGN_OR_RETURN(IpAddress ip, pool->Allocate());
   on_prem_addrs_[instance] = ip;
+  BumpConfigEpoch();
   return ip;
 }
 
@@ -352,6 +364,7 @@ Result<IgwId> BaselineNetwork::CreateInternetGateway(VpcId vpc,
   ledger_->CreateComponent("internet-gateway", name);
   ledger_->Decision("internet-gateway", "igw-vs-egress-only-vs-vpg");
   ledger_->CrossReference("internet-gateway", "vpc-attachment");
+  BumpConfigEpoch();
   return id;
 }
 
@@ -365,6 +378,7 @@ Result<EgressOnlyIgwId> BaselineNetwork::CreateEgressOnlyIgw(
   egress_igw_by_vpc_[vpc] = id;
   ledger_->CreateComponent("egress-only-igw", name);
   ledger_->CrossReference("egress-only-igw", "vpc-attachment");
+  BumpConfigEpoch();
   return id;
 }
 
@@ -390,6 +404,7 @@ Result<NatGatewayId> BaselineNetwork::CreateNatGateway(
   ledger_->CreateComponent("nat-gateway", name);
   ledger_->SetParameter("nat-gateway", "elastic-ip");
   ledger_->CrossReference("nat-gateway", "subnet");
+  BumpConfigEpoch();
   return id;
 }
 
@@ -429,6 +444,7 @@ Result<VpnGatewayId> BaselineNetwork::CreateVpnGateway(
   ledger_->SetParameter("vpn-gateway", "pre-shared-keys");
   ledger_->CrossReference("vpn-gateway", "vpc-attachment");
   ledger_->CrossReference("vpn-gateway", "customer-gateway");
+  BumpConfigEpoch();
   return id;
 }
 
@@ -456,6 +472,7 @@ Result<PeeringId> BaselineNetwork::CreatePeering(VpcId requester,
   ledger_->CreateComponent("vpc-peering", name);
   ledger_->CrossReference("vpc-peering", "requester-vpc");
   ledger_->CrossReference("vpc-peering", "accepter-vpc");
+  BumpConfigEpoch();
   return id;
 }
 
@@ -466,6 +483,7 @@ Status BaselineNetwork::AcceptPeering(PeeringId peering) {
   }
   it->second.accepted = true;
   ledger_->SetParameter("vpc-peering", "accept");
+  BumpConfigEpoch();
   return Status::Ok();
 }
 
@@ -474,6 +492,7 @@ Result<TransitGatewayId> BaselineNetwork::CreateTransitGateway(
     const std::string& name) {
   TransitGatewayId id = tgw_ids_.Next();
   auto tgw = std::make_unique<TransitGateway>(id, provider, region, asn, name);
+  tgw->AttachRevisionCounter(&config_epoch_);
   tgw->set_speaker(bgp_.AddSpeaker(asn, name));
   tgws_.emplace(id, std::move(tgw));
   ledger_->CreateComponent("transit-gateway", name);
@@ -602,6 +621,7 @@ Result<DirectConnectId> BaselineNetwork::CreateDirectConnect(
   ledger_->SetParameter("direct-connect", "virtual-interface");
   ledger_->Decision("direct-connect", "location-selection");
   ledger_->CrossReference("direct-connect", "exchange-port");
+  BumpConfigEpoch();
   return id;
 }
 
@@ -742,6 +762,7 @@ Result<FirewallId> BaselineNetwork::CreateFirewall(const std::string& name,
   FirewallId id = firewall_ids_.Next();
   firewalls_.emplace(id,
                      std::make_unique<DpiFirewall>(id, name, capacity_pps));
+  firewalls_[id]->AttachRevisionCounter(&config_epoch_);
   ledger_->CreateComponent("dpi-firewall", name);
   ledger_->Decision("dpi-firewall", "vendor-vs-native");
   ledger_->SetParameter("dpi-firewall", "capacity");
@@ -767,6 +788,7 @@ Status BaselineNetwork::SetIngressFirewall(VpcId vpc, FirewallId firewall) {
     return NotFoundError("no such firewall");
   }
   vpc_ingress_firewall_[vpc] = firewall;
+  BumpConfigEpoch();
   ledger_->CrossReference("dpi-firewall", "vpc-ingress-steering");
   ledger_->SetParameter("route-table", "firewall-steering-route");
   return Status::Ok();
@@ -1345,11 +1367,47 @@ IpPrefix BaselineNetwork::RouteForDst(IpAddress dst) const {
   return best;
 }
 
+bool BaselineNetwork::CacheableDelivery(const BaselineDelivery& delivery) {
+  // Flows the DPI firewall saw must keep hitting it: its inspected/denied
+  // counters drive the E6 saturation model.
+  if (delivery.drop_stage == "firewall") {
+    return false;
+  }
+  for (const std::string& hop : delivery.logical_hops) {
+    if (hop.rfind("firewall:", 0) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
 Result<BaselineDelivery> BaselineNetwork::Evaluate(InstanceId src,
                                                    InstanceId dst,
                                                    uint16_t dst_port,
                                                    Protocol proto,
                                                    std::string_view payload) {
+  if (!payload.empty()) {
+    // Payload matching (DPI) makes the verdict a function of the payload;
+    // don't pollute the 4-tuple-keyed cache.
+    return EvaluateUncached(src, dst, dst_port, proto, payload);
+  }
+  InstanceFlowKey key{src.value(), dst.value(), dst_port, proto};
+  const uint64_t gen = VerdictGen();
+  if (const BaselineDelivery* cached =
+          instance_cache_.Lookup(key, gen, gen, [gen] { return gen; })) {
+    return *cached;
+  }
+  Result<BaselineDelivery> result =
+      EvaluateUncached(src, dst, dst_port, proto, payload);
+  if (result.ok() && CacheableDelivery(*result)) {
+    instance_cache_.Insert(key, gen, gen, gen, *result);
+  }
+  return result;
+}
+
+Result<BaselineDelivery> BaselineNetwork::EvaluateUncached(
+    InstanceId src, InstanceId dst, uint16_t dst_port, Protocol proto,
+    std::string_view payload) {
   const Instance* src_inst = world_->FindInstance(src);
   const Instance* dst_inst = world_->FindInstance(dst);
   if (src_inst == nullptr || dst_inst == nullptr) {
@@ -1538,6 +1596,26 @@ BaselineDelivery BaselineNetwork::EvaluateExternal(IpAddress src,
                                                    uint16_t dst_port,
                                                    Protocol proto,
                                                    std::string_view payload) {
+  if (!payload.empty()) {
+    return EvaluateExternalUncached(src, dst, dst_port, proto, payload);
+  }
+  ExternalFlowKey key{src, dst, dst_port, proto};
+  const uint64_t gen = VerdictGen();
+  if (const BaselineDelivery* cached =
+          external_cache_.Lookup(key, gen, gen, [gen] { return gen; })) {
+    return *cached;
+  }
+  BaselineDelivery delivery =
+      EvaluateExternalUncached(src, dst, dst_port, proto, payload);
+  if (CacheableDelivery(delivery)) {
+    external_cache_.Insert(key, gen, gen, gen, delivery);
+  }
+  return delivery;
+}
+
+BaselineDelivery BaselineNetwork::EvaluateExternalUncached(
+    IpAddress src, IpAddress dst, uint16_t dst_port, Protocol proto,
+    std::string_view payload) {
   EvalContext ctx;
   FiveTuple flow;
   flow.src = src;

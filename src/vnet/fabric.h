@@ -27,6 +27,7 @@
 
 #include "src/cloud/world.h"
 #include "src/net/ipam.h"
+#include "src/net/verdict_cache.h"
 #include "src/routing/bgp.h"
 #include "src/vnet/config_ledger.h"
 #include "src/vnet/firewall.h"
@@ -172,15 +173,33 @@ class BaselineNetwork {
   // --- Data plane --------------------------------------------------------------
 
   // Evaluates instance-to-instance traffic (either instance may be on-prem).
+  // Successful payload-free verdicts are memoized in a generational cache
+  // validated against the fabric's config epoch (every control-plane
+  // mutation bumps it — including direct mutation through pointers from
+  // FindRouteTable and friends, via their attached revision counters), the
+  // world's instance-state epoch, and the BGP mesh's mutation count.
+  // Payload-bearing flows and flows that traversed a DPI firewall always
+  // take the uncached path (the firewall's inspection counters are part of
+  // the observable saturation model).
   Result<BaselineDelivery> Evaluate(InstanceId src, InstanceId dst,
                                     uint16_t dst_port, Protocol proto,
                                     std::string_view payload = {});
 
+  // The full walk, bypassing the verdict cache. Reference implementation
+  // for equivalence tests and the bench speedup baseline.
+  Result<BaselineDelivery> EvaluateUncached(InstanceId src, InstanceId dst,
+                                            uint16_t dst_port, Protocol proto,
+                                            std::string_view payload = {});
+
   // Evaluates traffic from an arbitrary external (internet) source toward a
-  // destination address the tenant may own. For attack simulation.
+  // destination address the tenant may own. For attack simulation. Same
+  // caching policy as Evaluate.
   BaselineDelivery EvaluateExternal(IpAddress src, IpAddress dst,
                                     uint16_t dst_port, Protocol proto,
                                     std::string_view payload = {});
+  BaselineDelivery EvaluateExternalUncached(IpAddress src, IpAddress dst,
+                                            uint16_t dst_port, Protocol proto,
+                                            std::string_view payload = {});
 
   // Resolves a flow aimed at a load balancer to a backend instance.
   Result<InstanceId> ResolveThroughLoadBalancer(LoadBalancerId lb,
@@ -219,6 +238,26 @@ class BaselineNetwork {
   size_t tgw_count() const { return tgws_.size(); }
   size_t tgw_attachment_count() const;
 
+  // --- Verdict fast-path introspection -------------------------------------
+  // Bumped by every verdict-affecting control-plane mutation (fabric
+  // methods and direct mutation of hooked objects alike).
+  uint64_t config_epoch() const { return config_epoch_; }
+  const VerdictCacheStats& evaluate_cache_stats() const {
+    return instance_cache_.stats();
+  }
+  const VerdictCacheStats& external_cache_stats() const {
+    return external_cache_.stats();
+  }
+  void ResetVerdictCacheStats() {
+    instance_cache_.ResetStats();
+    external_cache_.ResetStats();
+  }
+  // Drops all memoized verdicts (benches: cold-start measurement).
+  void ClearVerdictCaches() {
+    instance_cache_.Clear();
+    external_cache_.Clear();
+  }
+
  private:
   struct EvalContext {
     BaselineDelivery delivery;
@@ -250,6 +289,55 @@ class BaselineNetwork {
   bool SgMember(SecurityGroupId group, IpAddress ip) const;
   const Subnet* SubnetOf(const Eni& eni) const;
   Vpc* MutableVpc(VpcId id);
+
+  // --- Verdict cache plumbing ----------------------------------------------
+  struct InstanceFlowKey {
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    uint16_t dst_port = 0;
+    Protocol proto = Protocol::kAny;
+    friend bool operator==(const InstanceFlowKey& a,
+                           const InstanceFlowKey& b) = default;
+  };
+  struct InstanceFlowKeyHash {
+    size_t operator()(const InstanceFlowKey& k) const {
+      size_t h = k.src * 0x9E3779B97F4A7C15ull;
+      h ^= k.dst * 1099511628211ull;
+      return h ^ (static_cast<size_t>(k.dst_port) << 8 |
+                  static_cast<size_t>(k.proto));
+    }
+  };
+  struct ExternalFlowKey {
+    IpAddress src;
+    IpAddress dst;
+    uint16_t dst_port = 0;
+    Protocol proto = Protocol::kAny;
+    friend bool operator==(const ExternalFlowKey& a,
+                           const ExternalFlowKey& b) = default;
+  };
+  struct ExternalFlowKeyHash {
+    size_t operator()(const ExternalFlowKey& k) const {
+      size_t h = std::hash<IpAddress>{}(k.src);
+      h = h * 1099511628211ull ^ std::hash<IpAddress>{}(k.dst);
+      return h ^ (static_cast<size_t>(k.dst_port) << 8 |
+                  static_cast<size_t>(k.proto));
+    }
+  };
+
+  // The baseline verdict depends on so many coupled objects that its epoch
+  // scope is deliberately coarse: any config/world/BGP change invalidates
+  // everything. (The declarative world factorizes per endpoint; see
+  // EdgeFilterBank.) All three counters are monotonic, so their sum is a
+  // valid generation.
+  uint64_t VerdictGen() const {
+    return config_epoch_ + world_->instance_state_epoch() +
+           bgp_.mutation_count();
+  }
+  void BumpConfigEpoch() { ++config_epoch_; }
+  // A delivery is memoizable unless the flow went through a DPI firewall
+  // (Inspect's offered-load counters feed the E6 saturation model and must
+  // keep counting per call).
+  static bool CacheableDelivery(const BaselineDelivery& delivery);
 
   // Every prefix any tenant object originates (VPC CIDRs + on-prem spaces);
   // used to walk BGP RIBs after convergence.
@@ -315,6 +403,12 @@ class BaselineNetwork {
   IdGenerator<FirewallId> firewall_ids_;
 
   uint64_t lb_pick_seq_ = 0;
+
+  uint64_t config_epoch_ = 0;
+  mutable VerdictCache<InstanceFlowKey, BaselineDelivery, InstanceFlowKeyHash>
+      instance_cache_;
+  mutable VerdictCache<ExternalFlowKey, BaselineDelivery, ExternalFlowKeyHash>
+      external_cache_;
 };
 
 }  // namespace tenantnet

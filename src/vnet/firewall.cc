@@ -10,6 +10,7 @@ void DpiFirewall::AddRule(FirewallRule rule) {
                                 return a.priority < b.priority;
                               });
   rules_.insert(pos, std::move(rule));
+  BumpRevision();
 }
 
 FirewallVerdict DpiFirewall::Inspect(const FiveTuple& flow,

@@ -17,6 +17,7 @@
 
 #include "src/common/ids.h"
 #include "src/net/flow.h"
+#include "src/vnet/revision.h"
 
 namespace tenantnet {
 
@@ -34,7 +35,7 @@ struct FirewallRule {
   std::string description;
 };
 
-class DpiFirewall {
+class DpiFirewall : public RevisionHooked {
  public:
   DpiFirewall(FirewallId id, std::string name, double capacity_pps)
       : id_(id), name_(std::move(name)), capacity_pps_(capacity_pps) {}
@@ -46,7 +47,10 @@ class DpiFirewall {
   void AddRule(FirewallRule rule);
   const std::vector<FirewallRule>& rules() const { return rules_; }
 
-  void set_default_verdict(FirewallVerdict v) { default_verdict_ = v; }
+  void set_default_verdict(FirewallVerdict v) {
+    default_verdict_ = v;
+    BumpRevision();
+  }
   FirewallVerdict default_verdict() const { return default_verdict_; }
 
   // Inspects one unit of traffic. Rules are consulted ascending by

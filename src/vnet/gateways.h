@@ -19,6 +19,7 @@
 #include "src/net/ip.h"
 #include "src/routing/bgp.h"
 #include "src/routing/lpm_trie.h"
+#include "src/vnet/revision.h"
 #include "src/vnet/vpc.h"
 
 namespace tenantnet {
@@ -92,7 +93,7 @@ struct TgwAttachment {
 };
 
 // Regional interconnect hub; holds its own route table over attachments.
-class TransitGateway {
+class TransitGateway : public RevisionHooked {
  public:
   TransitGateway(TransitGatewayId id, ProviderId provider, RegionId region,
                  uint32_t asn, std::string name)
@@ -110,12 +111,14 @@ class TransitGateway {
   // Returns the attachment index.
   size_t Attach(TgwAttachment attachment) {
     attachments_.push_back(std::move(attachment));
+    BumpRevision();
     return attachments_.size() - 1;
   }
   const std::vector<TgwAttachment>& attachments() const { return attachments_; }
 
   void InstallRoute(const IpPrefix& prefix, size_t attachment_index) {
     routes_.Insert(prefix, attachment_index);
+    BumpRevision();
   }
   // Longest-prefix match to an attachment; nullptr = drop.
   const size_t* Lookup(IpAddress dst) const {

@@ -39,6 +39,7 @@ void NetworkAcl::AddEntry(AclEntry entry) {
         return a.rule_number < b.rule_number;
       });
   entries_.insert(pos, std::move(entry));
+  BumpRevision();
 }
 
 bool NetworkAcl::RemoveEntry(uint32_t rule_number,
@@ -52,6 +53,7 @@ bool NetworkAcl::RemoveEntry(uint32_t rule_number,
     return false;
   }
   entries_.erase(it);
+  BumpRevision();
   return true;
 }
 

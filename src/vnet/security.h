@@ -19,6 +19,7 @@
 
 #include "src/common/ids.h"
 #include "src/net/flow.h"
+#include "src/vnet/revision.h"
 
 namespace tenantnet {
 
@@ -39,7 +40,7 @@ struct SgRule {
   std::string description;
 };
 
-class SecurityGroup {
+class SecurityGroup : public RevisionHooked {
  public:
   SecurityGroup(SecurityGroupId id, std::string name) noexcept
       : id_(id), name_(std::move(name)) {}
@@ -47,13 +48,17 @@ class SecurityGroup {
   SecurityGroupId id() const { return id_; }
   const std::string& name() const { return name_; }
 
-  void AddRule(SgRule rule) { rules_.push_back(std::move(rule)); }
+  void AddRule(SgRule rule) {
+    rules_.push_back(std::move(rule));
+    BumpRevision();
+  }
   // Removes the rule at `index`; false if out of range.
   bool RemoveRule(size_t index) {
     if (index >= rules_.size()) {
       return false;
     }
     rules_.erase(rules_.begin() + static_cast<ptrdiff_t>(index));
+    BumpRevision();
     return true;
   }
   const std::vector<SgRule>& rules() const { return rules_; }
@@ -83,7 +88,7 @@ struct AclEntry {
   FlowMatch match;
 };
 
-class NetworkAcl {
+class NetworkAcl : public RevisionHooked {
  public:
   NetworkAcl(NetworkAclId id, std::string name) noexcept
       : id_(id), name_(std::move(name)) {}

@@ -19,6 +19,7 @@
 #include "src/net/ip.h"
 #include "src/net/ipam.h"
 #include "src/routing/lpm_trie.h"
+#include "src/vnet/revision.h"
 #include "src/vnet/security.h"
 
 namespace tenantnet {
@@ -51,7 +52,7 @@ struct VpcRouteTarget {
                          const VpcRouteTarget& b) = default;
 };
 
-class VpcRouteTable {
+class VpcRouteTable : public RevisionHooked {
  public:
   VpcRouteTable(VpcRouteTableId id, std::string name)
       : id_(id), name_(std::move(name)) {}
@@ -61,8 +62,12 @@ class VpcRouteTable {
 
   void Install(const IpPrefix& prefix, VpcRouteTarget target) {
     trie_.Insert(prefix, target);
+    BumpRevision();
   }
-  bool Withdraw(const IpPrefix& prefix) { return trie_.Remove(prefix); }
+  bool Withdraw(const IpPrefix& prefix) {
+    BumpRevision();
+    return trie_.Remove(prefix);
+  }
 
   // Longest-prefix match; nullptr means no route (drop).
   const VpcRouteTarget* Lookup(IpAddress dst) const {

@@ -339,5 +339,120 @@ TEST_F(FabricTest, GatewayAndApplianceCounts) {
   EXPECT_EQ(net_.appliance_count(), 2u);
 }
 
+// --- Verdict fast path -------------------------------------------------------
+
+class FabricCacheTest : public FabricTest {
+ protected:
+  void SetUp() override {
+    vpc_ = *net_.CreateVpc(tw_.tenant, tw_.provider, tw_.east, "v1",
+                           P("10.0.0.0/16"));
+    subnet_ = *net_.CreateSubnet(vpc_, "s1", 20, 0, false);
+    sg_ = *net_.CreateSecurityGroup(vpc_, "sg");
+    SgRule egress;
+    egress.direction = TrafficDirection::kEgress;
+    egress.peer = IpPrefix::Any(IpFamily::kIpv4);
+    ASSERT_TRUE(net_.AddSgRule(sg_, egress).ok());
+    SgRule ingress;
+    ingress.direction = TrafficDirection::kIngress;
+    ingress.proto = Protocol::kTcp;
+    ingress.ports = PortRange::Single(9000);
+    ingress.peer = P("10.0.0.0/16");
+    ASSERT_TRUE(net_.AddSgRule(sg_, ingress).ok());
+    auto acl = *net_.CreateNetworkAcl(vpc_, "acl");
+    for (TrafficDirection dir :
+         {TrafficDirection::kIngress, TrafficDirection::kEgress}) {
+      AclEntry entry;
+      entry.rule_number = 100;
+      entry.allow = true;
+      entry.direction = dir;
+      entry.match = FlowMatch::Any();
+      ASSERT_TRUE(net_.AddAclEntry(acl, entry).ok());
+    }
+    ASSERT_TRUE(net_.AssociateAcl(subnet_, acl).ok());
+    a_ = *tw_.world->LaunchInstance(tw_.tenant, tw_.provider, tw_.east, 0);
+    b_ = *tw_.world->LaunchInstance(tw_.tenant, tw_.provider, tw_.east, 0);
+    ASSERT_TRUE(net_.AttachInstance(a_, subnet_, {sg_}, false).ok());
+    ASSERT_TRUE(net_.AttachInstance(b_, subnet_, {sg_}, false).ok());
+  }
+
+  VpcId vpc_;
+  SubnetId subnet_;
+  SecurityGroupId sg_;
+  InstanceId a_, b_;
+};
+
+TEST_F(FabricCacheTest, RepeatedEvaluationsHitTheCache) {
+  auto first = net_.Evaluate(a_, b_, 9000, Protocol::kTcp);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->delivered);
+  net_.ResetVerdictCacheStats();
+  auto second = net_.Evaluate(a_, b_, 9000, Protocol::kTcp);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->delivered);
+  EXPECT_EQ(second->logical_hops, first->logical_hops);
+  EXPECT_EQ(net_.evaluate_cache_stats().hits, 1u);
+}
+
+TEST_F(FabricCacheTest, DeniedVerdictsAreCachedToo) {
+  auto denied = net_.Evaluate(a_, b_, 9001, Protocol::kTcp);
+  ASSERT_TRUE(denied.ok());
+  EXPECT_FALSE(denied->delivered);
+  net_.ResetVerdictCacheStats();
+  auto again = net_.Evaluate(a_, b_, 9001, Protocol::kTcp);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->delivered);
+  EXPECT_EQ(again->drop_stage, denied->drop_stage);
+  EXPECT_EQ(net_.evaluate_cache_stats().hits, 1u);
+}
+
+TEST_F(FabricCacheTest, SgMutationInvalidatesCachedVerdict) {
+  auto denied = net_.Evaluate(a_, b_, 9001, Protocol::kTcp);
+  ASSERT_TRUE(denied.ok());
+  ASSERT_FALSE(denied->delivered);  // cached as a denial
+  SgRule open;
+  open.direction = TrafficDirection::kIngress;
+  open.proto = Protocol::kTcp;
+  open.ports = PortRange::Single(9001);
+  open.peer = P("10.0.0.0/16");
+  ASSERT_TRUE(net_.AddSgRule(sg_, open).ok());
+  auto now_allowed = net_.Evaluate(a_, b_, 9001, Protocol::kTcp);
+  ASSERT_TRUE(now_allowed.ok());
+  EXPECT_TRUE(now_allowed->delivered);  // stale denial must not survive
+}
+
+TEST_F(FabricCacheTest, InstanceStateChangeInvalidatesCachedVerdict) {
+  auto ok = net_.Evaluate(a_, b_, 9000, Protocol::kTcp);
+  ASSERT_TRUE(ok.ok());
+  ASSERT_TRUE(ok->delivered);
+  ASSERT_TRUE(tw_.world->SetInstanceRunning(b_, false).ok());
+  // The stale delivered=true verdict must not survive the state change.
+  auto down = net_.Evaluate(a_, b_, 9000, Protocol::kTcp);
+  EXPECT_FALSE(down.ok());
+  ASSERT_TRUE(tw_.world->SetInstanceRunning(b_, true).ok());
+  auto back = net_.Evaluate(a_, b_, 9000, Protocol::kTcp);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->delivered);
+}
+
+TEST_F(FabricCacheTest, PayloadEvaluationsBypassTheCache) {
+  net_.ResetVerdictCacheStats();
+  auto r = net_.Evaluate(a_, b_, 9000, Protocol::kTcp, "GET /");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->delivered);
+  // Payload-bearing traffic can hit DPI rules; it never consults the cache.
+  EXPECT_EQ(net_.evaluate_cache_stats().lookups, 0u);
+}
+
+TEST_F(FabricCacheTest, CachedAndUncachedAgreeAcrossPorts) {
+  for (uint16_t port : {9000, 9001, 80}) {
+    auto cached = net_.Evaluate(a_, b_, port, Protocol::kTcp);
+    auto uncached = net_.EvaluateUncached(a_, b_, port, Protocol::kTcp);
+    ASSERT_EQ(cached.ok(), uncached.ok());
+    ASSERT_TRUE(cached.ok());
+    EXPECT_EQ(cached->delivered, uncached->delivered) << port;
+    EXPECT_EQ(cached->drop_stage, uncached->drop_stage) << port;
+  }
+}
+
 }  // namespace
 }  // namespace tenantnet

@@ -138,5 +138,96 @@ TEST(EdgeFilterTest, StaleUpdateNeverOverwritesNewer) {
   EXPECT_FALSE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
 }
 
+// --- Verdict fast path -------------------------------------------------------
+
+TEST(EdgeFilterTest, RepeatedVerdictsHitTheCache) {
+  EdgeFilterBank bank("p", nullptr, 1);
+  bank.AddEdge("e0");
+  bank.SetPermitList(*IpAddress::Parse("5.0.0.1"), {Permit("10.0.0.0/8")});
+  FiveTuple flow = Flow("10.1.1.1", "5.0.0.1", 443);
+  EXPECT_TRUE(bank.Admits(0, flow));  // miss + insert
+  EXPECT_TRUE(bank.Admits(0, flow));  // hit
+  EXPECT_TRUE(bank.Admits(0, flow));  // hit
+  EXPECT_EQ(bank.verdict_cache_stats().hits, 2u);
+  EXPECT_EQ(bank.verdict_cache_stats().insertions, 1u);
+}
+
+TEST(EdgeFilterTest, ListsCompileOncePerUpdateNotPerEdge) {
+  EdgeFilterBank bank("p", nullptr, 1);
+  for (int e = 0; e < 5; ++e) {
+    bank.AddEdge("e" + std::to_string(e));
+  }
+  EXPECT_EQ(bank.permit_compiles(), 0u);
+  bank.SetPermitList(*IpAddress::Parse("5.0.0.1"), {Permit("10.0.0.0/8")});
+  EXPECT_EQ(bank.permit_compiles(), 1u);  // shared across all 5 edges
+  bank.SetPermitList(*IpAddress::Parse("5.0.0.2"), {Permit("10.0.0.0/8")});
+  EXPECT_EQ(bank.permit_compiles(), 2u);
+}
+
+TEST(EdgeFilterTest, ListReplaceInvalidatesCachedVerdict) {
+  EdgeFilterBank bank("p", nullptr, 1);
+  bank.AddEdge("e0");
+  IpAddress endpoint = *IpAddress::Parse("5.0.0.1");
+  bank.SetPermitList(endpoint, {Permit("10.0.0.0/8")});
+  FiveTuple flow = Flow("10.1.1.1", "5.0.0.1", 443);
+  EXPECT_TRUE(bank.Admits(0, flow));  // now cached as admitted
+  bank.SetPermitList(endpoint, {Permit("20.0.0.0/8")});
+  EXPECT_FALSE(bank.Admits(0, flow));  // stale verdict must not survive
+  bank.RemovePermitList(endpoint);
+  EXPECT_FALSE(bank.Admits(0, flow));
+}
+
+TEST(EdgeFilterTest, GroupUpdateInvalidatesCachedVerdict) {
+  EdgeFilterBank bank("p", nullptr, 1);
+  bank.AddEdge("e0");
+  EndpointGroupId group(1);
+  PermitEntry entry;
+  entry.source_group = group;
+  bank.SetPermitList(*IpAddress::Parse("5.0.0.1"), {entry});
+  bank.SetGroup(group, {*IpAddress::Parse("10.1.1.1")});
+  FiveTuple flow = Flow("10.1.1.1", "5.0.0.1", 443);
+  EXPECT_TRUE(bank.Admits(0, flow));  // cached as admitted
+  bank.SetGroup(group, {*IpAddress::Parse("10.2.2.2")});  // member swapped
+  EXPECT_FALSE(bank.Admits(0, flow));
+  bank.RemoveGroup(group);
+  EXPECT_FALSE(bank.Admits(0, Flow("10.2.2.2", "5.0.0.1", 443)));
+}
+
+TEST(EdgeFilterTest, UnrelatedListUpdateKeepsOtherVerdictsCached) {
+  EdgeFilterBank bank("p", nullptr, 1);
+  bank.AddEdge("e0");
+  bank.SetPermitList(*IpAddress::Parse("5.0.0.1"), {Permit("10.0.0.0/8")});
+  bank.SetPermitList(*IpAddress::Parse("5.0.0.2"), {Permit("10.0.0.0/8")});
+  FiveTuple flow1 = Flow("10.1.1.1", "5.0.0.1", 443);
+  EXPECT_TRUE(bank.Admits(0, flow1));
+  bank.ResetVerdictCacheStats();
+  // Mutating endpoint .2 bumps only its own epoch; .1's cached verdict
+  // revalidates instead of being discarded.
+  bank.SetPermitList(*IpAddress::Parse("5.0.0.2"), {Permit("30.0.0.0/8")});
+  EXPECT_TRUE(bank.Admits(0, flow1));
+  EXPECT_EQ(bank.verdict_cache_stats().hits, 1u);
+  EXPECT_EQ(bank.verdict_cache_stats().stale, 0u);
+}
+
+TEST(EdgeFilterTest, OverlappingPrefixesAdmitOnAnyCoveringScope) {
+  // A /8 scoped to one port plus a /16 scoped to another: admission is
+  // "any covering prefix with a matching scope", not longest-match-only.
+  EdgeFilterBank bank("p", nullptr, 1);
+  bank.AddEdge("e0");
+  bank.SetPermitList(
+      *IpAddress::Parse("5.0.0.1"),
+      {Permit("10.0.0.0/8", PortRange::Single(443)),
+       Permit("10.1.0.0/16", PortRange::Single(80))});
+  EXPECT_TRUE(bank.Admits(0, Flow("10.1.2.3", "5.0.0.1", 443)));  // via /8
+  EXPECT_TRUE(bank.Admits(0, Flow("10.1.2.3", "5.0.0.1", 80)));   // via /16
+  EXPECT_FALSE(bank.Admits(0, Flow("10.2.2.2", "5.0.0.1", 80)));  // /8 only
+  // All three evaluation paths agree on these.
+  for (uint16_t port : {443, 80, 8080}) {
+    FiveTuple f = Flow("10.1.2.3", "5.0.0.1", port);
+    EXPECT_EQ(bank.AdmitsUncached(0, f), bank.AdmitsLinear(0, f));
+    EXPECT_EQ(bank.Admits(0, f), bank.AdmitsLinear(0, f));
+  }
+}
+
 }  // namespace
 }  // namespace tenantnet

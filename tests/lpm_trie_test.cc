@@ -163,5 +163,62 @@ TEST_P(LpmEquivalenceTest, AgreesWithBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LpmEquivalenceTest,
                          ::testing::Values(3, 17, 99, 2024));
 
+TEST(LpmTrieTest, ForEachMatchVisitsAllCoveringPrefixesShortestFirst) {
+  LpmTrie<int> trie;
+  trie.Insert(*IpPrefix::Parse("10.0.0.0/8"), 8);
+  trie.Insert(*IpPrefix::Parse("10.1.0.0/16"), 16);
+  trie.Insert(*IpPrefix::Parse("10.1.2.0/24"), 24);
+  trie.Insert(*IpPrefix::Parse("11.0.0.0/8"), -1);  // not covering
+
+  std::vector<int> seen;
+  bool cut = trie.ForEachMatch(IpAddress::V4(10, 1, 2, 3), [&](int v) {
+    seen.push_back(v);
+    return true;  // keep walking
+  });
+  EXPECT_FALSE(cut);
+  EXPECT_EQ(seen, (std::vector<int>{8, 16, 24}));
+
+  // Off-path address only sees the /8.
+  seen.clear();
+  trie.ForEachMatch(IpAddress::V4(10, 9, 9, 9), [&](int v) {
+    seen.push_back(v);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{8}));
+
+  // No covering prefix: fn never runs, walk not cut short.
+  seen.clear();
+  EXPECT_FALSE(trie.ForEachMatch(IpAddress::V4(12, 0, 0, 1), [&](int v) {
+    seen.push_back(v);
+    return true;
+  }));
+  EXPECT_TRUE(seen.empty());
+}
+
+TEST(LpmTrieTest, ForEachMatchEarlyExitReportsCutShort) {
+  LpmTrie<int> trie;
+  trie.Insert(*IpPrefix::Parse("10.0.0.0/8"), 8);
+  trie.Insert(*IpPrefix::Parse("10.1.0.0/16"), 16);
+  int visits = 0;
+  bool cut = trie.ForEachMatch(IpAddress::V4(10, 1, 0, 1), [&](int) {
+    ++visits;
+    return false;  // found what we wanted — stop
+  });
+  EXPECT_TRUE(cut);
+  EXPECT_EQ(visits, 1);  // shortest (the /8) visited first, then stop
+}
+
+TEST(LpmTrieTest, ForEachMatchIncludesDefaultRoute) {
+  LpmTrie<int> trie;
+  trie.Insert(IpPrefix::Any(IpFamily::kIpv4), 0);
+  trie.Insert(*IpPrefix::Parse("10.0.0.0/8"), 8);
+  std::vector<int> seen;
+  trie.ForEachMatch(IpAddress::V4(10, 0, 0, 1), [&](int v) {
+    seen.push_back(v);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{0, 8}));
+}
+
 }  // namespace
 }  // namespace tenantnet

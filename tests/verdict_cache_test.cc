@@ -1,0 +1,146 @@
+// Unit tests for the generational verdict cache: hit/miss accounting, the
+// two-tier validation (fast validated_gen compare, slow epoch re-check),
+// scoped self-invalidation, eviction, and Clear.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/net/verdict_cache.h"
+
+namespace tenantnet {
+namespace {
+
+using Cache = VerdictCache<uint64_t, int>;
+
+// Epochs a test controls by hand: the cache only ever *reads* them.
+struct Epochs {
+  uint64_t gen = 0;
+  uint64_t global = 0;
+  uint64_t scope = 0;
+};
+
+const int* Lookup(Cache& cache, uint64_t key, const Epochs& e) {
+  return cache.Lookup(key, e.gen, e.global, [&] { return e.scope; });
+}
+
+void Insert(Cache& cache, uint64_t key, const Epochs& e, int verdict) {
+  cache.Insert(key, e.gen, e.global, e.scope, verdict);
+}
+
+TEST(VerdictCacheTest, MissThenHit) {
+  Cache cache(64);
+  Epochs e;
+  EXPECT_EQ(Lookup(cache, 1, e), nullptr);
+  Insert(cache, 1, e, 42);
+  const int* got = Lookup(cache, 1, e);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 42);
+  EXPECT_EQ(cache.stats().lookups, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(VerdictCacheTest, GenMoveWithUnchangedEpochsRevalidates) {
+  Cache cache(64);
+  Epochs e;
+  Insert(cache, 1, e, 7);
+  // Some unrelated scope mutated: gen moved, but this entry's global and
+  // scope epochs did not — the entry must survive via revalidation.
+  e.gen = 5;
+  const int* got = Lookup(cache, 1, e);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 7);
+  EXPECT_EQ(cache.stats().revalidations, 1u);
+  // Second lookup at the same gen takes the fast path (no revalidation).
+  got = Lookup(cache, 1, e);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(cache.stats().revalidations, 1u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(VerdictCacheTest, ScopeEpochBumpInvalidates) {
+  Cache cache(64);
+  Epochs e;
+  Insert(cache, 1, e, 7);
+  e.gen = 1;
+  e.scope = 1;  // this entry's own scope mutated
+  EXPECT_EQ(Lookup(cache, 1, e), nullptr);
+  EXPECT_EQ(cache.stats().stale, 1u);
+  // The slot was freed: reinsert under the new epochs and hit again.
+  Insert(cache, 1, e, 8);
+  const int* got = Lookup(cache, 1, e);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 8);
+}
+
+TEST(VerdictCacheTest, GlobalEpochBumpInvalidates) {
+  Cache cache(64);
+  Epochs e;
+  Insert(cache, 1, e, 7);
+  e.gen = 1;
+  e.global = 1;
+  EXPECT_EQ(Lookup(cache, 1, e), nullptr);
+  EXPECT_EQ(cache.stats().stale, 1u);
+}
+
+TEST(VerdictCacheTest, InsertRefreshesExistingKey) {
+  Cache cache(64);
+  Epochs e;
+  Insert(cache, 1, e, 1);
+  Insert(cache, 1, e, 2);  // same key: refresh in place, no eviction
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  const int* got = Lookup(cache, 1, e);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 2);
+}
+
+TEST(VerdictCacheTest, SetOverflowEvicts) {
+  // Minimal cache: kWays slots = one set; the (kWays+1)-th distinct key
+  // must evict.
+  Cache cache(1);
+  ASSERT_EQ(cache.capacity(), Cache::kWays);
+  Epochs e;
+  for (uint64_t k = 0; k < Cache::kWays + 1; ++k) {
+    Insert(cache, k, e, static_cast<int>(k));
+  }
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // Still at most kWays entries alive; the newest one is present.
+  const int* got = Lookup(cache, Cache::kWays, e);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, static_cast<int>(Cache::kWays));
+}
+
+TEST(VerdictCacheTest, ClearDropsEverything) {
+  Cache cache(64);
+  Epochs e;
+  Insert(cache, 1, e, 7);
+  cache.Clear();
+  EXPECT_EQ(Lookup(cache, 1, e), nullptr);
+  // Insert after Clear works (storage re-allocates lazily).
+  Insert(cache, 1, e, 9);
+  const int* got = Lookup(cache, 1, e);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 9);
+}
+
+TEST(VerdictCacheTest, CapacityRoundsUpToPowerOfTwo) {
+  Cache cache(100);
+  EXPECT_EQ(cache.capacity(), 128u);
+}
+
+TEST(VerdictCacheTest, HitRate) {
+  Cache cache(64);
+  Epochs e;
+  Insert(cache, 1, e, 1);
+  Lookup(cache, 1, e);  // hit
+  Lookup(cache, 2, e);  // miss
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+  cache.ResetStats();
+  EXPECT_EQ(cache.stats().lookups, 0u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace tenantnet
