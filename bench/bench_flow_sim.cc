@@ -19,11 +19,13 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/sim/flow_sim.h"
+#include "src/sim/shard_executor.h"
 
 namespace tenantnet {
 namespace {
@@ -199,6 +201,91 @@ void RunBatch(size_t n) {
       sim.mean_flows_touched_per_realloc(), wall * 1e3);
 }
 
+// --- Shard executor thread sweep ---------------------------------------------
+//
+// The disjoint world again, but driven through ShardExecutor: islands map to
+// independent shards, completion-driven churn (every finite transfer restarts
+// itself) keeps all of them busy, and the identical run is repeated across a
+// thread-count sweep. Each record carries the measured speedup over the
+// 1-thread run plus `matches_1thread` (completions and delivered bytes are
+// byte-identical by the executor's determinism contract — checked here too,
+// not just in the unit tests). check_bench_regression.py gates the 4-thread
+// speedup against bench/baselines/shard_smoke_baseline.json, skipping the
+// speedup check when the runner has fewer hardware threads than the record.
+
+struct ShardRunResult {
+  double wall_s = 0;
+  uint64_t completions = 0;
+  double bytes = 0;
+  uint64_t epochs = 0;
+  size_t shards = 0;
+};
+
+ShardRunResult RunShardOnce(int threads, size_t islands,
+                            size_t flows_per_island, double sim_seconds) {
+  ChurnWorld w;
+  BuildDisjoint(w, islands);
+  ShardExecutor::Options opts;
+  opts.num_threads = threads;
+  ShardExecutor exec(w.queue, w.topo, opts);
+
+  ShardRunResult r;
+  r.shards = exec.shard_count();
+  // Every completion immediately restarts the same transfer, so each island
+  // sustains `flows_per_island` concurrent flows and one reallocation per
+  // completion for the whole run — shard-local compute with zero cross-shard
+  // coupling, the best case the speedup gate is calibrated against.
+  std::function<void(size_t)> start_one = [&](size_t path_idx) {
+    exec.StartFlow(w.paths[path_idx], /*bytes=*/100e3,
+                   [&r, &start_one, path_idx](FlowId, SimTime) {
+                     ++r.completions;
+                     start_one(path_idx);
+                   },
+                   /*weight=*/1.0 + static_cast<double>(path_idx % 3));
+  };
+  {
+    FlowControlSurface::BatchScope batch = exec.Batch();
+    for (size_t g = 0; g < islands; ++g) {
+      for (size_t f = 0; f < flows_per_island; ++f) {
+        start_one(g);
+      }
+    }
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  exec.RunUntil(SimTime::FromSeconds(sim_seconds));
+  auto t1 = std::chrono::steady_clock::now();
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.bytes = exec.total_bytes_delivered();
+  r.epochs = exec.epochs_run();
+  return r;
+}
+
+void RunShardSweep(size_t islands, size_t flows_per_island,
+                   double sim_seconds) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  ShardRunResult base;
+  for (int threads : {1, 2, 4, 8}) {
+    ShardRunResult r =
+        RunShardOnce(threads, islands, flows_per_island, sim_seconds);
+    if (threads == 1) {
+      base = r;
+    }
+    bool matches = r.completions == base.completions && r.bytes == base.bytes;
+    double speedup = r.wall_s > 0 ? base.wall_s / r.wall_s : 0.0;
+    g_json->Recordf(
+        "{\"bench\":\"flow_sim_shard\",\"scenario\":\"disjoint\","
+        "\"flows\":%zu,\"threads\":%d,\"shards\":%zu,\"hw_threads\":%u,"
+        "\"epochs\":%llu,\"completions\":%llu,"
+        "\"completions_per_sec\":%.0f,\"wall_ms\":%.1f,"
+        "\"speedup_vs_1thread\":%.2f,\"matches_1thread\":%s}",
+        islands * flows_per_island, threads, r.shards, hw,
+        static_cast<unsigned long long>(r.epochs),
+        static_cast<unsigned long long>(r.completions),
+        static_cast<double>(r.completions) / r.wall_s, r.wall_s * 1e3, speedup,
+        matches ? "true" : "false");
+  }
+}
+
 }  // namespace
 }  // namespace tenantnet
 
@@ -215,6 +302,15 @@ int main(int argc, char** argv) {
     tenantnet::RunChurn("overlapping", n,
                         n >= 100000 ? 500 : std::min<size_t>(n, 2000));
     tenantnet::RunBatch(n);
+  }
+  // Thread sweep through ShardExecutor over the disjoint world. The smoke
+  // size (32 islands x 32 flows) is what the CI speedup gate is baselined on.
+  if (small) {
+    tenantnet::RunShardSweep(/*islands=*/32, /*flows_per_island=*/32,
+                             /*sim_seconds=*/3.0);
+  } else {
+    tenantnet::RunShardSweep(/*islands=*/64, /*flows_per_island=*/64,
+                             /*sim_seconds=*/5.0);
   }
   return 0;
 }

@@ -26,6 +26,7 @@
 
 #include "bench/bench_util.h"
 #include "src/app/workload.h"
+#include "src/sim/flow_sim.h"
 #include "src/cloud/presets.h"
 
 namespace tenantnet {

@@ -25,12 +25,16 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <thread>
+
 #include "bench/bench_util.h"
 #include "src/app/workload.h"
 #include "src/cloud/presets.h"
 #include "src/core/api.h"
 #include "src/faults/fault_injector.h"
 #include "src/sim/flow_sim.h"
+#include "src/sim/shard_executor.h"
 #include "src/vnet/builder.h"
 #include "src/vnet/fabric.h"
 
@@ -96,11 +100,26 @@ StormParams Fig1Storm(const Fig1World& fig, const StormConfig& cfg) {
   return p;
 }
 
-void RunStorm(bool declarative, const StormConfig& cfg) {
+// threads == 0 runs the classic single-queue FlowSim; threads >= 1 drives the
+// same storm through a ShardExecutor with that many workers. The executor's
+// determinism contract means the storm outcome (blackhole/abort counters,
+// workload stats) is identical across thread counts — only wall_ms moves.
+void RunStorm(bool declarative, const StormConfig& cfg, int threads = 0) {
   Fig1World fig = BuildFig1World();
   CloudWorld& world = *fig.world;
   EventQueue queue;
-  FlowSim sim(queue, world.topology());
+  std::unique_ptr<FlowSim> plain_sim;
+  std::unique_ptr<ShardExecutor> exec;
+  if (threads >= 1) {
+    ShardExecutor::Options opts;
+    opts.num_threads = threads;
+    exec = std::make_unique<ShardExecutor>(queue, world.topology(), opts);
+  } else {
+    plain_sim = std::make_unique<FlowSim>(queue, world.topology());
+  }
+  FlowControlSurface& sim =
+      exec ? static_cast<FlowControlSurface&>(*exec)
+           : static_cast<FlowControlSurface&>(*plain_sim);
   MetricRegistry metrics;
 
   ConfigLedger ledger;
@@ -177,7 +196,14 @@ void RunStorm(bool declarative, const StormConfig& cfg) {
   FaultInjector injector(queue, world.topology(), sim, &world, metrics,
                          std::move(hooks));
   injector.Schedule(FaultSchedule::Storm(cfg.storm_seed, Fig1Storm(fig, cfg)));
-  queue.RunAll();
+  auto t0 = std::chrono::steady_clock::now();
+  if (exec) {
+    exec->RunAll();
+  } else {
+    queue.RunAll();
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  double wall_ms = std::chrono::duration<double>(t1 - t0).count() * 1e3;
 
   double reconv_sum = 0;
   double reconv_max = 0;
@@ -197,6 +223,7 @@ void RunStorm(bool declarative, const StormConfig& cfg) {
   const PatternStats& stats = workload.stats(pattern);
   g_json->Recordf(
       "{\"bench\":\"resilience\",\"world\":\"%s\",\"storm_seed\":%llu,"
+      "\"threads\":%d,\"hw_threads\":%u,\"wall_ms\":%.1f,"
       "\"fault_events\":%zu,"
       "\"injected\":%llu,\"reconverged\":%llu,\"unconverged\":%llu,"
       "\"reconverge_ms_mean\":%.2f,\"reconverge_ms_max\":%.2f,"
@@ -207,7 +234,8 @@ void RunStorm(bool declarative, const StormConfig& cfg) {
       "\"latency_ms_p50\":%.2f,\"latency_ms_p99\":%.2f,"
       "\"stalled_after\":%zu}",
       declarative ? "declarative" : "baseline",
-      static_cast<unsigned long long>(cfg.storm_seed), cfg.event_count,
+      static_cast<unsigned long long>(cfg.storm_seed), threads,
+      std::thread::hardware_concurrency(), wall_ms, cfg.event_count,
       static_cast<unsigned long long>(injector.faults_injected()),
       static_cast<unsigned long long>(injector.faults_reconverged()),
       static_cast<unsigned long long>(injector.faults_unconverged()),
@@ -337,6 +365,13 @@ int main(int argc, char** argv) {
     cfg.storm_seed = seed;
     tenantnet::RunStorm(/*declarative=*/false, cfg);
     tenantnet::RunStorm(/*declarative=*/true, cfg);
+  }
+  // Executor-mode thread sweep: the same declarative storm through
+  // ShardExecutor. Counters must come out identical across rows (the
+  // determinism contract); wall_ms is the only column allowed to move.
+  cfg.storm_seed = seeds[0];
+  for (int threads : {1, 2, 4, 8}) {
+    tenantnet::RunStorm(/*declarative=*/true, cfg, threads);
   }
   std::vector<double> drop_probs =
       smoke ? std::vector<double>{0.35} : std::vector<double>{0.0, 0.35, 0.9};

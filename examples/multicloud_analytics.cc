@@ -14,6 +14,7 @@
 #include <map>
 
 #include "src/app/workload.h"
+#include "src/sim/flow_sim.h"
 #include "src/cloud/presets.h"
 #include "src/core/api.h"
 #include "src/vnet/builder.h"

@@ -1,19 +1,28 @@
 #!/usr/bin/env python3
-"""Gate on warm verdict throughput: compare BENCH_*.json against a baseline.
+"""Gate bench results: compare BENCH_*.json against a checked-in baseline.
 
 Usage:
   check_bench_regression.py BASELINE CURRENT [CURRENT ...] [--max-regression R]
 
-BASELINE is a checked-in JSON array of verdict-sweep records (see
-bench/baselines/verdict_smoke_baseline.json). Each CURRENT file is a
-BENCH_<name>.json emitted by a bench run. Records are matched on
-(bench, endpoints|instances, entries_per_ep); a matched record whose
-warm_vps fell more than R (default 0.30) below the baseline fails the
-gate, as does a baseline record with no current counterpart.
+BASELINE is a checked-in JSON array of gate records. Two record kinds are
+understood; a baseline may mix them:
 
-warm_hit_rate is also checked (absolute drop > 0.2 fails): throughput
-is machine-dependent, but hit rate is not — a cache that stopped
-caching shows up there regardless of how fast the runner is.
+Verdict-sweep records (see bench/baselines/verdict_smoke_baseline.json),
+matched on (bench, endpoints|instances, entries_per_ep): a matched record
+whose warm_vps fell more than R (default 0.30) below the baseline fails the
+gate, as does a baseline record with no current counterpart. warm_hit_rate
+is also checked (absolute drop > 0.2 fails): throughput is
+machine-dependent, but hit rate is not — a cache that stopped caching shows
+up there regardless of how fast the runner is.
+
+Shard-scaling records (see bench/baselines/shard_smoke_baseline.json),
+matched on (bench, scenario, flows, threads): the baseline states a
+min_speedup_vs_1thread floor and the current record (from the
+bench_flow_sim thread sweep) reports the measured speedup_vs_1thread. The
+speedup check is SKIPPED when the runner has fewer hardware threads than
+the record's thread count (a 1-core container cannot exhibit parallel
+speedup), but matches_1thread — the determinism cross-check, which is
+hardware-independent — must hold everywhere.
 """
 
 import argparse
@@ -21,7 +30,7 @@ import json
 import sys
 
 
-def key(rec):
+def verdict_key(rec):
     return (
         rec.get("bench"),
         rec.get("endpoints"),
@@ -30,41 +39,35 @@ def key(rec):
     )
 
 
-def load_verdict_records(path):
+def shard_key(rec):
+    return (
+        rec.get("bench"),
+        rec.get("scenario"),
+        rec.get("flows"),
+        rec.get("threads"),
+    )
+
+
+def load_records(path):
     with open(path) as f:
         data = json.load(f)
     if not isinstance(data, list):
         raise ValueError(f"{path}: expected a JSON array")
-    return [r for r in data if isinstance(r, dict) and "warm_vps" in r]
+    return [r for r in data if isinstance(r, dict)]
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current", nargs="+")
-    parser.add_argument(
-        "--max-regression",
-        type=float,
-        default=0.30,
-        help="allowed fractional drop in warm_vps before failing (default 0.30)",
-    )
-    args = parser.parse_args()
-
-    baseline = load_verdict_records(args.baseline)
-    if not baseline:
-        print(f"error: no verdict records in baseline {args.baseline}")
-        return 1
-
+def check_verdicts(baseline, current_files, max_regression):
     current = {}
-    for path in args.current:
-        for rec in load_verdict_records(path):
-            current[key(rec)] = rec
+    for recs in current_files:
+        for rec in recs:
+            if "warm_vps" in rec:
+                current[verdict_key(rec)] = rec
 
     failed = False
-    floor = 1.0 - args.max_regression
+    floor = 1.0 - max_regression
     print(f"{'bench':<28} {'size':>8} {'baseline':>14} {'current':>14} {'ratio':>7}")
     for base in baseline:
-        k = key(base)
+        k = verdict_key(base)
         size = base.get("endpoints") or base.get("instances") or "-"
         cur = current.get(k)
         if cur is None:
@@ -84,12 +87,84 @@ def main():
         if base_hr is not None and cur_hr is not None and cur_hr < base_hr - 0.2:
             print(f"  warm_hit_rate fell {base_hr:.3f} -> {cur_hr:.3f}")
             failed = True
+    return failed
+
+
+def check_shards(baseline, current_files):
+    current = {}
+    for recs in current_files:
+        for rec in recs:
+            if "speedup_vs_1thread" in rec:
+                current[shard_key(rec)] = rec
+
+    failed = False
+    print(f"{'bench':<20} {'scenario':<12} {'flows':>7} {'threads':>7} "
+          f"{'min':>6} {'got':>6}")
+    for base in baseline:
+        k = shard_key(base)
+        cur = current.get(k)
+        if cur is None:
+            print(f"{k[0]:<20} {k[1]:<12} {k[2]:>7} {k[3]:>7} "
+                  f"{base['min_speedup_vs_1thread']:>6.2f} {'MISSING':>7}")
+            failed = True
+            continue
+        # Determinism is hardware-independent: a thread sweep whose counters
+        # diverge from the 1-thread run is broken no matter how fast it is.
+        if cur.get("matches_1thread") is False:
+            print(f"{k[0]:<20} {k[1]:<12} {k[2]:>7} {k[3]:>7} "
+                  "NONDETERMINISTIC (diverged from 1-thread run)")
+            failed = True
+            continue
+        hw = cur.get("hw_threads")
+        threads = base.get("threads") or 0
+        if hw is not None and hw < threads:
+            print(f"{k[0]:<20} {k[1]:<12} {k[2]:>7} {k[3]:>7} "
+                  f"{base['min_speedup_vs_1thread']:>6.2f} "
+                  f"SKIP (only {hw} hw threads)")
+            continue
+        got = cur["speedup_vs_1thread"]
+        floor = base["min_speedup_vs_1thread"]
+        verdict = "" if got >= floor else "  << TOO SLOW"
+        print(f"{k[0]:<20} {k[1]:<12} {k[2]:>7} {k[3]:>7} "
+              f"{floor:>6.2f} {got:>6.2f}{verdict}")
+        if got < floor:
+            failed = True
+    return failed
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current", nargs="+")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop in warm_vps before failing (default 0.30)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    verdict_base = [r for r in baseline if "warm_vps" in r]
+    shard_base = [r for r in baseline if "min_speedup_vs_1thread" in r]
+    if not verdict_base and not shard_base:
+        print(f"error: no gate records in baseline {args.baseline}")
+        return 1
+
+    current_files = [load_records(p) for p in args.current]
+
+    failed = False
+    if verdict_base:
+        failed |= check_verdicts(verdict_base, current_files,
+                                 args.max_regression)
+    if shard_base:
+        failed |= check_shards(shard_base, current_files)
 
     if failed:
-        print(f"\nFAIL: warm verdict throughput regressed >{args.max_regression:.0%} "
-              "(or a baseline record is missing)")
+        print("\nFAIL: bench gate violated (regression, missing record, "
+              "insufficient parallel speedup, or nondeterminism)")
         return 1
-    print("\nOK: warm verdict throughput within tolerance")
+    print("\nOK: all bench gates within tolerance")
     return 0
 
 

@@ -5,7 +5,7 @@
 
 namespace tenantnet {
 
-RequestWorkload::RequestWorkload(EventQueue& queue, FlowSim& flows,
+RequestWorkload::RequestWorkload(EventQueue& queue, FlowControlSurface& flows,
                                  const CloudWorld& world,
                                  WorkloadParams params)
     : queue_(queue), flows_(flows), world_(world), params_(params),

@@ -25,7 +25,7 @@
 #include "src/cloud/world.h"
 #include "src/common/rng.h"
 #include "src/sim/event_queue.h"
-#include "src/sim/flow_sim.h"
+#include "src/sim/flow_surface.h"
 #include "src/telemetry/metrics.h"
 
 namespace tenantnet {
@@ -81,7 +81,7 @@ struct PatternStats {
 
 class RequestWorkload {
  public:
-  RequestWorkload(EventQueue& queue, FlowSim& flows, const CloudWorld& world,
+  RequestWorkload(EventQueue& queue, FlowControlSurface& flows, const CloudWorld& world,
                   WorkloadParams params = {});
 
   // Registers a traffic pattern: `rps` transactions/sec from a random
@@ -128,7 +128,7 @@ class RequestWorkload {
                      SimTime start, int attempt);
 
   EventQueue& queue_;
-  FlowSim& flows_;
+  FlowControlSurface& flows_;
   const CloudWorld& world_;
   WorkloadParams params_;
   Rng rng_;

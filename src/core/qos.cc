@@ -185,7 +185,7 @@ Status EgressQuotaManager::RegisterFlow(TenantId tenant, RegionId region,
   PointState& p = it->second.points[point];
   p.flows.push_back(flow);
   if (flow_sim_ != nullptr) {
-    FlowSim::BatchScope batch = flow_sim_->Batch();
+    FlowControlSurface::BatchScope batch = flow_sim_->Batch();
     ApplyPointCaps(p);
   }
   return Status::Ok();
@@ -207,7 +207,7 @@ Status EgressQuotaManager::UnregisterFlow(TenantId tenant, RegionId region,
   }
   p.flows.erase(fit);
   if (flow_sim_ != nullptr) {
-    FlowSim::BatchScope batch = flow_sim_->Batch();
+    FlowControlSurface::BatchScope batch = flow_sim_->Batch();
     // The departing flow is no longer quota-managed: lift its cap so it
     // returns to plain max-min sharing.
     if (flow_sim_->FindFlow(flow) != nullptr) {
@@ -263,7 +263,7 @@ void EgressQuotaManager::RunEpoch(SimTime now) {
   }
   // With a FlowSim attached, the whole epoch's cap updates — every quota,
   // every point, every registered flow — coalesce into one reallocation.
-  std::optional<FlowSim::BatchScope> batch;
+  std::optional<FlowControlSurface::BatchScope> batch;
   if (flow_sim_ != nullptr) {
     batch.emplace(*flow_sim_);
   }

@@ -28,7 +28,7 @@
 #include "src/common/status.h"
 #include "src/common/time.h"
 #include "src/net/flow.h"
-#include "src/sim/flow_sim.h"
+#include "src/sim/flow_surface.h"
 
 namespace tenantnet {
 
@@ -126,7 +126,7 @@ class EgressQuotaManager {
   // --- Data-plane coupling (optional) ---------------------------------------
   // Attaches the fluid simulator so re-division acts on live flows. The
   // FlowSim must outlive this manager (or be detached with nullptr).
-  void AttachFlowSim(FlowSim* sim) { flow_sim_ = sim; }
+  void AttachFlowSim(FlowControlSurface* sim) { flow_sim_ = sim; }
 
   // Registers a live flow under (tenant, region, point). The point's share
   // is split equally across its registered flows and applied as FlowSim
@@ -175,7 +175,7 @@ class EgressQuotaManager {
   void ApplyPointCaps(PointState& point);
 
   QuotaParams params_;
-  FlowSim* flow_sim_ = nullptr;
+  FlowControlSurface* flow_sim_ = nullptr;
   std::map<RegionId, std::vector<std::string>> region_points_;
   std::map<Key, QuotaState> quotas_;
   SimTime last_epoch_;

@@ -74,7 +74,7 @@ FaultSchedule FaultSchedule::Storm(uint64_t seed, const StormParams& params) {
 }
 
 FaultInjector::FaultInjector(EventQueue& queue, Topology& topology,
-                             FlowSim& flow_sim, CloudWorld* world,
+                             FlowControlSurface& flow_sim, CloudWorld* world,
                              MetricRegistry& metrics, FaultHooks hooks,
                              SimDuration probe_interval)
     : queue_(queue), topology_(topology), flow_sim_(flow_sim), world_(world),

@@ -34,7 +34,7 @@
 #include "src/common/rng.h"
 #include "src/common/time.h"
 #include "src/sim/event_queue.h"
-#include "src/sim/flow_sim.h"
+#include "src/sim/flow_surface.h"
 #include "src/sim/topology.h"
 #include "src/telemetry/metrics.h"
 
@@ -100,7 +100,7 @@ class FaultInjector {
   // All references must outlive the injector. `world` may be null when the
   // schedule contains no instance faults. Metrics land in `metrics` under
   // "faults.*" names.
-  FaultInjector(EventQueue& queue, Topology& topology, FlowSim& flow_sim,
+  FaultInjector(EventQueue& queue, Topology& topology, FlowControlSurface& flow_sim,
                 CloudWorld* world, MetricRegistry& metrics, FaultHooks hooks,
                 SimDuration probe_interval = SimDuration::Millis(10));
 
@@ -150,7 +150,7 @@ class FaultInjector {
 
   EventQueue& queue_;
   Topology& topology_;
-  FlowSim& flow_sim_;
+  FlowControlSurface& flow_sim_;
   CloudWorld* world_;
   FaultHooks hooks_;
   SimDuration probe_interval_;

@@ -68,6 +68,19 @@ bool EventQueue::Step() {
   return false;
 }
 
+SimTime EventQueue::NextEventTime() {
+  while (!heap_.empty() && Stale(heap_.top())) {
+    heap_.pop();
+  }
+  return heap_.empty() ? SimTime::Infinite() : heap_.top().when;
+}
+
+void EventQueue::AdvanceTo(SimTime t) {
+  if (t != SimTime::Infinite() && t > now_) {
+    now_ = t;
+  }
+}
+
 uint64_t EventQueue::RunUntil(SimTime deadline) {
   uint64_t fired = 0;
   for (;;) {

@@ -74,6 +74,16 @@ class EventQueue {
   // Fires at most one event; returns false if the queue is empty.
   bool Step();
 
+  // Time of the earliest pending event, skimming cancelled entries;
+  // SimTime::Infinite() when nothing is pending. Does not fire anything.
+  SimTime NextEventTime();
+
+  // Advances now() to `t` without firing events (no-op if t <= now()).
+  // The caller must know no pending event is earlier than `t` — used by
+  // the shard executor to keep idle shard clocks in lockstep at epoch
+  // barriers.
+  void AdvanceTo(SimTime t);
+
   bool empty() const { return live_count_ == 0; }
   size_t pending_count() const { return live_count_; }
 

@@ -39,34 +39,18 @@
 #include "src/common/status.h"
 #include "src/common/time.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/flow_surface.h"
 #include "src/sim/topology.h"
 #include "src/telemetry/metrics.h"
 
 namespace tenantnet {
 
-using FlowId = TypedId<struct FlowIdTag>;
-
-// A flow in flight.
-struct FlowState {
-  std::vector<LinkId> path;
-  double bytes_total = 0;      // payload size; infinity for persistent flows
-  double bytes_left = 0;
-  double weight = 1.0;         // max-min weight
-  double rate_cap_bps = std::numeric_limits<double>::infinity();
-  double current_rate_bps = 0;
-  SimTime start_time;
-};
-
-class FlowSim {
+// `final` so calls through a concrete FlowSim& devirtualize; drivers that
+// must run over either executor hold a FlowControlSurface& instead.
+class FlowSim final : public FlowControlSurface {
  public:
   // Both references must outlive the FlowSim.
   FlowSim(EventQueue& queue, const Topology& topology);
-
-  using CompletionFn = std::function<void(FlowId, SimTime finish)>;
-  // Fired when a fault kills a flow (the path lost a link). The flow is
-  // already gone when this runs; callers reroute/retry (see
-  // RequestWorkload's bounded backoff). Never fired by CancelFlow.
-  using AbortFn = std::function<void(FlowId, SimTime when)>;
 
   // Starts a finite transfer of `bytes` along `path`. `on_complete` fires
   // when the last byte is delivered. Empty paths complete immediately
@@ -76,7 +60,7 @@ class FlowSim {
   FlowId StartFlow(std::vector<LinkId> path, double bytes,
                    CompletionFn on_complete, double weight = 1.0,
                    double rate_cap_bps = std::numeric_limits<double>::infinity(),
-                   AbortFn on_abort = AbortFn());
+                   AbortFn on_abort = AbortFn()) override;
 
   // Starts a persistent (infinite-backlog) flow; it runs until CancelFlow.
   // An empty path yields a *tracked zero-link no-op flow*: it consumes no
@@ -85,10 +69,10 @@ class FlowSim {
   FlowId StartPersistentFlow(std::vector<LinkId> path, double weight = 1.0,
                              double rate_cap_bps =
                                  std::numeric_limits<double>::infinity(),
-                             AbortFn on_abort = AbortFn());
+                             AbortFn on_abort = AbortFn()) override;
 
   // Stops a flow early (persistent or finite). No completion callback fires.
-  Status CancelFlow(FlowId id);
+  Status CancelFlow(FlowId id) override;
 
   // --- Fault injection -------------------------------------------------------
   // Downs (up=false) or restores (up=true) a link's capacity. On a down
@@ -99,50 +83,50 @@ class FlowSim {
   // their rates and reschedules completions. Idempotent per state. This
   // mirrors (but does not read) Topology::SetLinkUp — fault injectors set
   // both so path selection and capacity agree.
-  Status SetLinkUp(LinkId link, bool up);
-  bool IsLinkUp(LinkId link) const;
+  Status SetLinkUp(LinkId link, bool up) override;
+  bool IsLinkUp(LinkId link) const override;
 
   // Flows currently stalled at rate 0 on a downed link (excludes tracked
   // zero-link no-op flows). Zero after every fault has recovered — the
   // "no permanently blackholed flows" invariant the resilience tests check.
-  size_t stalled_flow_count() const;
+  size_t stalled_flow_count() const override;
 
   // Cumulative fault damage: flows aborted (handler fired) / first-time
   // stalls, and the payload bytes left undelivered at that moment.
-  uint64_t flows_aborted() const { return flows_aborted_; }
-  uint64_t flows_blackholed() const { return flows_blackholed_; }
-  double bytes_blackholed() const { return bytes_blackholed_; }
+  uint64_t flows_aborted() const override { return flows_aborted_; }
+  uint64_t flows_blackholed() const override { return flows_blackholed_; }
+  double bytes_blackholed() const override { return bytes_blackholed_; }
 
   // Tightens/loosens a live flow's rate cap (quota re-division does this).
-  Status SetRateCap(FlowId id, double rate_cap_bps);
+  Status SetRateCap(FlowId id, double rate_cap_bps) override;
 
   // Current max-min allocation for a live flow, in bits/sec. Inside a
   // batch, flows touched since BeginBatch report their pre-batch rate
   // (new flows report 0) until EndBatch reallocates.
-  Result<double> CurrentRate(FlowId id) const;
+  Result<double> CurrentRate(FlowId id) const override;
 
-  const FlowState* FindFlow(FlowId id) const;
+  const FlowState* FindFlow(FlowId id) const override;
 
   // Fraction of `link`'s capacity currently allocated, in [0, 1]. O(1) on
   // the dense link index.
-  double LinkUtilization(LinkId link) const;
+  double LinkUtilization(LinkId link) const override;
 
   // Extra queueing delay a probe sees on `path` right now: per link,
   // base_rtt_fraction * util/(1-util), capped at `cap` per link. A cheap
   // stand-in for queue buildup that makes congested paths visibly slower.
   SimDuration QueuePenalty(const std::vector<LinkId>& path,
                            SimDuration per_link_base,
-                           SimDuration per_link_cap) const;
+                           SimDuration per_link_cap) const override;
 
-  size_t active_flow_count() const { return flows_.size(); }
+  size_t active_flow_count() const override { return flows_.size(); }
 
   // Total bytes delivered by completed+cancelled+running flows so far.
-  double total_bytes_delivered() const;
+  double total_bytes_delivered() const override;
 
   // Number of water-filling recomputations performed (cost metric). Every
   // non-batched start/finish/cancel/cap change counts one; a BatchUpdate
   // scope counts one for the whole burst.
-  uint64_t reallocation_count() const { return reallocations_; }
+  uint64_t reallocation_count() const override { return reallocations_; }
 
   // --- BatchUpdate -----------------------------------------------------------
   // Coalesces a burst of starts/cancels/cap changes into one reallocation.
@@ -150,32 +134,20 @@ class FlowSim {
   // water-filling; the destructor (or EndBatch) runs a single scoped pass
   // over the union of touched components. Scopes nest; the outermost one
   // reallocates. Do not run the event queue while a batch is open.
-  class BatchScope {
-   public:
-    explicit BatchScope(FlowSim& sim) : sim_(&sim) { sim_->BeginBatch(); }
-    BatchScope(BatchScope&& other) noexcept : sim_(other.sim_) {
-      other.sim_ = nullptr;
-    }
-    BatchScope(const BatchScope&) = delete;
-    BatchScope& operator=(const BatchScope&) = delete;
-    BatchScope& operator=(BatchScope&&) = delete;
-    ~BatchScope() {
-      if (sim_ != nullptr) {
-        sim_->EndBatch();
-      }
-    }
-
-   private:
-    FlowSim* sim_;
-  };
-  BatchScope Batch() { return BatchScope(*this); }
-  void BeginBatch() { ++batch_depth_; }
-  void EndBatch();
+  // (BatchScope / Batch() are inherited from FlowControlSurface.)
+  void BeginBatch() override { ++batch_depth_; }
+  void EndBatch() override;
+  // True if the open batch has accumulated work that the outermost
+  // EndBatch will reallocate. Lets the shard executor skip its worker-pool
+  // dispatch on epochs where no shard touched anything.
+  bool has_pending_batch_work() const {
+    return !pending_flows_.empty() || !pending_links_.empty();
+  }
 
   // --- Telemetry -------------------------------------------------------------
   // Completion events actually (re)scheduled; flows whose rate survived a
   // reallocation unchanged keep their event and are not counted.
-  uint64_t flows_rescheduled() const { return flows_rescheduled_; }
+  uint64_t flows_rescheduled() const override { return flows_rescheduled_; }
   // Flows touched per reallocation pass (mean == mean component size).
   const Histogram& component_size_histogram() const {
     return component_size_hist_;

@@ -1,0 +1,437 @@
+#include "src/sim/shard_executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace tenantnet {
+
+ShardExecutor::ShardExecutor(EventQueue& control, const Topology& topology,
+                             Options opts)
+    : control_(control),
+      topology_(topology),
+      opts_(opts),
+      components_(ComputeTopologyComponents(topology)) {
+  int shard_count = opts_.num_shards;
+  if (shard_count <= 0) {
+    shard_count = static_cast<int>(
+        std::min<uint32_t>(std::max<uint32_t>(components_.count, 1), 32));
+  }
+  shards_.reserve(static_cast<size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    Shard shard;
+    shard.queue = std::make_unique<EventQueue>();
+    shard.sim = std::make_unique<FlowSim>(*shard.queue, topology_);
+    shards_.push_back(std::move(shard));
+  }
+  // More threads than shards would never find work; don't spawn them.
+  int threads = std::min(opts_.num_threads, static_cast<int>(shards_.size()));
+  if (threads > 1) {
+    workers_.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+uint32_t ShardExecutor::ShardOfPath(const std::vector<LinkId>& path) const {
+  if (path.empty()) {
+    return 0;  // zero-link flows touch no shared state; park them on shard 0
+  }
+  uint32_t shard = ShardOfLink(path[0]);
+#ifndef NDEBUG
+  for (LinkId link : path) {
+    assert(ShardOfLink(link) == shard &&
+           "flow path crosses a component boundary");
+  }
+#endif
+  return shard;
+}
+
+// --- FlowControlSurface: flow lifecycle --------------------------------------
+
+FlowId ShardExecutor::StartFlow(std::vector<LinkId> path, double bytes,
+                                CompletionFn on_complete, double weight,
+                                double rate_cap_bps, AbortFn on_abort) {
+  uint32_t shard = ShardOfPath(path);
+  FlowId global_id = global_ids_.Next();
+  // Finite flows always get a completion wrapper (even with a null user
+  // callback) so the global id mapping is reclaimed when they finish.
+  CompletionFn wrapped_complete;
+  if (std::isfinite(bytes)) {
+    wrapped_complete = [this, shard, global_id,
+                        user = std::move(on_complete)](FlowId, SimTime when) {
+      FinishFlow(shard, global_id, when, user);
+    };
+  }
+  // The abort wrapper is installed only when the caller supplied one:
+  // FlowSim discriminates stall-vs-abort on the handler's presence, and an
+  // unconditional wrapper would turn every blackhole into an abort.
+  AbortFn wrapped_abort;
+  if (on_abort) {
+    wrapped_abort = [this, shard, global_id,
+                     user = std::move(on_abort)](FlowId, SimTime when) {
+      FinishFlow(shard, global_id, when, user);
+    };
+  }
+  FlowId local = shards_[shard].sim->StartFlow(
+      std::move(path), bytes, std::move(wrapped_complete), weight,
+      rate_cap_bps, std::move(wrapped_abort));
+  flow_map_.emplace(global_id, Mapping{shard, local});
+  return global_id;
+}
+
+FlowId ShardExecutor::StartPersistentFlow(std::vector<LinkId> path,
+                                          double weight, double rate_cap_bps,
+                                          AbortFn on_abort) {
+  return StartFlow(std::move(path), std::numeric_limits<double>::infinity(),
+                   CompletionFn(), weight, rate_cap_bps, std::move(on_abort));
+}
+
+void ShardExecutor::FinishFlow(uint32_t shard, FlowId global_id, SimTime when,
+                               const std::function<void(FlowId, SimTime)>& fn) {
+  if (in_parallel_) {
+    // Worker thread: park for the barrier drain. Only this shard's worker
+    // appends here, so per-shard FIFO order is the shard's firing order.
+    shards_[shard].outbox.push_back(Deferred{global_id, when, fn});
+    return;
+  }
+  flow_map_.erase(global_id);
+  if (fn) {
+    fn(global_id, when);
+  }
+}
+
+Status ShardExecutor::CancelFlow(FlowId id) {
+  auto it = flow_map_.find(id);
+  if (it == flow_map_.end()) {
+    return NotFoundError("no such flow");
+  }
+  Mapping m = it->second;
+  Status status = shards_[m.shard].sim->CancelFlow(m.local);
+  if (status.ok()) {
+    flow_map_.erase(id);
+  }
+  // A not-found from the shard sim means the flow already finished (e.g.
+  // its completion is parked in an outbox); the drain reclaims the mapping.
+  return status;
+}
+
+Status ShardExecutor::SetRateCap(FlowId id, double rate_cap_bps) {
+  auto it = flow_map_.find(id);
+  if (it == flow_map_.end()) {
+    return NotFoundError("no such flow");
+  }
+  return shards_[it->second.shard].sim->SetRateCap(it->second.local,
+                                                   rate_cap_bps);
+}
+
+Result<double> ShardExecutor::CurrentRate(FlowId id) const {
+  auto it = flow_map_.find(id);
+  if (it == flow_map_.end()) {
+    return NotFoundError("no such flow");
+  }
+  return shards_[it->second.shard].sim->CurrentRate(it->second.local);
+}
+
+const FlowState* ShardExecutor::FindFlow(FlowId id) const {
+  auto it = flow_map_.find(id);
+  if (it == flow_map_.end()) {
+    return nullptr;
+  }
+  return shards_[it->second.shard].sim->FindFlow(it->second.local);
+}
+
+// --- FlowControlSurface: fault surface ---------------------------------------
+
+Status ShardExecutor::SetLinkUp(LinkId link, bool up) {
+  if (!link.valid() ||
+      Topology::DenseLinkIndex(link) >= topology_.link_count()) {
+    return InvalidArgumentError("unknown link id");
+  }
+  return shards_[ShardOfLink(link)].sim->SetLinkUp(link, up);
+}
+
+bool ShardExecutor::IsLinkUp(LinkId link) const {
+  if (!link.valid() ||
+      Topology::DenseLinkIndex(link) >= topology_.link_count()) {
+    return true;
+  }
+  return shards_[ShardOfLink(link)].sim->IsLinkUp(link);
+}
+
+size_t ShardExecutor::stalled_flow_count() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sim->stalled_flow_count();
+  }
+  return total;
+}
+
+uint64_t ShardExecutor::flows_aborted() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sim->flows_aborted();
+  }
+  return total;
+}
+
+uint64_t ShardExecutor::flows_blackholed() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sim->flows_blackholed();
+  }
+  return total;
+}
+
+double ShardExecutor::bytes_blackholed() const {
+  // Summed in ascending shard order: float addition is not associative, so
+  // a fixed order keeps the aggregate byte-identical across thread counts.
+  double total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sim->bytes_blackholed();
+  }
+  return total;
+}
+
+// --- FlowControlSurface: latency + accounting --------------------------------
+
+double ShardExecutor::LinkUtilization(LinkId link) const {
+  return shards_[ShardOfLink(link)].sim->LinkUtilization(link);
+}
+
+SimDuration ShardExecutor::QueuePenalty(const std::vector<LinkId>& path,
+                                        SimDuration per_link_base,
+                                        SimDuration per_link_cap) const {
+  if (path.empty()) {
+    return SimDuration::Zero();
+  }
+  return shards_[ShardOfPath(path)].sim->QueuePenalty(path, per_link_base,
+                                                      per_link_cap);
+}
+
+size_t ShardExecutor::active_flow_count() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sim->active_flow_count();
+  }
+  return total;
+}
+
+double ShardExecutor::total_bytes_delivered() const {
+  double total = 0;  // fixed shard order (see bytes_blackholed)
+  for (const Shard& shard : shards_) {
+    total += shard.sim->total_bytes_delivered();
+  }
+  return total;
+}
+
+uint64_t ShardExecutor::reallocation_count() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sim->reallocation_count();
+  }
+  return total;
+}
+
+uint64_t ShardExecutor::flows_rescheduled() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sim->flows_rescheduled();
+  }
+  return total;
+}
+
+// --- Batching ----------------------------------------------------------------
+
+void ShardExecutor::BeginBatch() {
+  if (batch_depth_++ == 0) {
+    for (Shard& shard : shards_) {
+      shard.sim->BeginBatch();
+    }
+  }
+}
+
+void ShardExecutor::EndBatch() {
+  assert(batch_depth_ > 0);
+  if (--batch_depth_ != 0) {
+    return;
+  }
+  // Per-shard reallocations are independent; fan them out to the pool when
+  // more than one shard has real work (each shard's EndBatch is a cheap
+  // no-op otherwise). FlowSim::EndBatch never fires user callbacks
+  // (completions are scheduled, not invoked), so nothing here can touch
+  // main-thread-only state.
+  size_t busy_shards = 0;
+  for (const Shard& shard : shards_) {
+    if (shard.sim->has_pending_batch_work()) {
+      ++busy_shards;
+    }
+  }
+  if (busy_shards <= 1) {
+    for (Shard& shard : shards_) {
+      shard.sim->EndBatch();
+    }
+    return;
+  }
+  RunShardJobs(WorkKind::kEndBatch, SimTime());
+}
+
+// --- Epoch loop --------------------------------------------------------------
+
+uint64_t ShardExecutor::RunUntil(SimTime deadline) {
+  assert(batch_depth_ == 0 && "cannot run the executor inside a batch");
+  uint64_t fired = 0;
+  for (;;) {
+    SimTime shard_next = SimTime::Infinite();
+    for (Shard& shard : shards_) {
+      SimTime t = shard.queue->NextEventTime();
+      if (t < shard_next) {
+        shard_next = t;
+      }
+    }
+    SimTime control_next = control_.NextEventTime();
+    SimTime t_next = std::min(shard_next, control_next);
+    // Stop past the deadline — or when every queue is drained, which the
+    // first comparison alone misses for an infinite deadline (RunAll):
+    // Infinite > Infinite is false and the loop would spin forever.
+    if (t_next > deadline || t_next == SimTime::Infinite()) {
+      break;
+    }
+    // The epoch never outruns the next control event, so control events
+    // only ever fire when every shard clock has reached their timestamp.
+    SimTime epoch_end = deadline;
+    SimTime horizon = t_next + opts_.epoch_quantum;
+    if (horizon < epoch_end) {
+      epoch_end = horizon;
+    }
+    if (control_next < epoch_end) {
+      epoch_end = control_next;
+    }
+    ++epochs_;
+    in_parallel_ = true;
+    RunShardJobs(WorkKind::kAdvance, epoch_end);
+    in_parallel_ = false;
+    for (Shard& shard : shards_) {
+      fired += shard.fired_this_epoch;
+    }
+    fired += RunBarrierSection(epoch_end);
+  }
+  if (deadline != SimTime::Infinite()) {
+    for (Shard& shard : shards_) {
+      shard.queue->AdvanceTo(deadline);
+    }
+    control_.AdvanceTo(deadline);
+  }
+  return fired;
+}
+
+uint64_t ShardExecutor::RunBarrierSection(SimTime epoch_end) {
+  // Clocks first: drained callbacks observe now() == epoch_end everywhere.
+  control_.AdvanceTo(epoch_end);
+  uint64_t control_fired = 0;
+  {
+    // One executor-wide batch over the whole barrier section: every flow
+    // start/cancel/cap change triggered by drained callbacks or control
+    // events coalesces into at most one reallocation per touched shard,
+    // fanned back out to the pool by the closing EndBatch.
+    BatchScope batch = Batch();
+    for (Shard& shard : shards_) {
+      // Drain in ascending shard order; each outbox preserves its shard's
+      // FIFO firing order. Callbacks run here on the main thread and may
+      // start/cancel flows, but cannot append to outboxes (in_parallel_ is
+      // off), so indexed iteration is safe.
+      callbacks_deferred_ += shard.outbox.size();
+      for (size_t i = 0; i < shard.outbox.size(); ++i) {
+        Deferred deferred = std::move(shard.outbox[i]);
+        flow_map_.erase(deferred.global_id);
+        if (deferred.fn) {
+          deferred.fn(deferred.global_id, deferred.when);
+        }
+      }
+      shard.outbox.clear();
+    }
+    control_fired = control_.RunUntil(epoch_end);
+  }
+  return control_fired;
+}
+
+// --- Worker pool -------------------------------------------------------------
+
+void ShardExecutor::RunOneShard(uint32_t index, WorkKind kind,
+                                SimTime deadline) {
+  Shard& shard = shards_[index];
+  if (kind == WorkKind::kAdvance) {
+    shard.fired_this_epoch = shard.queue->RunUntil(deadline);
+  } else {
+    shard.sim->EndBatch();
+  }
+}
+
+void ShardExecutor::RunShardJobs(WorkKind kind, SimTime deadline) {
+  if (workers_.empty() || shards_.size() == 1) {
+    for (uint32_t i = 0; i < shards_.size(); ++i) {
+      RunOneShard(i, kind, deadline);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    work_kind_ = kind;
+    work_deadline_ = deadline;
+    next_shard_.store(0, std::memory_order_relaxed);
+    workers_done_ = 0;
+    ++epoch_seq_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_done_ == workers_.size(); });
+}
+
+void ShardExecutor::WorkerLoop() {
+  uint64_t seen_seq = 0;
+  for (;;) {
+    WorkKind kind;
+    SimTime deadline;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || epoch_seq_ != seen_seq; });
+      if (shutdown_) {
+        return;
+      }
+      seen_seq = epoch_seq_;
+      kind = work_kind_;
+      deadline = work_deadline_;
+    }
+    // Claim shards off the shared counter. The RMW makes claims unique;
+    // ordering/visibility of shard state rides on the mu_ handshake.
+    for (;;) {
+      uint32_t index = next_shard_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= shards_.size()) {
+        break;
+      }
+      RunOneShard(index, kind, deadline);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++workers_done_;
+      if (workers_done_ == workers_.size()) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace tenantnet

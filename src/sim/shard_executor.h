@@ -1,0 +1,219 @@
+// Data-parallel executor for the fluid flow simulator.
+//
+// The topology's connected components are data-independent by construction:
+// a flow's path never crosses a component boundary, so per-component flow
+// state, link budgets, and completion events never interact. ShardExecutor
+// exploits exactly that partition. Components are assigned to S shards by a
+// deterministic rule (component c -> shard c mod S); each shard owns a
+// private EventQueue + FlowSim pair, and virtual time advances in
+// barrier-synchronized epochs:
+//
+//   1. Pick epoch_end = min(deadline, t_next + quantum, next control event),
+//      where t_next is the earliest pending event across every queue. The
+//      control queue (timers, workload arrivals, fault schedules) bounds the
+//      epoch, so control events only ever fire *at* an epoch boundary, when
+//      every shard clock agrees.
+//   2. Advance all shard queues to epoch_end in parallel (a worker pool
+//      claims shards off an atomic counter). Data-plane events fire on
+//      worker threads; user-facing callbacks (completions, aborts) are NOT
+//      invoked there — they are appended to a shard-local outbox.
+//   3. Barrier. On the main thread, drain outboxes in ascending shard
+//      order (each preserves its shard's FIFO firing order), then run
+//      control events due at epoch_end. Both run inside one executor-wide
+//      BatchScope, so a burst of flow starts/cancels triggered by callbacks
+//      coalesces into a single reallocation per touched shard — and the
+//      closing EndBatch fans those per-shard reallocations back out to the
+//      worker pool.
+//
+// Determinism: the shard assignment, per-shard event order, outbox drain
+// order, and epoch schedule depend only on the topology and the call
+// sequence — never on thread count or OS scheduling. Worker threads only
+// decide *which core* runs a shard's (sequential) epoch, not any ordering.
+// Results are therefore byte-identical for any num_threads, and the
+// differential test (tests/shard_executor_test.cc) asserts exactly that.
+//
+// Threading contract: every public method below must be called from the
+// driving (main) thread. Worker threads touch only their claimed shard's
+// queue/sim/outbox; the mutex/condvar epoch handshake provides the
+// happens-before edges for everything else (TSan-verified).
+
+#ifndef TENANTNET_SRC_SIM_SHARD_EXECUTOR_H_
+#define TENANTNET_SRC_SIM_SHARD_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/flow_sim.h"
+#include "src/sim/flow_surface.h"
+#include "src/sim/topology.h"
+
+namespace tenantnet {
+
+class ShardExecutor final : public FlowControlSurface {
+ public:
+  struct Options {
+    // Worker threads advancing shards. 1 = run every shard on the driving
+    // thread (no pool); results are identical either way.
+    int num_threads = 1;
+    // Shard count. 0 = min(component count, 32). Fixed per topology and
+    // *independent of num_threads*, so the partition (and thus the result)
+    // does not change when the thread count does.
+    int num_shards = 0;
+    // Upper bound on how far an epoch may outrun the earliest pending
+    // event. Smaller = user callbacks observe completion times sooner
+    // after they occur; larger = fewer barriers.
+    SimDuration epoch_quantum = SimDuration::Millis(1);
+  };
+
+  // `control` is the user-facing event queue: workload timers, fault
+  // schedules and quota epochs live there and fire only at epoch
+  // boundaries. Both references must outlive the executor.
+  ShardExecutor(EventQueue& control, const Topology& topology, Options opts);
+  ~ShardExecutor() override;
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  // --- Driving ---------------------------------------------------------------
+  // Runs data-plane and control events until every queue is drained or past
+  // `deadline`; advances all clocks to `deadline` if finite. Replaces
+  // EventQueue::RunUntil as the simulation driver. Returns events fired.
+  uint64_t RunUntil(SimTime deadline);
+  uint64_t RunAll() { return RunUntil(SimTime::Infinite()); }
+
+  SimTime now() const { return control_.now(); }
+
+  size_t shard_count() const { return shards_.size(); }
+  int num_threads() const { return opts_.num_threads; }
+  const TopologyComponents& components() const { return components_; }
+  uint32_t ShardOfLink(LinkId link) const {
+    return components_.link_component[Topology::DenseLinkIndex(link)] %
+           static_cast<uint32_t>(shards_.size());
+  }
+
+  // --- FlowControlSurface ----------------------------------------------------
+  FlowId StartFlow(std::vector<LinkId> path, double bytes,
+                   CompletionFn on_complete, double weight = 1.0,
+                   double rate_cap_bps = std::numeric_limits<double>::infinity(),
+                   AbortFn on_abort = AbortFn()) override;
+  FlowId StartPersistentFlow(std::vector<LinkId> path, double weight = 1.0,
+                             double rate_cap_bps =
+                                 std::numeric_limits<double>::infinity(),
+                             AbortFn on_abort = AbortFn()) override;
+  Status CancelFlow(FlowId id) override;
+  Status SetRateCap(FlowId id, double rate_cap_bps) override;
+  Result<double> CurrentRate(FlowId id) const override;
+  const FlowState* FindFlow(FlowId id) const override;
+
+  Status SetLinkUp(LinkId link, bool up) override;
+  bool IsLinkUp(LinkId link) const override;
+  size_t stalled_flow_count() const override;
+  uint64_t flows_aborted() const override;
+  uint64_t flows_blackholed() const override;
+  double bytes_blackholed() const override;
+
+  double LinkUtilization(LinkId link) const override;
+  SimDuration QueuePenalty(const std::vector<LinkId>& path,
+                           SimDuration per_link_base,
+                           SimDuration per_link_cap) const override;
+
+  size_t active_flow_count() const override;
+  double total_bytes_delivered() const override;
+  uint64_t reallocation_count() const override;
+  uint64_t flows_rescheduled() const override;
+
+  // Executor-wide batch: forwards to every shard sim, so one scope covers
+  // flow starts landing anywhere. The outermost EndBatch runs the per-shard
+  // reallocations on the worker pool.
+  void BeginBatch() override;
+  void EndBatch() override;
+
+  // --- Telemetry -------------------------------------------------------------
+  uint64_t epochs_run() const { return epochs_; }
+  // Callbacks deferred from worker threads to epoch barriers so far.
+  uint64_t callbacks_deferred() const { return callbacks_deferred_; }
+
+ private:
+  // A user callback that fired on a worker thread, parked until the epoch
+  // barrier. `when` is the simulated firing time inside the epoch.
+  struct Deferred {
+    FlowId global_id;
+    SimTime when;
+    std::function<void(FlowId, SimTime)> fn;  // user callback; may be empty
+  };
+
+  struct Shard {
+    std::unique_ptr<EventQueue> queue;
+    std::unique_ptr<FlowSim> sim;
+    std::vector<Deferred> outbox;     // filled by its worker, drained on main
+    uint64_t fired_this_epoch = 0;
+  };
+
+  struct Mapping {
+    uint32_t shard;
+    FlowId local;
+  };
+
+  enum class WorkKind : uint8_t { kAdvance, kEndBatch };
+
+  uint32_t ShardOfPath(const std::vector<LinkId>& path) const;
+
+  // Either invokes a user callback now (main thread, clocks agree) or
+  // parks it in `shard`'s outbox for the barrier drain. Always erases the
+  // global id's mapping at invocation time.
+  void FinishFlow(uint32_t shard, FlowId global_id, SimTime when,
+                  const std::function<void(FlowId, SimTime)>& fn);
+
+  // Fans `kind` out to the worker pool (or runs shards in order on the
+  // main thread when there is no pool).
+  void RunShardJobs(WorkKind kind, SimTime deadline);
+  void WorkerLoop();
+  void RunOneShard(uint32_t index, WorkKind kind, SimTime deadline);
+
+  // Drains every outbox (ascending shard order, per-shard FIFO) and runs
+  // control events due at `epoch_end`, all inside one executor batch.
+  uint64_t RunBarrierSection(SimTime epoch_end);
+
+  EventQueue& control_;
+  const Topology& topology_;
+  Options opts_;
+  TopologyComponents components_;
+  std::vector<Shard> shards_;
+
+  IdGenerator<FlowId> global_ids_;
+  std::unordered_map<FlowId, Mapping> flow_map_;
+
+  uint32_t batch_depth_ = 0;
+  bool in_parallel_ = false;  // written on main; read by workers mid-epoch
+  uint64_t epochs_ = 0;
+  uint64_t callbacks_deferred_ = 0;
+
+  // Worker-pool handshake. Main publishes {work_kind_, work_deadline_,
+  // next_shard_=0} and bumps epoch_seq_ under mu_; workers claim shard
+  // indices off next_shard_ and report done under mu_. The mutex provides
+  // the happens-before for all shard state crossing threads.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_seq_ = 0;        // guarded by mu_
+  uint32_t workers_done_ = 0;     // guarded by mu_
+  bool shutdown_ = false;         // guarded by mu_
+  WorkKind work_kind_ = WorkKind::kAdvance;  // published under mu_
+  SimTime work_deadline_;                    // published under mu_
+  std::atomic<uint32_t> next_shard_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_SIM_SHARD_EXECUTOR_H_

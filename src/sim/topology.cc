@@ -240,4 +240,62 @@ std::string Topology::ToDot() const {
   return os.str();
 }
 
+TopologyComponents ComputeTopologyComponents(const Topology& topology) {
+  const size_t n = topology.node_count();
+  // Union-find over dense node indices with path halving + union by size.
+  std::vector<uint32_t> parent(n);
+  std::vector<uint32_t> size(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    parent[i] = static_cast<uint32_t>(i);
+  }
+  auto find = [&parent](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](uint32_t a, uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) {
+      return;
+    }
+    if (size[a] < size[b]) {
+      std::swap(a, b);
+    }
+    parent[b] = a;
+    size[a] += size[b];
+  };
+
+  const size_t m = topology.link_count();
+  for (size_t i = 0; i < m; ++i) {
+    LinkId id(static_cast<uint64_t>(i) + 1);
+    const LinkInfo& link = topology.link(id);
+    unite(static_cast<uint32_t>(link.src.value() - 1),
+          static_cast<uint32_t>(link.dst.value() - 1));
+  }
+
+  // Number components by ascending smallest node index: the first time a
+  // root is seen while scanning nodes in order, it gets the next number.
+  TopologyComponents out;
+  out.node_component.assign(n, 0);
+  constexpr uint32_t kUnassigned = ~0u;
+  std::vector<uint32_t> root_component(n, kUnassigned);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t root = find(static_cast<uint32_t>(i));
+    if (root_component[root] == kUnassigned) {
+      root_component[root] = out.count++;
+    }
+    out.node_component[i] = root_component[root];
+  }
+  out.link_component.assign(m, 0);
+  for (size_t i = 0; i < m; ++i) {
+    LinkId id(static_cast<uint64_t>(i) + 1);
+    out.link_component[i] =
+        out.node_component[topology.link(id).src.value() - 1];
+  }
+  return out;
+}
+
 }  // namespace tenantnet

@@ -147,6 +147,23 @@ class Topology {
   std::vector<std::vector<LinkId>> out_links_;
 };
 
+// Connected components of the topology's *undirected* link graph (a duplex
+// pair or any directed link joins its endpoints). Components are numbered
+// deterministically: component k contains the k-th smallest node index
+// among component minima, so the numbering depends only on insertion order,
+// never on traversal order. This is the unit of parallelism for the shard
+// executor — flows never span components, so per-component state is
+// data-independent by construction.
+struct TopologyComponents {
+  // Dense node index (NodeId.value()-1) -> component number.
+  std::vector<uint32_t> node_component;
+  // Dense link index -> component number (component of both endpoints).
+  std::vector<uint32_t> link_component;
+  uint32_t count = 0;
+};
+
+TopologyComponents ComputeTopologyComponents(const Topology& topology);
+
 }  // namespace tenantnet
 
 #endif  // TENANTNET_SRC_SIM_TOPOLOGY_H_

@@ -14,6 +14,41 @@ constexpr double kFloor = 1e-9;
 Histogram::Histogram(double growth)
     : growth_(growth), log_growth_(std::log(growth)) {}
 
+Histogram::Histogram(const Histogram& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  growth_ = other.growth_;
+  log_growth_ = other.log_growth_;
+  buckets_ = other.buckets_;
+  count_ = other.count_;
+  sum_ = other.sum_;
+  min_ = other.min_;
+  max_ = other.max_;
+  mean_run_ = other.mean_run_;
+  m2_run_ = other.m2_run_;
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) {
+    return *this;
+  }
+  // Consistent order (lock the source first after a snapshot copy) is
+  // unnecessary here: assignment between histograms under concurrent
+  // recording is not a supported pattern; this exists for setup-time
+  // copies. Take a snapshot, then install it.
+  Histogram snapshot(other);
+  std::lock_guard<std::mutex> lock(mu_);
+  growth_ = snapshot.growth_;
+  log_growth_ = snapshot.log_growth_;
+  buckets_ = std::move(snapshot.buckets_);
+  count_ = snapshot.count_;
+  sum_ = snapshot.sum_;
+  min_ = snapshot.min_;
+  max_ = snapshot.max_;
+  mean_run_ = snapshot.mean_run_;
+  m2_run_ = snapshot.m2_run_;
+  return *this;
+}
+
 size_t Histogram::BucketFor(double sample) const {
   if (sample <= kFloor) {
     return 0;
@@ -27,6 +62,7 @@ void Histogram::Record(double sample) {
     sample = 0;
   }
   size_t idx = BucketFor(sample);
+  std::lock_guard<std::mutex> lock(mu_);
   if (idx >= buckets_.size()) {
     buckets_.resize(idx + 1, 0);
   }
@@ -45,7 +81,32 @@ void Histogram::Record(double sample) {
   m2_run_ += delta * (sample - mean_run_);
 }
 
-double Histogram::Quantile(double q) const {
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ ? min_ : 0;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ ? max_ : 0;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ ? sum_ / static_cast<double>(count_) : 0;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::QuantileLocked(double q) const {
   if (count_ == 0) {
     return 0;
   }
@@ -66,7 +127,13 @@ double Histogram::Quantile(double q) const {
   return max_;
 }
 
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QuantileLocked(q);
+}
+
 double Histogram::StdDev() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ < 2) {
     return 0;
   }
@@ -74,6 +141,7 @@ double Histogram::StdDev() const {
 }
 
 void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   buckets_.clear();
   count_ = 0;
   sum_ = 0;
@@ -83,10 +151,14 @@ void Histogram::Reset() {
 }
 
 std::string Histogram::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os.precision(4);
-  os << "n=" << count_ << " mean=" << mean() << " p50=" << P50()
-     << " p95=" << P95() << " p99=" << P99() << " max=" << max();
+  double mean = count_ ? sum_ / static_cast<double>(count_) : 0;
+  double max = count_ ? max_ : 0;
+  os << "n=" << count_ << " mean=" << mean
+     << " p50=" << QuantileLocked(0.50) << " p95=" << QuantileLocked(0.95)
+     << " p99=" << QuantileLocked(0.99) << " max=" << max;
   return os.str();
 }
 

@@ -5,53 +5,90 @@
 // (configurable base) so p50/p95/p99 queries are O(#buckets) with bounded
 // relative error, which is the right trade for million-sample benchmark
 // runs. Exact min/max/mean are tracked on the side.
+//
+// Thread safety: Counter and Gauge are lock-free atomics; Histogram guards
+// its bucket state with a mutex. Concurrent recording from shard-executor
+// worker threads is safe and loses no samples (totals are exact; only the
+// Welford mean/M2 interleaving is order-dependent, which matters to no
+// consumer). Registry lookups (GetCounter etc.) are NOT synchronized —
+// create metrics before spawning recorders, which is what every module
+// here does.
 
 #ifndef TENANTNET_SRC_TELEMETRY_METRICS_H_
 #define TENANTNET_SRC_TELEMETRY_METRICS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace tenantnet {
 
-// Monotonic event count.
+// Monotonic event count. Lock-free; safe to increment from any thread.
 class Counter {
  public:
-  void Increment(uint64_t by = 1) { value_ += by; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  Counter() = default;
+  Counter(const Counter& other) : value_(other.value()) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Increment(uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 // Point-in-time level (table sizes, active flows, queue depths).
+// Lock-free; safe to Set/Add from any thread.
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void Add(double delta) { value_ += delta; }
-  double value() const { return value_; }
+  Gauge() = default;
+  Gauge(const Gauge& other) : value_(other.value()) {}
+  Gauge& operator=(const Gauge& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    // C++20 atomic<double>::fetch_add: no sample ever lost to a torn
+    // read-modify-write, so concurrent Add()s sum exactly.
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
-// Streaming histogram over non-negative samples.
+// Streaming histogram over non-negative samples. Mutex-guarded: concurrent
+// Record()s never lose samples and readers see consistent snapshots.
 class Histogram {
  public:
   // `growth` is the bucket width ratio; 1.05 gives ~5% relative error.
   explicit Histogram(double growth = 1.05);
 
+  // Copyable so it can live by value in registries/maps; copies snapshot
+  // the source under its lock.
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+
   void Record(double sample);
 
-  uint64_t count() const { return count_; }
-  double min() const { return count_ ? min_ : 0; }
-  double max() const { return count_ ? max_ : 0; }
-  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
-  double sum() const { return sum_; }
+  uint64_t count() const;
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const;
 
   // Value at quantile q in [0, 1]; approximate (bucket upper bound).
   double Quantile(double q) const;
@@ -70,7 +107,9 @@ class Histogram {
  private:
   // Bucket index for a sample (0 reserved for samples <= smallest bound).
   size_t BucketFor(double sample) const;
+  double QuantileLocked(double q) const;
 
+  mutable std::mutex mu_;
   double growth_;
   double log_growth_;
   std::vector<uint64_t> buckets_;
@@ -104,6 +143,9 @@ class ScopedTimerUs {
 };
 
 // Named metric registry so an experiment can dump everything it touched.
+// Lookups mutate the maps and are main-thread-only; the metric objects
+// handed out stay valid (std::map nodes are stable) and are themselves
+// safe to record into from any thread.
 class MetricRegistry {
  public:
   Counter& GetCounter(const std::string& name) { return counters_[name]; }
@@ -111,7 +153,7 @@ class MetricRegistry {
   Histogram& GetHistogram(const std::string& name) {
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
-      it = histograms_.emplace(name, Histogram()).first;
+      it = histograms_.try_emplace(name).first;
     }
     return it->second;
   }

@@ -1,0 +1,448 @@
+// Differential determinism tests for ShardExecutor.
+//
+// The executor's contract is byte-identical results for any thread count:
+// shard assignment, per-shard event order, outbox drain order, and the
+// epoch schedule depend only on the topology and the call sequence. These
+// tests drive three scenarios (storm, churn, migration) over a
+// multi-component topology at 1/2/4/8 threads and compare replay
+// fingerprints — a hash of the full observable callback stream plus every
+// aggregate counter printed at maximum precision — against the 1-thread
+// run. A fingerprint mismatch of even one bit fails.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/shard_executor.h"
+#include "src/sim/topology.h"
+
+namespace tenantnet {
+namespace {
+
+constexpr int kIslands = 8;
+constexpr int kNodesPerIsland = 5;  // 4 forward links per island chain
+
+// Disjoint island chains: island i is n0-n1-...-n4 with duplex links.
+// Returns the forward link chain of each island.
+Topology BuildIslands(std::vector<std::vector<LinkId>>* island_links) {
+  Topology topo;
+  island_links->clear();
+  for (int island = 0; island < kIslands; ++island) {
+    std::vector<NodeId> nodes;
+    for (int n = 0; n < kNodesPerIsland; ++n) {
+      NodeInfo info;
+      info.name = "i" + std::to_string(island) + "n" + std::to_string(n);
+      info.domain = "island" + std::to_string(island);
+      nodes.push_back(topo.AddNode(info));
+    }
+    std::vector<LinkId> forward;
+    for (int n = 0; n + 1 < kNodesPerIsland; ++n) {
+      LinkInfo link;
+      link.src = nodes[n];
+      link.dst = nodes[n + 1];
+      link.capacity_bps = 10e9;
+      link.delay = SimDuration::Millis(1);
+      forward.push_back(topo.AddDuplexLink(link).first);
+    }
+    island_links->push_back(std::move(forward));
+  }
+  return topo;
+}
+
+// FNV-1a over 64-bit words; doubles are hashed by bit pattern, so any
+// floating-point divergence (even in the last ulp) changes the hash.
+class EventLog {
+ public:
+  void Mix(uint64_t word) {
+    hash_ ^= word;
+    hash_ *= 1099511628211ull;
+    ++events_;
+  }
+  void Mix(double value) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    Mix(bits);
+  }
+  void MixEvent(uint64_t tag, FlowId id, SimTime when) {
+    Mix(tag);
+    Mix(id.value());
+    Mix(static_cast<uint64_t>(when.nanos()));
+  }
+  uint64_t hash() const { return hash_; }
+  uint64_t events() const { return events_; }
+
+ private:
+  uint64_t hash_ = 1469598103934665603ull;
+  uint64_t events_ = 0;
+};
+
+enum EventTag : uint64_t {
+  kComplete = 1,
+  kAbort = 2,
+  kCancelStatus = 3,
+  kProbe = 4,
+  kFault = 5,
+};
+
+struct Driver {
+  EventQueue control;
+  Topology topo;
+  std::vector<std::vector<LinkId>> islands;
+  std::unique_ptr<ShardExecutor> exec;
+  EventLog log;
+  std::vector<FlowId> live;  // flows started and not yet seen finishing
+
+  explicit Driver(int num_threads) {
+    topo = BuildIslands(&islands);
+    ShardExecutor::Options opts;
+    opts.num_threads = num_threads;
+    opts.epoch_quantum = SimDuration::Millis(5);
+    exec = std::make_unique<ShardExecutor>(control, topo, opts);
+  }
+
+  // A sub-path of `island`'s forward chain.
+  std::vector<LinkId> Path(Rng& rng, int island) {
+    const std::vector<LinkId>& chain = islands[island];
+    size_t first = rng.NextU64(chain.size());
+    size_t last = first + rng.NextU64(chain.size() - first);
+    return std::vector<LinkId>(chain.begin() + first,
+                               chain.begin() + last + 1);
+  }
+
+  FlowId StartLogged(std::vector<LinkId> path, double bytes, double weight,
+                     bool with_abort) {
+    FlowControlSurface::AbortFn on_abort;
+    if (with_abort) {
+      on_abort = [this](FlowId id, SimTime when) {
+        log.MixEvent(kAbort, id, when);
+      };
+    }
+    FlowId id = exec->StartFlow(
+        std::move(path), bytes,
+        [this](FlowId fid, SimTime when) { log.MixEvent(kComplete, fid, when); },
+        weight, std::numeric_limits<double>::infinity(), std::move(on_abort));
+    live.push_back(id);
+    return id;
+  }
+
+  void Probe() {
+    log.Mix(kProbe);
+    log.Mix(static_cast<uint64_t>(exec->active_flow_count()));
+    log.Mix(exec->total_bytes_delivered());
+    log.Mix(static_cast<uint64_t>(exec->stalled_flow_count()));
+    log.Mix(exec->bytes_blackholed());
+  }
+
+  std::string Fingerprint() {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "events=%llu hash=%016llx active=%llu bytes=%.17g aborted=%llu "
+        "blackholed=%llu bytes_bh=%.17g stalled=%llu reallocs=%llu "
+        "resched=%llu epochs=%llu deferred=%llu",
+        static_cast<unsigned long long>(log.events()),
+        static_cast<unsigned long long>(log.hash()),
+        static_cast<unsigned long long>(exec->active_flow_count()),
+        exec->total_bytes_delivered(),
+        static_cast<unsigned long long>(exec->flows_aborted()),
+        static_cast<unsigned long long>(exec->flows_blackholed()),
+        exec->bytes_blackholed(),
+        static_cast<unsigned long long>(exec->stalled_flow_count()),
+        static_cast<unsigned long long>(exec->reallocation_count()),
+        static_cast<unsigned long long>(exec->flows_rescheduled()),
+        static_cast<unsigned long long>(exec->epochs_run()),
+        static_cast<unsigned long long>(exec->callbacks_deferred()));
+    return buf;
+  }
+};
+
+// Storm: a burst of finite flows racing link faults. Half the flows carry
+// abort handlers (killed by faults), half blackhole and recover.
+std::string RunStorm(uint64_t seed, int num_threads) {
+  Driver d(num_threads);
+  Rng rng(seed);
+  for (int i = 0; i < 200; ++i) {
+    double at_ms = rng.NextDouble(0.0, 2000.0);
+    int island = static_cast<int>(rng.NextU64(kIslands));
+    auto path = d.Path(rng, island);
+    double bytes = rng.NextDouble(1e5, 5e7);
+    double weight = rng.NextDouble(0.5, 4.0);
+    bool with_abort = rng.NextBool(0.5);
+    d.control.ScheduleAt(
+        SimTime::FromSeconds(at_ms / 1e3),
+        [&d, path, bytes, weight, with_abort]() mutable {
+          d.StartLogged(std::move(path), bytes, weight, with_abort);
+        });
+  }
+  for (int i = 0; i < 40; ++i) {
+    double down_ms = rng.NextDouble(100.0, 1500.0);
+    double up_ms = down_ms + rng.NextDouble(20.0, 400.0);
+    int island = static_cast<int>(rng.NextU64(kIslands));
+    LinkId link =
+        d.islands[island][rng.NextU64(d.islands[island].size())];
+    d.control.ScheduleAt(SimTime::FromSeconds(down_ms / 1e3), [&d, link] {
+      d.log.Mix(kFault);
+      d.log.Mix(link.value());
+      (void)d.exec->SetLinkUp(link, false);
+    });
+    d.control.ScheduleAt(SimTime::FromSeconds(up_ms / 1e3), [&d, link] {
+      (void)d.exec->SetLinkUp(link, true);
+    });
+  }
+  for (int ms = 250; ms <= 4000; ms += 250) {
+    d.control.ScheduleAt(SimTime::FromSeconds(ms / 1e3), [&d] { d.Probe(); });
+  }
+  d.exec->RunUntil(SimTime::FromSeconds(60.0));
+  return d.Fingerprint();
+}
+
+// Churn: persistent + finite flows with random cancels and cap changes.
+std::string RunChurn(uint64_t seed, int num_threads) {
+  Driver d(num_threads);
+  Rng rng(seed);
+  for (int i = 0; i < 150; ++i) {
+    double at_ms = rng.NextDouble(0.0, 1000.0);
+    int island = static_cast<int>(rng.NextU64(kIslands));
+    auto path = d.Path(rng, island);
+    bool persistent = rng.NextBool(0.4);
+    double bytes = persistent ? std::numeric_limits<double>::infinity()
+                              : rng.NextDouble(1e6, 1e8);
+    double weight = rng.NextDouble(0.5, 2.0);
+    d.control.ScheduleAt(SimTime::FromSeconds(at_ms / 1e3),
+                         [&d, path, bytes, weight]() mutable {
+                           d.StartLogged(std::move(path), bytes, weight,
+                                         /*with_abort=*/false);
+                         });
+  }
+  for (int i = 0; i < 120; ++i) {
+    double at_ms = rng.NextDouble(1000.0, 3000.0);
+    uint64_t pick = rng.NextU64();
+    bool cancel = rng.NextBool(0.5);
+    double cap = rng.NextDouble(1e8, 5e9);
+    d.control.ScheduleAt(
+        SimTime::FromSeconds(at_ms / 1e3), [&d, pick, cancel, cap] {
+          if (d.live.empty()) {
+            return;
+          }
+          FlowId target = d.live[pick % d.live.size()];
+          if (cancel) {
+            Status st = d.exec->CancelFlow(target);
+            d.log.MixEvent(kCancelStatus, target,
+                           d.control.now());
+            d.log.Mix(static_cast<uint64_t>(st.ok() ? 1 : 0));
+          } else {
+            (void)d.exec->SetRateCap(target, cap);
+          }
+        });
+  }
+  for (int ms = 500; ms <= 5000; ms += 500) {
+    d.control.ScheduleAt(SimTime::FromSeconds(ms / 1e3), [&d] { d.Probe(); });
+  }
+  d.exec->RunUntil(SimTime::FromSeconds(60.0));
+  return d.Fingerprint();
+}
+
+// Migration: persistent flows hop island to island (cancel + restart on the
+// next island), exercising cross-shard flow lifecycle on one global id
+// space while each hop lands on a different shard.
+std::string RunMigration(uint64_t seed, int num_threads) {
+  Driver d(num_threads);
+  Rng rng(seed);
+  struct Hop {
+    double at_ms;
+    int island;
+    double weight;
+    uint64_t path_salt;
+  };
+  // 40 tenants × 6 hops each.
+  for (int tenant = 0; tenant < 40; ++tenant) {
+    int island = static_cast<int>(rng.NextU64(kIslands));
+    double weight = rng.NextDouble(0.5, 3.0);
+    auto slot = std::make_shared<FlowId>();
+    double at_ms = rng.NextDouble(0.0, 200.0);
+    for (int hop = 0; hop < 6; ++hop) {
+      Rng hop_rng(rng.NextU64());
+      auto path = d.Path(hop_rng, island);
+      d.control.ScheduleAt(
+          SimTime::FromSeconds(at_ms / 1e3), [&d, slot, path, weight] {
+            if (slot->valid()) {
+              Status st = d.exec->CancelFlow(*slot);
+              d.log.MixEvent(kCancelStatus, *slot, d.control.now());
+              d.log.Mix(static_cast<uint64_t>(st.ok() ? 1 : 0));
+            }
+            *slot = d.exec->StartPersistentFlow(path, weight);
+            d.live.push_back(*slot);
+          });
+      island = (island + 1) % kIslands;
+      at_ms += rng.NextDouble(100.0, 600.0);
+    }
+  }
+  // Rate probes between hops: CurrentRate feeds the hash, so the max-min
+  // allocation itself must match bit-for-bit across thread counts.
+  for (int ms = 100; ms <= 4000; ms += 100) {
+    uint64_t pick = rng.NextU64();
+    d.control.ScheduleAt(SimTime::FromSeconds(ms / 1e3), [&d, pick] {
+      d.Probe();
+      if (!d.live.empty()) {
+        FlowId target = d.live[pick % d.live.size()];
+        auto rate = d.exec->CurrentRate(target);
+        d.log.Mix(rate.ok() ? *rate : -1.0);
+      }
+    });
+  }
+  d.exec->RunUntil(SimTime::FromSeconds(30.0));
+  return d.Fingerprint();
+}
+
+using ScenarioFn = std::string (*)(uint64_t, int);
+
+struct Scenario {
+  const char* name;
+  ScenarioFn run;
+};
+
+constexpr Scenario kScenarios[] = {
+    {"storm", RunStorm},
+    {"churn", RunChurn},
+    {"migration", RunMigration},
+};
+
+TEST(ShardExecutorDifferentialTest, ThreadCountNeverChangesTheFingerprint) {
+  for (const Scenario& scenario : kScenarios) {
+    for (uint64_t seed : {11ull, 42ull, 1337ull}) {
+      SCOPED_TRACE(std::string(scenario.name) + " seed=" +
+                   std::to_string(seed));
+      std::string base = scenario.run(seed, 1);
+      for (int threads : {2, 4, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        EXPECT_EQ(base, scenario.run(seed, threads));
+      }
+    }
+  }
+}
+
+TEST(ShardExecutorDifferentialTest, RerunningTheSameConfigIsStable) {
+  for (const Scenario& scenario : kScenarios) {
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE(std::string(scenario.name) + " threads=" +
+                   std::to_string(threads));
+      EXPECT_EQ(scenario.run(7, threads), scenario.run(7, threads));
+    }
+  }
+}
+
+TEST(ShardExecutorTest, ComponentsArePartitionedDeterministically) {
+  std::vector<std::vector<LinkId>> islands;
+  Topology topo = BuildIslands(&islands);
+  TopologyComponents comp = ComputeTopologyComponents(topo);
+  EXPECT_EQ(comp.count, static_cast<uint32_t>(kIslands));
+  // Component numbering follows ascending smallest node index: island i's
+  // nodes were added i-th, so its component number is exactly i.
+  for (int island = 0; island < kIslands; ++island) {
+    for (int n = 0; n < kNodesPerIsland; ++n) {
+      EXPECT_EQ(comp.node_component[island * kNodesPerIsland + n],
+                static_cast<uint32_t>(island));
+    }
+    for (LinkId link : islands[island]) {
+      EXPECT_EQ(comp.link_component[Topology::DenseLinkIndex(link)],
+                static_cast<uint32_t>(island));
+    }
+  }
+}
+
+TEST(ShardExecutorTest, SingleFlowBehavesLikeFlowSim) {
+  EventQueue control;
+  std::vector<std::vector<LinkId>> islands;
+  Topology topo = BuildIslands(&islands);
+  ShardExecutor::Options opts;
+  opts.num_threads = 4;
+  ShardExecutor exec(control, topo, opts);
+
+  // 10 Gb/s chain, 1 GB transfer => 0.8 s.
+  SimTime done = SimTime::Epoch();
+  FlowId id = exec.StartFlow(
+      {islands[0][0]}, 1e9,
+      [&done](FlowId, SimTime when) { done = when; });
+  ASSERT_NE(exec.FindFlow(id), nullptr);
+  auto rate = exec.CurrentRate(id);
+  ASSERT_TRUE(rate.ok());
+  EXPECT_DOUBLE_EQ(*rate, 10e9);
+  exec.RunUntil(SimTime::FromSeconds(10));
+  EXPECT_DOUBLE_EQ(done.ToSeconds(), 0.8);
+  EXPECT_EQ(exec.FindFlow(id), nullptr);
+  EXPECT_DOUBLE_EQ(exec.total_bytes_delivered(), 1e9);
+  EXPECT_EQ(exec.active_flow_count(), 0u);
+}
+
+TEST(ShardExecutorTest, FaultsLandOnTheOwningShard) {
+  EventQueue control;
+  std::vector<std::vector<LinkId>> islands;
+  Topology topo = BuildIslands(&islands);
+  ShardExecutor::Options opts;
+  opts.num_threads = 2;
+  ShardExecutor exec(control, topo, opts);
+
+  bool aborted = false;
+  exec.StartFlow(
+      {islands[2][0]}, 1e12, [](FlowId, SimTime) {}, 1.0,
+      std::numeric_limits<double>::infinity(),
+      [&aborted](FlowId, SimTime) { aborted = true; });
+  FlowId stalls = exec.StartFlow({islands[3][0]}, 1e12, [](FlowId, SimTime) {});
+
+  control.ScheduleAt(SimTime::FromSeconds(1), [&exec, &islands] {
+    (void)exec.SetLinkUp(islands[2][0], false);
+    (void)exec.SetLinkUp(islands[3][0], false);
+  });
+  exec.RunUntil(SimTime::FromSeconds(2));
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(exec.flows_aborted(), 1u);
+  EXPECT_EQ(exec.flows_blackholed(), 1u);
+  EXPECT_EQ(exec.stalled_flow_count(), 1u);
+  EXPECT_FALSE(exec.IsLinkUp(islands[2][0]));
+
+  control.ScheduleAt(SimTime::FromSeconds(3), [&exec, &islands] {
+    (void)exec.SetLinkUp(islands[3][0], true);
+  });
+  exec.RunUntil(SimTime::FromSeconds(4));
+  EXPECT_EQ(exec.stalled_flow_count(), 0u);
+  auto rate = exec.CurrentRate(stalls);
+  ASSERT_TRUE(rate.ok());
+  EXPECT_GT(*rate, 0.0);
+}
+
+// Regression: RunAll() (an infinite deadline) must terminate once every
+// shard queue and the control queue are drained — the epoch loop's deadline
+// comparison alone never fires when both sides are Infinite.
+TEST(ShardExecutorTest, RunAllTerminatesWhenQueuesDrain) {
+  EventQueue control;
+  std::vector<std::vector<LinkId>> islands;
+  Topology topo = BuildIslands(&islands);
+  ShardExecutor::Options opts;
+  opts.num_threads = 4;
+  ShardExecutor exec(control, topo, opts);
+
+  SimTime done = SimTime::Epoch();
+  exec.StartFlow({islands[1][0]}, 1e9,
+                 [&done](FlowId, SimTime when) { done = when; });
+  control.ScheduleAt(SimTime::FromSeconds(5), [] {});
+  exec.RunAll();
+  EXPECT_DOUBLE_EQ(done.ToSeconds(), 0.8);
+  EXPECT_EQ(exec.active_flow_count(), 0u);
+  EXPECT_EQ(exec.now().ToSeconds(), 5.0);
+  // And again with nothing pending at all.
+  EXPECT_EQ(exec.RunAll(), 0u);
+}
+
+}  // namespace
+}  // namespace tenantnet

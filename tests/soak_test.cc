@@ -6,16 +6,27 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
 
 #include "src/app/workload.h"
+#include "src/sim/flow_sim.h"
 #include "src/cloud/presets.h"
 #include "src/core/api.h"
 #include "src/vnet/builder.h"
+#include "tests/test_env.h"
 
 namespace tenantnet {
 namespace {
 
 TEST(SoakTest, OneSimulatedHourOfEverything) {
+  // TN_ITERS = simulated seconds of load (default one hour; CI can run
+  // short, nightly long). TN_SEED reseeds the workload generator.
+  const double run_s =
+      static_cast<double>(test_env::ItersOverride(3600));
+  WorkloadParams wparams;
+  wparams.seed = test_env::SeedOverride(wparams.seed);
+  SCOPED_TRACE("reproduce with TN_SEED=" + std::to_string(wparams.seed) +
+               " TN_ITERS=" + std::to_string(static_cast<int64_t>(run_s)));
   Fig1World fig = BuildFig1World();
   CloudWorld& world = *fig.world;
   EventQueue queue;
@@ -46,8 +57,8 @@ TEST(SoakTest, OneSimulatedHourOfEverything) {
   // Let the async permit installs land before traffic starts.
   queue.RunUntil(queue.now() + SimDuration::Seconds(1));
 
-  // Workload: spark -> db SIP for an hour.
-  RequestWorkload workload(queue, flows, world, WorkloadParams{});
+  // Workload: spark -> db SIP for the configured duration.
+  RequestWorkload workload(queue, flows, world, wparams);
   ConnectorFn connector = [&](InstanceId src, InstanceId dst_hint) {
     (void)dst_hint;  // the pattern targets the SIP, not an instance
     ResolvedRoute route;
@@ -67,13 +78,17 @@ TEST(SoakTest, OneSimulatedHourOfEverything) {
   };
   size_t pattern = workload.AddPattern("spark->db-sip", fig.spark,
                                        fig.database, /*rps=*/25.0, connector);
-  workload.Start(SimDuration::Seconds(3600));
+  workload.Start(SimDuration::Seconds(run_s));
 
-  // Failure injection: each database backend fails and recovers twice.
+  // Failure injection: each database backend fails and recovers twice
+  // (skipping rounds that would not fit a shortened run).
   for (size_t i = 0; i < fig.database.size(); ++i) {
     for (int round = 0; round < 2; ++round) {
       double down_at = 300.0 + static_cast<double>(i) * 400 +
                        static_cast<double>(round) * 1500;
+      if (down_at + 120 >= run_s) {
+        continue;
+      }
       InstanceId victim = fig.database[i];
       queue.ScheduleAt(SimTime::FromSeconds(down_at),
                        [&cloud, victim] { cloud.NotifyInstanceDown(victim); });
@@ -84,7 +99,7 @@ TEST(SoakTest, OneSimulatedHourOfEverything) {
 
   // Permit churn: the spark group flaps one member periodically.
   InstanceId flapper = fig.spark[0];
-  for (double t = 600; t < 3600; t += 600) {
+  for (double t = 600; t < run_s; t += 600) {
     queue.ScheduleAt(SimTime::FromSeconds(t), [&cloud, &eip, group, flapper] {
       (void)cloud.RemoveFromEndpointGroup(group, eip[flapper.value()]);
     });
@@ -98,32 +113,36 @@ TEST(SoakTest, OneSimulatedHourOfEverything) {
   // QoS epochs tick throughout.
   std::function<void()> epoch = [&] {
     cloud.qos().RunEpoch(queue.now());
-    if (queue.now() < SimTime::FromSeconds(3700)) {
+    if (queue.now() < SimTime::FromSeconds(run_s + 100)) {
       queue.ScheduleAfter(SimDuration::Millis(100), epoch);
     }
   };
   queue.ScheduleAfter(SimDuration::Millis(100), epoch);
 
-  queue.RunUntil(SimTime::FromSeconds(4000));
+  queue.RunUntil(SimTime::FromSeconds(run_s + 400));
 
   const PatternStats& stats = workload.stats(pattern);
   // Accounting closes exactly.
   EXPECT_EQ(stats.attempted, stats.completed + stats.denied);
   EXPECT_EQ(workload.inflight(), 0u);
-  // ~90k transactions attempted over the hour.
-  EXPECT_GT(stats.attempted, 80000u);
+  // ~25 tx/s attempted over the run (~90k for the default hour).
+  EXPECT_GT(static_cast<double>(stats.attempted), 22.0 * run_s);
   // The vast majority succeed; denials happen only in the windows where
-  // all backends were down or the flapper lost membership mid-flight.
+  // all backends were down or the flapper lost membership mid-flight. A
+  // shortened run weighs a single outage window more heavily, so only the
+  // full-length soak holds the tight bound.
   EXPECT_GT(static_cast<double>(stats.completed) /
                 static_cast<double>(stats.attempted),
-            0.95);
-  // Latency is sane for a us-east <-> us-east pair.
-  EXPECT_GT(stats.latency_ms.P50(), 1.0);
-  EXPECT_LT(stats.latency_ms.P99(), 500.0);
+            run_s >= 3600 ? 0.95 : 0.50);
+  if (stats.completed > 0) {
+    // Latency is sane for a us-east <-> us-east pair.
+    EXPECT_GT(stats.latency_ms.P50(), 1.0);
+    EXPECT_LT(stats.latency_ms.P99(), 500.0);
+  }
   // The flow simulator drained.
   EXPECT_EQ(flows.active_flow_count(), 0u);
-  // QoS ticked the whole hour.
-  EXPECT_GT(cloud.qos().epochs_run(), 30000u);
+  // QoS ticked the whole run (10 epochs/s).
+  EXPECT_GT(static_cast<double>(cloud.qos().epochs_run()), 8.0 * run_s);
 }
 
 }  // namespace

@@ -1,0 +1,53 @@
+// Environment knobs for randomized / long-running tests.
+//
+// CI runs short, nightly runs long, and a failure must be reproducible
+// from the log line alone:
+//   TN_SEED=<n>   override the RNG seed (for parameterized fuzz suites,
+//                 replaces the whole seed list with this one seed)
+//   TN_ITERS=<n>  override the iteration / duration budget
+// Tests log the effective seed via SCOPED_TRACE, so any assertion failure
+// prints the exact TN_SEED/TN_ITERS pair to rerun it.
+
+#ifndef TENANTNET_TESTS_TEST_ENV_H_
+#define TENANTNET_TESTS_TEST_ENV_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace tenantnet {
+namespace test_env {
+
+inline uint64_t SeedOverride(uint64_t fallback) {
+  const char* value = std::getenv("TN_SEED");
+  if (value != nullptr && *value != '\0') {
+    return std::strtoull(value, nullptr, 10);
+  }
+  return fallback;
+}
+
+inline int64_t ItersOverride(int64_t fallback) {
+  const char* value = std::getenv("TN_ITERS");
+  if (value != nullptr && *value != '\0') {
+    int64_t parsed = std::strtoll(value, nullptr, 10);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  return fallback;
+}
+
+// Seed list for INSTANTIATE_TEST_SUITE_P: the defaults, unless TN_SEED
+// narrows the run to exactly that seed.
+inline std::vector<uint64_t> SeedList(std::vector<uint64_t> defaults) {
+  const char* value = std::getenv("TN_SEED");
+  if (value != nullptr && *value != '\0') {
+    return {std::strtoull(value, nullptr, 10)};
+  }
+  return defaults;
+}
+
+}  // namespace test_env
+}  // namespace tenantnet
+
+#endif  // TENANTNET_TESTS_TEST_ENV_H_

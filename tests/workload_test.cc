@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/app/workload.h"
+#include "src/sim/flow_sim.h"
 #include "src/cloud/presets.h"
 
 namespace tenantnet {
