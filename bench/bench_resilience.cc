@@ -167,6 +167,23 @@ void RunStorm(bool declarative, const StormConfig& cfg, int threads = 0) {
     baseline = std::make_unique<BaselineNetwork>(world, ledger);
     (void)BuildFig1Baseline(*baseline, fig);
     BaselineNetwork* net = baseline.get();
+    // The baseline tenant's control plane reacts to transport faults by
+    // re-running route propagation (what a real deployment's BGP holddown
+    // expiry triggers). With the incremental engine this is a delta apply;
+    // the injector's control_repair_ms histogram records what each
+    // reaction cost.
+    hooks.on_inject = [net](const FaultSpec& spec) {
+      if (spec.kind == FaultKind::kLinkDown ||
+          spec.kind == FaultKind::kGatewayRestart) {
+        (void)net->PropagateRoutes();
+      }
+    };
+    hooks.on_recover = [net](const FaultSpec& spec) {
+      if (spec.kind == FaultKind::kLinkDown ||
+          spec.kind == FaultKind::kGatewayRestart) {
+        (void)net->PropagateRoutes();
+      }
+    };
     connector = [net](InstanceId src, InstanceId dst) {
       ResolvedRoute route;
       auto d = net->Evaluate(src, dst, Fig1Baseline::kDbPort, Protocol::kTcp);
@@ -208,16 +225,24 @@ void RunStorm(bool declarative, const StormConfig& cfg, int threads = 0) {
   double reconv_sum = 0;
   double reconv_max = 0;
   uint64_t reconv_count = 0;
+  double repair_sum = 0;
+  double repair_max = 0;
+  uint64_t repair_count = 0;
   for (FaultKind kind :
        {FaultKind::kLinkDown, FaultKind::kInstanceCrash,
         FaultKind::kGatewayRestart, FaultKind::kControlPlaneDegrade}) {
     const Histogram& h = injector.reconverge_ms(kind);
-    if (h.count() == 0) {
-      continue;
+    if (h.count() > 0) {
+      reconv_sum += h.sum();
+      reconv_count += h.count();
+      reconv_max = std::max(reconv_max, h.max());
     }
-    reconv_sum += h.sum();
-    reconv_count += h.count();
-    reconv_max = std::max(reconv_max, h.max());
+    const Histogram& r = injector.control_repair_ms(kind);
+    if (r.count() > 0) {
+      repair_sum += r.sum();
+      repair_count += r.count();
+      repair_max = std::max(repair_max, r.max());
+    }
   }
 
   const PatternStats& stats = workload.stats(pattern);
@@ -227,6 +252,8 @@ void RunStorm(bool declarative, const StormConfig& cfg, int threads = 0) {
       "\"fault_events\":%zu,"
       "\"injected\":%llu,\"reconverged\":%llu,\"unconverged\":%llu,"
       "\"reconverge_ms_mean\":%.2f,\"reconverge_ms_max\":%.2f,"
+      "\"control_repair_events\":%llu,"
+      "\"control_repair_ms_mean\":%.4f,\"control_repair_ms_max\":%.4f,"
       "\"bytes_blackholed\":%.0f,\"flows_blackholed\":%llu,"
       "\"flows_aborted\":%llu,"
       "\"attempted\":%llu,\"completed\":%llu,\"denied\":%llu,"
@@ -240,7 +267,9 @@ void RunStorm(bool declarative, const StormConfig& cfg, int threads = 0) {
       static_cast<unsigned long long>(injector.faults_reconverged()),
       static_cast<unsigned long long>(injector.faults_unconverged()),
       reconv_count > 0 ? reconv_sum / static_cast<double>(reconv_count) : 0.0,
-      reconv_max, sim.bytes_blackholed(),
+      reconv_max, static_cast<unsigned long long>(repair_count),
+      repair_count > 0 ? repair_sum / static_cast<double>(repair_count) : 0.0,
+      repair_max, sim.bytes_blackholed(),
       static_cast<unsigned long long>(sim.flows_blackholed()),
       static_cast<unsigned long long>(sim.flows_aborted()),
       static_cast<unsigned long long>(stats.attempted),

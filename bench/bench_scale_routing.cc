@@ -14,6 +14,12 @@
 // Paper claim under test: flat EIPs are tractable *because* aggregation
 // freedom stays with the provider; churn erodes but does not destroy it.
 //
+// A churn-convergence sweep compares from-scratch BGP convergence against
+// the incremental engine (retained Adj-RIB-Ins + dirty-prefix queue) for
+// single-route churn, and an aggregation-timing record establishes that the
+// provider can re-derive its advertised aggregate from 10^6 flat host
+// routes in interactive time.
+//
 // A second sweep measures the baseline world's verdict fast path: cached
 // Fabric::Evaluate vs the uncached walk, cold/warm/churn. The baseline's
 // verdict cache can only invalidate coarsely (one config epoch covers the
@@ -27,15 +33,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/cloud/presets.h"
 #include "src/common/rng.h"
 #include "src/net/ipam.h"
+#include "src/routing/bgp.h"
 #include "src/routing/route_table.h"
 #include "src/vnet/fabric.h"
 
@@ -165,6 +174,157 @@ void Run(bool smoke) {
       "VPC world's table is smaller but every prefix in it is pinned by a\n"
       "tenant, so the provider has no such lever (and tenants carry the\n"
       "planning cost, E1/E2). Lookup stays O(address bits) regardless.\n");
+}
+
+// --- Churn convergence: full vs incremental BGP -----------------------------
+
+// Hub-and-spoke mesh: one hub speaker, `spokes` edge speakers each
+// originating an equal share of `total_prefixes`. The shape matches the
+// provider control plane at scale — many edge speakers, few transit hubs —
+// and is the worst case for from-scratch convergence (every prefix crosses
+// the hub every time).
+IpPrefix ChurnPrefix(uint64_t i) {
+  return *IpPrefix::Create(
+      IpAddress::V4(0x0B000000u + (static_cast<uint32_t>(i) << 8)), 24);
+}
+
+struct ChurnResult {
+  uint64_t prefixes;
+  uint64_t speakers;
+  double full_ms;
+  double incr_op_ms;
+  double updates_per_sec;
+  double routes_touched_per_op;
+  double speedup;
+};
+
+ChurnResult RunChurn(uint64_t total_prefixes, uint64_t spokes,
+                     uint64_t churn_ops) {
+  BgpMesh mesh;
+  SpeakerId hub = mesh.AddSpeaker(65000, "hub");
+  std::vector<SpeakerId> spoke_ids;
+  for (uint64_t s = 0; s < spokes; ++s) {
+    spoke_ids.push_back(mesh.AddSpeaker(static_cast<uint32_t>(65001 + s),
+                                        "spoke" + std::to_string(s)));
+    (void)mesh.AddSession(hub, spoke_ids.back());
+  }
+  uint64_t per_spoke = total_prefixes / spokes;
+  for (uint64_t s = 0; s < spokes; ++s) {
+    for (uint64_t j = 0; j < per_spoke; ++j) {
+      (void)mesh.Originate(spoke_ids[s], ChurnPrefix(s * per_spoke + j));
+    }
+  }
+  mesh.Converge();
+  mesh.TakeDeltas();
+
+  // Cost of one from-scratch convergence on the steady state (what every
+  // route change used to pay). Min of 3 runs: the most favorable number
+  // for the full rebuild, so the reported speedup is conservative.
+  double full_ms = 0;
+  for (int run = 0; run < 3; ++run) {
+    auto start = std::chrono::steady_clock::now();
+    mesh.ConvergeFull();
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    mesh.TakeDeltas();
+    full_ms = run == 0 ? ms : std::min(full_ms, ms);
+  }
+
+  // Incremental churn: withdraw a random route, converge, re-originate it,
+  // converge. Each converge+delta-drain is one op.
+  Rng rng(41);
+  uint64_t touched = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (uint64_t op = 0; op < churn_ops; ++op) {
+    uint64_t s = rng.NextU64(spokes);
+    IpPrefix p = ChurnPrefix(s * per_spoke + rng.NextU64(per_spoke));
+    (void)mesh.WithdrawOrigin(spoke_ids[s], p);
+    touched += mesh.Converge().prefixes_processed;
+    mesh.TakeDeltas();
+    (void)mesh.Originate(spoke_ids[s], p);
+    touched += mesh.Converge().prefixes_processed;
+    mesh.TakeDeltas();
+  }
+  double churn_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  uint64_t ops = churn_ops * 2;
+
+  ChurnResult r;
+  r.prefixes = per_spoke * spokes;
+  r.speakers = spokes + 1;
+  r.full_ms = full_ms;
+  r.incr_op_ms = churn_ms / static_cast<double>(ops);
+  r.updates_per_sec = static_cast<double>(ops) / (churn_ms / 1e3);
+  r.routes_touched_per_op =
+      static_cast<double>(touched) / static_cast<double>(ops);
+  r.speedup = r.full_ms / r.incr_op_ms;
+  return r;
+}
+
+void ChurnSweep(BenchJsonWriter& json, bool smoke) {
+  std::printf(
+      "\nChurn convergence: from-scratch vs incremental (delta BGP engine)\n");
+  TablePrinter table({10, 9, 11, 12, 13, 13, 10});
+  table.Row({"prefixes", "speakers", "full ms", "incr op ms", "updates/s",
+             "touched/op", "speedup"});
+  table.Rule();
+  struct Size {
+    uint64_t prefixes, spokes, ops;
+  };
+  std::vector<Size> sizes = smoke
+                                ? std::vector<Size>{{5000, 8, 100}}
+                                : std::vector<Size>{{5000, 8, 200},
+                                                    {20000, 16, 200},
+                                                    {100000, 16, 200}};
+  for (const Size& size : sizes) {
+    ChurnResult r = RunChurn(size.prefixes, size.spokes, size.ops);
+    table.Row({FmtInt(r.prefixes), FmtInt(r.speakers), FmtF(r.full_ms, 2),
+               FmtF(r.incr_op_ms, 4), FmtF(r.updates_per_sec, 0),
+               FmtF(r.routes_touched_per_op, 1), FmtF(r.speedup, 0)});
+    json.Recordf(
+        "{\"bench\":\"routing_churn\",\"prefixes\":%llu,\"speakers\":%llu,"
+        "\"full_ms\":%.3f,\"incr_op_ms\":%.5f,\"updates_per_sec\":%.0f,"
+        "\"routes_touched_per_op\":%.1f,\"speedup_incremental\":%.1f}",
+        static_cast<unsigned long long>(r.prefixes),
+        static_cast<unsigned long long>(r.speakers), r.full_ms, r.incr_op_ms,
+        r.updates_per_sec, r.routes_touched_per_op, r.speedup);
+  }
+  std::printf(
+      "\nReading: a single-route change used to cost a from-scratch mesh\n"
+      "convergence — O(total prefixes x sessions). The event-driven engine\n"
+      "re-selects only the dirty prefix from retained Adj-RIB-Ins and\n"
+      "advertises only the changed best route, so the per-op cost tracks\n"
+      "touched/op (a handful of routes) instead of the table size, and the\n"
+      "gap widens linearly with scale.\n");
+}
+
+// Provider-side aggregation timing at full E4a scale: the provider must be
+// able to re-derive its advertised aggregate from 1M flat host routes
+// faster than BGP dampening timescales for the paper's argument to hold.
+void AggregateTiming(BenchJsonWriter& json, bool smoke) {
+  uint64_t n = smoke ? 200000 : 1000000;
+  HostAllocator pool(*IpPrefix::Parse("5.0.0.0/9"));
+  std::vector<IpPrefix> hosts;
+  hosts.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    hosts.push_back(IpPrefix::Host(*pool.Allocate()));
+  }
+  auto start = std::chrono::steady_clock::now();
+  auto out = AggregatePrefixes(hosts);
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  std::printf("\nAggregation timing: %llu host routes -> %llu prefixes in "
+              "%.1f ms\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(out.size()), ms);
+  json.Recordf(
+      "{\"bench\":\"routing_aggregate_timing\",\"prefixes\":%llu,"
+      "\"aggregate_ms\":%.2f,\"output_prefixes\":%llu}",
+      static_cast<unsigned long long>(n), ms,
+      static_cast<unsigned long long>(out.size()));
 }
 
 // --- Baseline verdict fast path ---------------------------------------------
@@ -331,6 +491,8 @@ int main(int argc, char** argv) {
   bool smoke = argc > 1 && std::strcmp(argv[1], "smoke") == 0;
   tenantnet::BenchJsonWriter json("scale_routing", argc, argv);
   tenantnet::Run(smoke);
+  tenantnet::ChurnSweep(json, smoke);
+  tenantnet::AggregateTiming(json, smoke);
   tenantnet::BaselineVerdictSweep(json, smoke);
   return 0;
 }

@@ -15,6 +15,14 @@ is also checked (absolute drop > 0.2 fails): throughput is
 machine-dependent, but hit rate is not — a cache that stopped caching shows
 up there regardless of how fast the runner is.
 
+Churn-convergence records (see bench/baselines/routing_churn_smoke_baseline.json),
+matched on (bench, prefixes, speakers): the baseline states a
+min_speedup_incremental floor and the current record (from the
+bench_scale_routing churn sweep) reports the measured speedup_incremental —
+incremental convergence per churn op vs a from-scratch convergence. The
+ratio of two timings on the same machine is hardware-independent enough to
+gate everywhere, unlike raw throughput.
+
 Shard-scaling records (see bench/baselines/shard_smoke_baseline.json),
 matched on (bench, scenario, flows, threads): the baseline states a
 min_speedup_vs_1thread floor and the current record (from the
@@ -132,6 +140,36 @@ def check_shards(baseline, current_files):
     return failed
 
 
+def churn_key(rec):
+    return (rec.get("bench"), rec.get("prefixes"), rec.get("speakers"))
+
+
+def check_churn(baseline, current_files):
+    current = {}
+    for recs in current_files:
+        for rec in recs:
+            if "speedup_incremental" in rec:
+                current[churn_key(rec)] = rec
+
+    failed = False
+    print(f"{'bench':<20} {'prefixes':>9} {'speakers':>9} {'min':>7} {'got':>9}")
+    for base in baseline:
+        k = churn_key(base)
+        floor = base["min_speedup_incremental"]
+        cur = current.get(k)
+        if cur is None:
+            print(f"{k[0]:<20} {k[1]:>9} {k[2]:>9} {floor:>7.1f} {'MISSING':>9}")
+            failed = True
+            continue
+        got = cur["speedup_incremental"]
+        verdict = "" if got >= floor else "  << TOO SLOW"
+        print(f"{k[0]:<20} {k[1]:>9} {k[2]:>9} {floor:>7.1f} {got:>9.1f}"
+              f"{verdict}")
+        if got < floor:
+            failed = True
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -147,7 +185,8 @@ def main():
     baseline = load_records(args.baseline)
     verdict_base = [r for r in baseline if "warm_vps" in r]
     shard_base = [r for r in baseline if "min_speedup_vs_1thread" in r]
-    if not verdict_base and not shard_base:
+    churn_base = [r for r in baseline if "min_speedup_incremental" in r]
+    if not verdict_base and not shard_base and not churn_base:
         print(f"error: no gate records in baseline {args.baseline}")
         return 1
 
@@ -159,10 +198,12 @@ def main():
                                  args.max_regression)
     if shard_base:
         failed |= check_shards(shard_base, current_files)
+    if churn_base:
+        failed |= check_churn(churn_base, current_files)
 
     if failed:
         print("\nFAIL: bench gate violated (regression, missing record, "
-              "insufficient parallel speedup, or nondeterminism)")
+              "insufficient parallel/incremental speedup, or nondeterminism)")
         return 1
     print("\nOK: all bench gates within tolerance")
     return 0

@@ -99,10 +99,12 @@ Result<IpAddress> DeclarativeCloud::RequestEip(InstanceId vm) {
     ProviderState& provider = Provider(inst->provider);
     TN_ASSIGN_OR_RETURN(record.addr, provider.eip_pool->Allocate());
     // The provider carries a host route; how it aggregates is its business.
-    provider.rib.Install(
-        IpPrefix::Host(record.addr),
-        RouteEntry{world_->region(inst->region).edge_node,
-                   RouteOrigin::kLocal, 0, "eip"});
+    if (provider.rib.Install(
+            IpPrefix::Host(record.addr),
+            RouteEntry{world_->region(inst->region).edge_node,
+                       RouteOrigin::kLocal, 0, "eip"})) {
+      ++provider.rib_revision;
+    }
   }
 
   ledger_->ApiCall("request_eip", "vm=" + std::to_string(vm.value()));
@@ -126,6 +128,7 @@ Status DeclarativeCloud::ReleaseEip(IpAddress eip) {
     ProviderState& provider = Provider(record.provider);
     provider.filters->RemovePermitList(eip);
     TN_RETURN_IF_ERROR(provider.rib.Withdraw(IpPrefix::Host(eip)));
+    ++provider.rib_revision;
     TN_RETURN_IF_ERROR(provider.eip_pool->Release(eip));
   }
   sip_lb_.UnbindEverywhere(eip);
@@ -382,8 +385,12 @@ void DeclarativeCloud::NotifyInstanceDown(InstanceId instance) {
   // routed delivery fails fast instead of blackholing into the host.
   auto eit = eips_.find(eip);
   if (eit != eips_.end() && eit->second.provider.valid()) {
-    // Idempotent: a second Down for the same instance finds no route.
-    (void)Provider(eit->second.provider).rib.Withdraw(IpPrefix::Host(eip));
+    ProviderState& provider = Provider(eit->second.provider);
+    // Idempotent: a second Down for the same instance finds no route (and
+    // does not bump the revision).
+    if (provider.rib.Withdraw(IpPrefix::Host(eip)).ok()) {
+      ++provider.rib_revision;
+    }
   }
 }
 
@@ -396,10 +403,13 @@ void DeclarativeCloud::NotifyInstanceUp(InstanceId instance) {
   sip_lb_.SetHealth(eip, true);
   auto eit = eips_.find(eip);
   if (eit != eips_.end() && eit->second.provider.valid()) {
-    Provider(eit->second.provider)
-        .rib.Install(IpPrefix::Host(eip),
-                     RouteEntry{world_->region(eit->second.region).edge_node,
-                                RouteOrigin::kLocal, 0, "eip"});
+    ProviderState& provider = Provider(eit->second.provider);
+    if (provider.rib.Install(
+            IpPrefix::Host(eip),
+            RouteEntry{world_->region(eit->second.region).edge_node,
+                       RouteOrigin::kLocal, 0, "eip"})) {
+      ++provider.rib_revision;
+    }
   }
 }
 
@@ -582,7 +592,18 @@ size_t DeclarativeCloud::ProviderRibNodes(ProviderId provider) {
 }
 
 size_t DeclarativeCloud::ProviderAggregatedRibEntries(ProviderId provider) {
-  return AggregatePrefixes(Provider(provider).rib.Prefixes()).size();
+  ProviderState& state = Provider(provider);
+  if (!state.aggregated_valid || state.aggregated_at != state.rib_revision) {
+    state.aggregated_entries =
+        AggregatePrefixes(state.rib.Prefixes()).size();
+    state.aggregated_at = state.rib_revision;
+    state.aggregated_valid = true;
+  }
+  return state.aggregated_entries;
+}
+
+uint64_t DeclarativeCloud::ProviderRibRevision(ProviderId provider) {
+  return Provider(provider).rib_revision;
 }
 
 }  // namespace tenantnet

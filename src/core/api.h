@@ -164,7 +164,13 @@ class DeclarativeCloud {
   size_t ProviderRibEntries(ProviderId provider);
   size_t ProviderRibNodes(ProviderId provider);
   // Minimal table if the provider aggregates its (contiguous) allocations.
+  // Cached against ProviderRibRevision: repeated calls with no intervening
+  // RIB change do not re-aggregate.
   size_t ProviderAggregatedRibEntries(ProviderId provider);
+  // Bumped only when the provider's EIP RIB actually changes (install of a
+  // new/different host route, or a successful withdraw) — the declarative
+  // analogue of the BGP mesh's mutation count.
+  uint64_t ProviderRibRevision(ProviderId provider);
 
   size_t eip_count() const { return eips_.size(); }
 
@@ -175,6 +181,13 @@ class DeclarativeCloud {
     std::unique_ptr<EdgeFilterBank> filters;  // one edge per region
     std::unordered_map<RegionId, size_t> edge_index;  // region -> edge
     RouteTable rib;  // flat host routes for every live EIP
+    // Change-only revision of `rib`; keys the aggregation cache below.
+    uint64_t rib_revision = 0;
+    // Memoized AggregatePrefixes(rib).size() and the revision it was
+    // computed at (valid once aggregated_at != 0 or a computation ran).
+    bool aggregated_valid = false;
+    uint64_t aggregated_at = 0;
+    size_t aggregated_entries = 0;
   };
   struct OnPremState {
     std::unique_ptr<HostAllocator> eip_pool;

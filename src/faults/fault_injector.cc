@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <string>
 
 namespace tenantnet {
@@ -85,6 +86,9 @@ FaultInjector::FaultInjector(EventQueue& queue, Topology& topology,
     reconverge_ms_[k] = &metrics.GetHistogram(
         "faults.reconverge_ms." +
         std::string(FaultKindName(static_cast<FaultKind>(k))));
+    control_repair_ms_[k] = &metrics.GetHistogram(
+        "faults.control_repair_ms." +
+        std::string(FaultKindName(static_cast<FaultKind>(k))));
   }
   permit_staleness_ms_ = &metrics.GetHistogram("faults.permit_staleness_ms");
 }
@@ -142,9 +146,7 @@ void FaultInjector::Inject(const FaultSpec& spec) {
       }
       break;
   }
-  if (hooks_.on_inject) {
-    hooks_.on_inject(spec);
-  }
+  RunHookTimed(hooks_.on_inject, spec);
   queue_.ScheduleAfter(spec.duration, [this, spec] { Recover(spec); });
 }
 
@@ -169,10 +171,21 @@ void FaultInjector::Recover(const FaultSpec& spec) {
       }
       break;
   }
-  if (hooks_.on_recover) {
-    hooks_.on_recover(spec);
-  }
+  RunHookTimed(hooks_.on_recover, spec);
   Probe(spec, queue_.now(), 0);
+}
+
+void FaultInjector::RunHookTimed(
+    const std::function<void(const FaultSpec&)>& hook, const FaultSpec& spec) {
+  if (!hook) {
+    return;
+  }
+  auto start = std::chrono::steady_clock::now();
+  hook(spec);
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  control_repair_ms_[static_cast<size_t>(spec.kind)]->Record(ms);
 }
 
 bool FaultInjector::IsReconverged(const FaultSpec& spec) const {

@@ -130,6 +130,14 @@ class FaultInjector {
     return *reconverge_ms_[static_cast<size_t>(kind)];
   }
 
+  // Wall-clock cost of the world-specific control-plane reaction (the
+  // on_inject/on_recover hooks), per kind. This is where incremental route
+  // propagation shows up: a baseline hook that re-propagates routes pays
+  // delta cost instead of a full reconvergence per fault.
+  const Histogram& control_repair_ms(FaultKind kind) const {
+    return *control_repair_ms_[static_cast<size_t>(kind)];
+  }
+
   // Extra channel for the permit-staleness experiments: how long a revoked
   // peer kept getting through after the revocation was issued. Recorded by
   // the caller (it owns the filter bank); stored here so every resilience
@@ -164,9 +172,14 @@ class FaultInjector {
   uint64_t faults_injected_ = 0;
   uint64_t faults_reconverged_ = 0;
   uint64_t faults_unconverged_ = 0;
+  // Runs a hook (if set) and records its wall-clock cost for `kind`.
+  void RunHookTimed(const std::function<void(const FaultSpec&)>& hook,
+                    const FaultSpec& spec);
+
   Counter* injected_counter_;
   Counter* unconverged_counter_;
   Histogram* reconverge_ms_[4];
+  Histogram* control_repair_ms_[4];
   Histogram* permit_staleness_ms_;
 };
 

@@ -1,62 +1,119 @@
 #include "src/routing/bgp.h"
 
 #include <algorithm>
-#include <set>
+#include <utility>
 
 namespace tenantnet {
 
 SpeakerId BgpMesh::AddSpeaker(uint32_t asn, std::string name) {
-  speakers_.push_back(Speaker{asn, std::move(name), {}, {}, {}});
+  speakers_.push_back(Speaker{asn, std::move(name), {}, {}, {}, {}, {}});
+  dirty_.emplace_back();
+  pre_delta_.emplace_back();
   ++mutations_;
   return SpeakerId(speakers_.size());
 }
 
 Status BgpMesh::AddSession(SpeakerId a, SpeakerId b, SessionPolicy a_to_b,
                            SessionPolicy b_to_a) {
-  if (!a.valid() || a.value() > speakers_.size() || !b.valid() ||
-      b.value() > speakers_.size()) {
+  if (!Valid(a) || !Valid(b)) {
     return InvalidArgumentError("unknown speaker");
   }
   if (a == b) {
     return InvalidArgumentError("speaker cannot peer with itself");
   }
-  Get(a).sessions.push_back(Session{b, std::move(a_to_b)});
-  Get(b).sessions.push_back(Session{a, std::move(b_to_a)});
+  if (Get(a).session_index.count(b.value()) > 0) {
+    return AlreadyExistsError("session already exists");
+  }
+  Speaker& sa = Get(a);
+  Speaker& sb = Get(b);
+  sa.session_index[b.value()] = static_cast<uint32_t>(sa.sessions.size());
+  sa.sessions.push_back(Session{b, std::move(a_to_b)});
+  sb.session_index[a.value()] = static_cast<uint32_t>(sb.sessions.size());
+  sb.sessions.push_back(Session{a, std::move(b_to_a)});
   ++session_count_;
   ++mutations_;
+  // Sync current bests over the new session in both directions; the dirty
+  // queue carries the consequences from there.
+  ResyncSession(a, b);
+  ResyncSession(b, a);
+  return Status::Ok();
+}
+
+Status BgpMesh::RemoveSession(SpeakerId a, SpeakerId b) {
+  if (!Valid(a) || !Valid(b)) {
+    return InvalidArgumentError("unknown speaker");
+  }
+  Speaker& sa = Get(a);
+  auto it = sa.session_index.find(b.value());
+  if (it == sa.session_index.end()) {
+    return NotFoundError("no session between these speakers");
+  }
+  auto drop = [](Speaker& s, SpeakerId peer) {
+    uint32_t idx = s.session_index.at(peer.value());
+    s.sessions.erase(s.sessions.begin() + idx);
+    s.session_index.clear();
+    for (uint32_t i = 0; i < s.sessions.size(); ++i) {
+      s.session_index[s.sessions[i].peer.value()] = i;
+    }
+  };
+  drop(sa, b);
+  drop(Get(b), a);
+  --session_count_;
+  ++mutations_;
+  // Everything each side learned from the other is implicitly withdrawn.
+  FlushLearnedFrom(a, b);
+  FlushLearnedFrom(b, a);
+  return Status::Ok();
+}
+
+Status BgpMesh::SetSessionPolicy(SpeakerId speaker, SpeakerId peer,
+                                 SessionPolicy policy) {
+  if (!Valid(speaker) || !Valid(peer)) {
+    return InvalidArgumentError("unknown speaker");
+  }
+  Speaker& s = Get(speaker);
+  auto it = s.session_index.find(peer.value());
+  if (it == s.session_index.end()) {
+    return NotFoundError("no session between these speakers");
+  }
+  s.sessions[it->second].policy = std::move(policy);
+  ++mutations_;
+  // The policy governs `speaker`'s export to and import from `peer`:
+  // re-send our bests under the new export filter, and have the peer's
+  // bests re-imported under the new import policy.
+  ResyncSession(speaker, peer);
+  ResyncSession(peer, speaker);
   return Status::Ok();
 }
 
 Status BgpMesh::Originate(SpeakerId speaker, const IpPrefix& prefix) {
-  if (!speaker.valid() || speaker.value() > speakers_.size()) {
+  if (!Valid(speaker)) {
     return InvalidArgumentError("unknown speaker");
   }
   Speaker& s = Get(speaker);
-  if (std::find(s.originated.begin(), s.originated.end(), prefix) !=
-      s.originated.end()) {
+  if (!s.originated.insert(prefix).second) {
     return AlreadyExistsError("already originated: " + prefix.ToString());
   }
-  s.originated.push_back(prefix);
   ++mutations_;
+  MarkDirty(speaker.value() - 1, prefix);
   return Status::Ok();
 }
 
 Status BgpMesh::WithdrawOrigin(SpeakerId speaker, const IpPrefix& prefix) {
-  if (!speaker.valid() || speaker.value() > speakers_.size()) {
+  if (!Valid(speaker)) {
     return InvalidArgumentError("unknown speaker");
   }
   Speaker& s = Get(speaker);
-  auto it = std::find(s.originated.begin(), s.originated.end(), prefix);
-  if (it == s.originated.end()) {
+  if (s.originated.erase(prefix) == 0) {
     return NotFoundError("not originated here: " + prefix.ToString());
   }
-  s.originated.erase(it);
   ++mutations_;
+  MarkDirty(speaker.value() - 1, prefix);
   return Status::Ok();
 }
 
-bool BgpMesh::Better(const BgpRoute& candidate, const BgpRoute& incumbent,
-                     const BgpMesh& mesh) {
+bool BgpMesh::Better(const BgpRoute& candidate,
+                     const BgpRoute& incumbent) const {
   if (candidate.local_pref != incumbent.local_pref) {
     return candidate.local_pref > incumbent.local_pref;
   }
@@ -64,131 +121,246 @@ bool BgpMesh::Better(const BgpRoute& candidate, const BgpRoute& incumbent,
     return candidate.as_path.size() < incumbent.as_path.size();
   }
   // Tie-break: lowest neighbor ASN (locally originated wins outright via
-  // the empty as_path above; two local originations of one prefix cannot
-  // happen within one speaker).
-  auto neighbor_asn = [&mesh](const BgpRoute& r) -> uint32_t {
-    if (!r.learned_from.valid()) {
-      return 0;
-    }
-    return mesh.Get(r.learned_from).asn;
+  // the empty as_path above).
+  auto neighbor_asn = [this](const BgpRoute& r) -> uint32_t {
+    return r.learned_from.valid() ? Get(r.learned_from).asn : 0;
   };
-  return neighbor_asn(candidate) < neighbor_asn(incumbent);
+  uint32_t ca = neighbor_asn(candidate);
+  uint32_t ia = neighbor_asn(incumbent);
+  if (ca != ia) {
+    return ca < ia;
+  }
+  // Deterministic final tie-break (two peers may share an ASN): lowest
+  // neighbor speaker id. Makes best-path selection a total order, so the
+  // incremental fixed point matches the from-scratch rebuild byte-for-byte.
+  return candidate.learned_from.value() < incumbent.learned_from.value();
+}
+
+std::optional<BgpRoute> BgpMesh::SelectBest(const Speaker& s,
+                                            const IpPrefix& prefix) const {
+  std::optional<BgpRoute> best;
+  if (s.originated.count(prefix) > 0) {
+    BgpRoute local;
+    local.prefix = prefix;
+    local.local_pref = 100;
+    best = std::move(local);
+  }
+  auto it = s.adj_rib_in.find(prefix);
+  if (it != s.adj_rib_in.end()) {
+    for (const auto& [peer, route] : it->second) {
+      if (!best.has_value() || Better(route, *best)) {
+        best = route;
+      }
+    }
+  }
+  return best;
+}
+
+void BgpMesh::MarkDirty(size_t speaker_index, const IpPrefix& prefix) {
+  if (dirty_[speaker_index].insert(prefix).second) {
+    ++pending_work_;
+  }
+}
+
+void BgpMesh::RecordPreDelta(size_t speaker_index, const IpPrefix& prefix,
+                             const std::optional<BgpRoute>& old_route) {
+  pre_delta_[speaker_index].emplace(prefix, old_route);  // first touch wins
+}
+
+void BgpMesh::DeliverUpdate(size_t receiver_index, SpeakerId from,
+                            BgpRoute route) {
+  Speaker& receiver = speakers_[receiver_index];
+  // Loop detection: a looped advertisement still implicitly withdraws
+  // whatever this peer advertised before (it no longer holds that path).
+  if (std::find(route.as_path.begin(), route.as_path.end(), receiver.asn) !=
+      route.as_path.end()) {
+    DeliverWithdraw(receiver_index, from, route.prefix);
+    return;
+  }
+  // Import policy lives on the receiver's session record toward the sender.
+  auto sit = receiver.session_index.find(from.value());
+  if (sit != receiver.session_index.end()) {
+    const SessionPolicy& policy = receiver.sessions[sit->second].policy;
+    if (policy.import_filter && !policy.import_filter(route)) {
+      DeliverWithdraw(receiver_index, from, route.prefix);
+      return;
+    }
+    if (policy.import_local_pref != 0) {
+      route.local_pref = policy.import_local_pref;
+    }
+  }
+  auto& per_peer = receiver.adj_rib_in[route.prefix];
+  auto it = per_peer.find(from.value());
+  if (it != per_peer.end() && it->second == route) {
+    return;  // unchanged: no re-selection needed
+  }
+  IpPrefix prefix = route.prefix;
+  per_peer[from.value()] = std::move(route);
+  MarkDirty(receiver_index, prefix);
+}
+
+void BgpMesh::DeliverWithdraw(size_t receiver_index, SpeakerId from,
+                              const IpPrefix& prefix) {
+  Speaker& receiver = speakers_[receiver_index];
+  auto it = receiver.adj_rib_in.find(prefix);
+  if (it == receiver.adj_rib_in.end()) {
+    return;
+  }
+  if (it->second.erase(from.value()) == 0) {
+    return;
+  }
+  if (it->second.empty()) {
+    receiver.adj_rib_in.erase(it);
+  }
+  MarkDirty(receiver_index, prefix);
+}
+
+void BgpMesh::ResyncSession(SpeakerId from, SpeakerId to) {
+  Speaker& sender = Get(from);
+  const SessionPolicy& policy =
+      sender.sessions[sender.session_index.at(to.value())].policy;
+  size_t to_index = to.value() - 1;
+  for (const auto& [prefix, best] : sender.loc_rib) {
+    if (policy.export_filter && !policy.export_filter(best)) {
+      // Not exported (any more): drop whatever the receiver retained.
+      DeliverWithdraw(to_index, from, prefix);
+      continue;
+    }
+    BgpRoute advert = best;
+    advert.as_path.insert(advert.as_path.begin(), sender.asn);
+    advert.learned_from = from;
+    advert.local_pref = 100;  // local_pref is not transitive
+    DeliverUpdate(to_index, from, std::move(advert));
+  }
+}
+
+void BgpMesh::FlushLearnedFrom(SpeakerId at, SpeakerId peer) {
+  Speaker& s = Get(at);
+  size_t at_index = at.value() - 1;
+  for (auto it = s.adj_rib_in.begin(); it != s.adj_rib_in.end();) {
+    if (it->second.erase(peer.value()) > 0) {
+      MarkDirty(at_index, it->first);
+    }
+    it = it->second.empty() ? s.adj_rib_in.erase(it) : std::next(it);
+  }
 }
 
 BgpMesh::ConvergenceStats BgpMesh::Converge(uint64_t max_rounds) {
   ConvergenceStats stats;
-  ++mutations_;  // RIBs are rebuilt below even if the outcome is identical
+  bool changed_any = false;
 
-  // Reset Loc-RIBs to locally originated routes; convergence is recomputed
-  // from scratch so that withdrawals are handled soundly.
-  std::vector<std::set<IpPrefix>> changed(speakers_.size());
-  for (size_t i = 0; i < speakers_.size(); ++i) {
-    speakers_[i].loc_rib.clear();
-    for (const IpPrefix& p : speakers_[i].originated) {
-      BgpRoute route;
-      route.prefix = p;
-      route.local_pref = 100;
-      speakers_[i].loc_rib[p] = route;
-      changed[i].insert(p);
-    }
-  }
+  struct Outgoing {
+    size_t to;
+    SpeakerId from;
+    bool withdraw;
+    BgpRoute route;   // update only
+    IpPrefix prefix;  // withdraw only
+  };
+  std::vector<Outgoing> deliveries;
 
-  for (uint64_t round = 0; round < max_rounds; ++round) {
-    bool any_pending = false;
-    for (const auto& c : changed) {
-      if (!c.empty()) {
-        any_pending = true;
-        break;
-      }
-    }
-    if (!any_pending) {
-      stats.converged = true;
-      break;
-    }
+  while (pending_work_ > 0 && stats.rounds < max_rounds) {
     ++stats.rounds;
+    std::vector<std::set<IpPrefix>> current(speakers_.size());
+    current.swap(dirty_);
+    pending_work_ = 0;
+    deliveries.clear();
 
-    // Deliver advertisements for every route that changed last round, then
-    // apply them all (synchronous round semantics).
-    std::vector<std::set<IpPrefix>> next_changed(speakers_.size());
-    struct Delivery {
-      size_t to;
-      BgpRoute route;
-    };
-    std::vector<Delivery> deliveries;
+    // Re-select best paths for every dirty (speaker, prefix) and queue the
+    // resulting advertisements / withdraws; apply them all afterwards
+    // (synchronous round semantics).
     for (size_t i = 0; i < speakers_.size(); ++i) {
-      const Speaker& sender = speakers_[i];
-      for (const IpPrefix& prefix : changed[i]) {
-        auto rib_it = sender.loc_rib.find(prefix);
-        if (rib_it == sender.loc_rib.end()) {
-          continue;
+      Speaker& s = speakers_[i];
+      for (const IpPrefix& prefix : current[i]) {
+        ++stats.prefixes_processed;
+        std::optional<BgpRoute> new_best = SelectBest(s, prefix);
+        auto rib_it = s.loc_rib.find(prefix);
+        std::optional<BgpRoute> old_best;
+        if (rib_it != s.loc_rib.end()) {
+          old_best = rib_it->second;
         }
-        const BgpRoute& best = rib_it->second;
-        for (const Session& session : sender.sessions) {
-          if (session.policy.export_filter &&
-              !session.policy.export_filter(best)) {
+        if (old_best == new_best) {
+          continue;  // e.g. a worse alternative arrived: best unchanged
+        }
+        RecordPreDelta(i, prefix, old_best);
+        ++stats.best_path_changes;
+        changed_any = true;
+        if (new_best.has_value()) {
+          s.loc_rib[prefix] = *new_best;
+        } else {
+          s.loc_rib.erase(rib_it);
+        }
+
+        for (const Session& session : s.sessions) {
+          size_t to_index = session.peer.value() - 1;
+          bool advertise_now =
+              new_best.has_value() &&
+              (!session.policy.export_filter ||
+               session.policy.export_filter(*new_best));
+          if (advertise_now) {
+            BgpRoute advert = *new_best;
+            advert.as_path.insert(advert.as_path.begin(), s.asn);
+            advert.learned_from = SpeakerId(i + 1);
+            advert.local_pref = 100;  // local_pref is not transitive
+            ++stats.update_messages;
+            deliveries.push_back(Outgoing{to_index, SpeakerId(i + 1), false,
+                                          std::move(advert), prefix});
             continue;
           }
-          BgpRoute advert = best;
-          advert.as_path.insert(advert.as_path.begin(), sender.asn);
-          advert.learned_from = SpeakerId(i + 1);
-          advert.local_pref = 100;  // local_pref is not transitive
-          ++stats.update_messages;
-          deliveries.push_back(Delivery{session.peer.value() - 1, advert});
+          bool advertised_before =
+              old_best.has_value() &&
+              (!session.policy.export_filter ||
+               session.policy.export_filter(*old_best));
+          if (advertised_before) {
+            ++stats.withdraw_messages;
+            deliveries.push_back(
+                Outgoing{to_index, SpeakerId(i + 1), true, {}, prefix});
+          }
         }
       }
     }
 
-    for (Delivery& d : deliveries) {
-      Speaker& receiver = speakers_[d.to];
-      // Loop detection.
-      if (std::find(d.route.as_path.begin(), d.route.as_path.end(),
-                    receiver.asn) != d.route.as_path.end()) {
-        continue;
-      }
-      // Find the inbound session's policy (session from receiver to sender
-      // holds the receiver's view of that peer; import policy lives on the
-      // receiving side's session record toward the sender).
-      const SessionPolicy* import_policy = nullptr;
-      for (const Session& session : receiver.sessions) {
-        if (session.peer == d.route.learned_from) {
-          import_policy = &session.policy;
-          break;
-        }
-      }
-      if (import_policy != nullptr) {
-        if (import_policy->import_filter &&
-            !import_policy->import_filter(d.route)) {
-          continue;
-        }
-        if (import_policy->import_local_pref != 0) {
-          d.route.local_pref = import_policy->import_local_pref;
-        }
-      }
-      auto it = receiver.loc_rib.find(d.route.prefix);
-      if (it == receiver.loc_rib.end() || Better(d.route, it->second, *this)) {
-        receiver.loc_rib[d.route.prefix] = d.route;
-        next_changed[d.to].insert(d.route.prefix);
+    for (Outgoing& d : deliveries) {
+      if (d.withdraw) {
+        DeliverWithdraw(d.to, d.from, d.prefix);
+      } else {
+        DeliverUpdate(d.to, d.from, std::move(d.route));
       }
     }
-    changed.swap(next_changed);
   }
 
-  if (!stats.converged) {
-    // Check once more in case the final round settled everything.
-    stats.converged = true;
-    for (const auto& c : changed) {
-      if (!c.empty()) {
-        stats.converged = false;
-        break;
-      }
+  stats.converged = pending_work_ == 0;
+  if (changed_any) {
+    ++mutations_;  // RIBs actually changed: downstream caches must drop
+  }
+  return stats;
+}
+
+BgpMesh::ConvergenceStats BgpMesh::ConvergeFull(uint64_t max_rounds) {
+  // Record pre-delta state for everything we are about to clear, so the
+  // delta accumulator still reports net changes across the rebuild.
+  for (size_t i = 0; i < speakers_.size(); ++i) {
+    Speaker& s = speakers_[i];
+    for (const auto& [prefix, route] : s.loc_rib) {
+      RecordPreDelta(i, prefix, route);
+    }
+    s.loc_rib.clear();
+    s.adj_rib_in.clear();
+    dirty_[i].clear();
+  }
+  pending_work_ = 0;
+  for (size_t i = 0; i < speakers_.size(); ++i) {
+    for (const IpPrefix& prefix : speakers_[i].originated) {
+      MarkDirty(i, prefix);
     }
   }
+  ConvergenceStats stats = Converge(max_rounds);
+  ++mutations_;  // full rebuild: conservatively invalidate downstream
   return stats;
 }
 
 const BgpRoute* BgpMesh::BestRoute(SpeakerId speaker,
                                    const IpPrefix& prefix) const {
-  if (!speaker.valid() || speaker.value() > speakers_.size()) {
+  if (!Valid(speaker)) {
     return nullptr;
   }
   const Speaker& s = Get(speaker);
@@ -196,8 +368,15 @@ const BgpRoute* BgpMesh::BestRoute(SpeakerId speaker,
   return it == s.loc_rib.end() ? nullptr : &it->second;
 }
 
+const std::map<IpPrefix, BgpRoute>* BgpMesh::LocRib(SpeakerId speaker) const {
+  if (!Valid(speaker)) {
+    return nullptr;
+  }
+  return &Get(speaker).loc_rib;
+}
+
 size_t BgpMesh::TableSize(SpeakerId speaker) const {
-  if (!speaker.valid() || speaker.value() > speakers_.size()) {
+  if (!Valid(speaker)) {
     return 0;
   }
   return Get(speaker).loc_rib.size();
@@ -209,6 +388,60 @@ size_t BgpMesh::TotalRibEntries() const {
     total += s.loc_rib.size();
   }
   return total;
+}
+
+size_t BgpMesh::TotalAdjRibInEntries() const {
+  size_t total = 0;
+  for (const Speaker& s : speakers_) {
+    for (const auto& [prefix, per_peer] : s.adj_rib_in) {
+      total += per_peer.size();
+    }
+  }
+  return total;
+}
+
+std::vector<std::vector<RibDelta>> BgpMesh::TakeDeltas() {
+  std::vector<std::vector<RibDelta>> out(speakers_.size());
+  for (size_t i = 0; i < speakers_.size(); ++i) {
+    const Speaker& s = speakers_[i];
+    for (const auto& [prefix, pre] : pre_delta_[i]) {
+      auto it = s.loc_rib.find(prefix);
+      std::optional<BgpRoute> cur;
+      if (it != s.loc_rib.end()) {
+        cur = it->second;
+      }
+      if (pre == cur) {
+        continue;  // changed and changed back: net no-op
+      }
+      RibDeltaKind kind = !pre.has_value() ? RibDeltaKind::kInstalled
+                          : cur.has_value() ? RibDeltaKind::kReplaced
+                                            : RibDeltaKind::kWithdrawn;
+      out[i].push_back(RibDelta{prefix, kind});
+    }
+    std::sort(out[i].begin(), out[i].end(),
+              [](const RibDelta& a, const RibDelta& b) {
+                return a.prefix < b.prefix;
+              });
+    pre_delta_[i].clear();
+  }
+  return out;
+}
+
+bool BgpMesh::HasPendingDeltas() const {
+  for (size_t i = 0; i < speakers_.size(); ++i) {
+    const Speaker& s = speakers_[i];
+    for (const auto& [prefix, pre] : pre_delta_[i]) {
+      auto it = s.loc_rib.find(prefix);
+      std::optional<BgpRoute> cur;
+      if (it != s.loc_rib.end()) {
+        cur = it->second;
+      }
+      if (!(pre == cur)) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 }  // namespace tenantnet

@@ -6,7 +6,12 @@
 namespace tenantnet {
 
 bool RouteTable::Install(const IpPrefix& prefix, RouteEntry entry) {
-  return trie_.Insert(prefix, std::move(entry));
+  const RouteEntry* existing = trie_.ExactMatch(prefix);
+  if (existing != nullptr && *existing == entry) {
+    return false;
+  }
+  trie_.Insert(prefix, std::move(entry));
+  return true;
 }
 
 Status RouteTable::Withdraw(const IpPrefix& prefix) {

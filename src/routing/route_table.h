@@ -39,7 +39,9 @@ struct RouteEntry {
 
 class RouteTable {
  public:
-  // Installs/overwrites a route. Returns true if new.
+  // Installs/overwrites a route. Returns true if the table changed (new
+  // prefix, or an existing entry replaced by a different one) — callers use
+  // this to bump revision counters only on actual change.
   bool Install(const IpPrefix& prefix, RouteEntry entry);
 
   Status Withdraw(const IpPrefix& prefix);

@@ -798,52 +798,102 @@ Status BaselineNetwork::SetIngressFirewall(VpcId vpc, FirewallId firewall) {
 // BGP propagation.
 // --------------------------------------------------------------------------
 
-BgpMesh::ConvergenceStats BaselineNetwork::PropagateRoutes() {
-  BgpMesh::ConvergenceStats stats = bgp_.Converge();
-  // Install learned prefixes into each TGW's route table: a prefix learned
-  // from a session speaker maps to the attachment registered for it.
-  for (auto& [tgw_id, tgw] : tgws_) {
-    // Speaker -> attachment index for this TGW.
-    std::unordered_map<uint64_t, size_t> by_speaker;
-    for (size_t i = 0; i < tgw->attachments().size(); ++i) {
-      const TgwAttachment& att = tgw->attachments()[i];
-      switch (att.kind) {
-        case TgwAttachmentKind::kVpn: {
-          auto it = vpns_.find(VpnGatewayId(att.target_id));
-          if (it != vpns_.end()) {
-            by_speaker[it->second.speaker.value()] = i;
-          }
-          break;
+std::unordered_map<uint64_t, size_t> BaselineNetwork::SpeakerAttachments(
+    const TransitGateway& tgw) const {
+  // Speaker -> attachment index for this TGW: a prefix learned from a
+  // session speaker maps to the attachment registered for it.
+  std::unordered_map<uint64_t, size_t> by_speaker;
+  for (size_t i = 0; i < tgw.attachments().size(); ++i) {
+    const TgwAttachment& att = tgw.attachments()[i];
+    switch (att.kind) {
+      case TgwAttachmentKind::kVpn: {
+        auto it = vpns_.find(VpnGatewayId(att.target_id));
+        if (it != vpns_.end()) {
+          by_speaker[it->second.speaker.value()] = i;
         }
-        case TgwAttachmentKind::kDirectConnect: {
-          auto it = dxs_.find(DirectConnectId(att.target_id));
-          if (it != dxs_.end()) {
-            by_speaker[it->second.speaker.value()] = i;
-          }
-          break;
-        }
-        case TgwAttachmentKind::kPeering: {
-          auto it = tgws_.find(TransitGatewayId(att.target_id));
-          if (it != tgws_.end()) {
-            by_speaker[it->second->speaker().value()] = i;
-          }
-          break;
-        }
-        case TgwAttachmentKind::kVpc:
-          break;  // static routes installed at attach time
+        break;
       }
+      case TgwAttachmentKind::kDirectConnect: {
+        auto it = dxs_.find(DirectConnectId(att.target_id));
+        if (it != dxs_.end()) {
+          by_speaker[it->second.speaker.value()] = i;
+        }
+        break;
+      }
+      case TgwAttachmentKind::kPeering: {
+        auto it = tgws_.find(TransitGatewayId(att.target_id));
+        if (it != tgws_.end()) {
+          by_speaker[it->second->speaker().value()] = i;
+        }
+        break;
+      }
+      case TgwAttachmentKind::kVpc:
+        break;  // static routes installed at attach time
     }
-    // Walk this TGW speaker's RIB.
-    // (BgpMesh has no iteration API over a RIB by design; we re-derive from
-    // best-route queries over the prefixes known to the mesh.)
-    for (const IpPrefix& prefix : AllKnownPrefixes()) {
-      const BgpRoute* best = bgp_.BestRoute(tgw->speaker(), prefix);
-      if (best == nullptr || best->OriginatedLocally()) {
+  }
+  return by_speaker;
+}
+
+void BaselineNetwork::ApplyRibDeltas(
+    const std::vector<std::vector<RibDelta>>& deltas) {
+  for (auto& [tgw_id, tgw] : tgws_) {
+    size_t speaker_index = tgw->speaker().value() - 1;
+    if (speaker_index >= deltas.size() || deltas[speaker_index].empty()) {
+      continue;  // this TGW's RIB did not change: FIB untouched
+    }
+    std::unordered_map<uint64_t, size_t> by_speaker =
+        SpeakerAttachments(*tgw);
+    for (const RibDelta& delta : deltas[speaker_index]) {
+      if (delta.kind == RibDeltaKind::kWithdrawn) {
+        tgw->WithdrawPropagatedRoute(delta.prefix);
         continue;
       }
-      auto it = by_speaker.find(best->learned_from.value());
+      const BgpRoute* best = bgp_.BestRoute(tgw->speaker(), delta.prefix);
+      if (best == nullptr) {
+        continue;
+      }
+      auto it = best->OriginatedLocally()
+                    ? by_speaker.end()
+                    : by_speaker.find(best->learned_from.value());
       if (it != by_speaker.end()) {
-        tgw->InstallRoute(prefix, it->second);
+        tgw->InstallPropagatedRoute(delta.prefix, it->second);
+      } else {
+        // Best route is now local or via a speaker with no attachment here:
+        // a full rebuild would not install it, so neither do we.
+        tgw->WithdrawPropagatedRoute(delta.prefix);
+      }
+    }
+  }
+}
+
+BgpMesh::ConvergenceStats BaselineNetwork::PropagateRoutes() {
+  BgpMesh::ConvergenceStats stats = bgp_.Converge();
+  // Apply only the prefixes whose best route actually changed. TGWs whose
+  // speaker saw no delta keep their FIB (and revision) untouched, so a
+  // no-op convergence invalidates nothing downstream.
+  ApplyRibDeltas(bgp_.TakeDeltas());
+  return stats;
+}
+
+BgpMesh::ConvergenceStats BaselineNetwork::PropagateRoutesFull() {
+  // From-scratch reference: rebuild every RIB, drop every propagated FIB
+  // entry, and re-derive each TGW table from its speaker's full Loc-RIB.
+  // This is what PropagateRoutes() used to cost on every call; the
+  // differential tests assert the incremental path lands on the same bytes.
+  BgpMesh::ConvergenceStats stats = bgp_.ConvergeFull();
+  (void)bgp_.TakeDeltas();  // superseded by the full re-derivation below
+  for (auto& [tgw_id, tgw] : tgws_) {
+    tgw->ClearPropagatedRoutes();
+    std::unordered_map<uint64_t, size_t> by_speaker =
+        SpeakerAttachments(*tgw);
+    const std::map<IpPrefix, BgpRoute>* rib = bgp_.LocRib(tgw->speaker());
+    for (const auto& [prefix, best] : *rib) {
+      if (best.OriginatedLocally()) {
+        continue;
+      }
+      auto it = by_speaker.find(best.learned_from.value());
+      if (it != by_speaker.end()) {
+        tgw->InstallPropagatedRoute(prefix, it->second);
       }
     }
   }
@@ -1036,13 +1086,13 @@ void BaselineNetwork::RouteAndDeliver(EvalContext& ctx, const FiveTuple& flow,
         }
         ctx.delivery.logical_hops.push_back("tgw:" + tgw->name());
         ++ctx.delivery.gateway_hops;
-        const size_t* att_idx = tgw->Lookup(flow.dst);
-        if (att_idx == nullptr) {
+        const TgwRoute* tgw_route = tgw->Lookup(flow.dst);
+        if (tgw_route == nullptr) {
           Drop(ctx, "tgw-route",
                tgw->name() + " has no route to " + flow.dst.ToString());
           return;
         }
-        const TgwAttachment& att = tgw->attachments()[*att_idx];
+        const TgwAttachment& att = tgw->attachments()[tgw_route->attachment];
         switch (att.kind) {
           case TgwAttachmentKind::kVpc: {
             auto it = eni_by_ip_.find(flow.dst);
@@ -1284,13 +1334,13 @@ void BaselineNetwork::DeliverViaDirectConnect(EvalContext& ctx,
     }
     ctx.delivery.logical_hops.push_back("tgw:" + tgw->name());
     ++ctx.delivery.gateway_hops;
-    const size_t* att_idx = tgw->Lookup(flow.dst);
-    if (att_idx == nullptr) {
+    const TgwRoute* tgw_route = tgw->Lookup(flow.dst);
+    if (tgw_route == nullptr) {
       Drop(ctx, "tgw-route",
            tgw->name() + " has no route to " + flow.dst.ToString());
       return;
     }
-    const TgwAttachment& att = tgw->attachments()[*att_idx];
+    const TgwAttachment& att = tgw->attachments()[tgw_route->attachment];
     if (att.kind != TgwAttachmentKind::kVpc) {
       Drop(ctx, "dx", "circuit chain deeper than one hop is not modeled");
       return;
@@ -1328,13 +1378,13 @@ void BaselineNetwork::DeliverViaDirectConnect(EvalContext& ctx,
       ctx.delivery.logical_hops.push_back("direct-connect:" + other.name);
       ctx.delivery.logical_hops.push_back("tgw:" + tgw->name());
       ctx.delivery.gateway_hops += 3;
-      const size_t* att_idx = tgw->Lookup(flow.dst);
-      if (att_idx == nullptr) {
+      const TgwRoute* tgw_route = tgw->Lookup(flow.dst);
+      if (tgw_route == nullptr) {
         Drop(ctx, "tgw-route",
              tgw->name() + " has no route to " + flow.dst.ToString());
         return;
       }
-      const TgwAttachment& att = tgw->attachments()[*att_idx];
+      const TgwAttachment& att = tgw->attachments()[tgw_route->attachment];
       if (att.kind != TgwAttachmentKind::kVpc) {
         Drop(ctx, "dx", "circuit chain deeper than one hop is not modeled");
         return;

@@ -166,9 +166,17 @@ class BaselineNetwork {
   // speak here). Sessions/origins are created by the gateway methods; the
   // tenant still has to trigger and check convergence.
   BgpMesh& bgp() { return bgp_; }
-  // Propagates routes: converges BGP, then installs learned prefixes into
-  // TGW route tables. Returns convergence stats.
+  // Propagates routes: converges BGP incrementally (draining the dirty-
+  // prefix queue), then applies the per-speaker Loc-RIB delta set as
+  // install/withdraw deltas to the TGW route tables. A convergence that
+  // changes nothing touches no FIB and bumps no revision. Returns
+  // convergence stats.
   BgpMesh::ConvergenceStats PropagateRoutes();
+  // From-scratch reference: full BGP reconvergence plus a complete rebuild
+  // of every TGW's propagated routes. Byte-equivalent to the incremental
+  // path (asserted by the differential tests); orders of magnitude slower
+  // under churn (measured in E4a).
+  BgpMesh::ConvergenceStats PropagateRoutesFull();
 
   // --- Data plane --------------------------------------------------------------
 
@@ -342,6 +350,13 @@ class BaselineNetwork {
   // Every prefix any tenant object originates (VPC CIDRs + on-prem spaces);
   // used to walk BGP RIBs after convergence.
   std::vector<IpPrefix> AllKnownPrefixes() const;
+
+  // Speaker value -> attachment index for one TGW (which attachment a
+  // route learned from that speaker resolves to).
+  std::unordered_map<uint64_t, size_t> SpeakerAttachments(
+      const TransitGateway& tgw) const;
+  // Applies a per-speaker Loc-RIB delta set to the TGW FIBs.
+  void ApplyRibDeltas(const std::vector<std::vector<RibDelta>>& deltas);
 
   void Drop(EvalContext& ctx, std::string stage, std::string reason);
 

@@ -9,9 +9,11 @@
 #ifndef TENANTNET_SRC_VNET_GATEWAYS_H_
 #define TENANTNET_SRC_VNET_GATEWAYS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/cloud/world.h"
@@ -92,6 +94,24 @@ struct TgwAttachment {
   std::string name;
 };
 
+// Where a TGW FIB entry came from. Static routes are installed at attach
+// time (or via AddTgwRoute) and survive BGP reconvergence; propagated
+// routes are owned by PropagateRoutes() and are the only ones delta
+// withdraws / full rebuilds may remove.
+enum class TgwRouteOrigin : uint8_t {
+  kStatic,
+  kPropagated,
+};
+
+struct TgwRoute {
+  size_t attachment = 0;
+  TgwRouteOrigin origin = TgwRouteOrigin::kStatic;
+
+  friend bool operator==(const TgwRoute& a, const TgwRoute& b) {
+    return a.attachment == b.attachment && a.origin == b.origin;
+  }
+};
+
 // Regional interconnect hub; holds its own route table over attachments.
 class TransitGateway : public RevisionHooked {
  public:
@@ -116,17 +136,78 @@ class TransitGateway : public RevisionHooked {
   }
   const std::vector<TgwAttachment>& attachments() const { return attachments_; }
 
-  void InstallRoute(const IpPrefix& prefix, size_t attachment_index) {
-    routes_.Insert(prefix, attachment_index);
+  // Static route. Returns true (and bumps the revision) only if the FIB
+  // actually changed.
+  bool InstallRoute(const IpPrefix& prefix, size_t attachment_index) {
+    return Install(prefix,
+                   TgwRoute{attachment_index, TgwRouteOrigin::kStatic});
+  }
+  // BGP-derived route (last writer wins, matching flood-order semantics of
+  // the full rebuild). Returns true only on actual change.
+  bool InstallPropagatedRoute(const IpPrefix& prefix,
+                              size_t attachment_index) {
+    return Install(prefix,
+                   TgwRoute{attachment_index, TgwRouteOrigin::kPropagated});
+  }
+  // Removes a propagated route; static routes are left alone. Returns true
+  // only if an entry was removed.
+  bool WithdrawPropagatedRoute(const IpPrefix& prefix) {
+    const TgwRoute* existing = routes_.ExactMatch(prefix);
+    if (existing == nullptr ||
+        existing->origin != TgwRouteOrigin::kPropagated) {
+      return false;
+    }
+    routes_.Remove(prefix);
     BumpRevision();
+    return true;
+  }
+  // Drops every propagated route (full-rebuild reference path). Returns how
+  // many were removed.
+  size_t ClearPropagatedRoutes() {
+    std::vector<IpPrefix> doomed;
+    routes_.ForEach([&](const IpPrefix& prefix, const TgwRoute& route) {
+      if (route.origin == TgwRouteOrigin::kPropagated) {
+        doomed.push_back(prefix);
+      }
+    });
+    for (const IpPrefix& prefix : doomed) {
+      routes_.Remove(prefix);
+    }
+    if (!doomed.empty()) {
+      BumpRevision();
+    }
+    return doomed.size();
   }
   // Longest-prefix match to an attachment; nullptr = drop.
-  const size_t* Lookup(IpAddress dst) const {
+  const TgwRoute* Lookup(IpAddress dst) const {
     return routes_.LongestMatch(dst);
+  }
+  const TgwRoute* ExactRoute(const IpPrefix& prefix) const {
+    return routes_.ExactMatch(prefix);
+  }
+  // Full FIB as sorted (prefix, route) pairs, for differential snapshots.
+  std::vector<std::pair<IpPrefix, TgwRoute>> Routes() const {
+    std::vector<std::pair<IpPrefix, TgwRoute>> out;
+    routes_.ForEach([&](const IpPrefix& prefix, const TgwRoute& route) {
+      out.emplace_back(prefix, route);
+    });
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
   }
   size_t route_count() const { return routes_.entry_count(); }
 
  private:
+  bool Install(const IpPrefix& prefix, TgwRoute route) {
+    const TgwRoute* existing = routes_.ExactMatch(prefix);
+    if (existing != nullptr && *existing == route) {
+      return false;
+    }
+    routes_.Insert(prefix, route);
+    BumpRevision();
+    return true;
+  }
+
   TransitGatewayId id_;
   ProviderId provider_;
   RegionId region_;
@@ -134,7 +215,7 @@ class TransitGateway : public RevisionHooked {
   std::string name_;
   SpeakerId speaker_;
   std::vector<TgwAttachment> attachments_;
-  LpmTrie<size_t> routes_;
+  LpmTrie<TgwRoute> routes_;
 };
 
 // A dedicated circuit from a region's edge to an exchange point, plus the

@@ -443,6 +443,20 @@ TEST_F(FabricCacheTest, PayloadEvaluationsBypassTheCache) {
   EXPECT_EQ(net_.evaluate_cache_stats().lookups, 0u);
 }
 
+TEST_F(FabricCacheTest, NoOpPropagateRoutesKeepsCachedVerdicts) {
+  auto first = net_.Evaluate(a_, b_, 9000, Protocol::kTcp);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->delivered);
+  // Converging an already-converged mesh must not bump the BGP mutation
+  // count, so verdicts cached before the call stay valid after it.
+  net_.PropagateRoutes();
+  net_.ResetVerdictCacheStats();
+  auto second = net_.Evaluate(a_, b_, 9000, Protocol::kTcp);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->delivered);
+  EXPECT_EQ(net_.evaluate_cache_stats().hits, 1u);
+}
+
 TEST_F(FabricCacheTest, CachedAndUncachedAgreeAcrossPorts) {
   for (uint16_t port : {9000, 9001, 80}) {
     auto cached = net_.Evaluate(a_, b_, port, Protocol::kTcp);

@@ -1,0 +1,470 @@
+// Differential tests for the incremental route-propagation engine.
+//
+// The contract under test: an incrementally maintained BgpMesh (Adj-RIB-In
+// retention + dirty-queue convergence + delta FIB apply) is byte-identical
+// to a from-scratch rebuild of the same configuration — after any mutation
+// sequence, including session churn interleaved with fault storms. The
+// reference is the same engine run from zero (ConvergeFull /
+// PropagateRoutesFull), so equivalence is exact, not approximate.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cloud/presets.h"
+#include "src/common/rng.h"
+#include "src/faults/fault_injector.h"
+#include "src/routing/bgp.h"
+#include "src/sim/flow_sim.h"
+#include "src/vnet/builder.h"
+#include "src/vnet/fabric.h"
+#include "tests/test_env.h"
+
+namespace tenantnet {
+namespace {
+
+IpPrefix P(const char* s) { return *IpPrefix::Parse(s); }
+
+// All Loc-RIBs of a mesh, indexed by speaker, for equality checks.
+std::vector<std::map<IpPrefix, BgpRoute>> Snapshot(const BgpMesh& mesh) {
+  std::vector<std::map<IpPrefix, BgpRoute>> out;
+  for (size_t i = 1; i <= mesh.speaker_count(); ++i) {
+    out.push_back(*mesh.LocRib(SpeakerId(i)));
+  }
+  return out;
+}
+
+// The from-scratch reference: copy the mesh's configuration+state, clear
+// every RIB, re-flood. Returns the reference Loc-RIBs.
+std::vector<std::map<IpPrefix, BgpRoute>> FullReference(const BgpMesh& mesh) {
+  BgpMesh reference = mesh;  // same speakers/sessions/origins/policies
+  reference.ConvergeFull();
+  return Snapshot(reference);
+}
+
+void ExpectMatchesFullReference(const BgpMesh& mesh, const std::string& at) {
+  SCOPED_TRACE(at);
+  std::vector<std::map<IpPrefix, BgpRoute>> incremental = Snapshot(mesh);
+  std::vector<std::map<IpPrefix, BgpRoute>> reference = FullReference(mesh);
+  ASSERT_EQ(incremental.size(), reference.size());
+  for (size_t i = 0; i < incremental.size(); ++i) {
+    EXPECT_EQ(incremental[i], reference[i])
+        << "Loc-RIB diverges at speaker " << (i + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental semantics.
+// ---------------------------------------------------------------------------
+
+TEST(BgpIncrementalTest, NoOpConvergeDoesNotBumpMutationCount) {
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  ASSERT_TRUE(mesh.AddSession(a, b).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  mesh.Converge();
+  (void)mesh.TakeDeltas();
+
+  uint64_t before = mesh.mutation_count();
+  auto stats = mesh.Converge();
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.rounds, 0u);
+  EXPECT_EQ(stats.update_messages, 0u);
+  EXPECT_EQ(mesh.mutation_count(), before);
+  EXPECT_FALSE(mesh.HasPendingDeltas());
+}
+
+TEST(BgpIncrementalTest, ConvergeWithChangesBumpsMutationCountOnce) {
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  ASSERT_TRUE(mesh.AddSession(a, b).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  uint64_t before = mesh.mutation_count();
+  mesh.Converge();
+  EXPECT_EQ(mesh.mutation_count(), before + 1);
+}
+
+TEST(BgpIncrementalTest, DeltasReportNetChangesPerSpeaker) {
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  SpeakerId c = mesh.AddSpeaker(300, "c");
+  ASSERT_TRUE(mesh.AddSession(a, b).ok());
+  ASSERT_TRUE(mesh.AddSession(b, c).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  mesh.Converge();
+
+  auto deltas = mesh.TakeDeltas();
+  ASSERT_EQ(deltas.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(deltas[i].size(), 1u) << "speaker " << (i + 1);
+    EXPECT_EQ(deltas[i][0].prefix, P("10.0.0.0/16"));
+    EXPECT_EQ(deltas[i][0].kind, RibDeltaKind::kInstalled);
+  }
+
+  ASSERT_TRUE(mesh.WithdrawOrigin(a, P("10.0.0.0/16")).ok());
+  mesh.Converge();
+  deltas = mesh.TakeDeltas();
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(deltas[i].size(), 1u) << "speaker " << (i + 1);
+    EXPECT_EQ(deltas[i][0].kind, RibDeltaKind::kWithdrawn);
+  }
+}
+
+TEST(BgpIncrementalTest, ChangeAndRevertCoalescesToNoDelta) {
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  ASSERT_TRUE(mesh.AddSession(a, b).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  mesh.Converge();
+  (void)mesh.TakeDeltas();
+
+  // Withdraw, converge, re-originate, converge: net change is zero.
+  ASSERT_TRUE(mesh.WithdrawOrigin(a, P("10.0.0.0/16")).ok());
+  mesh.Converge();
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  mesh.Converge();
+  EXPECT_FALSE(mesh.HasPendingDeltas());
+  auto deltas = mesh.TakeDeltas();
+  for (const auto& per_speaker : deltas) {
+    EXPECT_TRUE(per_speaker.empty());
+  }
+}
+
+TEST(BgpIncrementalTest, RemoveSessionWithdrawsLearnedRoutes) {
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  SpeakerId c = mesh.AddSpeaker(300, "c");
+  ASSERT_TRUE(mesh.AddSession(a, b).ok());
+  ASSERT_TRUE(mesh.AddSession(b, c).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  mesh.Converge();
+  ASSERT_NE(mesh.BestRoute(c, P("10.0.0.0/16")), nullptr);
+
+  ASSERT_TRUE(mesh.RemoveSession(a, b).ok());
+  mesh.Converge();
+  EXPECT_EQ(mesh.BestRoute(b, P("10.0.0.0/16")), nullptr);
+  EXPECT_EQ(mesh.BestRoute(c, P("10.0.0.0/16")), nullptr);
+  ExpectMatchesFullReference(mesh, "after RemoveSession");
+
+  EXPECT_EQ(mesh.RemoveSession(a, b).code(), StatusCode::kNotFound);
+}
+
+TEST(BgpIncrementalTest, DuplicateSessionIsRejected) {
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  ASSERT_TRUE(mesh.AddSession(a, b).ok());
+  EXPECT_EQ(mesh.AddSession(a, b).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(mesh.AddSession(b, a).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(mesh.session_count(), 1u);
+}
+
+TEST(BgpIncrementalTest, LateSessionSyncsExistingBests) {
+  // Origins converge first; a session added afterwards must still carry
+  // them (the old engine refloooded everything, the new one resyncs).
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  mesh.Converge();
+  EXPECT_EQ(mesh.BestRoute(b, P("10.0.0.0/16")), nullptr);
+
+  ASSERT_TRUE(mesh.AddSession(a, b).ok());
+  mesh.Converge();
+  const BgpRoute* at_b = mesh.BestRoute(b, P("10.0.0.0/16"));
+  ASSERT_NE(at_b, nullptr);
+  EXPECT_EQ(at_b->as_path, (std::vector<uint32_t>{100}));
+  ExpectMatchesFullReference(mesh, "after late AddSession");
+}
+
+TEST(BgpIncrementalTest, SetSessionPolicyResyncsBothDirections) {
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  ASSERT_TRUE(mesh.AddSession(a, b).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("192.168.0.0/16")).ok());
+  mesh.Converge();
+  ASSERT_NE(mesh.BestRoute(b, P("10.0.0.0/16")), nullptr);
+
+  // a stops exporting 10/16 toward b; the retained route must go away.
+  SessionPolicy block_ten;
+  block_ten.export_filter = [](const BgpRoute& r) {
+    return r.prefix != *IpPrefix::Parse("10.0.0.0/16");
+  };
+  ASSERT_TRUE(mesh.SetSessionPolicy(a, b, block_ten).ok());
+  mesh.Converge();
+  EXPECT_EQ(mesh.BestRoute(b, P("10.0.0.0/16")), nullptr);
+  EXPECT_NE(mesh.BestRoute(b, P("192.168.0.0/16")), nullptr);
+  ExpectMatchesFullReference(mesh, "after export filter installed");
+
+  // Clearing the policy brings it back.
+  ASSERT_TRUE(mesh.SetSessionPolicy(a, b, SessionPolicy{}).ok());
+  mesh.Converge();
+  EXPECT_NE(mesh.BestRoute(b, P("10.0.0.0/16")), nullptr);
+  ExpectMatchesFullReference(mesh, "after export filter cleared");
+
+  EXPECT_EQ(mesh.SetSessionPolicy(a, SpeakerId(77), SessionPolicy{}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BgpIncrementalTest, TieBreakIsDeterministicForEqualAsnPeers) {
+  // Two peers with the same ASN advertise the same prefix with equal-length
+  // paths: the lower speaker id must win, in the incremental engine and in
+  // the full rebuild alike.
+  BgpMesh mesh;
+  SpeakerId left = mesh.AddSpeaker(500, "left");
+  SpeakerId right = mesh.AddSpeaker(500, "right");
+  SpeakerId sink = mesh.AddSpeaker(300, "sink");
+  ASSERT_TRUE(mesh.AddSession(left, sink).ok());
+  ASSERT_TRUE(mesh.AddSession(right, sink).ok());
+  ASSERT_TRUE(mesh.Originate(left, P("10.0.0.0/16")).ok());
+  ASSERT_TRUE(mesh.Originate(right, P("10.0.0.0/16")).ok());
+  mesh.Converge();
+  const BgpRoute* best = mesh.BestRoute(sink, P("10.0.0.0/16"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->learned_from, left);
+  ExpectMatchesFullReference(mesh, "equal-ASN tie");
+}
+
+TEST(BgpIncrementalTest, AdjRibInRetainsAlternatePathsForRepair) {
+  // c hears 10/16 via b and directly from a. When the direct session dies,
+  // c must fail over to the retained b path without a global reflood.
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  SpeakerId c = mesh.AddSpeaker(300, "c");
+  ASSERT_TRUE(mesh.AddSession(a, b).ok());
+  ASSERT_TRUE(mesh.AddSession(b, c).ok());
+  ASSERT_TRUE(mesh.AddSession(a, c).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  mesh.Converge();
+  ASSERT_EQ(mesh.BestRoute(c, P("10.0.0.0/16"))->learned_from, a);
+  EXPECT_GT(mesh.TotalAdjRibInEntries(), 0u);
+
+  ASSERT_TRUE(mesh.RemoveSession(a, c).ok());
+  auto stats = mesh.Converge();
+  EXPECT_TRUE(stats.converged);
+  const BgpRoute* repaired = mesh.BestRoute(c, P("10.0.0.0/16"));
+  ASSERT_NE(repaired, nullptr);
+  EXPECT_EQ(repaired->learned_from, b);
+  EXPECT_EQ(repaired->as_path, (std::vector<uint32_t>{200, 100}));
+  ExpectMatchesFullReference(mesh, "after failover");
+}
+
+// ---------------------------------------------------------------------------
+// Seeded mutation fuzz: random originate/withdraw/session/policy churn,
+// incremental state compared against the from-scratch reference every K
+// steps. TN_SEED narrows to one seed, TN_ITERS scales the op count.
+// ---------------------------------------------------------------------------
+
+class BgpMutationFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BgpMutationFuzzTest, IncrementalMatchesFullReference) {
+  const uint64_t seed = GetParam();
+  SCOPED_TRACE("TN_SEED=" + std::to_string(seed));
+  Rng rng(seed);
+
+  constexpr size_t kSpeakers = 10;
+  BgpMesh mesh;
+  std::vector<SpeakerId> speakers;
+  for (size_t i = 0; i < kSpeakers; ++i) {
+    speakers.push_back(
+        mesh.AddSpeaker(100 + static_cast<uint32_t>(i) * 10,
+                        "s" + std::to_string(i)));
+  }
+  // Connected backbone so withdraws must travel; extra random edges churn.
+  for (size_t i = 0; i + 1 < kSpeakers; ++i) {
+    ASSERT_TRUE(mesh.AddSession(speakers[i], speakers[i + 1]).ok());
+  }
+
+  auto random_prefix = [&rng] {
+    return *IpPrefix::Create(
+        IpAddress::V4(10, static_cast<uint8_t>(rng.NextU64(8)),
+                      static_cast<uint8_t>(rng.NextU64(8)), 0),
+        24);
+  };
+  // Policy pool restricted to benign filters (pure functions of the prefix,
+  // no local_pref overrides on a cyclic topology — those can make the BGP
+  // fixed point non-unique, which is a property of BGP, not of this
+  // engine).
+  auto random_policy = [&rng]() {
+    SessionPolicy policy;
+    switch (rng.NextU64(3)) {
+      case 0:
+        break;  // accept/export everything
+      case 1:
+        policy.export_filter = [](const BgpRoute& r) {
+          return ((r.prefix.base().v4_bits() >> 16) & 1) == 0;
+        };
+        break;
+      case 2:
+        policy.import_filter = [](const BgpRoute& r) {
+          return r.as_path.size() < 6;
+        };
+        break;
+    }
+    return policy;
+  };
+
+  const int64_t iters = test_env::ItersOverride(160);
+  constexpr int kCheckEvery = 8;
+  for (int64_t step = 0; step < iters; ++step) {
+    SpeakerId s = speakers[rng.NextU64(speakers.size())];
+    SpeakerId t = speakers[rng.NextU64(speakers.size())];
+    switch (rng.NextU64(6)) {
+      case 0:
+        (void)mesh.Originate(s, random_prefix());
+        break;
+      case 1:
+        (void)mesh.WithdrawOrigin(s, random_prefix());
+        break;
+      case 2:
+        (void)mesh.AddSession(s, t, random_policy(), random_policy());
+        break;
+      case 3:
+        // Never cut the backbone: removing a bridge can partition the mesh,
+        // which is fine for correctness but makes the test less sensitive.
+        if (s.value() + 1 != t.value() && t.value() + 1 != s.value()) {
+          (void)mesh.RemoveSession(s, t);
+        }
+        break;
+      case 4:
+        (void)mesh.SetSessionPolicy(s, t, random_policy());
+        break;
+      case 5:
+        mesh.Converge();
+        break;
+    }
+    if (step % kCheckEvery == kCheckEvery - 1) {
+      auto stats = mesh.Converge();
+      ASSERT_TRUE(stats.converged) << "step " << step;
+      ExpectMatchesFullReference(mesh, "step " + std::to_string(step));
+    }
+  }
+  mesh.Converge();
+  ExpectMatchesFullReference(mesh, "final");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BgpMutationFuzzTest,
+                         ::testing::ValuesIn(test_env::SeedList(
+                             {3, 17, 1009, 424242})));
+
+// ---------------------------------------------------------------------------
+// Fabric-level differential: the Fig. 1 baseline under a fault storm whose
+// hooks churn BGP sessions and re-propagate incrementally. Afterwards the
+// TGW FIBs and every Loc-RIB must match a full PropagateRoutesFull()
+// rebuild byte-for-byte.
+// ---------------------------------------------------------------------------
+
+using TgwFib = std::vector<std::pair<IpPrefix, TgwRoute>>;
+
+std::vector<TgwFib> SnapshotTgwFibs(BaselineNetwork& net,
+                                    const std::vector<TransitGatewayId>& ids) {
+  std::vector<TgwFib> out;
+  for (TransitGatewayId id : ids) {
+    out.push_back(net.FindTgw(id)->Routes());
+  }
+  return out;
+}
+
+class FabricStormDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(FabricStormDifferentialTest, IncrementalFibMatchesFullRebuild) {
+  const uint64_t seed = GetParam();
+  SCOPED_TRACE("TN_SEED=" + std::to_string(seed));
+
+  Fig1World fig = BuildFig1World();
+  CloudWorld& world = *fig.world;
+  EventQueue queue;
+  FlowSim sim(queue, world.topology());
+  MetricRegistry metrics;
+  ConfigLedger ledger;
+  BaselineNetwork net(world, ledger);
+  Fig1Baseline handles = *BuildFig1Baseline(net, fig);
+  (void)net.PropagateRoutes();
+
+  // The storm hooks emulate session flaps: a gateway restart tears down the
+  // inter-cloud TGW peering session, recovery re-establishes it; every
+  // reaction re-propagates incrementally.
+  SpeakerId tgw_a_speaker = net.FindTgw(handles.tgw_a)->speaker();
+  SpeakerId tgw_b_speaker = net.FindTgw(handles.tgw_b)->speaker();
+  FaultHooks hooks;
+  hooks.on_inject = [&](const FaultSpec& spec) {
+    if (spec.kind == FaultKind::kGatewayRestart) {
+      (void)net.bgp().RemoveSession(tgw_a_speaker, tgw_b_speaker);
+    }
+    (void)net.PropagateRoutes();
+  };
+  hooks.on_recover = [&](const FaultSpec& spec) {
+    if (spec.kind == FaultKind::kGatewayRestart) {
+      (void)net.bgp().AddSession(tgw_a_speaker, tgw_b_speaker);
+    }
+    (void)net.PropagateRoutes();
+  };
+  FaultInjector injector(queue, world.topology(), sim, &world, metrics,
+                         std::move(hooks));
+
+  StormParams params;
+  params.event_count = static_cast<size_t>(test_env::ItersOverride(40));
+  params.window = SimDuration::Seconds(10);
+  const Topology& topo = world.topology();
+  for (size_t i = 0; i < topo.link_count(); ++i) {
+    LinkId id(i + 1);
+    if (topo.link(id).cls == LinkClass::kBackbone) {
+      params.links.push_back(id);
+    }
+  }
+  for (InstanceId id : fig.spark) {
+    params.instances.push_back(id);
+  }
+  params.gateways = {world.region(fig.a_us_east).edge_node,
+                     world.region(fig.b_us_east).edge_node};
+  injector.Schedule(FaultSchedule::Storm(seed, params));
+  queue.RunAll();
+
+  // Converge whatever the last hook left pending, snapshot, rebuild from
+  // scratch, snapshot again: every byte must match.
+  (void)net.PropagateRoutes();
+  std::vector<TransitGatewayId> tgw_ids = {handles.tgw_a, handles.tgw_b,
+                                           handles.tgw_a_eu};
+  std::vector<TgwFib> incremental_fibs = SnapshotTgwFibs(net, tgw_ids);
+  auto incremental_ribs = Snapshot(net.bgp());
+
+  (void)net.PropagateRoutesFull();
+  std::vector<TgwFib> full_fibs = SnapshotTgwFibs(net, tgw_ids);
+  auto full_ribs = Snapshot(net.bgp());
+
+  ASSERT_EQ(incremental_ribs.size(), full_ribs.size());
+  for (size_t i = 0; i < incremental_ribs.size(); ++i) {
+    EXPECT_EQ(incremental_ribs[i], full_ribs[i])
+        << "Loc-RIB diverges at speaker " << (i + 1);
+  }
+  for (size_t i = 0; i < tgw_ids.size(); ++i) {
+    ASSERT_EQ(incremental_fibs[i].size(), full_fibs[i].size())
+        << "TGW " << i << " FIB size diverges";
+    for (size_t r = 0; r < incremental_fibs[i].size(); ++r) {
+      EXPECT_EQ(incremental_fibs[i][r].first, full_fibs[i][r].first);
+      EXPECT_TRUE(incremental_fibs[i][r].second ==
+                  full_fibs[i][r].second)
+          << "TGW " << i << " route " << r << " ("
+          << incremental_fibs[i][r].first.ToString() << ") diverges";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FabricStormDifferentialTest,
+                         ::testing::ValuesIn(test_env::SeedList({7, 99})));
+
+}  // namespace
+}  // namespace tenantnet

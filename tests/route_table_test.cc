@@ -130,5 +130,88 @@ TEST_P(AggregateCoverageTest, CoverageIsPreserved) {
 INSTANTIATE_TEST_SUITE_P(Seeds, AggregateCoverageTest,
                          ::testing::Values(5, 55, 555));
 
+TEST(RouteTableTest, InstallReturnsTrueOnlyOnChange) {
+  RouteTable table;
+  IpPrefix p = *IpPrefix::Parse("10.0.0.0/8");
+  EXPECT_TRUE(table.Install(p, Entry(1)));   // new
+  EXPECT_FALSE(table.Install(p, Entry(1)));  // identical re-install
+  EXPECT_TRUE(table.Install(p, Entry(2)));   // next hop changed
+  EXPECT_FALSE(table.Install(p, Entry(2)));
+}
+
+// The exact address space of a (v4) prefix set as a sorted, merged interval
+// list over [base, base + count). Two sets cover the same addresses iff
+// their merged interval lists are identical.
+std::vector<std::pair<uint64_t, uint64_t>> MergedIntervals(
+    const std::vector<IpPrefix>& prefixes) {
+  std::vector<std::pair<uint64_t, uint64_t>> spans;
+  for (const IpPrefix& p : prefixes) {
+    uint64_t start = p.base().v4_bits();
+    spans.emplace_back(start, start + p.AddressCount());
+  }
+  std::sort(spans.begin(), spans.end());
+  std::vector<std::pair<uint64_t, uint64_t>> merged;
+  for (const auto& span : spans) {
+    if (!merged.empty() && span.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, span.second);
+    } else {
+      merged.push_back(span);
+    }
+  }
+  return merged;
+}
+
+// Property suite for the aggregation the provider applies to flat EIP host
+// routes: the result must cover EXACTLY the input address space (interval
+// equality, not sampling), be minimal w.r.t. buddy merging and containment,
+// and be a fixed point of the function.
+class AggregatePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregatePropertyTest, ExactCoverageMinimalityAndIdempotence) {
+  Rng rng(GetParam());
+  std::vector<IpPrefix> input;
+  size_t count = 100 + rng.NextU64(300);
+  for (size_t i = 0; i < count; ++i) {
+    // Dense space with a mix of lengths so containment, duplicates and
+    // cascading buddy merges all occur.
+    uint32_t base =
+        0x0A000000u | static_cast<uint32_t>(rng.NextU64(1 << 14));
+    int len = static_cast<int>(18 + rng.NextU64(15));  // /18 .. /32
+    input.push_back(*IpPrefix::Create(IpAddress::V4(base), len));
+  }
+
+  std::vector<IpPrefix> output = AggregatePrefixes(input);
+
+  // Exact same address space.
+  EXPECT_EQ(MergedIntervals(input), MergedIntervals(output));
+
+  // Minimal: no contained pairs, and no two buddies left unmerged.
+  for (size_t i = 0; i < output.size(); ++i) {
+    for (size_t j = 0; j < output.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(output[i].Contains(output[j]))
+            << output[i].ToString() << " contains " << output[j].ToString();
+      }
+    }
+  }
+  for (const IpPrefix& p : output) {
+    if (p.length() == 0) {
+      continue;
+    }
+    auto parent = IpPrefix::Create(p.base(), p.length() - 1);
+    auto halves = parent->Split();
+    const IpPrefix& buddy =
+        (halves->first == p) ? halves->second : halves->first;
+    EXPECT_EQ(std::count(output.begin(), output.end(), buddy), 0)
+        << p.ToString() << " and its buddy both survived aggregation";
+  }
+
+  // Fixed point: aggregating an aggregate changes nothing.
+  EXPECT_EQ(AggregatePrefixes(output), output);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregatePropertyTest,
+                         ::testing::Values(2, 29, 4242, 987654));
+
 }  // namespace
 }  // namespace tenantnet
