@@ -286,6 +286,153 @@ void RunShardSweep(size_t islands, size_t flows_per_island,
   }
 }
 
+// --- Cross-shard (Fig. 1 giant component) thread sweep -----------------------
+//
+// One WAN-stitched component, the shape the link-cut partitioner exists
+// for: R regions of H hosts behind a hub, hubs chained into a WAN ring.
+// Intra-region flows (host -> hub -> host) keep each region one congestion
+// component — heavy per-shard water-fill work — and every 10th flow crosses
+// to the next region over the WAN trunk, so the trunks and the target
+// region's host links become epoch-synchronized shared links with capacity
+// leases. Records carry the partition quality (border links, cut fraction)
+// and live crossing-flow count next to the speedup/determinism columns;
+// check_bench_regression.py gates the 4-thread speedup against
+// bench/baselines/crossshard_smoke_baseline.json.
+
+struct CrossWorld {
+  EventQueue queue;
+  Topology topo;
+  std::vector<std::vector<LinkId>> up, down;  // per region, per host
+  std::vector<LinkId> wan;                    // forward trunk r -> r+1
+};
+
+void BuildWanStitched(CrossWorld& w, size_t regions, size_t hosts) {
+  std::vector<NodeId> hubs;
+  for (size_t r = 0; r < regions; ++r) {
+    NodeId hub = w.topo.AddNode({"hub", NodeKind::kBackboneRouter, "x"});
+    hubs.push_back(hub);
+    w.up.emplace_back();
+    w.down.emplace_back();
+    for (size_t h = 0; h < hosts; ++h) {
+      NodeId host = w.topo.AddNode({"h", NodeKind::kHostAggregate, "x"});
+      LinkInfo link;
+      link.src = hub;
+      link.dst = host;
+      link.capacity_bps = 1e9;
+      link.delay = SimDuration::Micros(50);
+      auto pair = w.topo.AddDuplexLink(link);
+      w.down[r].push_back(pair.first);
+      w.up[r].push_back(pair.second);
+    }
+  }
+  for (size_t r = 0; r < regions; ++r) {
+    LinkInfo link;
+    link.src = hubs[r];
+    link.dst = hubs[(r + 1) % regions];
+    link.capacity_bps = 10e9;
+    link.delay = SimDuration::Millis(10);
+    w.wan.push_back(w.topo.AddDuplexLink(link).first);
+  }
+}
+
+struct CrossRunResult {
+  double wall_s = 0;
+  uint64_t completions = 0;
+  double bytes = 0;
+  uint64_t epochs = 0;
+  uint64_t lease_reconciliations = 0;
+  size_t shards = 0;
+  size_t crossing = 0;
+  uint32_t border_links = 0;
+  double cut_fraction = 0;
+};
+
+CrossRunResult RunCrossOnce(int threads, size_t regions, size_t hosts,
+                            size_t flows_per_region, double sim_seconds) {
+  CrossWorld w;
+  BuildWanStitched(w, regions, hosts);
+  ShardExecutor::Options opts;
+  opts.num_threads = threads;
+  // One shard per region — fixed across the thread sweep, so the partition
+  // (and the result) is identical for every row.
+  opts.num_shards = static_cast<int>(regions);
+  ShardExecutor exec(w.queue, w.topo, opts);
+
+  CrossRunResult r;
+  r.shards = exec.shard_count();
+  r.border_links = exec.partition().border_link_count;
+  r.cut_fraction = exec.partition().CutFraction();
+  // Completion-restart churn: every finite transfer immediately restarts
+  // itself, so each region sustains `flows_per_region` concurrent flows and
+  // one component-scoped reallocation per completion. Crossing flows
+  // additionally dirty their shared links on every restart, so the lease
+  // reconciliation path runs at full churn rate.
+  std::function<void(size_t, size_t)> start_one = [&](size_t region,
+                                                      size_t idx) {
+    std::vector<LinkId> path;
+    if (idx % 10 == 0) {
+      path = {w.up[region][idx % hosts], w.wan[region],
+              w.down[(region + 1) % regions][(idx * 7 + 3) % hosts]};
+    } else {
+      path = {w.up[region][idx % hosts],
+              w.down[region][(idx * 7 + 3) % hosts]};
+    }
+    exec.StartFlow(std::move(path), /*bytes=*/100e3,
+                   [&r, &start_one, region, idx](FlowId, SimTime) {
+                     ++r.completions;
+                     start_one(region, idx);
+                   },
+                   /*weight=*/1.0 + static_cast<double>(idx % 3));
+  };
+  {
+    FlowControlSurface::BatchScope batch = exec.Batch();
+    for (size_t region = 0; region < regions; ++region) {
+      for (size_t f = 0; f < flows_per_region; ++f) {
+        start_one(region, f);
+      }
+    }
+  }
+  r.crossing = exec.crossing_flow_count();
+  auto t0 = std::chrono::steady_clock::now();
+  exec.RunUntil(SimTime::FromSeconds(sim_seconds));
+  auto t1 = std::chrono::steady_clock::now();
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.bytes = exec.total_bytes_delivered();
+  r.epochs = exec.epochs_run();
+  r.lease_reconciliations = exec.lease_reconciliations();
+  return r;
+}
+
+void RunCrossSweep(size_t regions, size_t hosts, size_t flows_per_region,
+                   double sim_seconds) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  CrossRunResult base;
+  for (int threads : {1, 2, 4, 8}) {
+    CrossRunResult r =
+        RunCrossOnce(threads, regions, hosts, flows_per_region, sim_seconds);
+    if (threads == 1) {
+      base = r;
+    }
+    bool matches = r.completions == base.completions && r.bytes == base.bytes;
+    double speedup = r.wall_s > 0 ? base.wall_s / r.wall_s : 0.0;
+    g_json->Recordf(
+        "{\"bench\":\"flow_sim_shard\",\"scenario\":\"crossshard\","
+        "\"flows\":%zu,\"threads\":%d,\"shards\":%zu,\"hw_threads\":%u,"
+        "\"border_links\":%u,\"cut_fraction\":%.4f,"
+        "\"crossing_flows\":%zu,\"lease_reconciliations\":%llu,"
+        "\"epochs\":%llu,\"completions\":%llu,"
+        "\"completions_per_sec\":%.0f,\"wall_ms\":%.1f,"
+        "\"speedup_vs_1thread\":%.2f,\"matches_1thread\":%s}",
+        regions * flows_per_region, threads, r.shards, hw, r.border_links,
+        r.cut_fraction, r.crossing,
+        static_cast<unsigned long long>(r.lease_reconciliations),
+        static_cast<unsigned long long>(r.epochs),
+        static_cast<unsigned long long>(r.completions),
+        static_cast<double>(r.completions) / r.wall_s, r.wall_s * 1e3, speedup,
+        matches ? "true" : "false");
+  }
+}
+
 }  // namespace
 }  // namespace tenantnet
 
@@ -311,6 +458,16 @@ int main(int argc, char** argv) {
   } else {
     tenantnet::RunShardSweep(/*islands=*/64, /*flows_per_island=*/64,
                              /*sim_seconds=*/5.0);
+  }
+  // Cross-shard sweep over one WAN-stitched giant component (Fig. 1 shape):
+  // the link-cut partitioner's target case. The smoke size (8 regions x 40
+  // flows, 10% crossing) is what the crossshard CI gate is baselined on.
+  if (small) {
+    tenantnet::RunCrossSweep(/*regions=*/8, /*hosts=*/8,
+                             /*flows_per_region=*/40, /*sim_seconds=*/2.0);
+  } else {
+    tenantnet::RunCrossSweep(/*regions=*/16, /*hosts=*/16,
+                             /*flows_per_region=*/64, /*sim_seconds=*/4.0);
   }
   return 0;
 }

@@ -33,13 +33,47 @@ void FlowSim::EnsureLinkArrays(size_t dense_index) {
   link_stamp_.resize(size, 0);
   link_slot_.resize(size, 0);
   link_down_.resize(size, 0);
+  link_lease_.resize(size, -1.0);
 }
 
 double FlowSim::EffectiveCapacityBps(size_t dense_index) const {
   if (dense_index < link_down_.size() && link_down_[dense_index]) {
     return 0.0;
   }
+  if (dense_index < link_lease_.size() && link_lease_[dense_index] >= 0.0) {
+    return link_lease_[dense_index];
+  }
   return topology_.link(LinkId(dense_index + 1)).capacity_bps;
+}
+
+Status FlowSim::SetLinkCapacityLease(LinkId link, double bps) {
+  if (!link.valid() ||
+      Topology::DenseLinkIndex(link) >= topology_.link_count()) {
+    return InvalidArgumentError("unknown link id");
+  }
+  size_t idx = Topology::DenseLinkIndex(link);
+  EnsureLinkArrays(idx);
+  double lease = bps < 0.0 ? -1.0 : bps;
+  if (link_lease_[idx] == lease) {
+    return Status::Ok();
+  }
+  link_lease_[idx] = lease;
+  if (batch_depth_ > 0) {
+    pending_links_.push_back(idx);
+  } else {
+    ReallocateScoped(nullptr, 0, &idx, 1);
+  }
+  return Status::Ok();
+}
+
+double FlowSim::LinkCapacityLease(LinkId link) const {
+  size_t idx = Topology::DenseLinkIndex(link);
+  return idx < link_lease_.size() ? link_lease_[idx] : -1.0;
+}
+
+double FlowSim::LinkAllocatedBps(LinkId link) const {
+  size_t idx = Topology::DenseLinkIndex(link);
+  return idx < link_allocated_bps_.size() ? link_allocated_bps_[idx] : 0.0;
 }
 
 void FlowSim::AddFlowToLinks(FlowId id, LiveFlow& flow) {
@@ -315,11 +349,8 @@ SimDuration FlowSim::QueuePenalty(const std::vector<LinkId>& path,
                                   SimDuration per_link_cap) const {
   SimDuration total = SimDuration::Zero();
   for (LinkId link : path) {
-    double util = LinkUtilization(link);
-    // M/M/1 shape: penalty ~ rho / (1 - rho), capped.
-    double rho = std::min(util, 0.999);
-    SimDuration penalty = per_link_base * (rho / (1.0 - rho));
-    total += std::min(penalty, per_link_cap);
+    total += QueuePenaltyForUtilization(LinkUtilization(link), per_link_base,
+                                        per_link_cap);
   }
   return total;
 }

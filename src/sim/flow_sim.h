@@ -97,6 +97,21 @@ class FlowSim final : public FlowControlSurface {
   uint64_t flows_blackholed() const override { return flows_blackholed_; }
   double bytes_blackholed() const override { return bytes_blackholed_; }
 
+  // --- Capacity leases (cross-shard shared links) ----------------------------
+  // The shard executor splits a link's capacity among the shard sims whose
+  // flows use it; each sim then water-fills against its leased share, so
+  // the sum of independent per-shard allocations never exceeds the real
+  // capacity. A negative value clears the lease (full topology capacity).
+  // Honors open batches like every other mutation: inside a Batch() the
+  // realloc seeded on the link is deferred to EndBatch. A downed link's
+  // effective capacity stays zero regardless of any lease.
+  Status SetLinkCapacityLease(LinkId link, double bps);
+  // The lease currently in force, or a negative value if none.
+  double LinkCapacityLease(LinkId link) const;
+  // Raw bits/sec this sim has allocated on `link` (the executor sums this
+  // across shards to compute true utilization of a shared link).
+  double LinkAllocatedBps(LinkId link) const;
+
   // Tightens/loosens a live flow's rate cap (quota re-division does this).
   Status SetRateCap(FlowId id, double rate_cap_bps) override;
 
@@ -223,6 +238,7 @@ class FlowSim final : public FlowControlSurface {
   std::vector<uint64_t> link_stamp_;  // BFS inclusion marker
   std::vector<uint32_t> link_slot_;   // dense index -> component slot
   std::vector<uint8_t> link_down_;    // fault overlay (1 = down)
+  std::vector<double> link_lease_;    // capacity lease; negative = none
 
   uint64_t flows_aborted_ = 0;
   uint64_t flows_blackholed_ = 0;

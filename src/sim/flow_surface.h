@@ -1,12 +1,16 @@
 // The flow-control surface of the fluid data plane.
 //
 // Two executors implement it: FlowSim (the single-queue simulator) and
-// ShardExecutor (a data-parallel facade that routes every call to the
-// shard owning the flow's links). Everything that *drives* the data plane
-// — the egress-quota manager's batched cap re-division, the fault
-// injector's link toggles, the request workload's flow starts — is written
-// against this interface, so one wiring works in both execution modes and
-// the sharded runs stay byte-identical to the single-threaded ones.
+// ShardExecutor (a data-parallel engine that homes every flow on the shard
+// owning the plurality of its path and epoch-synchronizes the links shared
+// between shards). Everything that *drives* the data plane — the
+// egress-quota manager's batched cap re-division, the fault injector's
+// link toggles, the request workload's flow starts — is written against
+// this interface, so one wiring works in both execution modes and the
+// sharded runs stay byte-identical across any worker-thread count. Paths
+// may span the whole topology: since the link-cut partition rework,
+// drivers need not (and cannot) assume a flow's path stays inside one
+// connected component or shard.
 
 #ifndef TENANTNET_SRC_SIM_FLOW_SURFACE_H_
 #define TENANTNET_SRC_SIM_FLOW_SURFACE_H_
@@ -35,6 +39,19 @@ struct FlowState {
   double current_rate_bps = 0;
   SimTime start_time;
 };
+
+// The M/M/1-shaped queueing-delay stand-in both engines use for
+// QueuePenalty: per link, base * rho/(1-rho) with rho capped just below 1,
+// clamped to `per_link_cap`. Shared so FlowSim (per-sim utilization) and
+// ShardExecutor (utilization summed across shard sims) stay numerically
+// identical formulas.
+inline SimDuration QueuePenaltyForUtilization(double utilization,
+                                              SimDuration per_link_base,
+                                              SimDuration per_link_cap) {
+  double rho = utilization < 0.999 ? utilization : 0.999;
+  SimDuration penalty = per_link_base * (rho / (1.0 - rho));
+  return penalty < per_link_cap ? penalty : per_link_cap;
+}
 
 class FlowControlSurface {
  public:

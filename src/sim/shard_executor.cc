@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 namespace tenantnet {
+
+namespace {
+// Matches the water-filler's epsilon discipline in flow_sim.cc.
+constexpr double kEps = 1e-9;
+}  // namespace
 
 ShardExecutor::ShardExecutor(EventQueue& control, const Topology& topology,
                              Options opts)
@@ -15,9 +21,19 @@ ShardExecutor::ShardExecutor(EventQueue& control, const Topology& topology,
       components_(ComputeTopologyComponents(topology)) {
   int shard_count = opts_.num_shards;
   if (shard_count <= 0) {
-    shard_count = static_cast<int>(
-        std::min<uint32_t>(std::max<uint32_t>(components_.count, 1), 32));
+    // Partitioner target: enough parts to keep a worker pool busy even on
+    // one giant component (ceil(nodes/32)), never fewer than the natural
+    // component parallelism, capped at 32. Independent of num_threads.
+    uint32_t by_size =
+        static_cast<uint32_t>((topology.node_count() + 31) / 32);
+    shard_count = static_cast<int>(std::min<uint32_t>(
+        std::max({components_.count, by_size, 1u}), 32));
   }
+  partition_ = ComputeLinkCutPartition(
+      topology, static_cast<uint32_t>(shard_count), opts_.partition_seed);
+  // The partitioner may return fewer parts than asked (tiny topologies);
+  // shards_ mirrors the actual part count so every shard owns some nodes.
+  shard_count = static_cast<int>(std::max<uint32_t>(partition_.count, 1));
   shards_.reserve(static_cast<size_t>(shard_count));
   for (int i = 0; i < shard_count; ++i) {
     Shard shard;
@@ -25,6 +41,14 @@ ShardExecutor::ShardExecutor(EventQueue& control, const Topology& topology,
     shard.sim = std::make_unique<FlowSim>(*shard.queue, topology_);
     shards_.push_back(std::move(shard));
   }
+  size_t slots = topology_.link_count() * shards_.size();
+  use_count_.assign(slots, 0);
+  use_weight_.assign(slots, 0.0);
+  use_cap_sum_.assign(slots, 0.0);
+  use_uncapped_.assign(slots, 0);
+  lease_held_.assign(slots, 0);
+  link_up_.assign(topology_.link_count(), 1);
+  link_dirty_.assign(topology_.link_count(), 0);
   // More threads than shards would never find work; don't spawn them.
   int threads = std::min(opts_.num_threads, static_cast<int>(shards_.size()));
   if (threads > 1) {
@@ -46,18 +70,226 @@ ShardExecutor::~ShardExecutor() {
   }
 }
 
-uint32_t ShardExecutor::ShardOfPath(const std::vector<LinkId>& path) const {
+uint32_t ShardExecutor::HomeShardOfPath(const std::vector<LinkId>& path,
+                                        bool* crossing) const {
+  *crossing = false;
   if (path.empty()) {
     return 0;  // zero-link flows touch no shared state; park them on shard 0
   }
-  uint32_t shard = ShardOfLink(path[0]);
-#ifndef NDEBUG
-  for (LinkId link : path) {
-    assert(ShardOfLink(link) == shard &&
-           "flow path crosses a component boundary");
+  uint32_t first = ShardOfLink(path[0]);
+  if (shards_.size() == 1) {
+    return first;
   }
-#endif
-  return shard;
+  // Plurality owner of the path's links; ties break on the smallest shard
+  // id. Scratch counts are touched-and-reset so the scan stays O(path).
+  thread_local std::vector<uint32_t> counts;
+  counts.assign(shards_.size(), 0);
+  bool multi = false;
+  for (LinkId link : path) {
+    uint32_t s = ShardOfLink(link);
+    ++counts[s];
+    multi |= s != first;
+  }
+  if (!multi) {
+    return first;
+  }
+  *crossing = true;
+  uint32_t best = 0;
+  for (uint32_t s = 1; s < shards_.size(); ++s) {
+    if (counts[s] > counts[best]) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+// --- Shared-link demand bookkeeping ------------------------------------------
+
+void ShardExecutor::MarkLinkDirty(size_t dense_link) {
+  if (dense_link < link_dirty_.size() && !link_dirty_[dense_link]) {
+    link_dirty_[dense_link] = 1;
+    dirty_links_.push_back(static_cast<uint32_t>(dense_link));
+  }
+}
+
+void ShardExecutor::AddUsage(const Mapping& m) {
+  for (LinkId link : m.path) {
+    size_t idx = Topology::DenseLinkIndex(link);
+    size_t slot = UseIndex(idx, m.shard);
+    ++use_count_[slot];
+    use_weight_[slot] += m.weight;
+    if (std::isfinite(m.rate_cap_bps)) {
+      use_cap_sum_[slot] += m.rate_cap_bps;
+    } else {
+      ++use_uncapped_[slot];
+    }
+    MarkLinkDirty(idx);
+  }
+  if (m.crossing) {
+    ++crossing_flows_;
+  }
+}
+
+void ShardExecutor::RemoveUsage(const Mapping& m) {
+  for (LinkId link : m.path) {
+    size_t idx = Topology::DenseLinkIndex(link);
+    size_t slot = UseIndex(idx, m.shard);
+    assert(use_count_[slot] > 0);
+    --use_count_[slot];
+    use_weight_[slot] -= m.weight;
+    if (std::isfinite(m.rate_cap_bps)) {
+      use_cap_sum_[slot] -= m.rate_cap_bps;
+    } else {
+      --use_uncapped_[slot];
+    }
+    if (use_count_[slot] == 0) {
+      // Sweep float residue so a long-lived link's demand never drifts.
+      use_weight_[slot] = 0.0;
+      use_cap_sum_[slot] = 0.0;
+    }
+    MarkLinkDirty(idx);
+  }
+  if (m.crossing) {
+    assert(crossing_flows_ > 0);
+    --crossing_flows_;
+  }
+}
+
+void ShardExecutor::AdjustCapUsage(const Mapping& m, double old_cap,
+                                   double new_cap) {
+  for (LinkId link : m.path) {
+    size_t idx = Topology::DenseLinkIndex(link);
+    size_t slot = UseIndex(idx, m.shard);
+    if (std::isfinite(old_cap)) {
+      use_cap_sum_[slot] -= old_cap;
+    } else {
+      --use_uncapped_[slot];
+    }
+    if (std::isfinite(new_cap)) {
+      use_cap_sum_[slot] += new_cap;
+    } else {
+      ++use_uncapped_[slot];
+    }
+    MarkLinkDirty(idx);
+  }
+}
+
+size_t ShardExecutor::shared_link_count() const {
+  size_t shared = 0;
+  for (size_t idx = 0; idx < link_up_.size(); ++idx) {
+    uint32_t users = 0;
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      users += use_count_[UseIndex(idx, s)] > 0 ? 1 : 0;
+    }
+    shared += users >= 2 ? 1 : 0;
+  }
+  return shared;
+}
+
+void ShardExecutor::ReconcileLeases() {
+  assert(!in_parallel_ && batch_depth_ == 0);
+  if (dirty_links_.empty()) {
+    return;
+  }
+  ++lease_reconciliations_;
+  // Ascending dense-link order, ascending shard order inside each link:
+  // the whole pass is a pure function of the accumulated call sequence.
+  std::sort(dirty_links_.begin(), dirty_links_.end());
+  BatchScope batch = Batch();
+  for (uint32_t idx : dirty_links_) {
+    link_dirty_[idx] = 0;
+    LinkId link(static_cast<uint64_t>(idx) + 1);
+    split_shards_.clear();
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      if (use_count_[UseIndex(idx, s)] > 0) {
+        split_shards_.push_back(s);
+      }
+    }
+    if (split_shards_.size() < 2) {
+      // Exclusive (or idle) link: every stale lease reverts to the full
+      // topology capacity.
+      for (uint32_t s = 0; s < shards_.size(); ++s) {
+        if (lease_held_[UseIndex(idx, s)]) {
+          lease_held_[UseIndex(idx, s)] = 0;
+          (void)shards_[s].sim->SetLinkCapacityLease(link, -1.0);
+        }
+      }
+      continue;
+    }
+    // Weighted max-min split of the link capacity across using shards: a
+    // shard's demand is the sum of its flows' finite rate caps (infinite if
+    // any flow is uncapped), its weight the sum of their max-min weights.
+    // Conservative by construction: shares sum to <= capacity.
+    double capacity = topology_.link(link).capacity_bps;
+    size_t parties = split_shards_.size();
+    split_demand_.resize(parties);
+    split_weight_.resize(parties);
+    split_share_.resize(parties);
+    for (size_t i = 0; i < parties; ++i) {
+      size_t slot = UseIndex(idx, split_shards_[i]);
+      split_weight_[i] = use_weight_[slot];
+      split_demand_[i] = use_uncapped_[slot] > 0
+                             ? std::numeric_limits<double>::infinity()
+                             : use_cap_sum_[slot];
+      split_share_[i] = -1.0;  // unassigned
+    }
+    double remaining = capacity;
+    size_t unfrozen = parties;
+    while (unfrozen > 0) {
+      double weight_sum = 0;
+      for (size_t i = 0; i < parties; ++i) {
+        if (split_share_[i] < 0) {
+          weight_sum += split_weight_[i];
+        }
+      }
+      if (weight_sum <= 0) {
+        for (size_t i = 0; i < parties; ++i) {
+          if (split_share_[i] < 0) {
+            split_share_[i] = 0.0;
+          }
+        }
+        break;
+      }
+      double level = std::max(0.0, remaining) / weight_sum;
+      size_t froze = 0;
+      for (size_t i = 0; i < parties; ++i) {
+        if (split_share_[i] < 0 &&
+            split_demand_[i] <= level * split_weight_[i] * (1 + kEps)) {
+          split_share_[i] = split_demand_[i];
+          remaining -= split_demand_[i];
+          ++froze;
+        }
+      }
+      if (froze == 0) {
+        for (size_t i = 0; i < parties; ++i) {
+          if (split_share_[i] < 0) {
+            split_share_[i] = level * split_weight_[i];
+          }
+        }
+        break;
+      }
+      unfrozen -= froze;
+    }
+    for (size_t i = 0; i < parties; ++i) {
+      uint32_t s = split_shards_[i];
+      lease_held_[UseIndex(idx, s)] = 1;
+      ++leases_applied_;
+      (void)shards_[s].sim->SetLinkCapacityLease(link, split_share_[i]);
+    }
+    // Shards that stopped using the link keep no lease.
+    size_t party_cursor = 0;
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      if (party_cursor < parties && split_shards_[party_cursor] == s) {
+        ++party_cursor;
+        continue;
+      }
+      if (lease_held_[UseIndex(idx, s)]) {
+        lease_held_[UseIndex(idx, s)] = 0;
+        (void)shards_[s].sim->SetLinkCapacityLease(link, -1.0);
+      }
+    }
+  }
+  dirty_links_.clear();
 }
 
 // --- FlowControlSurface: flow lifecycle --------------------------------------
@@ -65,7 +297,8 @@ uint32_t ShardExecutor::ShardOfPath(const std::vector<LinkId>& path) const {
 FlowId ShardExecutor::StartFlow(std::vector<LinkId> path, double bytes,
                                 CompletionFn on_complete, double weight,
                                 double rate_cap_bps, AbortFn on_abort) {
-  uint32_t shard = ShardOfPath(path);
+  bool crossing = false;
+  uint32_t shard = HomeShardOfPath(path, &crossing);
   FlowId global_id = global_ids_.Next();
   // Finite flows always get a completion wrapper (even with a null user
   // callback) so the global id mapping is reclaimed when they finish.
@@ -86,10 +319,17 @@ FlowId ShardExecutor::StartFlow(std::vector<LinkId> path, double bytes,
       FinishFlow(shard, global_id, when, user);
     };
   }
-  FlowId local = shards_[shard].sim->StartFlow(
+  Mapping m;
+  m.shard = shard;
+  m.crossing = crossing;
+  m.weight = weight;
+  m.rate_cap_bps = rate_cap_bps;
+  m.path = path;  // copy: the shard sim consumes the original
+  m.local = shards_[shard].sim->StartFlow(
       std::move(path), bytes, std::move(wrapped_complete), weight,
       rate_cap_bps, std::move(wrapped_abort));
-  flow_map_.emplace(global_id, Mapping{shard, local});
+  AddUsage(m);
+  flow_map_.emplace(global_id, std::move(m));
   return global_id;
 }
 
@@ -108,7 +348,11 @@ void ShardExecutor::FinishFlow(uint32_t shard, FlowId global_id, SimTime when,
     shards_[shard].outbox.push_back(Deferred{global_id, when, fn});
     return;
   }
-  flow_map_.erase(global_id);
+  auto it = flow_map_.find(global_id);
+  if (it != flow_map_.end()) {
+    RemoveUsage(it->second);
+    flow_map_.erase(it);
+  }
   if (fn) {
     fn(global_id, when);
   }
@@ -119,10 +363,12 @@ Status ShardExecutor::CancelFlow(FlowId id) {
   if (it == flow_map_.end()) {
     return NotFoundError("no such flow");
   }
-  Mapping m = it->second;
-  Status status = shards_[m.shard].sim->CancelFlow(m.local);
+  uint32_t shard = it->second.shard;
+  FlowId local = it->second.local;
+  Status status = shards_[shard].sim->CancelFlow(local);
   if (status.ok()) {
-    flow_map_.erase(id);
+    RemoveUsage(it->second);
+    flow_map_.erase(it);
   }
   // A not-found from the shard sim means the flow already finished (e.g.
   // its completion is parked in an outbox); the drain reclaims the mapping.
@@ -134,8 +380,14 @@ Status ShardExecutor::SetRateCap(FlowId id, double rate_cap_bps) {
   if (it == flow_map_.end()) {
     return NotFoundError("no such flow");
   }
-  return shards_[it->second.shard].sim->SetRateCap(it->second.local,
-                                                   rate_cap_bps);
+  Mapping& m = it->second;
+  Status status =
+      shards_[m.shard].sim->SetRateCap(m.local, rate_cap_bps);
+  if (status.ok() && m.rate_cap_bps != rate_cap_bps) {
+    AdjustCapUsage(m, m.rate_cap_bps, rate_cap_bps);
+    m.rate_cap_bps = rate_cap_bps;
+  }
+  return status;
 }
 
 Result<double> ShardExecutor::CurrentRate(FlowId id) const {
@@ -161,7 +413,19 @@ Status ShardExecutor::SetLinkUp(LinkId link, bool up) {
       Topology::DenseLinkIndex(link) >= topology_.link_count()) {
     return InvalidArgumentError("unknown link id");
   }
-  return shards_[ShardOfLink(link)].sim->SetLinkUp(link, up);
+  size_t idx = Topology::DenseLinkIndex(link);
+  link_up_[idx] = up ? 1 : 0;
+  // Broadcast: any shard sim may be homing flows that cross this link.
+  // Sims without flows on it treat the toggle as a cheap no-op realloc
+  // seed; sims with flows abort/stall/restore exactly as FlowSim does.
+  Status status = Status::Ok();
+  for (Shard& shard : shards_) {
+    Status s = shard.sim->SetLinkUp(link, up);
+    if (!s.ok()) {
+      status = s;
+    }
+  }
+  return status;
 }
 
 bool ShardExecutor::IsLinkUp(LinkId link) const {
@@ -169,7 +433,7 @@ bool ShardExecutor::IsLinkUp(LinkId link) const {
       Topology::DenseLinkIndex(link) >= topology_.link_count()) {
     return true;
   }
-  return shards_[ShardOfLink(link)].sim->IsLinkUp(link);
+  return link_up_[Topology::DenseLinkIndex(link)] != 0;
 }
 
 size_t ShardExecutor::stalled_flow_count() const {
@@ -209,17 +473,34 @@ double ShardExecutor::bytes_blackholed() const {
 // --- FlowControlSurface: latency + accounting --------------------------------
 
 double ShardExecutor::LinkUtilization(LinkId link) const {
-  return shards_[ShardOfLink(link)].sim->LinkUtilization(link);
+  size_t idx = Topology::DenseLinkIndex(link);
+  if (!link.valid() || idx >= topology_.link_count()) {
+    return 0;
+  }
+  if (!link_up_[idx]) {
+    return 1.0;  // a downed link has no headroom at all
+  }
+  // Allocations summed in ascending shard order (associativity again).
+  double allocated = 0;
+  for (const Shard& shard : shards_) {
+    allocated += shard.sim->LinkAllocatedBps(link);
+  }
+  double cap = topology_.link(link).capacity_bps;
+  return cap > 0 ? std::min(1.0, allocated / cap) : 0;
 }
 
 SimDuration ShardExecutor::QueuePenalty(const std::vector<LinkId>& path,
                                         SimDuration per_link_base,
                                         SimDuration per_link_cap) const {
-  if (path.empty()) {
-    return SimDuration::Zero();
+  // Per-link utilization is computed executor-wide (allocations summed
+  // across shard sims), so a crossing path sees congestion contributed by
+  // every shard, not just the flow's home.
+  SimDuration total = SimDuration::Zero();
+  for (LinkId link : path) {
+    total += QueuePenaltyForUtilization(LinkUtilization(link), per_link_base,
+                                        per_link_cap);
   }
-  return shards_[ShardOfPath(path)].sim->QueuePenalty(path, per_link_base,
-                                                      per_link_cap);
+  return total;
 }
 
 size_t ShardExecutor::active_flow_count() const {
@@ -295,6 +576,10 @@ uint64_t ShardExecutor::RunUntil(SimTime deadline) {
   assert(batch_depth_ == 0 && "cannot run the executor inside a batch");
   uint64_t fired = 0;
   for (;;) {
+    // Re-split shared links whose membership or demand changed since the
+    // last epoch (flow churn, cap changes, border faults) — before reading
+    // t_next, because the re-split can reschedule completions.
+    ReconcileLeases();
     SimTime shard_next = SimTime::Infinite();
     for (Shard& shard : shards_) {
       SimTime t = shard.queue->NextEventTime();
@@ -356,7 +641,14 @@ uint64_t ShardExecutor::RunBarrierSection(SimTime epoch_end) {
       callbacks_deferred_ += shard.outbox.size();
       for (size_t i = 0; i < shard.outbox.size(); ++i) {
         Deferred deferred = std::move(shard.outbox[i]);
-        flow_map_.erase(deferred.global_id);
+        auto it = flow_map_.find(deferred.global_id);
+        if (it != flow_map_.end()) {
+          // Retiring the flow frees its share of any shared link; the
+          // usage update marks those links dirty so the next epoch's
+          // ReconcileLeases re-splits them.
+          RemoveUsage(it->second);
+          flow_map_.erase(it);
+        }
         if (deferred.fn) {
           deferred.fn(deferred.global_id, deferred.when);
         }

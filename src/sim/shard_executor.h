@@ -1,13 +1,32 @@
 // Data-parallel executor for the fluid flow simulator.
 //
-// The topology's connected components are data-independent by construction:
-// a flow's path never crosses a component boundary, so per-component flow
-// state, link budgets, and completion events never interact. ShardExecutor
-// exploits exactly that partition. Components are assigned to S shards by a
-// deterministic rule (component c -> shard c mod S); each shard owns a
-// private EventQueue + FlowSim pair, and virtual time advances in
-// barrier-synchronized epochs:
+// The topology is split by a deterministic region/link-cut partition
+// (ComputeLinkCutPartition): S balanced node regions, each owning the links
+// that leave its nodes. Unlike the original connected-component sharding,
+// flows may cross shard boundaries — a giant WAN-stitched topology (the
+// paper's Fig. 1 shape) still parallelizes. Each shard owns a private
+// EventQueue + FlowSim pair; a flow is *homed* on the shard owning the
+// plurality of its path links (ties to the smallest shard id) and is
+// simulated there over its full path.
 //
+// Cross-shard coupling — several shards' flows sharing one link — is
+// resolved by epoch-synchronized capacity leases: before each epoch, every
+// link used by flows homed on two or more shards has its capacity split
+// between those shards by a per-link weighted water-fill over the shards'
+// aggregate demand (flow-weight sums, finite rate-cap sums). Each shard
+// sim then water-fills its own flows against its leased share, so the sum
+// of independent per-shard allocations never exceeds the real capacity
+// (the split is conservative: capacity a shard leaves idle is unavailable
+// to others until the next reconciliation). Leases are recomputed on the
+// main thread, over dirty links in ascending dense-link order and shards
+// in ascending id order, so the schedule is a pure function of the call
+// sequence.
+//
+// Virtual time advances in barrier-synchronized epochs:
+//
+//   0. If any link's membership/demand changed (flow started/finished/
+//      cancelled, cap changed, fault toggled), recompute its lease split
+//      inside one executor-wide batch (reallocations fan out to the pool).
 //   1. Pick epoch_end = min(deadline, t_next + quantum, next control event),
 //      where t_next is the earliest pending event across every queue. The
 //      control queue (timers, workload arrivals, fault schedules) bounds the
@@ -23,14 +42,21 @@
 //      BatchScope, so a burst of flow starts/cancels triggered by callbacks
 //      coalesces into a single reallocation per touched shard — and the
 //      closing EndBatch fans those per-shard reallocations back out to the
-//      worker pool.
+//      worker pool. Finished crossing flows mark their links dirty here,
+//      so freed shared capacity is re-split in the next epoch's step 0.
 //
-// Determinism: the shard assignment, per-shard event order, outbox drain
-// order, and epoch schedule depend only on the topology and the call
-// sequence — never on thread count or OS scheduling. Worker threads only
-// decide *which core* runs a shard's (sequential) epoch, not any ordering.
-// Results are therefore byte-identical for any num_threads, and the
-// differential test (tests/shard_executor_test.cc) asserts exactly that.
+// Determinism: the partition (topology + num_shards + partition_seed, never
+// thread count), per-shard event order, outbox drain order, lease
+// reconciliation order, and epoch schedule depend only on the topology and
+// the call sequence — never on thread count or OS scheduling. Worker
+// threads only decide *which core* runs a shard's (sequential) epoch, not
+// any ordering. Results are therefore byte-identical for any num_threads,
+// and the differential suite (tests/shard_executor_test.cc) asserts exactly
+// that on giant-component topologies with crossing flows and border faults.
+// Note the sharded fluid solution is *not* byte-identical to the unsharded
+// FlowSim when flows cross shards — leases quantize shared capacity per
+// epoch — but it is always feasible (no link oversubscribed) and tracks the
+// global water-fill as the epoch quantum shrinks.
 //
 // Threading contract: every public method below must be called from the
 // driving (main) thread. Worker threads touch only their claimed shard's
@@ -65,13 +91,19 @@ class ShardExecutor final : public FlowControlSurface {
     // Worker threads advancing shards. 1 = run every shard on the driving
     // thread (no pool); results are identical either way.
     int num_threads = 1;
-    // Shard count. 0 = min(component count, 32). Fixed per topology and
-    // *independent of num_threads*, so the partition (and thus the result)
-    // does not change when the thread count does.
+    // Shard count (= link-cut partition parts). 0 = the partitioner
+    // target: min(32, max(component count, ceil(nodes / 32))) — a giant
+    // single-component topology still gets ceil(nodes/32) shards instead
+    // of degenerating to one. Fixed per topology and *independent of
+    // num_threads*, so the partition (and thus the result) does not change
+    // when the thread count does.
     int num_shards = 0;
+    // Deterministic seed for the link-cut partitioner (rotates region
+    // growth starts). Same topology + shards + seed => same partition.
+    uint64_t partition_seed = 0;
     // Upper bound on how far an epoch may outrun the earliest pending
-    // event. Smaller = user callbacks observe completion times sooner
-    // after they occur; larger = fewer barriers.
+    // event. Smaller = user callbacks observe completion times sooner and
+    // shared-link leases re-split more often; larger = fewer barriers.
     SimDuration epoch_quantum = SimDuration::Millis(1);
   };
 
@@ -96,9 +128,11 @@ class ShardExecutor final : public FlowControlSurface {
   size_t shard_count() const { return shards_.size(); }
   int num_threads() const { return opts_.num_threads; }
   const TopologyComponents& components() const { return components_; }
+  const LinkCutPartition& partition() const { return partition_; }
+  // Shard owning `link`'s capacity bookkeeping (the partition side of its
+  // source node). Flows homed elsewhere may still use the link via leases.
   uint32_t ShardOfLink(LinkId link) const {
-    return components_.link_component[Topology::DenseLinkIndex(link)] %
-           static_cast<uint32_t>(shards_.size());
+    return partition_.link_part[Topology::DenseLinkIndex(link)];
   }
 
   // --- FlowControlSurface ----------------------------------------------------
@@ -115,6 +149,8 @@ class ShardExecutor final : public FlowControlSurface {
   Result<double> CurrentRate(FlowId id) const override;
   const FlowState* FindFlow(FlowId id) const override;
 
+  // Faults are broadcast: every shard sim mirrors the link state, because
+  // flows homed on any shard may cross any link.
   Status SetLinkUp(LinkId link, bool up) override;
   bool IsLinkUp(LinkId link) const override;
   size_t stalled_flow_count() const override;
@@ -122,6 +158,8 @@ class ShardExecutor final : public FlowControlSurface {
   uint64_t flows_blackholed() const override;
   double bytes_blackholed() const override;
 
+  // True utilization of `link`: allocations summed across every shard sim
+  // (fixed shard order) over the topology capacity; 1.0 while down.
   double LinkUtilization(LinkId link) const override;
   SimDuration QueuePenalty(const std::vector<LinkId>& path,
                            SimDuration per_link_base,
@@ -142,6 +180,14 @@ class ShardExecutor final : public FlowControlSurface {
   uint64_t epochs_run() const { return epochs_; }
   // Callbacks deferred from worker threads to epoch barriers so far.
   uint64_t callbacks_deferred() const { return callbacks_deferred_; }
+  // Lease reconciliation passes (epochs that re-split at least one shared
+  // link) and individual per-link splits applied.
+  uint64_t lease_reconciliations() const { return lease_reconciliations_; }
+  uint64_t leases_applied() const { return leases_applied_; }
+  // Links currently used by flows homed on two or more shards.
+  size_t shared_link_count() const;
+  // Live flows whose path spans links owned by more than one shard.
+  size_t crossing_flow_count() const { return crossing_flows_; }
 
  private:
   // A user callback that fired on a worker thread, parked until the epoch
@@ -162,15 +208,35 @@ class ShardExecutor final : public FlowControlSurface {
   struct Mapping {
     uint32_t shard;
     FlowId local;
+    bool crossing;        // path spans links owned by >1 shard
+    double weight;        // demand bookkeeping for shared-link splits
+    double rate_cap_bps;
+    std::vector<LinkId> path;
   };
 
   enum class WorkKind : uint8_t { kAdvance, kEndBatch };
 
-  uint32_t ShardOfPath(const std::vector<LinkId>& path) const;
+  uint32_t HomeShardOfPath(const std::vector<LinkId>& path,
+                           bool* crossing) const;
+
+  // --- Shared-link demand bookkeeping (all main-thread) ---------------------
+  // Per (dense link, shard): how many flows homed on `shard` use the link,
+  // their weight sum, finite rate-cap sum, and uncapped count. A link with
+  // users on >= 2 shards is *shared* and gets capacity leases.
+  size_t UseIndex(size_t dense_link, uint32_t shard) const {
+    return dense_link * shards_.size() + shard;
+  }
+  void AddUsage(const Mapping& m);
+  void RemoveUsage(const Mapping& m);
+  void AdjustCapUsage(const Mapping& m, double old_cap, double new_cap);
+  void MarkLinkDirty(size_t dense_link);
+  // Re-splits every dirty link's capacity across its using shards inside
+  // one executor-wide batch. Main thread, outside any epoch.
+  void ReconcileLeases();
 
   // Either invokes a user callback now (main thread, clocks agree) or
   // parks it in `shard`'s outbox for the barrier drain. Always erases the
-  // global id's mapping at invocation time.
+  // global id's mapping (and its shared-link usage) at invocation time.
   void FinishFlow(uint32_t shard, FlowId global_id, SimTime when,
                   const std::function<void(FlowId, SimTime)>& fn);
 
@@ -188,15 +254,36 @@ class ShardExecutor final : public FlowControlSurface {
   const Topology& topology_;
   Options opts_;
   TopologyComponents components_;
+  LinkCutPartition partition_;
+
   std::vector<Shard> shards_;
 
   IdGenerator<FlowId> global_ids_;
   std::unordered_map<FlowId, Mapping> flow_map_;
 
+  // Dense per-(link, shard) usage arrays (see UseIndex) + per-link state.
+  std::vector<uint32_t> use_count_;
+  std::vector<double> use_weight_;
+  std::vector<double> use_cap_sum_;      // finite rate caps only
+  std::vector<uint32_t> use_uncapped_;   // flows with an infinite cap
+  std::vector<uint8_t> lease_held_;      // per (link, shard): lease in force
+  std::vector<uint8_t> link_up_;         // executor-wide fault view
+  std::vector<uint8_t> link_dirty_;
+  std::vector<uint32_t> dirty_links_;
+  size_t crossing_flows_ = 0;
+
+  // Lease water-fill scratch (reused per link).
+  std::vector<uint32_t> split_shards_;
+  std::vector<double> split_demand_;
+  std::vector<double> split_weight_;
+  std::vector<double> split_share_;
+
   uint32_t batch_depth_ = 0;
   bool in_parallel_ = false;  // written on main; read by workers mid-epoch
   uint64_t epochs_ = 0;
   uint64_t callbacks_deferred_ = 0;
+  uint64_t lease_reconciliations_ = 0;
+  uint64_t leases_applied_ = 0;
 
   // Worker-pool handshake. Main publishes {work_kind_, work_deadline_,
   // next_shard_=0} and bumps epoch_seq_ under mu_; workers claim shard

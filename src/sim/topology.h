@@ -164,6 +164,53 @@ struct TopologyComponents {
 
 TopologyComponents ComputeTopologyComponents(const Topology& topology);
 
+// Region/link-cut partition of the topology into `count` parts. Unlike
+// TopologyComponents, parts may cut through a connected component: a
+// realistic production topology is one giant WAN-stitched component, and
+// cutting it at the (few, low-degree) inter-region links is what lets the
+// shard executor parallelize it. Links whose endpoints land in different
+// parts are *border links*; the executor treats them (and any link used by
+// flows homed in several shards) as epoch-synchronized shared resources.
+//
+// The partition is a pure function of (topology, target_parts, seed) —
+// never of thread count or traversal order — so sharded simulation results
+// stay byte-identical across any number of worker threads.
+struct LinkCutPartition {
+  // Dense node index (NodeId.value()-1) -> part number in [0, count).
+  std::vector<uint32_t> node_part;
+  // Dense link index -> owning part (the part of the link's source node).
+  std::vector<uint32_t> link_part;
+  // Dense link index -> 1 if the link's endpoints are in different parts.
+  std::vector<uint8_t> link_is_border;
+  uint32_t count = 0;
+  uint32_t border_link_count = 0;
+
+  // Edge-cut quality: fraction of links crossing a part boundary.
+  double CutFraction() const {
+    return link_part.empty()
+               ? 0.0
+               : static_cast<double>(border_link_count) / link_part.size();
+  }
+};
+
+// Greedy balanced edge-cut, deterministic and seeded:
+//   1. Connected components are computed first; parts are distributed to
+//      components proportionally to node count (every component gets at
+//      least one part; if components >= target, component c maps to part
+//      c mod target and no component is cut).
+//   2. Inside a component awarded p > 1 parts, p start nodes are picked
+//      greedily k-center style (the seed rotates the first pick; ties break
+//      on smallest node index) and regions grow by balanced multi-source
+//      BFS: the smallest region claims next, so regions stay within ~1 node
+//      of each other in size.
+//   3. One boundary-refinement sweep moves nodes (ascending index order) to
+//      the neighboring part holding most of their edges when that strictly
+//      reduces the cut and keeps part sizes balanced.
+// target_parts == 0 or 1 yields the trivial single-part partition.
+LinkCutPartition ComputeLinkCutPartition(const Topology& topology,
+                                         uint32_t target_parts,
+                                         uint64_t seed = 0);
+
 }  // namespace tenantnet
 
 #endif  // TENANTNET_SRC_SIM_TOPOLOGY_H_

@@ -166,5 +166,146 @@ TEST(TopologyTest, DeliveryProbabilityIsProductOfSurvival) {
   EXPECT_DOUBLE_EQ(w.topo.PathDeliveryProbability(backbone), 1.0);
 }
 
+// --- Link-cut partitioner ----------------------------------------------------
+
+// One giant component: R regions of `hosts` nodes hanging off a hub, hubs
+// chained into a WAN ring — the paper's Fig. 1 shape at small scale.
+Topology BuildWanRing(int regions, int hosts) {
+  Topology topo;
+  std::vector<NodeId> hubs;
+  for (int r = 0; r < regions; ++r) {
+    NodeId hub = topo.AddNode({"hub" + std::to_string(r),
+                               NodeKind::kBackboneRouter,
+                               "region" + std::to_string(r)});
+    hubs.push_back(hub);
+    for (int h = 0; h < hosts; ++h) {
+      NodeId host = topo.AddNode(
+          {"r" + std::to_string(r) + "h" + std::to_string(h), NodeKind::kHost,
+           "region" + std::to_string(r)});
+      topo.AddDuplexLink({hub, host, 10e9, SimDuration::Micros(50),
+                          SimDuration::Zero(), 0, LinkClass::kIntraDatacenter});
+    }
+  }
+  for (int r = 0; r < regions; ++r) {
+    topo.AddDuplexLink({hubs[r], hubs[(r + 1) % regions], 100e9,
+                        SimDuration::Millis(20), SimDuration::Zero(), 0,
+                        LinkClass::kBackbone});
+  }
+  return topo;
+}
+
+void CheckPartitionInvariants(const Topology& topo,
+                              const LinkCutPartition& part) {
+  ASSERT_EQ(part.node_part.size(), topo.node_count());
+  ASSERT_EQ(part.link_part.size(), topo.link_count());
+  ASSERT_EQ(part.link_is_border.size(), topo.link_count());
+  // Every node lands in a valid part; every part is nonempty.
+  std::vector<uint32_t> sizes(part.count, 0);
+  for (uint32_t p : part.node_part) {
+    ASSERT_LT(p, part.count);
+    ++sizes[p];
+  }
+  for (uint32_t p = 0; p < part.count; ++p) {
+    EXPECT_GT(sizes[p], 0u) << "part " << p << " is empty";
+  }
+  // Link ownership and border flags are consistent with the node parts.
+  uint32_t borders = 0;
+  for (size_t i = 0; i < topo.link_count(); ++i) {
+    LinkId id(i + 1);
+    const LinkInfo& info = topo.link(id);
+    uint32_t src = part.node_part[info.src.value() - 1];
+    uint32_t dst = part.node_part[info.dst.value() - 1];
+    EXPECT_EQ(part.link_part[i], src);
+    EXPECT_EQ(part.link_is_border[i] != 0, src != dst);
+    borders += part.link_is_border[i];
+  }
+  EXPECT_EQ(part.border_link_count, borders);
+}
+
+TEST(LinkCutPartitionTest, SameSeedSamePartitionDifferentSeedsStillValid) {
+  Topology topo = BuildWanRing(4, 8);
+  LinkCutPartition a = ComputeLinkCutPartition(topo, 4, 42);
+  LinkCutPartition b = ComputeLinkCutPartition(topo, 4, 42);
+  EXPECT_EQ(a.node_part, b.node_part);
+  EXPECT_EQ(a.link_part, b.link_part);
+  EXPECT_EQ(a.border_link_count, b.border_link_count);
+  for (uint64_t seed : {0ull, 1ull, 7ull, 1337ull}) {
+    CheckPartitionInvariants(topo, ComputeLinkCutPartition(topo, 4, seed));
+  }
+}
+
+TEST(LinkCutPartitionTest, GiantComponentIsCutIntoBalancedParts) {
+  Topology topo = BuildWanRing(4, 8);  // 36 nodes, one component
+  ASSERT_EQ(ComputeTopologyComponents(topo).count, 1u);
+  LinkCutPartition part = ComputeLinkCutPartition(topo, 4, 0);
+  EXPECT_EQ(part.count, 4u);
+  CheckPartitionInvariants(topo, part);
+  std::vector<uint32_t> sizes(part.count, 0);
+  for (uint32_t p : part.node_part) {
+    ++sizes[p];
+  }
+  // 36 nodes over 4 parts: balanced BFS growth keeps parts within a small
+  // factor of the ideal 9.
+  for (uint32_t p = 0; p < part.count; ++p) {
+    EXPECT_GE(sizes[p], 4u);
+    EXPECT_LE(sizes[p], 16u);
+  }
+  // A good cut severs the WAN/hub edges, not host fan-out: far fewer
+  // border links than total links.
+  EXPECT_GT(part.border_link_count, 0u);
+  EXPECT_LT(part.CutFraction(), 0.5);
+}
+
+TEST(LinkCutPartitionTest, ComponentsAtLeastTargetMeansNoCuts) {
+  // 5 disjoint two-node islands, target 4: parts follow components
+  // (component c -> part c mod 4), and no link is a border link.
+  Topology topo;
+  for (int i = 0; i < 5; ++i) {
+    NodeId a = topo.AddNode({"a" + std::to_string(i), NodeKind::kHost, "x"});
+    NodeId b = topo.AddNode({"b" + std::to_string(i), NodeKind::kHost, "x"});
+    topo.AddDuplexLink({a, b, 1e9, SimDuration::Millis(1),
+                        SimDuration::Zero(), 0, LinkClass::kIntraDatacenter});
+  }
+  LinkCutPartition part = ComputeLinkCutPartition(topo, 4, 9);
+  EXPECT_EQ(part.count, 4u);
+  CheckPartitionInvariants(topo, part);
+  EXPECT_EQ(part.border_link_count, 0u);
+  TopologyComponents comps = ComputeTopologyComponents(topo);
+  for (size_t n = 0; n < topo.node_count(); ++n) {
+    EXPECT_EQ(part.node_part[n], comps.node_component[n] % 4);
+  }
+}
+
+TEST(LinkCutPartitionTest, TrivialTargetsAndEmptyTopology) {
+  Topology topo = BuildWanRing(2, 3);
+  for (uint32_t target : {0u, 1u}) {
+    LinkCutPartition part = ComputeLinkCutPartition(topo, target, 0);
+    EXPECT_EQ(part.count, 1u);
+    CheckPartitionInvariants(topo, part);
+    EXPECT_EQ(part.border_link_count, 0u);
+  }
+  Topology empty;
+  LinkCutPartition part = ComputeLinkCutPartition(empty, 4, 0);
+  EXPECT_EQ(part.node_part.size(), 0u);
+  EXPECT_EQ(part.border_link_count, 0u);
+}
+
+TEST(LinkCutPartitionTest, TargetBeyondNodeCountStillCoversEveryNode) {
+  // 3-node path, target 8: at most 3 nonempty parts can exist; whatever
+  // count comes back, the invariants must hold.
+  Topology topo;
+  NodeId a = topo.AddNode({"a", NodeKind::kHost, "x"});
+  NodeId b = topo.AddNode({"b", NodeKind::kHost, "x"});
+  NodeId c = topo.AddNode({"c", NodeKind::kHost, "x"});
+  topo.AddDuplexLink({a, b, 1e9, SimDuration::Millis(1), SimDuration::Zero(),
+                      0, LinkClass::kIntraDatacenter});
+  topo.AddDuplexLink({b, c, 1e9, SimDuration::Millis(1), SimDuration::Zero(),
+                      0, LinkClass::kIntraDatacenter});
+  LinkCutPartition part = ComputeLinkCutPartition(topo, 8, 3);
+  EXPECT_GE(part.count, 1u);
+  EXPECT_LE(part.count, 8u);
+  CheckPartitionInvariants(topo, part);
+}
+
 }  // namespace
 }  // namespace tenantnet
