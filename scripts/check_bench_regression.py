@@ -31,6 +31,16 @@ speedup check is SKIPPED when the runner has fewer hardware threads than
 the record's thread count (a 1-core container cannot exhibit parallel
 speedup), but matches_1thread — the determinism cross-check, which is
 hardware-independent — must hold everywhere.
+
+Warm-restart records (see bench/baselines/warm_restart_smoke_baseline.json),
+matched on (bench, storm_seed): the baseline states a max_blackhole_ratio
+ceiling and the current record (from the bench_warm_restart summary line)
+reports warm_cold_blackhole_ratio — bytes blackholed during warm restarts
+as a fraction of the cold-restart figure for the same seeded storm. The
+ratio of two sim-time measurements on the same machine is fully
+hardware-independent. When the baseline sets require_routing_match, the
+current record's routing_matches_full_rebuild must be 1 (the reconciled
+routing state diffed clean against a from-scratch rebuild).
 """
 
 import argparse
@@ -170,6 +180,40 @@ def check_churn(baseline, current_files):
     return failed
 
 
+def restart_key(rec):
+    return (rec.get("bench"), rec.get("storm_seed"))
+
+
+def check_restarts(baseline, current_files):
+    current = {}
+    for recs in current_files:
+        for rec in recs:
+            if "warm_cold_blackhole_ratio" in rec:
+                current[restart_key(rec)] = rec
+
+    failed = False
+    print(f"{'bench':<24} {'seed':>6} {'max':>6} {'got':>8}")
+    for base in baseline:
+        k = restart_key(base)
+        ceiling = base["max_blackhole_ratio"]
+        cur = current.get(k)
+        if cur is None:
+            print(f"{k[0]:<24} {k[1]:>6} {ceiling:>6.2f} {'MISSING':>8}")
+            failed = True
+            continue
+        got = cur["warm_cold_blackhole_ratio"]
+        verdict = "" if got <= ceiling else "  << TOO MUCH BLACKHOLE"
+        print(f"{k[0]:<24} {k[1]:>6} {ceiling:>6.2f} {got:>8.4f}{verdict}")
+        if got > ceiling:
+            failed = True
+        if base.get("require_routing_match") and \
+                cur.get("routing_matches_full_rebuild") != 1:
+            print(f"{k[0]:<24} {k[1]:>6} reconciled routing state diverged "
+                  "from full rebuild")
+            failed = True
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -186,7 +230,9 @@ def main():
     verdict_base = [r for r in baseline if "warm_vps" in r]
     shard_base = [r for r in baseline if "min_speedup_vs_1thread" in r]
     churn_base = [r for r in baseline if "min_speedup_incremental" in r]
-    if not verdict_base and not shard_base and not churn_base:
+    restart_base = [r for r in baseline if "max_blackhole_ratio" in r]
+    if not verdict_base and not shard_base and not churn_base \
+            and not restart_base:
         print(f"error: no gate records in baseline {args.baseline}")
         return 1
 
@@ -200,6 +246,8 @@ def main():
         failed |= check_shards(shard_base, current_files)
     if churn_base:
         failed |= check_churn(churn_base, current_files)
+    if restart_base:
+        failed |= check_restarts(restart_base, current_files)
 
     if failed:
         print("\nFAIL: bench gate violated (regression, missing record, "

@@ -4,6 +4,8 @@
 # BENCH_FLOW_SIM_SMALL=1 to run only its quick N=1e3 sweep.
 # bench_resilience (E8b) emits JSON lines comparing both worlds under
 # identical fault storms; set E8_SMOKE=1 for the quick single-seed run.
+# bench_warm_restart (E9b) emits JSON lines comparing cold vs warm
+# control-plane restarts; set E9B_SMOKE=1 for the quick single-seed run.
 # bench_scale_permits / bench_scale_routing run the verdict fast-path
 # sweeps (E4b/E5b); set VERDICT_SMOKE=1 for the quick sizes.
 # JSON-emitting benches each write BENCH_<name>.json at the repo root
@@ -24,6 +26,10 @@ for b in build/bench/*; do
   fi
   if [ "$(basename "$b")" = bench_resilience ] &&
      [ "${E8_SMOKE:-0}" = 1 ]; then
+    args="smoke"
+  fi
+  if [ "$(basename "$b")" = bench_warm_restart ] &&
+     [ "${E9B_SMOKE:-0}" = 1 ]; then
     args="smoke"
   fi
   case "$(basename "$b")" in

@@ -1,0 +1,70 @@
+// Shared vocabulary for control-plane restart and state reconciliation.
+//
+// Every restartable control-plane component (EdgeFilterBank, SipLoadBalancer,
+// BgpMesh + TGW FIBs via BaselineNetwork) speaks the same protocol:
+//
+//   snap = Checkpoint()            — capture the durable state image
+//   BeginRestart()                 — the process dies: volatile state is
+//                                    gone, mutations arriving during the
+//                                    outage are buffered (the provider's
+//                                    config store keeps accepting writes),
+//                                    and the data plane keeps forwarding
+//                                    from its last-programmed state
+//   CompleteRestart(mode, snap)    — the process comes back:
+//     kWarm: restore the snapshot, replay the buffered mutations through
+//            the normal incremental paths, then diff intent against live
+//            data-plane state and apply only the differences
+//     kCold: rebuild everything from scratch — flush the data plane and
+//            re-program it in full (the pre-warm-restart behavior, kept as
+//            the disruption baseline and the differential-oracle reference)
+//
+// Both modes land on byte-identical state (asserted by the oracle tests);
+// they differ in how much of the data plane they churn getting there, which
+// is exactly what E9b measures.
+
+#ifndef TENANTNET_SRC_COMMON_RECONCILE_H_
+#define TENANTNET_SRC_COMMON_RECONCILE_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace tenantnet {
+
+enum class RestartMode : uint8_t {
+  kWarm,  // restore snapshot + replay buffer + diff-reconcile deltas
+  kCold,  // flush and rebuild the data plane in full
+};
+
+inline const char* RestartModeName(RestartMode mode) {
+  return mode == RestartMode::kWarm ? "warm" : "cold";
+}
+
+// What one CompleteRestart() did. `checked` counts state entries examined
+// by the reconcile diff; `deltas_applied` counts the ones that actually
+// had to be (re)programmed — the data-plane churn. A warm restart after a
+// quiet outage checks everything and applies nothing.
+struct ReconcileStats {
+  uint64_t checked = 0;
+  uint64_t deltas_applied = 0;
+  uint64_t replayed_mutations = 0;  // buffered ops drained at completion
+  uint64_t dropped_mutations = 0;   // buffered ops invalid at replay time
+  // Simulated time at which the last reconcile-driven install lands on the
+  // slowest edge (== completion time for components with no install
+  // latency). Restart-to-converged latency is measured against this.
+  SimTime converged_at = SimTime::Epoch();
+
+  void Merge(const ReconcileStats& other) {
+    checked += other.checked;
+    deltas_applied += other.deltas_applied;
+    replayed_mutations += other.replayed_mutations;
+    dropped_mutations += other.dropped_mutations;
+    if (other.converged_at > converged_at) {
+      converged_at = other.converged_at;
+    }
+  }
+};
+
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_COMMON_RECONCILE_H_

@@ -85,6 +85,17 @@ SimDuration EdgeFilterBank::SampleDeliveryLatency() {
 SimTime EdgeFilterBank::UpdatePermitList(
     IpAddress endpoint, std::vector<PermitEntry> add,
     const std::vector<PermitEntry>& remove) {
+  if (in_restart_) {
+    // The master copy is gone until CompleteRestart restores it, so the
+    // merge must wait too: buffer the op whole.
+    PendingOp op;
+    op.kind = PendingOp::Kind::kUpdateList;
+    op.endpoint = endpoint;
+    op.entries = std::move(add);
+    op.removes = remove;
+    pending_ops_.push_back(std::move(op));
+    return queue_ != nullptr ? queue_->now() : SimTime::Epoch();
+  }
   std::vector<PermitEntry> merged;
   auto it = latest_entries_.find(endpoint);
   if (it != latest_entries_.end()) {
@@ -104,16 +115,38 @@ SimTime EdgeFilterBank::UpdatePermitList(
 
 SimTime EdgeFilterBank::SetPermitList(IpAddress endpoint,
                                       std::vector<PermitEntry> entries) {
+  if (in_restart_) {
+    PendingOp op;
+    op.kind = PendingOp::Kind::kSetList;
+    op.endpoint = endpoint;
+    op.entries = std::move(entries);
+    pending_ops_.push_back(std::move(op));
+    return queue_ != nullptr ? queue_->now() : SimTime::Epoch();
+  }
+  latest_entries_[endpoint] = std::move(entries);
+  return PushListTo(endpoint, latest_entries_[endpoint], AllEdgeIndices());
+}
+
+std::vector<size_t> EdgeFilterBank::AllEdgeIndices() const {
+  std::vector<size_t> all(edges_.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    all[i] = i;
+  }
+  return all;
+}
+
+SimTime EdgeFilterBank::PushListTo(IpAddress endpoint,
+                                   const std::vector<PermitEntry>& entries,
+                                   const std::vector<size_t>& targets) {
   uint64_t version = next_version_++;
   latest_version_[endpoint] = version;
-  latest_entries_[endpoint] = entries;
   // Compile once; every edge's apply shares the same immutable matcher.
   auto compiled = std::make_shared<const CompiledPermitList>(entries);
   ++compiles_;
   SimTime last_applied =
       queue_ != nullptr ? queue_->now() : SimTime::Epoch();
 
-  for (size_t i = 0; i < edges_.size(); ++i) {
+  for (size_t i : targets) {
     ++messages_;
     auto apply = [this, i, endpoint, version, entries, compiled]() {
       EdgeState& edge = edges_[i];
@@ -140,6 +173,13 @@ SimTime EdgeFilterBank::SetPermitList(IpAddress endpoint,
 }
 
 void EdgeFilterBank::RemovePermitList(IpAddress endpoint) {
+  if (in_restart_) {
+    PendingOp op;
+    op.kind = PendingOp::Kind::kRemoveList;
+    op.endpoint = endpoint;
+    pending_ops_.push_back(std::move(op));
+    return;
+  }
   latest_version_.erase(endpoint);
   latest_entries_.erase(endpoint);
   bool removed_any = false;
@@ -220,10 +260,25 @@ bool EdgeFilterBank::AdmitsLinear(size_t edge_index,
 
 SimTime EdgeFilterBank::SetGroup(EndpointGroupId group,
                                  std::vector<IpAddress> members) {
-  uint64_t version = next_version_++;
+  if (in_restart_) {
+    PendingOp op;
+    op.kind = PendingOp::Kind::kSetGroup;
+    op.group = group;
+    op.members = std::move(members);
+    pending_ops_.push_back(std::move(op));
+    return queue_ != nullptr ? queue_->now() : SimTime::Epoch();
+  }
   std::unordered_set<IpAddress> member_set(members.begin(), members.end());
+  return PushGroupTo(group, member_set, AllEdgeIndices());
+}
+
+SimTime EdgeFilterBank::PushGroupTo(
+    EndpointGroupId group, const std::unordered_set<IpAddress>& member_set,
+    const std::vector<size_t>& targets) {
+  uint64_t version = next_version_++;
+  latest_groups_[group] = MasterGroup{version, member_set};
   SimTime last_applied = queue_ != nullptr ? queue_->now() : SimTime::Epoch();
-  for (size_t i = 0; i < edges_.size(); ++i) {
+  for (size_t i : targets) {
     ++messages_;
     auto apply = [this, i, group, version, member_set]() {
       EdgeState& edge = edges_[i];
@@ -246,6 +301,14 @@ SimTime EdgeFilterBank::SetGroup(EndpointGroupId group,
 }
 
 void EdgeFilterBank::RemoveGroup(EndpointGroupId group) {
+  if (in_restart_) {
+    PendingOp op;
+    op.kind = PendingOp::Kind::kRemoveGroup;
+    op.group = group;
+    pending_ops_.push_back(std::move(op));
+    return;
+  }
+  latest_groups_.erase(group);
   bool removed_any = false;
   for (EdgeState& edge : edges_) {
     removed_any |= edge.groups.erase(group) > 0;
@@ -286,6 +349,355 @@ uint64_t EdgeFilterBank::total_installed_entries() const {
     total += edge.entry_count;
   }
   return total;
+}
+
+// ---------------------------------------------------------------------------
+// Warm restart.
+// ---------------------------------------------------------------------------
+
+FilterBankSnapshot EdgeFilterBank::Checkpoint() const {
+  FilterBankSnapshot snap;
+  snap.next_version = next_version_;
+  snap.lists.reserve(latest_entries_.size());
+  for (const auto& [endpoint, entries] : latest_entries_) {
+    uint64_t version = 0;
+    auto vit = latest_version_.find(endpoint);
+    if (vit != latest_version_.end()) {
+      version = vit->second;
+    }
+    snap.lists.push_back(FilterBankSnapshot::List{endpoint, version, entries});
+  }
+  std::sort(snap.lists.begin(), snap.lists.end(),
+            [](const auto& a, const auto& b) { return a.endpoint < b.endpoint; });
+  snap.groups.reserve(latest_groups_.size());
+  for (const auto& [group, master] : latest_groups_) {
+    std::vector<IpAddress> members(master.members.begin(),
+                                   master.members.end());
+    std::sort(members.begin(), members.end());
+    snap.groups.push_back(
+        FilterBankSnapshot::Group{group, master.version, std::move(members)});
+  }
+  std::sort(snap.groups.begin(), snap.groups.end(),
+            [](const auto& a, const auto& b) { return a.group < b.group; });
+  return snap;
+}
+
+void EdgeFilterBank::RestoreFromSnapshot(const FilterBankSnapshot& snap) {
+  latest_entries_.clear();
+  latest_version_.clear();
+  latest_groups_.clear();
+  for (const FilterBankSnapshot::List& list : snap.lists) {
+    latest_entries_[list.endpoint] = list.entries;
+    latest_version_[list.endpoint] = list.version;
+  }
+  for (const FilterBankSnapshot::Group& group : snap.groups) {
+    latest_groups_[group.group] = MasterGroup{
+        group.version, std::unordered_set<IpAddress>(group.members.begin(),
+                                                     group.members.end())};
+  }
+  // Monotonic across incarnations: edges may hold versions newer than the
+  // snapshot (mutations applied between checkpoint and crash), and a push
+  // numbered below them would be discarded as stale.
+  next_version_ = std::max(next_version_, snap.next_version);
+}
+
+void EdgeFilterBank::BeginRestart() {
+  if (in_restart_) {
+    return;  // overlapping restarts extend the same outage
+  }
+  in_restart_ = true;
+  // The process is gone: volatile master state with it. Edge (data-plane)
+  // state and in-flight applies survive; next_version_ models a monotonic
+  // version fountain (provider-durable), see RestoreFromSnapshot.
+  latest_entries_.clear();
+  latest_version_.clear();
+  latest_groups_.clear();
+}
+
+void EdgeFilterBank::ApplyOpToMaster(const PendingOp& op) {
+  switch (op.kind) {
+    case PendingOp::Kind::kSetList:
+      latest_entries_[op.endpoint] = op.entries;
+      break;
+    case PendingOp::Kind::kUpdateList: {
+      std::vector<PermitEntry> merged;
+      auto it = latest_entries_.find(op.endpoint);
+      if (it != latest_entries_.end()) {
+        for (const PermitEntry& entry : it->second) {
+          if (std::find(op.removes.begin(), op.removes.end(), entry) ==
+              op.removes.end()) {
+            merged.push_back(entry);
+          }
+        }
+      }
+      for (const PermitEntry& entry : op.entries) {
+        if (std::find(merged.begin(), merged.end(), entry) == merged.end()) {
+          merged.push_back(entry);
+        }
+      }
+      latest_entries_[op.endpoint] = std::move(merged);
+      break;
+    }
+    case PendingOp::Kind::kRemoveList:
+      latest_entries_.erase(op.endpoint);
+      latest_version_.erase(op.endpoint);
+      break;
+    case PendingOp::Kind::kSetGroup:
+      latest_groups_[op.group] = MasterGroup{
+          0, std::unordered_set<IpAddress>(op.members.begin(),
+                                           op.members.end())};
+      break;
+    case PendingOp::Kind::kRemoveGroup:
+      latest_groups_.erase(op.group);
+      break;
+  }
+}
+
+ReconcileStats EdgeFilterBank::CompleteRestart(RestartMode mode,
+                                               const FilterBankSnapshot& snap) {
+  ReconcileStats stats;
+  stats.converged_at = queue_ != nullptr ? queue_->now() : SimTime::Epoch();
+  RestoreFromSnapshot(snap);
+  in_restart_ = false;
+  std::vector<PendingOp> ops;
+  ops.swap(pending_ops_);
+  stats.replayed_mutations = ops.size();
+
+  auto sorted_endpoints = [this] {
+    std::vector<IpAddress> endpoints;
+    endpoints.reserve(latest_entries_.size());
+    for (const auto& [endpoint, entries] : latest_entries_) {
+      endpoints.push_back(endpoint);
+    }
+    std::sort(endpoints.begin(), endpoints.end());
+    return endpoints;
+  };
+  auto sorted_groups = [this] {
+    std::vector<EndpointGroupId> groups;
+    groups.reserve(latest_groups_.size());
+    for (const auto& [group, master] : latest_groups_) {
+      groups.push_back(group);
+    }
+    std::sort(groups.begin(), groups.end());
+    return groups;
+  };
+
+  if (mode == RestartMode::kCold) {
+    // Fold the buffered mutations into the master only, then flush every
+    // edge and re-program the whole intent from scratch. Between the flush
+    // and each re-install landing, default-off denies everything — the
+    // cold-rebuild blackhole window E9b measures.
+    for (const PendingOp& op : ops) {
+      ApplyOpToMaster(op);
+    }
+    bool flushed_any = false;
+    for (EdgeState& edge : edges_) {
+      flushed_any |= !edge.lists.empty() || !edge.groups.empty();
+      edge.lists.clear();
+      edge.groups.clear();
+      edge.entry_count = 0;
+    }
+    if (flushed_any) {
+      BumpGlobalEpoch();  // every cached verdict is now unfounded
+    }
+    std::vector<size_t> all = AllEdgeIndices();
+    for (IpAddress endpoint : sorted_endpoints()) {
+      stats.deltas_applied += all.size();
+      stats.converged_at = std::max(
+          stats.converged_at, PushListTo(endpoint, latest_entries_[endpoint], all));
+    }
+    for (EndpointGroupId group : sorted_groups()) {
+      stats.deltas_applied += all.size();
+      stats.converged_at = std::max(
+          stats.converged_at,
+          PushGroupTo(group, latest_groups_[group].members, all));
+    }
+    return stats;
+  }
+
+  // Warm: replay the buffered mutations through the normal incremental
+  // paths (they fan out exactly what changed during the outage)...
+  std::unordered_set<IpAddress> replayed_lists;
+  std::unordered_set<EndpointGroupId> replayed_groups;
+  for (const PendingOp& op : ops) {
+    switch (op.kind) {
+      case PendingOp::Kind::kSetList:
+        stats.converged_at = std::max(
+            stats.converged_at, SetPermitList(op.endpoint, op.entries));
+        replayed_lists.insert(op.endpoint);
+        break;
+      case PendingOp::Kind::kUpdateList:
+        stats.converged_at = std::max(
+            stats.converged_at,
+            UpdatePermitList(op.endpoint, op.entries, op.removes));
+        replayed_lists.insert(op.endpoint);
+        break;
+      case PendingOp::Kind::kRemoveList:
+        RemovePermitList(op.endpoint);
+        replayed_lists.insert(op.endpoint);
+        break;
+      case PendingOp::Kind::kSetGroup:
+        stats.converged_at =
+            std::max(stats.converged_at, SetGroup(op.group, op.members));
+        replayed_groups.insert(op.group);
+        break;
+      case PendingOp::Kind::kRemoveGroup:
+        RemoveGroup(op.group);
+        replayed_groups.insert(op.group);
+        break;
+    }
+  }
+
+  // ...then diff the restored intent against live edge state and re-push
+  // only mismatches. Edges already holding the intended entries are left
+  // alone — no message, no epoch bump, their cached verdicts survive.
+  for (IpAddress endpoint : sorted_endpoints()) {
+    if (replayed_lists.contains(endpoint)) {
+      continue;  // already converging via the replay above
+    }
+    const std::vector<PermitEntry>& entries = latest_entries_[endpoint];
+    std::vector<size_t> lagging;
+    for (size_t i = 0; i < edges_.size(); ++i) {
+      ++stats.checked;
+      auto it = edges_[i].lists.find(endpoint);
+      if (it == edges_[i].lists.end() || it->second.entries != entries) {
+        lagging.push_back(i);
+      }
+    }
+    if (!lagging.empty()) {
+      stats.deltas_applied += lagging.size();
+      stats.converged_at =
+          std::max(stats.converged_at, PushListTo(endpoint, entries, lagging));
+    }
+  }
+  for (EndpointGroupId group : sorted_groups()) {
+    if (replayed_groups.contains(group)) {
+      continue;
+    }
+    const MasterGroup& master = latest_groups_[group];
+    std::vector<size_t> lagging;
+    for (size_t i = 0; i < edges_.size(); ++i) {
+      ++stats.checked;
+      auto it = edges_[i].groups.find(group);
+      if (it == edges_[i].groups.end() ||
+          it->second.members != master.members) {
+        lagging.push_back(i);
+      }
+    }
+    if (!lagging.empty()) {
+      stats.deltas_applied += lagging.size();
+      stats.converged_at = std::max(
+          stats.converged_at, PushGroupTo(group, master.members, lagging));
+    }
+  }
+
+  // Orphan sweep: state still installed on edges with no master intent (the
+  // snapshot predates its removal). The removal paths are the delta ops.
+  std::vector<IpAddress> orphan_lists;
+  std::vector<EndpointGroupId> orphan_groups;
+  for (const EdgeState& edge : edges_) {
+    for (const auto& [endpoint, list] : edge.lists) {
+      ++stats.checked;
+      if (latest_entries_.find(endpoint) == latest_entries_.end() &&
+          !replayed_lists.contains(endpoint)) {
+        orphan_lists.push_back(endpoint);
+      }
+    }
+    for (const auto& [group, state] : edge.groups) {
+      ++stats.checked;
+      if (latest_groups_.find(group) == latest_groups_.end() &&
+          !replayed_groups.contains(group)) {
+        orphan_groups.push_back(group);
+      }
+    }
+  }
+  std::sort(orphan_lists.begin(), orphan_lists.end());
+  orphan_lists.erase(std::unique(orphan_lists.begin(), orphan_lists.end()),
+                     orphan_lists.end());
+  std::sort(orphan_groups.begin(), orphan_groups.end());
+  orphan_groups.erase(std::unique(orphan_groups.begin(), orphan_groups.end()),
+                      orphan_groups.end());
+  for (IpAddress endpoint : orphan_lists) {
+    RemovePermitList(endpoint);
+    ++stats.deltas_applied;
+  }
+  for (EndpointGroupId group : orphan_groups) {
+    RemoveGroup(group);
+    ++stats.deltas_applied;
+  }
+  return stats;
+}
+
+std::string EdgeFilterBank::StateFingerprint() const {
+  auto entry_fp = [](const PermitEntry& e) {
+    return e.source.ToString() + "~g" + std::to_string(e.source_group.value()) +
+           "~" + std::to_string(e.dst_ports.lo) + "-" +
+           std::to_string(e.dst_ports.hi) + "~" +
+           std::to_string(static_cast<int>(e.proto));
+  };
+  auto entries_fp = [&](const std::vector<PermitEntry>& entries) {
+    std::string out = "[";
+    for (const PermitEntry& e : entries) {
+      out += entry_fp(e);
+      out += ",";
+    }
+    out += "]";
+    return out;
+  };
+  std::string out;
+  std::vector<IpAddress> endpoints;
+  for (const auto& [endpoint, entries] : latest_entries_) {
+    endpoints.push_back(endpoint);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  for (IpAddress endpoint : endpoints) {
+    out += "M " + endpoint.ToString() + " " +
+           entries_fp(latest_entries_.at(endpoint)) + "\n";
+  }
+  std::vector<EndpointGroupId> groups;
+  for (const auto& [group, master] : latest_groups_) {
+    groups.push_back(group);
+  }
+  std::sort(groups.begin(), groups.end());
+  for (EndpointGroupId group : groups) {
+    std::vector<IpAddress> members(latest_groups_.at(group).members.begin(),
+                                   latest_groups_.at(group).members.end());
+    std::sort(members.begin(), members.end());
+    out += "MG " + std::to_string(group.value()) + " [";
+    for (IpAddress m : members) {
+      out += m.ToString() + ",";
+    }
+    out += "]\n";
+  }
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const EdgeState& edge = edges_[i];
+    std::vector<IpAddress> edge_endpoints;
+    for (const auto& [endpoint, list] : edge.lists) {
+      edge_endpoints.push_back(endpoint);
+    }
+    std::sort(edge_endpoints.begin(), edge_endpoints.end());
+    for (IpAddress endpoint : edge_endpoints) {
+      out += "E" + std::to_string(i) + " " + endpoint.ToString() + " " +
+             entries_fp(edge.lists.at(endpoint).entries) + "\n";
+    }
+    std::vector<EndpointGroupId> edge_groups;
+    for (const auto& [group, state] : edge.groups) {
+      edge_groups.push_back(group);
+    }
+    std::sort(edge_groups.begin(), edge_groups.end());
+    for (EndpointGroupId group : edge_groups) {
+      std::vector<IpAddress> members(edge.groups.at(group).members.begin(),
+                                     edge.groups.at(group).members.end());
+      std::sort(members.begin(), members.end());
+      out += "EG" + std::to_string(i) + " " + std::to_string(group.value()) +
+             " [";
+      for (IpAddress m : members) {
+        out += m.ToString() + ",";
+      }
+      out += "]\n";
+    }
+  }
+  return out;
 }
 
 }  // namespace tenantnet

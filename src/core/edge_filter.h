@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/common/ids.h"
+#include "src/common/reconcile.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/time.h"
@@ -127,6 +128,33 @@ class CompiledPermitList {
   std::vector<std::pair<EndpointGroupId, ScopeSet>> group_scopes_;
 };
 
+// The durable image of a filter bank's control-plane intent: the master
+// permit lists and group memberships plus the version counter. Edge
+// (data-plane) state is deliberately absent — it survives a control-plane
+// restart and is reconciled against this, not restored from it. All vectors
+// are sorted, so equality is the fixed-point property the snapshot tests
+// assert.
+struct FilterBankSnapshot {
+  struct List {
+    IpAddress endpoint;
+    uint64_t version = 0;
+    std::vector<PermitEntry> entries;
+    friend bool operator==(const List& a, const List& b) = default;
+  };
+  struct Group {
+    EndpointGroupId group;
+    uint64_t version = 0;
+    std::vector<IpAddress> members;  // sorted
+    friend bool operator==(const Group& a, const Group& b) = default;
+  };
+  std::vector<List> lists;    // sorted by endpoint
+  std::vector<Group> groups;  // sorted by group id
+  uint64_t next_version = 1;
+
+  friend bool operator==(const FilterBankSnapshot& a,
+                         const FilterBankSnapshot& b) = default;
+};
+
 struct EdgeFilterParams {
   // Control-plane install latency per edge: base + Exp(1/mean_extra).
   SimDuration install_base = SimDuration::Millis(5);
@@ -211,6 +239,46 @@ class EdgeFilterBank {
   void SetReplicationDegraded(bool degraded) { degraded_ = degraded; }
   bool replication_degraded() const { return degraded_; }
 
+  // --- Warm restart (see src/common/reconcile.h for the protocol) -----------
+
+  // Captures the control-plane intent (master lists/groups + version
+  // counter). Edge state is not captured: it survives restarts.
+  FilterBankSnapshot Checkpoint() const;
+
+  // Reinstates exactly what Checkpoint() captured, touching no edge. The
+  // version counter is restored to max(snapshot, live) so re-pushes issued
+  // after a restore are never mistaken for stale updates by edges that
+  // already hold newer versions.
+  void RestoreFromSnapshot(const FilterBankSnapshot& snap);
+
+  // The control plane dies: the master copy is wiped, and mutating calls
+  // (Set/Update/RemovePermitList, Set/RemoveGroup) buffer instead of
+  // fanning out until CompleteRestart(). The data plane keeps answering
+  // Admits() from the edges' last-programmed state. Idempotent.
+  void BeginRestart();
+  bool in_restart() const { return in_restart_; }
+
+  // The control plane comes back. Both modes restore `snap`, drain the
+  // buffered mutations, and leave the bank byte-identical (modulo version
+  // numbers) to a from-scratch rebuild of the same intent; they differ in
+  // data-plane churn:
+  //   kWarm: buffered ops replay through the normal incremental fan-out,
+  //     then a reconcile sweep compares every (endpoint, edge) pair against
+  //     the master and re-pushes only mismatches — matching edges keep
+  //     their verdict-cache epochs, and traffic never sees a default-off
+  //     window.
+  //   kCold: every edge is flushed (one global epoch bump — all cached
+  //     verdicts die) and the full intent is re-fanned-out with install
+  //     latency; until the re-installs land, default-off denies everything.
+  ReconcileStats CompleteRestart(RestartMode mode,
+                                 const FilterBankSnapshot& snap);
+
+  // Version-free fingerprint of the semantic state (master + per-edge
+  // installed lists and groups), for the warm-vs-cold differential oracle:
+  // the two completion modes assign different version numbers but must land
+  // on identical filtering behavior.
+  std::string StateFingerprint() const;
+
   // --- Scale metrics --------------------------------------------------------
   uint64_t total_installed_entries() const;       // sum over edges
   uint64_t update_messages_sent() const { return messages_; }
@@ -266,9 +334,44 @@ class EdgeFilterBank {
     }
   };
 
+  struct MasterGroup {
+    uint64_t version = 0;
+    std::unordered_set<IpAddress> members;
+  };
+
+  // A mutation accepted while the control plane was down, replayed at
+  // CompleteRestart().
+  struct PendingOp {
+    enum class Kind : uint8_t {
+      kSetList,
+      kUpdateList,
+      kRemoveList,
+      kSetGroup,
+      kRemoveGroup,
+    };
+    Kind kind = Kind::kSetList;
+    IpAddress endpoint;               // list ops
+    std::vector<PermitEntry> entries; // kSetList; kUpdateList: adds
+    std::vector<PermitEntry> removes; // kUpdateList only
+    EndpointGroupId group;            // group ops
+    std::vector<IpAddress> members;   // kSetGroup
+  };
+
   // One message's delivery delay, including any degraded-mode drop/retry
   // rounds. Advances the RNG; all draws happen here, at send time.
   SimDuration SampleDeliveryLatency();
+
+  // Sends one list install to a subset of edges (the shared fan-out core of
+  // SetPermitList and the warm reconcile sweep). Returns last apply time.
+  SimTime PushListTo(IpAddress endpoint, const std::vector<PermitEntry>& entries,
+                     const std::vector<size_t>& targets);
+  SimTime PushGroupTo(EndpointGroupId group,
+                      const std::unordered_set<IpAddress>& members,
+                      const std::vector<size_t>& targets);
+  std::vector<size_t> AllEdgeIndices() const;
+  // Folds a buffered op into the master copy only (cold completion rebuilds
+  // the data plane afterwards in one pass).
+  void ApplyOpToMaster(const PendingOp& op);
 
   // Epoch bumps, called at *apply* time (when edge state actually changes).
   void BumpEndpointEpoch(IpAddress endpoint) {
@@ -295,8 +398,13 @@ class EdgeFilterBank {
   // The control plane's master copy (edges may lag behind it).
   std::unordered_map<IpAddress, std::vector<PermitEntry>> latest_entries_;
   std::unordered_map<IpAddress, uint64_t> latest_version_;
+  std::unordered_map<EndpointGroupId, MasterGroup> latest_groups_;
   uint64_t next_version_ = 1;
   uint64_t messages_ = 0;
+
+  // Restart protocol state (see reconcile.h).
+  bool in_restart_ = false;
+  std::vector<PendingOp> pending_ops_;
 
   // Verdict fast path. Scoped epochs: list applies/removals bump the
   // endpoint's epoch, group applies/removals bump the bank-wide one; gen_

@@ -6,6 +6,10 @@
 namespace tenantnet {
 
 Status SipLoadBalancer::AddSip(IpAddress sip) {
+  if (in_restart_) {
+    pending_ops_.push_back(PendingOp{PendingOp::Kind::kAddSip, {}, sip});
+    return Status::Ok();  // accepted asynchronously; validated at replay
+  }
   auto [it, inserted] = bindings_.try_emplace(sip);
   if (!inserted) {
     return AlreadyExistsError("SIP already registered: " + sip.ToString());
@@ -14,6 +18,10 @@ Status SipLoadBalancer::AddSip(IpAddress sip) {
 }
 
 Status SipLoadBalancer::RemoveSip(IpAddress sip) {
+  if (in_restart_) {
+    pending_ops_.push_back(PendingOp{PendingOp::Kind::kRemoveSip, {}, sip});
+    return Status::Ok();
+  }
   if (bindings_.erase(sip) == 0) {
     return NotFoundError("no such SIP: " + sip.ToString());
   }
@@ -21,6 +29,11 @@ Status SipLoadBalancer::RemoveSip(IpAddress sip) {
 }
 
 Status SipLoadBalancer::Bind(IpAddress eip, IpAddress sip, double weight) {
+  if (in_restart_) {
+    pending_ops_.push_back(
+        PendingOp{PendingOp::Kind::kBind, eip, sip, weight});
+    return Status::Ok();
+  }
   auto it = bindings_.find(sip);
   if (it == bindings_.end()) {
     return NotFoundError("no such SIP: " + sip.ToString());
@@ -39,6 +52,10 @@ Status SipLoadBalancer::Bind(IpAddress eip, IpAddress sip, double weight) {
 }
 
 Status SipLoadBalancer::Unbind(IpAddress eip, IpAddress sip) {
+  if (in_restart_) {
+    pending_ops_.push_back(PendingOp{PendingOp::Kind::kUnbind, eip, sip});
+    return Status::Ok();
+  }
   auto it = bindings_.find(sip);
   if (it == bindings_.end()) {
     return NotFoundError("no such SIP: " + sip.ToString());
@@ -54,6 +71,11 @@ Status SipLoadBalancer::Unbind(IpAddress eip, IpAddress sip) {
 }
 
 void SipLoadBalancer::UnbindEverywhere(IpAddress eip) {
+  if (in_restart_) {
+    pending_ops_.push_back(
+        PendingOp{PendingOp::Kind::kUnbindEverywhere, eip, {}});
+    return;
+  }
   for (auto& [sip, vec] : bindings_) {
     vec.erase(std::remove_if(vec.begin(), vec.end(),
                              [eip](const Binding& b) { return b.eip == eip; }),
@@ -62,6 +84,14 @@ void SipLoadBalancer::UnbindEverywhere(IpAddress eip) {
 }
 
 void SipLoadBalancer::SetHealth(IpAddress eip, bool healthy) {
+  if (in_restart_) {
+    // The health prober writes into the (dead) control plane; the live
+    // table keeps its stale verdicts until reconcile — the stale-backend
+    // window the restart tests measure.
+    pending_ops_.push_back(
+        PendingOp{PendingOp::Kind::kSetHealth, eip, {}, 1.0, healthy});
+    return;
+  }
   for (auto& [sip, vec] : bindings_) {
     for (Binding& b : vec) {
       if (b.eip == eip) {
@@ -112,6 +142,118 @@ Result<std::vector<SipLoadBalancer::Binding>> SipLoadBalancer::Bindings(
     return NotFoundError("no such SIP: " + sip.ToString());
   }
   return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Warm restart.
+// ---------------------------------------------------------------------------
+
+SipLbSnapshot SipLoadBalancer::Checkpoint() const {
+  SipLbSnapshot snap;
+  snap.pick_seq = pick_seq_;
+  snap.sips.reserve(bindings_.size());
+  for (const auto& [sip, vec] : bindings_) {
+    snap.sips.push_back(SipLbSnapshot::Sip{sip, vec});
+  }
+  std::sort(snap.sips.begin(), snap.sips.end(),
+            [](const auto& a, const auto& b) { return a.sip < b.sip; });
+  return snap;
+}
+
+void SipLoadBalancer::RestoreFromSnapshot(const SipLbSnapshot& snap) {
+  bindings_.clear();
+  for (const SipLbSnapshot::Sip& sip : snap.sips) {
+    bindings_[sip.sip] = sip.bindings;
+  }
+  pick_seq_ = snap.pick_seq;
+}
+
+void SipLoadBalancer::BeginRestart() {
+  if (in_restart_) {
+    return;  // overlapping restarts extend the same outage
+  }
+  // Unlike the filter bank, the binding table IS the programmed data plane,
+  // so nothing is wiped — it freezes (no mutation lands until reconcile).
+  in_restart_ = true;
+}
+
+ReconcileStats SipLoadBalancer::CompleteRestart(RestartMode mode,
+                                                const SipLbSnapshot& snap) {
+  ReconcileStats stats;
+  in_restart_ = false;
+  std::vector<PendingOp> ops;
+  ops.swap(pending_ops_);
+  stats.replayed_mutations = ops.size();
+
+  // Rebuild the intended state out of line: snapshot + buffered mutations
+  // replayed through the normal paths (invalid ops — e.g. a bind to a SIP
+  // removed during the same outage — drop here, where they would have
+  // failed synchronously).
+  SipLoadBalancer intended;
+  intended.RestoreFromSnapshot(snap);
+  for (const PendingOp& op : ops) {
+    Status status = Status::Ok();
+    switch (op.kind) {
+      case PendingOp::Kind::kAddSip:
+        status = intended.AddSip(op.sip);
+        break;
+      case PendingOp::Kind::kRemoveSip:
+        status = intended.RemoveSip(op.sip);
+        break;
+      case PendingOp::Kind::kBind:
+        status = intended.Bind(op.eip, op.sip, op.weight);
+        break;
+      case PendingOp::Kind::kUnbind:
+        status = intended.Unbind(op.eip, op.sip);
+        break;
+      case PendingOp::Kind::kUnbindEverywhere:
+        intended.UnbindEverywhere(op.eip);
+        break;
+      case PendingOp::Kind::kSetHealth:
+        intended.SetHealth(op.eip, op.healthy);
+        break;
+    }
+    if (!status.ok()) {
+      ++stats.dropped_mutations;
+    }
+  }
+
+  if (mode == RestartMode::kCold) {
+    // Rewrite the whole table (pick counter survives: it is data-plane
+    // state, and replaying the resolution sequence would double-send).
+    stats.deltas_applied = 0;
+    for (const auto& [sip, vec] : intended.bindings_) {
+      stats.deltas_applied += std::max<size_t>(1, vec.size());
+    }
+    bindings_ = std::move(intended.bindings_);
+    return stats;
+  }
+
+  // Warm: rewrite only the SIPs whose intended bindings differ from the
+  // live (frozen) table, and drop the ones that no longer exist.
+  std::vector<IpAddress> doomed;
+  for (const auto& [sip, vec] : bindings_) {
+    ++stats.checked;
+    if (intended.bindings_.find(sip) == intended.bindings_.end()) {
+      doomed.push_back(sip);
+    }
+  }
+  for (IpAddress sip : doomed) {
+    bindings_.erase(sip);
+    ++stats.deltas_applied;
+  }
+  for (auto& [sip, vec] : intended.bindings_) {
+    ++stats.checked;
+    auto it = bindings_.find(sip);
+    if (it == bindings_.end()) {
+      bindings_[sip] = std::move(vec);
+      ++stats.deltas_applied;
+    } else if (it->second != vec) {
+      it->second = std::move(vec);
+      ++stats.deltas_applied;
+    }
+  }
+  return stats;
 }
 
 }  // namespace tenantnet

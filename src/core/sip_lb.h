@@ -13,10 +13,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/reconcile.h"
 #include "src/common/status.h"
 #include "src/net/ip.h"
 
 namespace tenantnet {
+
+// Durable image of the LB control plane: every SIP with its bindings (in
+// binding order — Resolve's weighted spread walks the vector) plus the pick
+// counter, so a restored balancer resolves the same sequence.
+struct SipLbSnapshot;
 
 class SipLoadBalancer {
  public:
@@ -24,6 +30,8 @@ class SipLoadBalancer {
     IpAddress eip;
     double weight = 1.0;
     bool healthy = true;  // maintained by the provider, not the tenant
+
+    friend bool operator==(const Binding& a, const Binding& b) = default;
   };
 
   // Registers a SIP (called by the control plane on request_sip).
@@ -51,9 +59,62 @@ class SipLoadBalancer {
   size_t sip_count() const { return bindings_.size(); }
   uint64_t resolutions() const { return pick_seq_; }
 
+  // --- Warm restart (see src/common/reconcile.h for the protocol) -----------
+
+  SipLbSnapshot Checkpoint() const;
+  // Reinstates exactly what Checkpoint() captured (bindings + pick counter).
+  void RestoreFromSnapshot(const SipLbSnapshot& snap);
+
+  // The control plane dies: Bind/Unbind/SetHealth/Add/RemoveSip buffer
+  // (accepted asynchronously, validated at replay) until CompleteRestart().
+  // The binding table doubles as the programmed data plane, so Resolve()
+  // keeps serving the frozen state — including stale health for backends
+  // that died during the outage. Idempotent.
+  void BeginRestart();
+  bool in_restart() const { return in_restart_; }
+
+  // Builds the intended state (snapshot + buffered mutations replayed), then
+  //   kWarm: diffs it against the live table per SIP, rewriting only the
+  //     SIPs whose bindings actually changed;
+  //   kCold: rewrites the whole table.
+  // The pick counter is data-plane state and survives either way (restart
+  // must not replay the resolution sequence).
+  ReconcileStats CompleteRestart(RestartMode mode, const SipLbSnapshot& snap);
+
  private:
+  struct PendingOp {
+    enum class Kind : uint8_t {
+      kAddSip,
+      kRemoveSip,
+      kBind,
+      kUnbind,
+      kUnbindEverywhere,
+      kSetHealth,
+    };
+    Kind kind = Kind::kBind;
+    IpAddress eip;
+    IpAddress sip;
+    double weight = 1.0;
+    bool healthy = true;
+  };
+
   std::unordered_map<IpAddress, std::vector<Binding>> bindings_;
   uint64_t pick_seq_ = 0;
+  bool in_restart_ = false;
+  std::vector<PendingOp> pending_ops_;
+};
+
+struct SipLbSnapshot {
+  struct Sip {
+    IpAddress sip;
+    std::vector<SipLoadBalancer::Binding> bindings;  // binding order preserved
+    friend bool operator==(const Sip& a, const Sip& b) = default;
+  };
+  std::vector<Sip> sips;  // sorted by sip
+  uint64_t pick_seq = 0;
+
+  friend bool operator==(const SipLbSnapshot& a,
+                         const SipLbSnapshot& b) = default;
 };
 
 }  // namespace tenantnet

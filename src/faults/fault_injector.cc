@@ -17,6 +17,8 @@ std::string_view FaultKindName(FaultKind kind) {
       return "gateway-restart";
     case FaultKind::kControlPlaneDegrade:
       return "control-plane-degrade";
+    case FaultKind::kControlPlaneRestart:
+      return "control-plane-restart";
   }
   return "?";
 }
@@ -36,6 +38,9 @@ FaultSchedule FaultSchedule::Storm(uint64_t seed, const StormParams& params) {
   }
   if (params.include_control_plane) {
     kinds.push_back(FaultKind::kControlPlaneDegrade);
+  }
+  if (!params.restart_components.empty()) {
+    kinds.push_back(FaultKind::kControlPlaneRestart);
   }
   FaultSchedule schedule;
   if (kinds.empty()) {
@@ -64,6 +69,10 @@ FaultSchedule FaultSchedule::Storm(uint64_t seed, const StormParams& params) {
         break;
       case FaultKind::kControlPlaneDegrade:
         break;
+      case FaultKind::kControlPlaneRestart:
+        spec.component = params.restart_components[rng.NextU64(
+            params.restart_components.size())];
+        break;
     }
     schedule.events.push_back(spec);
   }
@@ -82,7 +91,7 @@ FaultInjector::FaultInjector(EventQueue& queue, Topology& topology,
       hooks_(std::move(hooks)), probe_interval_(probe_interval) {
   injected_counter_ = &metrics.GetCounter("faults.injected");
   unconverged_counter_ = &metrics.GetCounter("faults.unconverged");
-  for (uint8_t k = 0; k < 4; ++k) {
+  for (uint8_t k = 0; k < 5; ++k) {
     reconverge_ms_[k] = &metrics.GetHistogram(
         "faults.reconverge_ms." +
         std::string(FaultKindName(static_cast<FaultKind>(k))));
@@ -145,6 +154,13 @@ void FaultInjector::Inject(const FaultSpec& spec) {
         hooks_.set_control_degraded(true);
       }
       break;
+    case FaultKind::kControlPlaneRestart:
+      // Ref-counted per component: only the first outstanding restart kills
+      // it (a second one before reconcile extends the same outage).
+      if (++restart_refs_[spec.component] == 1 && hooks_.on_restart_begin) {
+        hooks_.on_restart_begin(spec);
+      }
+      break;
   }
   RunHookTimed(hooks_.on_inject, spec);
   queue_.ScheduleAfter(spec.duration, [this, spec] { Recover(spec); });
@@ -168,6 +184,13 @@ void FaultInjector::Recover(const FaultSpec& spec) {
     case FaultKind::kControlPlaneDegrade:
       if (--degrade_refs_ == 0 && hooks_.set_control_degraded) {
         hooks_.set_control_degraded(false);
+      }
+      break;
+    case FaultKind::kControlPlaneRestart:
+      // Reconcile only when the last overlapping restart of this component
+      // drains; its wall-clock cost is the repair cost of this kind.
+      if (--restart_refs_[spec.component] == 0) {
+        RunHookTimed(hooks_.on_restart_complete, spec);
       }
       break;
   }

@@ -41,10 +41,11 @@
 namespace tenantnet {
 
 enum class FaultKind : uint8_t {
-  kLinkDown,            // one link loses capacity and leaves path selection
-  kInstanceCrash,       // an instance stops running (and later restarts)
-  kGatewayRestart,      // a node restarts: every incident link goes down
-  kControlPlaneDegrade, // filter replication drops/delays messages
+  kLinkDown,             // one link loses capacity and leaves path selection
+  kInstanceCrash,        // an instance stops running (and later restarts)
+  kGatewayRestart,       // a node restarts: every incident link goes down
+  kControlPlaneDegrade,  // filter replication drops/delays messages
+  kControlPlaneRestart,  // a control-plane component dies and reconciles
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -57,6 +58,9 @@ struct FaultSpec {
   LinkId link;           // kLinkDown
   InstanceId instance;   // kInstanceCrash
   NodeId node;           // kGatewayRestart
+  // kControlPlaneRestart: which component dies (an opaque id the restart
+  // coordinator registered — filter bank, LB, routing plane, ...).
+  uint32_t component = 0;
 };
 
 // Knobs for the seeded storm generator. Kinds with no candidate targets
@@ -70,6 +74,8 @@ struct StormParams {
   std::vector<InstanceId> instances;
   std::vector<NodeId> gateways;
   bool include_control_plane = true;
+  // Component ids eligible for kControlPlaneRestart (empty = never drawn).
+  std::vector<uint32_t> restart_components;
 };
 
 struct FaultSchedule {
@@ -93,6 +99,14 @@ struct FaultHooks {
   std::function<bool(const FaultSpec&)> recovered;
   // Toggled at the first/last overlapping kControlPlaneDegrade fault.
   std::function<void(bool degraded)> set_control_degraded;
+  // Edge-triggered per component (ref-counted like overlapping link faults):
+  // on_restart_begin fires when a component's first outstanding restart
+  // lands (kill + checkpoint-if-needed); on_restart_complete when its last
+  // one recovers (replay + reconcile — its wall-clock cost is recorded as
+  // the kind's control_repair_ms). A second restart of the same component
+  // before the first completes extends the same outage; neither hook refires.
+  std::function<void(const FaultSpec&)> on_restart_begin;
+  std::function<void(const FaultSpec&)> on_restart_complete;
 };
 
 class FaultInjector {
@@ -168,6 +182,7 @@ class FaultInjector {
   std::vector<int> link_refs_;                       // dense link index
   std::unordered_map<InstanceId, int> instance_refs_;
   int degrade_refs_ = 0;
+  std::unordered_map<uint32_t, int> restart_refs_;   // per component
 
   uint64_t faults_injected_ = 0;
   uint64_t faults_reconverged_ = 0;
@@ -178,8 +193,8 @@ class FaultInjector {
 
   Counter* injected_counter_;
   Counter* unconverged_counter_;
-  Histogram* reconverge_ms_[4];
-  Histogram* control_repair_ms_[4];
+  Histogram* reconverge_ms_[5];
+  Histogram* control_repair_ms_[5];
   Histogram* permit_staleness_ms_;
 };
 

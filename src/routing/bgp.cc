@@ -15,6 +15,16 @@ SpeakerId BgpMesh::AddSpeaker(uint32_t asn, std::string name) {
 
 Status BgpMesh::AddSession(SpeakerId a, SpeakerId b, SessionPolicy a_to_b,
                            SessionPolicy b_to_a) {
+  if (in_restart_) {
+    PendingOp op;
+    op.kind = PendingOp::Kind::kAddSession;
+    op.a = a;
+    op.b = b;
+    op.policy_ab = std::move(a_to_b);
+    op.policy_ba = std::move(b_to_a);
+    pending_ops_.push_back(std::move(op));
+    return Status::Ok();  // accepted asynchronously; validated at replay
+  }
   if (!Valid(a) || !Valid(b)) {
     return InvalidArgumentError("unknown speaker");
   }
@@ -40,6 +50,14 @@ Status BgpMesh::AddSession(SpeakerId a, SpeakerId b, SessionPolicy a_to_b,
 }
 
 Status BgpMesh::RemoveSession(SpeakerId a, SpeakerId b) {
+  if (in_restart_) {
+    PendingOp op;
+    op.kind = PendingOp::Kind::kRemoveSession;
+    op.a = a;
+    op.b = b;
+    pending_ops_.push_back(std::move(op));
+    return Status::Ok();
+  }
   if (!Valid(a) || !Valid(b)) {
     return InvalidArgumentError("unknown speaker");
   }
@@ -68,6 +86,15 @@ Status BgpMesh::RemoveSession(SpeakerId a, SpeakerId b) {
 
 Status BgpMesh::SetSessionPolicy(SpeakerId speaker, SpeakerId peer,
                                  SessionPolicy policy) {
+  if (in_restart_) {
+    PendingOp op;
+    op.kind = PendingOp::Kind::kSetSessionPolicy;
+    op.a = speaker;
+    op.b = peer;
+    op.policy_ab = std::move(policy);
+    pending_ops_.push_back(std::move(op));
+    return Status::Ok();
+  }
   if (!Valid(speaker) || !Valid(peer)) {
     return InvalidArgumentError("unknown speaker");
   }
@@ -87,6 +114,14 @@ Status BgpMesh::SetSessionPolicy(SpeakerId speaker, SpeakerId peer,
 }
 
 Status BgpMesh::Originate(SpeakerId speaker, const IpPrefix& prefix) {
+  if (in_restart_) {
+    PendingOp op;
+    op.kind = PendingOp::Kind::kOriginate;
+    op.a = speaker;
+    op.prefix = prefix;
+    pending_ops_.push_back(std::move(op));
+    return Status::Ok();
+  }
   if (!Valid(speaker)) {
     return InvalidArgumentError("unknown speaker");
   }
@@ -100,6 +135,14 @@ Status BgpMesh::Originate(SpeakerId speaker, const IpPrefix& prefix) {
 }
 
 Status BgpMesh::WithdrawOrigin(SpeakerId speaker, const IpPrefix& prefix) {
+  if (in_restart_) {
+    PendingOp op;
+    op.kind = PendingOp::Kind::kWithdrawOrigin;
+    op.a = speaker;
+    op.prefix = prefix;
+    pending_ops_.push_back(std::move(op));
+    return Status::Ok();
+  }
   if (!Valid(speaker)) {
     return InvalidArgumentError("unknown speaker");
   }
@@ -247,6 +290,9 @@ void BgpMesh::FlushLearnedFrom(SpeakerId at, SpeakerId peer) {
 
 BgpMesh::ConvergenceStats BgpMesh::Converge(uint64_t max_rounds) {
   ConvergenceStats stats;
+  if (in_restart_) {
+    return stats;  // dead control plane: dirty work waits for the replay
+  }
   bool changed_any = false;
 
   struct Outgoing {
@@ -336,6 +382,9 @@ BgpMesh::ConvergenceStats BgpMesh::Converge(uint64_t max_rounds) {
 }
 
 BgpMesh::ConvergenceStats BgpMesh::ConvergeFull(uint64_t max_rounds) {
+  if (in_restart_) {
+    return ConvergenceStats{};  // must not wipe surviving forwarding state
+  }
   // Record pre-delta state for everything we are about to clear, so the
   // delta accumulator still reports net changes across the rebuild.
   for (size_t i = 0; i < speakers_.size(); ++i) {
@@ -442,6 +491,164 @@ bool BgpMesh::HasPendingDeltas() const {
     }
   }
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// Warm restart.
+// ---------------------------------------------------------------------------
+
+BgpMeshSnapshot BgpMesh::Checkpoint() const {
+  BgpMeshSnapshot snap;
+  snap.speakers.resize(speakers_.size());
+  for (size_t i = 0; i < speakers_.size(); ++i) {
+    const Speaker& s = speakers_[i];
+    BgpMeshSnapshot::SpeakerRibs& out = snap.speakers[i];
+    out.adj_rib_in.reserve(s.adj_rib_in.size());
+    for (const auto& [prefix, per_peer] : s.adj_rib_in) {
+      std::vector<std::pair<uint64_t, BgpRoute>> peers(per_peer.begin(),
+                                                       per_peer.end());
+      std::sort(peers.begin(), peers.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      out.adj_rib_in.emplace_back(prefix, std::move(peers));
+    }
+    std::sort(out.adj_rib_in.begin(), out.adj_rib_in.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out.loc_rib.assign(s.loc_rib.begin(), s.loc_rib.end());
+  }
+  return snap;
+}
+
+void BgpMesh::RestoreFromSnapshot(const BgpMeshSnapshot& snap) {
+  size_t n = std::min(snap.speakers.size(), speakers_.size());
+  for (size_t i = 0; i < n; ++i) {
+    Speaker& s = speakers_[i];
+    const BgpMeshSnapshot::SpeakerRibs& in = snap.speakers[i];
+    s.adj_rib_in.clear();
+    for (const auto& [prefix, peers] : in.adj_rib_in) {
+      auto& per_peer = s.adj_rib_in[prefix];
+      for (const auto& [peer, route] : peers) {
+        per_peer.emplace(peer, route);
+      }
+    }
+    s.loc_rib.clear();
+    s.loc_rib.insert(in.loc_rib.begin(), in.loc_rib.end());
+    // The restored image is the new delta baseline: stale dirtiness and
+    // half-accumulated deltas refer to a world that no longer exists.
+    pending_work_ -= dirty_[i].size();
+    dirty_[i].clear();
+    pre_delta_[i].clear();
+  }
+  ++mutations_;  // downstream caches must conservatively drop
+}
+
+void BgpMesh::BeginRestart() {
+  if (in_restart_) {
+    return;  // overlapping restarts extend the same outage
+  }
+  // Graceful restart: RIBs survive (they are what the data plane forwards
+  // with); only the convergence machinery stops.
+  in_restart_ = true;
+}
+
+uint64_t BgpMesh::ReconcileFromSnapshot(const BgpMeshSnapshot& snap) {
+  uint64_t divergent = 0;
+  for (size_t i = 0; i < speakers_.size(); ++i) {
+    Speaker& s = speakers_[i];
+    const BgpMeshSnapshot::SpeakerRibs* in =
+        i < snap.speakers.size() ? &snap.speakers[i] : nullptr;
+    std::set<IpPrefix> suspect;
+
+    // Adj-RIB-In: any prefix whose retained per-peer advertisements differ
+    // from the checkpoint gets re-selected. Live entries stay authoritative
+    // (peers do not re-advertise unchanged prefixes, so adopting snapshot
+    // entries the peer has since replaced would never self-correct).
+    std::unordered_set<IpPrefix> snap_adj_seen;
+    if (in != nullptr) {
+      for (const auto& [prefix, peers] : in->adj_rib_in) {
+        snap_adj_seen.insert(prefix);
+        auto it = s.adj_rib_in.find(prefix);
+        if (it == s.adj_rib_in.end()) {
+          suspect.insert(prefix);
+          continue;
+        }
+        if (it->second.size() != peers.size()) {
+          suspect.insert(prefix);
+          continue;
+        }
+        for (const auto& [peer, route] : peers) {
+          auto pit = it->second.find(peer);
+          if (pit == it->second.end() || !(pit->second == route)) {
+            suspect.insert(prefix);
+            break;
+          }
+        }
+      }
+    }
+    for (const auto& [prefix, per_peer] : s.adj_rib_in) {
+      if (snap_adj_seen.count(prefix) == 0) {
+        suspect.insert(prefix);
+      }
+    }
+
+    // Loc-RIB: divergent best routes are re-selected too (covers entries
+    // whose adjacency matches but whose selection was interrupted).
+    std::unordered_set<IpPrefix> snap_loc_seen;
+    if (in != nullptr) {
+      for (const auto& [prefix, route] : in->loc_rib) {
+        snap_loc_seen.insert(prefix);
+        auto it = s.loc_rib.find(prefix);
+        if (it == s.loc_rib.end() || !(it->second == route)) {
+          suspect.insert(prefix);
+        }
+      }
+    }
+    for (const auto& [prefix, route] : s.loc_rib) {
+      if (snap_loc_seen.count(prefix) == 0) {
+        suspect.insert(prefix);
+      }
+    }
+
+    divergent += suspect.size();
+    for (const IpPrefix& prefix : suspect) {
+      MarkDirty(i, prefix);
+    }
+  }
+  return divergent;
+}
+
+std::pair<uint64_t, uint64_t> BgpMesh::EndRestartAndReplay() {
+  if (!in_restart_) {
+    return {0, 0};
+  }
+  in_restart_ = false;
+  std::vector<PendingOp> ops;
+  ops.swap(pending_ops_);
+  uint64_t dropped = 0;
+  for (PendingOp& op : ops) {
+    Status status = Status::Ok();
+    switch (op.kind) {
+      case PendingOp::Kind::kOriginate:
+        status = Originate(op.a, op.prefix);
+        break;
+      case PendingOp::Kind::kWithdrawOrigin:
+        status = WithdrawOrigin(op.a, op.prefix);
+        break;
+      case PendingOp::Kind::kAddSession:
+        status = AddSession(op.a, op.b, std::move(op.policy_ab),
+                            std::move(op.policy_ba));
+        break;
+      case PendingOp::Kind::kRemoveSession:
+        status = RemoveSession(op.a, op.b);
+        break;
+      case PendingOp::Kind::kSetSessionPolicy:
+        status = SetSessionPolicy(op.a, op.b, std::move(op.policy_ab));
+        break;
+    }
+    if (!status.ok()) {
+      ++dropped;  // became invalid during the outage
+    }
+  }
+  return {ops.size(), dropped};
 }
 
 }  // namespace tenantnet

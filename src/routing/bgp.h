@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "src/common/ids.h"
+#include "src/common/reconcile.h"
 #include "src/common/status.h"
 #include "src/net/ip.h"
 
@@ -90,6 +91,28 @@ enum class RibDeltaKind : uint8_t {
 struct RibDelta {
   IpPrefix prefix;
   RibDeltaKind kind = RibDeltaKind::kInstalled;
+};
+
+// Durable image of the mesh's *routing* state: Adj-RIB-In and Loc-RIB per
+// speaker. Config (speakers, sessions, policies, origins) is durable tenant
+// intent — it survives a control-plane restart by construction and is not
+// captured. SessionPolicy holds std::function filters, so snapshots are
+// structured in-memory values compared with operator==, never raw bytes.
+struct BgpMeshSnapshot {
+  struct SpeakerRibs {
+    // Per prefix (sorted), the retained advertisement of each peer (sorted
+    // by peer speaker value).
+    std::vector<std::pair<IpPrefix, std::vector<std::pair<uint64_t, BgpRoute>>>>
+        adj_rib_in;
+    std::vector<std::pair<IpPrefix, BgpRoute>> loc_rib;  // sorted by prefix
+
+    friend bool operator==(const SpeakerRibs& a,
+                           const SpeakerRibs& b) = default;
+  };
+  std::vector<SpeakerRibs> speakers;
+
+  friend bool operator==(const BgpMeshSnapshot& a,
+                         const BgpMeshSnapshot& b) = default;
 };
 
 class BgpMesh {
@@ -179,6 +202,38 @@ class BgpMesh {
   // re-propagation.
   uint64_t mutation_count() const { return mutations_; }
 
+  // --- Warm restart (see src/common/reconcile.h for the protocol) -----------
+
+  // Captures Adj-RIB-In + Loc-RIB for every speaker.
+  BgpMeshSnapshot Checkpoint() const;
+
+  // Wholesale restore of what Checkpoint() captured: RIBs are replaced, the
+  // dirty queue and delta accumulator of restored speakers are cleared (the
+  // restored image is the new delta baseline), and the mutation counter is
+  // bumped (downstream caches must conservatively drop). The disaster path —
+  // warm reconciliation goes through ReconcileFromSnapshot instead.
+  void RestoreFromSnapshot(const BgpMeshSnapshot& snap);
+
+  // The control plane dies. Graceful-restart semantics: the RIBs are
+  // forwarding state and survive (peers keep forwarding), but no convergence
+  // runs and config mutations (originate/withdraw, session add/remove,
+  // policy changes) buffer until EndRestartAndReplay(). Idempotent.
+  void BeginRestart();
+  bool in_restart() const { return in_restart_; }
+
+  // Verification pass of the warm path: compares retained RIBs against the
+  // checkpoint and marks every divergent (speaker, prefix) dirty so the next
+  // Converge() re-selects it from live Adj-RIB-In + config (the live state
+  // is authoritative — the snapshot only says where to look). Returns the
+  // divergent entry count; zero when the checkpoint was taken at the kill.
+  uint64_t ReconcileFromSnapshot(const BgpMeshSnapshot& snap);
+
+  // Exits buffering and replays the buffered config mutations through the
+  // normal incremental paths. Returns {replayed, dropped} — an op can drop
+  // when it became invalid during the outage (e.g. originating a prefix a
+  // later buffered op already originated).
+  std::pair<uint64_t, uint64_t> EndRestartAndReplay();
+
  private:
   struct Session {
     SpeakerId peer;
@@ -241,9 +296,28 @@ class BgpMesh {
   // Drops every Adj-RIB-In entry `at` learned from `peer`.
   void FlushLearnedFrom(SpeakerId at, SpeakerId peer);
 
+  // A config mutation buffered while the control plane is restarting.
+  struct PendingOp {
+    enum class Kind : uint8_t {
+      kOriginate,
+      kWithdrawOrigin,
+      kAddSession,
+      kRemoveSession,
+      kSetSessionPolicy,
+    };
+    Kind kind = Kind::kOriginate;
+    SpeakerId a;
+    SpeakerId b;  // peer for session ops
+    IpPrefix prefix;
+    SessionPolicy policy_ab;
+    SessionPolicy policy_ba;
+  };
+
   std::vector<Speaker> speakers_;
   size_t session_count_ = 0;
   uint64_t mutations_ = 0;
+  bool in_restart_ = false;
+  std::vector<PendingOp> pending_ops_;
 
   // Dirty work queue: per speaker, the prefixes whose best path must be
   // re-selected. Ordered sets keep round processing deterministic.

@@ -867,6 +867,9 @@ void BaselineNetwork::ApplyRibDeltas(
 }
 
 BgpMesh::ConvergenceStats BaselineNetwork::PropagateRoutes() {
+  if (bgp_.in_restart()) {
+    return {};  // dead control plane: FIBs keep forwarding their frozen state
+  }
   BgpMesh::ConvergenceStats stats = bgp_.Converge();
   // Apply only the prefixes whose best route actually changed. TGWs whose
   // speaker saw no delta keep their FIB (and revision) untouched, so a
@@ -876,6 +879,9 @@ BgpMesh::ConvergenceStats BaselineNetwork::PropagateRoutes() {
 }
 
 BgpMesh::ConvergenceStats BaselineNetwork::PropagateRoutesFull() {
+  if (bgp_.in_restart()) {
+    return {};  // must not flush FIBs while the control plane is down
+  }
   // From-scratch reference: rebuild every RIB, drop every propagated FIB
   // entry, and re-derive each TGW table from its speaker's full Loc-RIB.
   // This is what PropagateRoutes() used to cost on every call; the
@@ -897,6 +903,103 @@ BgpMesh::ConvergenceStats BaselineNetwork::PropagateRoutesFull() {
       }
     }
   }
+  return stats;
+}
+
+RoutingSnapshot BaselineNetwork::CheckpointRouting() const {
+  RoutingSnapshot snap;
+  snap.mesh = bgp_.Checkpoint();
+  snap.fibs.reserve(tgws_.size());
+  for (const auto& [id, tgw] : tgws_) {
+    snap.fibs.emplace_back(id, tgw->Routes());
+  }
+  std::sort(snap.fibs.begin(), snap.fibs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return snap;
+}
+
+void BaselineNetwork::RestoreRoutingFromSnapshot(const RoutingSnapshot& snap) {
+  bgp_.RestoreFromSnapshot(snap.mesh);
+  for (const auto& [id, fib] : snap.fibs) {
+    auto it = tgws_.find(id);
+    if (it != tgws_.end()) {
+      it->second->RestoreRoutes(fib);  // bumps the revision iff changed
+    }
+  }
+}
+
+void BaselineNetwork::BeginRoutingRestart() { bgp_.BeginRestart(); }
+
+uint64_t BaselineNetwork::ReconcileTgwFibs(uint64_t* checked) {
+  uint64_t applied = 0;
+  for (auto& [tgw_id, tgw] : tgws_) {
+    std::unordered_map<uint64_t, size_t> by_speaker = SpeakerAttachments(*tgw);
+    const std::map<IpPrefix, BgpRoute>* rib = bgp_.LocRib(tgw->speaker());
+    // Derived intent: the propagated entries a full rebuild would install.
+    std::unordered_map<IpPrefix, size_t> intended;
+    if (rib != nullptr) {
+      for (const auto& [prefix, best] : *rib) {
+        if (best.OriginatedLocally()) {
+          continue;
+        }
+        auto it = by_speaker.find(best.learned_from.value());
+        if (it != by_speaker.end()) {
+          intended.emplace(prefix, it->second);
+        }
+      }
+    }
+    // Withdraw propagated entries the intent no longer contains.
+    for (const auto& [prefix, route] : tgw->Routes()) {
+      if (checked != nullptr) {
+        ++*checked;
+      }
+      if (route.origin == TgwRouteOrigin::kPropagated &&
+          intended.count(prefix) == 0) {
+        applied += tgw->WithdrawPropagatedRoute(prefix) ? 1 : 0;
+      }
+    }
+    // Install/refresh intended entries. Change-only: a FIB entry that
+    // already matches bumps no revision, so verdict caches survive it.
+    for (const auto& [prefix, attachment] : intended) {
+      if (checked != nullptr) {
+        ++*checked;
+      }
+      applied += tgw->InstallPropagatedRoute(prefix, attachment) ? 1 : 0;
+    }
+  }
+  return applied;
+}
+
+ReconcileStats BaselineNetwork::CompleteRoutingRestart(
+    RestartMode mode, const RoutingSnapshot& snap) {
+  ReconcileStats stats;
+  if (mode == RestartMode::kCold) {
+    auto [replayed, dropped] = bgp_.EndRestartAndReplay();
+    stats.replayed_mutations = replayed;
+    stats.dropped_mutations = dropped;
+    PropagateRoutesFull();
+    // Wholesale work: every RIB re-derived, every FIB rewritten.
+    stats.deltas_applied = bgp_.TotalRibEntries();
+    for (const auto& [id, tgw] : tgws_) {
+      stats.deltas_applied += tgw->route_count();
+    }
+    return stats;
+  }
+  // Warm: verify retained RIBs against the checkpoint (divergent prefixes
+  // queue for re-selection), replay the buffered mutations, converge
+  // incrementally, and fix only the FIB entries that differ.
+  (void)bgp_.ReconcileFromSnapshot(snap.mesh);
+  auto [replayed, dropped] = bgp_.EndRestartAndReplay();
+  stats.replayed_mutations = replayed;
+  stats.dropped_mutations = dropped;
+  stats.checked = bgp_.TotalRibEntries() + bgp_.TotalAdjRibInEntries();
+  bgp_.Converge();
+  std::vector<std::vector<RibDelta>> deltas = bgp_.TakeDeltas();
+  for (const std::vector<RibDelta>& d : deltas) {
+    stats.deltas_applied += d.size();
+  }
+  ApplyRibDeltas(deltas);
+  stats.deltas_applied += ReconcileTgwFibs(&stats.checked);
   return stats;
 }
 

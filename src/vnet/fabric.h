@@ -56,6 +56,18 @@ struct BaselineDelivery {
   EgressPolicy egress_policy = EgressPolicy::kHotPotato;
 };
 
+// Durable image of the fabric's routing plane: the BGP mesh RIBs plus every
+// TGW FIB (static and propagated entries alike, in Routes() form).
+struct RoutingSnapshot {
+  BgpMeshSnapshot mesh;
+  std::vector<std::pair<TransitGatewayId,
+                        std::vector<std::pair<IpPrefix, TgwRoute>>>>
+      fibs;  // sorted by TGW id
+
+  friend bool operator==(const RoutingSnapshot& a,
+                         const RoutingSnapshot& b) = default;
+};
+
 class BaselineNetwork {
  public:
   // `world` and `ledger` must outlive the network.
@@ -177,6 +189,33 @@ class BaselineNetwork {
   // path (asserted by the differential tests); orders of magnitude slower
   // under churn (measured in E4a).
   BgpMesh::ConvergenceStats PropagateRoutesFull();
+
+  // --- Warm restart of the routing plane (see src/common/reconcile.h) -------
+
+  // Captures the BGP RIBs and every TGW FIB.
+  RoutingSnapshot CheckpointRouting() const;
+
+  // Wholesale restore of what CheckpointRouting() captured (disaster path —
+  // warm reconciliation goes through CompleteRoutingRestart instead).
+  void RestoreRoutingFromSnapshot(const RoutingSnapshot& snap);
+
+  // Kills the routing control plane: BGP config mutations buffer,
+  // PropagateRoutes()/PropagateRoutesFull() become no-ops, and the RIBs and
+  // TGW FIBs keep forwarding their frozen state. Idempotent.
+  void BeginRoutingRestart();
+  bool routing_in_restart() const { return bgp_.in_restart(); }
+
+  //   kWarm: verify retained RIBs against the checkpoint (divergent prefixes
+  //     re-selected), replay buffered mutations, converge incrementally,
+  //     apply the resulting Loc-RIB deltas, then sweep every TGW FIB against
+  //     its speaker's Loc-RIB with change-only installs/withdraws. FIBs that
+  //     match are untouched — no revision bump, verdict caches survive.
+  //   kCold: replay buffered mutations, then PropagateRoutesFull() — every
+  //     RIB rebuilt, every propagated FIB entry dropped and reinstalled
+  //     (the revision storm the warm path exists to avoid).
+  // Both paths land on the same bytes (asserted by the restart oracle test).
+  ReconcileStats CompleteRoutingRestart(RestartMode mode,
+                                        const RoutingSnapshot& snap);
 
   // --- Data plane --------------------------------------------------------------
 
@@ -357,6 +396,10 @@ class BaselineNetwork {
       const TransitGateway& tgw) const;
   // Applies a per-speaker Loc-RIB delta set to the TGW FIBs.
   void ApplyRibDeltas(const std::vector<std::vector<RibDelta>>& deltas);
+  // Verification sweep of every TGW FIB against its speaker's Loc-RIB:
+  // installs/withdraws only entries that differ from the derived intent.
+  // Returns deltas applied; `checked` accumulates entries examined.
+  uint64_t ReconcileTgwFibs(uint64_t* checked);
 
   void Drop(EvalContext& ctx, std::string stage, std::string reason);
 

@@ -1,0 +1,648 @@
+// Tests for control-plane warm restart (src/common/reconcile.h protocol,
+// src/restart/ coordination).
+//
+// The invariants:
+//   * Checkpoint -> RestoreFromSnapshot -> Checkpoint is a fixed point for
+//     every component, from empty through post-storm states.
+//   * The data plane keeps serving the frozen state during an outage, and a
+//     warm completion never opens a default-off window; a cold completion
+//     does (measurably).
+//   * Warm and cold completions land on semantically identical state — for
+//     the filter bank modulo version numbers (StateFingerprint), for the
+//     routing plane byte-for-byte against a PropagateRoutesFull() rebuild.
+//   * Overlapping restarts of one component are idempotent: one kill, one
+//     reconcile, at the last recovery (FaultInjector ref-counting).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cloud/presets.h"
+#include "src/common/rng.h"
+#include "src/core/edge_filter.h"
+#include "src/core/sip_lb.h"
+#include "src/faults/fault_injector.h"
+#include "src/restart/warm_restart.h"
+#include "src/routing/bgp.h"
+#include "src/sim/flow_sim.h"
+#include "src/vnet/builder.h"
+#include "src/vnet/fabric.h"
+#include "tests/test_env.h"
+
+namespace tenantnet {
+namespace {
+
+IpAddress A(const char* s) { return *IpAddress::Parse(s); }
+IpPrefix P(const char* s) { return *IpPrefix::Parse(s); }
+
+FiveTuple Flow(const char* src, const char* dst, uint16_t dport,
+               Protocol proto = Protocol::kTcp) {
+  FiveTuple t;
+  t.src = A(src);
+  t.dst = A(dst);
+  t.src_port = 40000;
+  t.dst_port = dport;
+  t.proto = proto;
+  return t;
+}
+
+PermitEntry Permit(const char* source, PortRange ports = PortRange::Any(),
+                   Protocol proto = Protocol::kAny) {
+  PermitEntry e;
+  e.source = P(source);
+  e.dst_ports = ports;
+  e.proto = proto;
+  return e;
+}
+
+PermitEntry PermitGroup(EndpointGroupId group) {
+  PermitEntry e;
+  e.source_group = group;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Fixed point: Checkpoint -> Restore -> Checkpoint.
+// ---------------------------------------------------------------------------
+
+TEST(RestartFixedPointTest, EmptyFilterBank) {
+  EdgeFilterBank bank("p", nullptr, 1);
+  bank.AddEdge("e0");
+  FilterBankSnapshot snap = bank.Checkpoint();
+  bank.RestoreFromSnapshot(snap);
+  EXPECT_TRUE(bank.Checkpoint() == snap);
+}
+
+TEST(RestartFixedPointTest, PopulatedFilterBank) {
+  EdgeFilterBank bank("p", nullptr, 7);
+  bank.AddEdge("e0");
+  bank.AddEdge("e1");
+  EndpointGroupId web(1);
+  bank.SetGroup(web, {A("10.1.0.1"), A("10.1.0.2")});
+  bank.SetPermitList(A("5.0.0.1"), {Permit("10.0.0.0/8"), PermitGroup(web)});
+  bank.SetPermitList(A("5.0.0.2"), {Permit("192.168.0.0/16",
+                                           PortRange{443, 443},
+                                           Protocol::kTcp)});
+  FilterBankSnapshot snap = bank.Checkpoint();
+  bank.RestoreFromSnapshot(snap);
+  EXPECT_TRUE(bank.Checkpoint() == snap);
+}
+
+TEST(RestartFixedPointTest, EmptyAndPopulatedSipLb) {
+  SipLoadBalancer lb;
+  SipLbSnapshot empty = lb.Checkpoint();
+  lb.RestoreFromSnapshot(empty);
+  EXPECT_TRUE(lb.Checkpoint() == empty);
+
+  ASSERT_TRUE(lb.AddSip(A("6.0.0.1")).ok());
+  ASSERT_TRUE(lb.Bind(A("10.0.0.1"), A("6.0.0.1"), 2.0).ok());
+  ASSERT_TRUE(lb.Bind(A("10.0.0.2"), A("6.0.0.1"), 1.0).ok());
+  lb.SetHealth(A("10.0.0.2"), false);
+  (void)lb.Resolve(A("6.0.0.1"));  // advance the pick counter
+  SipLbSnapshot snap = lb.Checkpoint();
+  lb.RestoreFromSnapshot(snap);
+  EXPECT_TRUE(lb.Checkpoint() == snap);
+  EXPECT_EQ(lb.resolutions(), snap.pick_seq);
+}
+
+TEST(RestartFixedPointTest, ConvergedBgpMesh) {
+  BgpMesh mesh;
+  SpeakerId a = mesh.AddSpeaker(100, "a");
+  SpeakerId b = mesh.AddSpeaker(200, "b");
+  SpeakerId c = mesh.AddSpeaker(300, "c");
+  ASSERT_TRUE(mesh.AddSession(a, b).ok());
+  ASSERT_TRUE(mesh.AddSession(b, c).ok());
+  ASSERT_TRUE(mesh.Originate(a, P("10.0.0.0/16")).ok());
+  ASSERT_TRUE(mesh.Originate(c, P("10.2.0.0/16")).ok());
+  mesh.Converge();
+
+  BgpMeshSnapshot snap = mesh.Checkpoint();
+  mesh.RestoreFromSnapshot(snap);
+  EXPECT_TRUE(mesh.Checkpoint() == snap);
+
+  // And an empty mesh is its own fixed point.
+  BgpMesh empty;
+  BgpMeshSnapshot none = empty.Checkpoint();
+  empty.RestoreFromSnapshot(none);
+  EXPECT_TRUE(empty.Checkpoint() == none);
+}
+
+TEST(RestartFixedPointTest, FabricRoutingSnapshot) {
+  Fig1World fig = BuildFig1World();
+  ConfigLedger ledger;
+  BaselineNetwork net(*fig.world, ledger);
+  (void)BuildFig1Baseline(net, fig);
+  (void)net.PropagateRoutes();
+
+  RoutingSnapshot snap = net.CheckpointRouting();
+  EXPECT_FALSE(snap.fibs.empty());
+  net.RestoreRoutingFromSnapshot(snap);
+  EXPECT_TRUE(net.CheckpointRouting() == snap);
+}
+
+// ---------------------------------------------------------------------------
+// Filter bank: outage behavior and completion modes.
+// ---------------------------------------------------------------------------
+
+TEST(FilterRestartTest, DataPlaneServesFrozenStateDuringOutage) {
+  EdgeFilterBank bank("p", nullptr, 3);
+  bank.AddEdge("e0");
+  IpAddress endpoint = A("5.0.0.1");
+  bank.SetPermitList(endpoint, {Permit("10.0.0.0/8")});
+  ASSERT_TRUE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
+
+  FilterBankSnapshot snap = bank.Checkpoint();
+  bank.BeginRestart();
+  EXPECT_TRUE(bank.in_restart());
+
+  // A mutation during the outage buffers: the edge keeps the old verdicts.
+  bank.SetPermitList(endpoint, {Permit("172.16.0.0/12")});
+  EXPECT_TRUE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
+  EXPECT_FALSE(bank.Admits(0, Flow("172.16.9.9", "5.0.0.1", 443)));
+
+  ReconcileStats stats = bank.CompleteRestart(RestartMode::kWarm, snap);
+  EXPECT_FALSE(bank.in_restart());
+  EXPECT_EQ(stats.replayed_mutations, 1u);
+  // The replayed list is now live; no moment admitted nothing.
+  EXPECT_FALSE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
+  EXPECT_TRUE(bank.Admits(0, Flow("172.16.9.9", "5.0.0.1", 443)));
+}
+
+TEST(FilterRestartTest, QuietWarmRestartAppliesNothingAndKeepsCaches) {
+  EdgeFilterBank bank("p", nullptr, 3);
+  bank.AddEdge("e0");
+  bank.AddEdge("e1");
+  EndpointGroupId web(1);
+  bank.SetGroup(web, {A("10.1.0.1")});
+  bank.SetPermitList(A("5.0.0.1"), {Permit("10.0.0.0/8"), PermitGroup(web)});
+
+  FilterBankSnapshot snap = bank.Checkpoint();
+  uint64_t epoch_before = bank.verdict_epoch();
+  bank.BeginRestart();
+  ReconcileStats stats = bank.CompleteRestart(RestartMode::kWarm, snap);
+  EXPECT_GT(stats.checked, 0u);
+  EXPECT_EQ(stats.deltas_applied, 0u);
+  // No edge was touched, so no verdict epoch moved: cached verdicts live on.
+  EXPECT_EQ(bank.verdict_epoch(), epoch_before);
+  EXPECT_TRUE(bank.Checkpoint() == snap);
+}
+
+TEST(FilterRestartTest, ColdRestartOpensDefaultOffWindow) {
+  EventQueue queue;
+  EdgeFilterBank bank("p", &queue, 3);
+  bank.AddEdge("e0");
+  IpAddress endpoint = A("5.0.0.1");
+  bank.SetPermitList(endpoint, {Permit("10.0.0.0/8")});
+  queue.RunAll();
+  ASSERT_TRUE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
+
+  FilterBankSnapshot snap = bank.Checkpoint();
+  uint64_t epoch_before = bank.verdict_epoch();
+
+  // Warm first: the flow stays admitted at every instant.
+  bank.BeginRestart();
+  (void)bank.CompleteRestart(RestartMode::kWarm, snap);
+  EXPECT_TRUE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
+  queue.RunAll();
+  EXPECT_TRUE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
+  EXPECT_EQ(bank.verdict_epoch(), epoch_before);
+
+  // Cold: edges are flushed synchronously, re-installs land after install
+  // latency — in between, default-off denies the previously admitted flow.
+  bank.BeginRestart();
+  ReconcileStats stats = bank.CompleteRestart(RestartMode::kCold, snap);
+  EXPECT_GT(stats.deltas_applied, 0u);
+  EXPECT_FALSE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
+  EXPECT_GT(bank.verdict_epoch(), epoch_before);
+  queue.RunAll();
+  EXPECT_TRUE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
+  EXPECT_GE(stats.converged_at, SimTime::Epoch());
+}
+
+TEST(FilterRestartTest, WarmReconcileRemovesOrphanedEdgeState) {
+  EdgeFilterBank bank("p", nullptr, 3);
+  bank.AddEdge("e0");
+  bank.SetPermitList(A("5.0.0.1"), {Permit("10.0.0.0/8")});
+  bank.SetPermitList(A("5.0.0.2"), {Permit("10.0.0.0/8")});
+  // Checkpoint holds only the first list: the second is "not in intent"
+  // (e.g. installed between checkpoint and crash, then lost with the
+  // control plane's memory).
+  FilterBankSnapshot snap = bank.Checkpoint();
+  bank.RemovePermitList(A("5.0.0.2"));
+  FilterBankSnapshot stale = bank.Checkpoint();
+  bank.SetPermitList(A("5.0.0.2"), {Permit("10.0.0.0/8")});
+  ASSERT_TRUE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.2", 443)));
+  (void)snap;
+
+  bank.BeginRestart();
+  ReconcileStats stats = bank.CompleteRestart(RestartMode::kWarm, stale);
+  EXPECT_GT(stats.deltas_applied, 0u);
+  // The orphaned edge list is swept; intent is authoritative.
+  EXPECT_FALSE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.2", 443)));
+  EXPECT_TRUE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
+}
+
+// Warm and cold completions of the same outage land on the same semantic
+// state (version numbers differ; StateFingerprint is version-free).
+// Randomized: identical twin banks, identical op stream, different modes.
+class FilterRestartEquivalenceTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FilterRestartEquivalenceTest, WarmAndColdAgreeOnSemantics) {
+  const uint64_t seed = GetParam();
+  SCOPED_TRACE("TN_SEED=" + std::to_string(seed));
+  const int ops = static_cast<int>(test_env::ItersOverride(60));
+
+  EdgeFilterBank warm("p", nullptr, 1234);
+  EdgeFilterBank cold("p", nullptr, 1234);
+  for (int e = 0; e < 3; ++e) {
+    warm.AddEdge("e" + std::to_string(e));
+    cold.AddEdge("e" + std::to_string(e));
+  }
+
+  Rng rng(seed);
+  auto random_op = [&](EdgeFilterBank& bank, uint64_t draw, uint64_t ep,
+                       uint64_t grp) {
+    IpAddress endpoint = A(("5.0.0." + std::to_string(1 + ep % 8)).c_str());
+    EndpointGroupId group(1 + grp % 4);
+    switch (draw % 5) {
+      case 0:
+        bank.SetPermitList(endpoint, {Permit("10.0.0.0/8"),
+                                      PermitGroup(group)});
+        break;
+      case 1:
+        bank.UpdatePermitList(endpoint, {Permit("192.168.0.0/16")},
+                              {Permit("10.0.0.0/8")});
+        break;
+      case 2:
+        bank.RemovePermitList(endpoint);
+        break;
+      case 3:
+        bank.SetGroup(group, {A(("10.1.0." + std::to_string(1 + ep % 16))
+                                    .c_str())});
+        break;
+      case 4:
+        bank.RemoveGroup(group);
+        break;
+    }
+  };
+  // Pre-outage history (identical on both banks).
+  for (int i = 0; i < ops; ++i) {
+    uint64_t draw = rng.NextU64(1 << 30);
+    uint64_t ep = rng.NextU64(1 << 30);
+    uint64_t grp = rng.NextU64(1 << 30);
+    random_op(warm, draw, ep, grp);
+    random_op(cold, draw, ep, grp);
+  }
+  FilterBankSnapshot warm_snap = warm.Checkpoint();
+  FilterBankSnapshot cold_snap = cold.Checkpoint();
+  ASSERT_TRUE(warm_snap == cold_snap);
+
+  warm.BeginRestart();
+  cold.BeginRestart();
+  // Outage-time mutations (buffered, identical).
+  for (int i = 0; i < ops / 3; ++i) {
+    uint64_t draw = rng.NextU64(1 << 30);
+    uint64_t ep = rng.NextU64(1 << 30);
+    uint64_t grp = rng.NextU64(1 << 30);
+    random_op(warm, draw, ep, grp);
+    random_op(cold, draw, ep, grp);
+  }
+  ReconcileStats ws = warm.CompleteRestart(RestartMode::kWarm, warm_snap);
+  ReconcileStats cs = cold.CompleteRestart(RestartMode::kCold, cold_snap);
+  EXPECT_EQ(ws.replayed_mutations, cs.replayed_mutations);
+  EXPECT_EQ(warm.StateFingerprint(), cold.StateFingerprint());
+  // Warm touches at most as much data plane as cold rewrites.
+  EXPECT_LE(ws.deltas_applied, cs.deltas_applied);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterRestartEquivalenceTest,
+                         ::testing::ValuesIn(test_env::SeedList(
+                             {5, 21, 1009})));
+
+// ---------------------------------------------------------------------------
+// SIP load balancer: frozen table, stale health, replay validation.
+// ---------------------------------------------------------------------------
+
+TEST(SipLbRestartTest, HealthSignalsGoStaleDuringOutage) {
+  SipLoadBalancer lb;
+  IpAddress sip = A("6.0.0.1");
+  ASSERT_TRUE(lb.AddSip(sip).ok());
+  ASSERT_TRUE(lb.Bind(A("10.0.0.1"), sip).ok());
+  ASSERT_TRUE(lb.Bind(A("10.0.0.2"), sip).ok());
+
+  SipLbSnapshot snap = lb.Checkpoint();
+  lb.BeginRestart();
+  // Backend 2 dies mid-outage; the frozen table keeps resolving to it.
+  lb.SetHealth(A("10.0.0.2"), false);
+  bool resolved_stale = false;
+  for (int i = 0; i < 16; ++i) {
+    Result<IpAddress> r = lb.Resolve(sip);
+    ASSERT_TRUE(r.ok());
+    resolved_stale = resolved_stale || *r == A("10.0.0.2");
+  }
+  EXPECT_TRUE(resolved_stale);  // the measurable stale-backend window
+
+  uint64_t picks = lb.resolutions();
+  ReconcileStats stats = lb.CompleteRestart(RestartMode::kWarm, snap);
+  EXPECT_EQ(stats.replayed_mutations, 1u);
+  EXPECT_EQ(stats.dropped_mutations, 0u);
+  // Reconciled: the dead backend is never picked again...
+  for (int i = 0; i < 16; ++i) {
+    Result<IpAddress> r = lb.Resolve(sip);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, A("10.0.0.1"));
+  }
+  // ...and the pick counter continued (data-plane state, not replayed).
+  EXPECT_GT(lb.resolutions(), picks);
+}
+
+TEST(SipLbRestartTest, InvalidBufferedOpsDropAtReplay) {
+  SipLoadBalancer lb;
+  IpAddress sip = A("6.0.0.1");
+  ASSERT_TRUE(lb.AddSip(sip).ok());
+  ASSERT_TRUE(lb.Bind(A("10.0.0.1"), sip).ok());
+  SipLbSnapshot snap = lb.Checkpoint();
+
+  lb.BeginRestart();
+  // Remove the SIP, then bind to it: the bind is invalid by replay time
+  // (it would have failed synchronously outside the outage).
+  EXPECT_TRUE(lb.RemoveSip(sip).ok());
+  EXPECT_TRUE(lb.Bind(A("10.0.0.9"), sip).ok());
+  ReconcileStats stats = lb.CompleteRestart(RestartMode::kWarm, snap);
+  EXPECT_EQ(stats.replayed_mutations, 2u);
+  EXPECT_EQ(stats.dropped_mutations, 1u);
+  EXPECT_FALSE(lb.IsSip(sip));
+}
+
+TEST(SipLbRestartTest, WarmAndColdAgreeOnBindings) {
+  SipLoadBalancer warm;
+  SipLoadBalancer cold;
+  for (SipLoadBalancer* lb : {&warm, &cold}) {
+    ASSERT_TRUE(lb->AddSip(A("6.0.0.1")).ok());
+    ASSERT_TRUE(lb->Bind(A("10.0.0.1"), A("6.0.0.1"), 2.0).ok());
+    ASSERT_TRUE(lb->AddSip(A("6.0.0.2")).ok());
+    ASSERT_TRUE(lb->Bind(A("10.0.0.2"), A("6.0.0.2")).ok());
+  }
+  SipLbSnapshot snap = warm.Checkpoint();
+  ASSERT_TRUE(snap == cold.Checkpoint());
+  for (SipLoadBalancer* lb : {&warm, &cold}) {
+    lb->BeginRestart();
+    EXPECT_TRUE(lb->Unbind(A("10.0.0.2"), A("6.0.0.2")).ok());
+    EXPECT_TRUE(lb->Bind(A("10.0.0.3"), A("6.0.0.2")).ok());
+    lb->UnbindEverywhere(A("10.0.0.1"));
+  }
+  ReconcileStats ws = warm.CompleteRestart(RestartMode::kWarm, snap);
+  ReconcileStats cs = cold.CompleteRestart(RestartMode::kCold, snap);
+  EXPECT_TRUE(warm.Checkpoint() == cold.Checkpoint());
+  EXPECT_LE(ws.deltas_applied, cs.deltas_applied);
+}
+
+// ---------------------------------------------------------------------------
+// Routing plane: graceful restart + reconcile vs the full-rebuild oracle.
+// ---------------------------------------------------------------------------
+
+using TgwFib = std::vector<std::pair<IpPrefix, TgwRoute>>;
+
+std::vector<std::map<IpPrefix, BgpRoute>> RibSnapshot(const BgpMesh& mesh) {
+  std::vector<std::map<IpPrefix, BgpRoute>> out;
+  for (size_t i = 1; i <= mesh.speaker_count(); ++i) {
+    out.push_back(*mesh.LocRib(SpeakerId(i)));
+  }
+  return out;
+}
+
+void ExpectMatchesFullRebuild(BaselineNetwork& net, const std::string& at) {
+  SCOPED_TRACE(at);
+  auto reconciled_ribs = RibSnapshot(net.bgp());
+  RoutingSnapshot reconciled = net.CheckpointRouting();
+
+  (void)net.PropagateRoutesFull();
+  auto full_ribs = RibSnapshot(net.bgp());
+  RoutingSnapshot full = net.CheckpointRouting();
+
+  ASSERT_EQ(reconciled_ribs.size(), full_ribs.size());
+  for (size_t i = 0; i < reconciled_ribs.size(); ++i) {
+    EXPECT_EQ(reconciled_ribs[i], full_ribs[i])
+        << "Loc-RIB diverges at speaker " << (i + 1);
+  }
+  ASSERT_EQ(reconciled.fibs.size(), full.fibs.size());
+  for (size_t i = 0; i < reconciled.fibs.size(); ++i) {
+    EXPECT_TRUE(reconciled.fibs[i] == full.fibs[i])
+        << "TGW FIB " << i << " diverges";
+  }
+}
+
+TEST(RoutingRestartTest, MutationsBufferDuringOutageAndReplayOnComplete) {
+  Fig1World fig = BuildFig1World();
+  ConfigLedger ledger;
+  BaselineNetwork net(*fig.world, ledger);
+  Fig1Baseline handles = *BuildFig1Baseline(net, fig);
+  (void)net.PropagateRoutes();
+  (void)handles;
+
+  RoutingSnapshot snap = net.CheckpointRouting();
+  net.BeginRoutingRestart();
+  EXPECT_TRUE(net.routing_in_restart());
+
+  // A prefix originated mid-outage: accepted (buffered), not converged.
+  SpeakerId origin(1);
+  IpPrefix late = P("203.0.113.0/24");
+  EXPECT_TRUE(net.bgp().Originate(origin, late).ok());
+  auto stats = net.PropagateRoutes();  // no-op while down
+  EXPECT_EQ(stats.rounds, 0u);
+  EXPECT_EQ(net.bgp().BestRoute(origin, late), nullptr);
+
+  ReconcileStats rs =
+      net.CompleteRoutingRestart(RestartMode::kWarm, snap);
+  EXPECT_FALSE(net.routing_in_restart());
+  EXPECT_EQ(rs.replayed_mutations, 1u);
+  EXPECT_NE(net.bgp().BestRoute(origin, late), nullptr);
+  ExpectMatchesFullRebuild(net, "after warm completion with replay");
+}
+
+TEST(RoutingRestartTest, QuietWarmRestartTouchesNoFib) {
+  Fig1World fig = BuildFig1World();
+  ConfigLedger ledger;
+  BaselineNetwork net(*fig.world, ledger);
+  (void)BuildFig1Baseline(net, fig);
+  (void)net.PropagateRoutes();
+
+  RoutingSnapshot snap = net.CheckpointRouting();
+  uint64_t epoch_before = net.config_epoch();
+  uint64_t bgp_mutations_before = net.bgp().mutation_count();
+  net.BeginRoutingRestart();
+  ReconcileStats rs = net.CompleteRoutingRestart(RestartMode::kWarm, snap);
+  EXPECT_GT(rs.checked, 0u);
+  EXPECT_EQ(rs.deltas_applied, 0u);
+  // No FIB write, no revision bump: baseline verdict caches survive.
+  EXPECT_EQ(net.config_epoch(), epoch_before);
+  EXPECT_EQ(net.bgp().mutation_count(), bgp_mutations_before);
+  EXPECT_TRUE(net.CheckpointRouting() == snap);
+}
+
+// Satellite oracle: storm + session churn + control-plane restarts, then
+// warm reconcile — the result must match a from-scratch rebuild exactly.
+class RoutingRestartOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoutingRestartOracleTest, WarmReconcileMatchesFullRebuildAfterStorm) {
+  const uint64_t seed = GetParam();
+  SCOPED_TRACE("TN_SEED=" + std::to_string(seed));
+
+  Fig1World fig = BuildFig1World();
+  CloudWorld& world = *fig.world;
+  EventQueue queue;
+  FlowSim sim(queue, world.topology());
+  MetricRegistry metrics;
+  ConfigLedger ledger;
+  BaselineNetwork net(world, ledger);
+  Fig1Baseline handles = *BuildFig1Baseline(net, fig);
+  (void)net.PropagateRoutes();
+
+  WarmRestartCoordinator coordinator(queue, metrics, RestartMode::kWarm);
+  uint32_t routing =
+      coordinator.Register(MakeRoutingComponent("routing", net));
+
+  SpeakerId tgw_a_speaker = net.FindTgw(handles.tgw_a)->speaker();
+  SpeakerId tgw_b_speaker = net.FindTgw(handles.tgw_b)->speaker();
+  FaultHooks hooks;
+  hooks.on_inject = [&](const FaultSpec& spec) {
+    if (spec.kind == FaultKind::kGatewayRestart) {
+      (void)net.bgp().RemoveSession(tgw_a_speaker, tgw_b_speaker);
+    }
+    (void)net.PropagateRoutes();  // no-op while the routing plane is down
+  };
+  hooks.on_recover = [&](const FaultSpec& spec) {
+    if (spec.kind == FaultKind::kGatewayRestart) {
+      (void)net.bgp().AddSession(tgw_a_speaker, tgw_b_speaker);
+    }
+    (void)net.PropagateRoutes();
+  };
+  coordinator.WireHooks(hooks);
+  FaultInjector injector(queue, world.topology(), sim, &world, metrics,
+                         std::move(hooks));
+
+  StormParams params;
+  params.event_count = static_cast<size_t>(test_env::ItersOverride(40));
+  params.window = SimDuration::Seconds(10);
+  const Topology& topo = world.topology();
+  for (size_t i = 0; i < topo.link_count(); ++i) {
+    LinkId id(i + 1);
+    if (topo.link(id).cls == LinkClass::kBackbone) {
+      params.links.push_back(id);
+    }
+  }
+  params.gateways = {world.region(fig.a_us_east).edge_node,
+                     world.region(fig.b_us_east).edge_node};
+  params.restart_components = {routing};
+  injector.Schedule(FaultSchedule::Storm(seed, params));
+  queue.RunAll();
+
+  EXPECT_GT(coordinator.restarts_begun(), 0u);
+  EXPECT_EQ(coordinator.restarts_begun(), coordinator.restarts_completed());
+  EXPECT_FALSE(net.routing_in_restart());
+
+  (void)net.PropagateRoutes();  // drain whatever the last hook left pending
+  ExpectMatchesFullRebuild(net, "after storm with warm restarts");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingRestartOracleTest,
+                         ::testing::ValuesIn(test_env::SeedList(
+                             {7, 99, 4242})));
+
+// ---------------------------------------------------------------------------
+// FaultInjector + coordinator: idempotent overlapping restarts.
+// ---------------------------------------------------------------------------
+
+TEST(RestartFaultTest, OverlappingRestartsOfOneComponentReconcileOnce) {
+  TestWorld tw = BuildTestWorld();
+  Topology& topo = tw.world->topology();
+  EventQueue queue;
+  FlowSim sim(queue, topo);
+  MetricRegistry metrics;
+
+  EdgeFilterBank bank("p", &queue, 11);
+  bank.AddEdge("e0");
+  bank.SetPermitList(A("5.0.0.1"), {Permit("10.0.0.0/8")});
+  queue.RunAll();
+
+  WarmRestartCoordinator coordinator(queue, metrics, RestartMode::kWarm);
+  uint32_t filters =
+      coordinator.Register(MakeFilterBankComponent("filters", bank));
+
+  FaultHooks hooks;
+  coordinator.WireHooks(hooks);
+  FaultInjector injector(queue, topo, sim, tw.world.get(), metrics,
+                         std::move(hooks));
+
+  FaultSpec first;
+  first.kind = FaultKind::kControlPlaneRestart;
+  first.component = filters;
+  first.duration = SimDuration::Seconds(1);
+  FaultSpec second = first;
+  second.duration = SimDuration::Seconds(3);
+
+  injector.InjectNow(first);
+  injector.InjectNow(second);  // overlapping: same component, longer outage
+  EXPECT_TRUE(coordinator.InRestart(filters));
+  EXPECT_EQ(coordinator.restarts_begun(), 1u);
+
+  // After the first recovery the component must still be down (the second
+  // fault holds the ref); only the last recovery reconciles.
+  queue.RunUntil(SimTime::Epoch() + SimDuration::Seconds(2));
+  EXPECT_TRUE(coordinator.InRestart(filters));
+  EXPECT_EQ(coordinator.restarts_completed(), 0u);
+
+  queue.RunAll();
+  EXPECT_FALSE(coordinator.InRestart(filters));
+  EXPECT_EQ(coordinator.restarts_begun(), 1u);
+  EXPECT_EQ(coordinator.restarts_completed(), 1u);
+  EXPECT_TRUE(bank.Admits(0, Flow("10.1.1.1", "5.0.0.1", 443)));
+  EXPECT_EQ(coordinator.outage_ms(filters).count(), 1u);
+}
+
+TEST(RestartFaultTest, CoordinatorBeginAndCompleteAreIdempotent) {
+  EventQueue queue;
+  MetricRegistry metrics;
+  SipLoadBalancer lb;
+  ASSERT_TRUE(lb.AddSip(A("6.0.0.1")).ok());
+
+  WarmRestartCoordinator coordinator(queue, metrics);
+  uint32_t id = coordinator.Register(MakeSipLbComponent("lb", lb));
+  coordinator.BeginRestart(id);
+  coordinator.BeginRestart(id);  // second kill extends the same outage
+  EXPECT_EQ(coordinator.restarts_begun(), 1u);
+  EXPECT_TRUE(lb.in_restart());
+
+  (void)coordinator.CompleteRestart(id);
+  EXPECT_FALSE(lb.in_restart());
+  ReconcileStats again = coordinator.CompleteRestart(id);  // no-op
+  EXPECT_EQ(again.checked + again.deltas_applied + again.replayed_mutations,
+            0u);
+  EXPECT_EQ(coordinator.restarts_completed(), 1u);
+}
+
+TEST(RestartFaultTest, StormDrawsRestartKindDeterministically) {
+  StormParams p;
+  p.event_count = 50;
+  p.restart_components = {0, 1, 2};
+  FaultSchedule a = FaultSchedule::Storm(17, p);
+  FaultSchedule b = FaultSchedule::Storm(17, p);
+  ASSERT_EQ(a.events.size(), 50u);
+  size_t restarts = 0;
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].component, b.events[i].component);
+    if (a.events[i].kind == FaultKind::kControlPlaneRestart) {
+      ++restarts;
+      EXPECT_LT(a.events[i].component, 3u);
+    }
+  }
+  EXPECT_GT(restarts, 0u);
+}
+
+}  // namespace
+}  // namespace tenantnet

@@ -180,10 +180,10 @@ Topology BuildWanRing(int regions, int hosts) {
     hubs.push_back(hub);
     for (int h = 0; h < hosts; ++h) {
       NodeId host = topo.AddNode(
-          {"r" + std::to_string(r) + "h" + std::to_string(h), NodeKind::kHost,
+          {"r" + std::to_string(r) + "h" + std::to_string(h), NodeKind::kHostAggregate,
            "region" + std::to_string(r)});
       topo.AddDuplexLink({hub, host, 10e9, SimDuration::Micros(50),
-                          SimDuration::Zero(), 0, LinkClass::kIntraDatacenter});
+                          SimDuration::Zero(), 0, LinkClass::kDatacenter});
     }
   }
   for (int r = 0; r < regions; ++r) {
@@ -261,10 +261,10 @@ TEST(LinkCutPartitionTest, ComponentsAtLeastTargetMeansNoCuts) {
   // (component c -> part c mod 4), and no link is a border link.
   Topology topo;
   for (int i = 0; i < 5; ++i) {
-    NodeId a = topo.AddNode({"a" + std::to_string(i), NodeKind::kHost, "x"});
-    NodeId b = topo.AddNode({"b" + std::to_string(i), NodeKind::kHost, "x"});
+    NodeId a = topo.AddNode({"a" + std::to_string(i), NodeKind::kHostAggregate, "x"});
+    NodeId b = topo.AddNode({"b" + std::to_string(i), NodeKind::kHostAggregate, "x"});
     topo.AddDuplexLink({a, b, 1e9, SimDuration::Millis(1),
-                        SimDuration::Zero(), 0, LinkClass::kIntraDatacenter});
+                        SimDuration::Zero(), 0, LinkClass::kDatacenter});
   }
   LinkCutPartition part = ComputeLinkCutPartition(topo, 4, 9);
   EXPECT_EQ(part.count, 4u);
@@ -294,13 +294,13 @@ TEST(LinkCutPartitionTest, TargetBeyondNodeCountStillCoversEveryNode) {
   // 3-node path, target 8: at most 3 nonempty parts can exist; whatever
   // count comes back, the invariants must hold.
   Topology topo;
-  NodeId a = topo.AddNode({"a", NodeKind::kHost, "x"});
-  NodeId b = topo.AddNode({"b", NodeKind::kHost, "x"});
-  NodeId c = topo.AddNode({"c", NodeKind::kHost, "x"});
+  NodeId a = topo.AddNode({"a", NodeKind::kHostAggregate, "x"});
+  NodeId b = topo.AddNode({"b", NodeKind::kHostAggregate, "x"});
+  NodeId c = topo.AddNode({"c", NodeKind::kHostAggregate, "x"});
   topo.AddDuplexLink({a, b, 1e9, SimDuration::Millis(1), SimDuration::Zero(),
-                      0, LinkClass::kIntraDatacenter});
+                      0, LinkClass::kDatacenter});
   topo.AddDuplexLink({b, c, 1e9, SimDuration::Millis(1), SimDuration::Zero(),
-                      0, LinkClass::kIntraDatacenter});
+                      0, LinkClass::kDatacenter});
   LinkCutPartition part = ComputeLinkCutPartition(topo, 8, 3);
   EXPECT_GE(part.count, 1u);
   EXPECT_LE(part.count, 8u);
