@@ -1,4 +1,4 @@
-// E10 — §1: "building a virtual network is ad hoc, complex, and ultimately
+// E11 — §1: "building a virtual network is ad hoc, complex, and ultimately
 // expensive." The monthly bill for the Fig. 1 network layer, priced with a
 // parameterized book in the vicinity of public list prices.
 //
@@ -19,7 +19,7 @@ namespace tenantnet {
 namespace {
 
 void Run() {
-  Banner("E10", "The monthly bill: tenant network layer, both worlds");
+  Banner("E11", "The monthly bill: tenant network layer, both worlds");
 
   Fig1World fig = BuildFig1World();
   ConfigLedger ledger;

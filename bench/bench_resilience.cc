@@ -137,14 +137,14 @@ void RunStorm(bool declarative, const StormConfig& cfg, int threads = 0) {
       ResolvedRoute route;
       auto it = eips->find(dst.value());
       if (it == eips->end()) {
-        route.deny_stage = "no-eip";
+        route.deny_stage = DenyStage("no-eip");
         return route;
       }
       auto d = cloud->Evaluate(src, it->second, 443, Protocol::kTcp);
       if (!d.ok() || !d->delivered) {
-        route.deny_stage =
+        route.deny_stage = DenyStage(
             d.ok() ? (d->drop_stage.empty() ? "denied" : d->drop_stage)
-                   : "instance-down";
+                   : "instance-down");
         return route;
       }
       route.allowed = true;
@@ -188,9 +188,9 @@ void RunStorm(bool declarative, const StormConfig& cfg, int threads = 0) {
       ResolvedRoute route;
       auto d = net->Evaluate(src, dst, Fig1Baseline::kDbPort, Protocol::kTcp);
       if (!d.ok() || !d->delivered) {
-        route.deny_stage =
+        route.deny_stage = DenyStage(
             d.ok() ? (d->drop_stage.empty() ? "denied" : d->drop_stage)
-                   : "instance-down";
+                   : "instance-down");
         return route;
       }
       route.allowed = true;

@@ -74,7 +74,7 @@ uint64_t AggregatedAfterChurn(uint64_t endpoints,
   for (uint64_t i = 0; i < endpoints; ++i) {
     IpAddress eip = *pool.Allocate();
     rib.Install(IpPrefix::Host(eip),
-                RouteEntry{NodeId(1 + i % 16), RouteOrigin::kLocal, 0, ""});
+                RouteEntry{NodeId(1 + i % 16), RouteOrigin::kLocal, 0, 0});
     live.push_back(eip);
   }
   Rng rng(17);
@@ -91,7 +91,7 @@ uint64_t AggregatedAfterChurn(uint64_t endpoints,
     for (uint64_t a = 0; a < arrivals && live.size() < endpoints; ++a) {
       IpAddress eip = *pool.Allocate();
       rib.Install(IpPrefix::Host(eip),
-                  RouteEntry{NodeId(1 + op % 16), RouteOrigin::kLocal, 0, ""});
+                  RouteEntry{NodeId(1 + op % 16), RouteOrigin::kLocal, 0, 0});
       live.push_back(eip);
     }
   }
@@ -109,7 +109,7 @@ ScaleResult RunScale(uint64_t endpoints) {
   for (uint64_t i = 0; i < endpoints; ++i) {
     IpAddress eip = *pool.Allocate();
     rib.Install(IpPrefix::Host(eip),
-                RouteEntry{NodeId(1 + i % 16), RouteOrigin::kLocal, 0, ""});
+                RouteEntry{NodeId(1 + i % 16), RouteOrigin::kLocal, 0, 0});
     live.push_back(eip);
   }
   result.flat_entries = rib.entry_count();

@@ -5,6 +5,8 @@
 #ifndef TENANTNET_BENCH_BENCH_UTIL_H_
 #define TENANTNET_BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
@@ -13,6 +15,17 @@
 #include <vector>
 
 namespace tenantnet {
+
+// High-water resident set of this process, in bytes (Linux ru_maxrss is
+// KiB). Monotone over the process lifetime, so sweeps that want per-stage
+// deltas must record it incrementally. 0 if the kernel refuses.
+inline size_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;
+}
 
 class TablePrinter {
  public:

@@ -135,14 +135,14 @@ FilterRunResult RunFilterStorm(RestartMode mode,
     ResolvedRoute route;
     auto it = eip.find(dst.value());
     if (it == eip.end()) {
-      route.deny_stage = "no-eip";
+      route.deny_stage = DenyStage("no-eip");
       return route;
     }
     auto d = cloud.Evaluate(src, it->second, 443, Protocol::kTcp);
     if (!d.ok() || !d->delivered) {
-      route.deny_stage =
+      route.deny_stage = DenyStage(
           d.ok() ? (d->drop_stage.empty() ? "denied" : d->drop_stage)
-                 : "instance-down";
+                 : "instance-down");
       return route;
     }
     route.allowed = true;

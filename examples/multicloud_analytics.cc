@@ -83,7 +83,7 @@ int main() {
       auto result = baseline.Evaluate(src, dst, port, Protocol::kTcp);
     if (!result.ok() || !result->delivered) {
       route.allowed = false;
-      route.deny_stage = result.ok() ? result->drop_stage : "error";
+      route.deny_stage = DenyStage(result.ok() ? result->drop_stage : "error");
       return route;
     }
       route.allowed = true;
@@ -142,7 +142,7 @@ int main() {
           cloud.Evaluate(src, eip[dst.value()], port, Protocol::kTcp);
       if (!result.ok() || !result->delivered) {
         route.allowed = false;
-        route.deny_stage = result.ok() ? result->drop_stage : "error";
+        route.deny_stage = DenyStage(result.ok() ? result->drop_stage : "error");
         return route;
       }
       route.allowed = true;

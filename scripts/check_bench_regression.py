@@ -41,6 +41,16 @@ ratio of two sim-time measurements on the same machine is fully
 hardware-independent. When the baseline sets require_routing_match, the
 current record's routing_matches_full_rebuild must be 1 (the reconciled
 routing state diffed clean against a from-scratch rebuild).
+
+Memory-diet records (see bench/baselines/million_smoke_baseline.json),
+matched on (bench, endpoints, entries_per_ep): the baseline states a
+max_bytes_per_endpoint ceiling and a min_reduction_vs_prediet floor for
+the E10 sweep (bench_million) — both byte-accounting ratios, fully
+hardware-independent. warm_vps is gated with the same R tolerance as the
+verdict records (the fast path must survive the diet), warm_hit_rate
+against min_warm_hit_rate, and streaming_pending_events against
+max_streaming_pending (the open-loop generator must stay O(patterns), not
+O(transactions)).
 """
 
 import argparse
@@ -214,6 +224,58 @@ def check_restarts(baseline, current_files):
     return failed
 
 
+def million_key(rec):
+    return (rec.get("bench"), rec.get("endpoints"), rec.get("entries_per_ep"))
+
+
+def check_million(baseline, current_files, max_regression):
+    current = {}
+    for recs in current_files:
+        for rec in recs:
+            if "bytes_per_endpoint" in rec:
+                current[million_key(rec)] = rec
+
+    failed = False
+    floor = 1.0 - max_regression
+    print(f"{'bench':<16} {'endpoints':>9} {'B/ep':>7} {'max':>6} "
+          f"{'redux':>6} {'min':>5} {'vps ratio':>9} {'pending':>7}")
+    for base in baseline:
+        k = million_key(base)
+        cur = current.get(k)
+        if cur is None:
+            print(f"{k[0]:<16} {k[1]:>9} {'MISSING':>7}")
+            failed = True
+            continue
+        bpe = cur["bytes_per_endpoint"]
+        max_bpe = base["max_bytes_per_endpoint"]
+        redux = cur.get("reduction_vs_prediet", 0.0)
+        min_redux = base.get("min_reduction_vs_prediet", 0.0)
+        ratio = (cur["warm_vps"] / base["warm_vps"]
+                 if base.get("warm_vps") else 1.0)
+        pending = cur.get("streaming_pending_events")
+        max_pending = base.get("max_streaming_pending")
+        problems = []
+        if bpe > max_bpe:
+            problems.append("TOO FAT")
+        if redux < min_redux:
+            problems.append("REDUCTION BELOW FLOOR")
+        if ratio < floor:
+            problems.append("VERDICT REGRESSION")
+        min_hit = base.get("min_warm_hit_rate")
+        if min_hit is not None and cur.get("warm_hit_rate", 0.0) < min_hit:
+            problems.append("CACHE STOPPED CACHING")
+        if max_pending is not None and pending is not None \
+                and pending > max_pending:
+            problems.append("GENERATOR NOT FLAT")
+        verdict = ("  << " + ", ".join(problems)) if problems else ""
+        print(f"{k[0]:<16} {k[1]:>9} {bpe:>7.1f} {max_bpe:>6.0f} "
+              f"{redux:>6.1f} {min_redux:>5.1f} {ratio:>9.2f} "
+              f"{pending if pending is not None else '-':>7}{verdict}")
+        if problems:
+            failed = True
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -227,12 +289,14 @@ def main():
     args = parser.parse_args()
 
     baseline = load_records(args.baseline)
-    verdict_base = [r for r in baseline if "warm_vps" in r]
+    million_base = [r for r in baseline if "max_bytes_per_endpoint" in r]
+    verdict_base = [r for r in baseline
+                    if "warm_vps" in r and "max_bytes_per_endpoint" not in r]
     shard_base = [r for r in baseline if "min_speedup_vs_1thread" in r]
     churn_base = [r for r in baseline if "min_speedup_incremental" in r]
     restart_base = [r for r in baseline if "max_blackhole_ratio" in r]
     if not verdict_base and not shard_base and not churn_base \
-            and not restart_base:
+            and not restart_base and not million_base:
         print(f"error: no gate records in baseline {args.baseline}")
         return 1
 
@@ -248,6 +312,9 @@ def main():
         failed |= check_churn(churn_base, current_files)
     if restart_base:
         failed |= check_restarts(restart_base, current_files)
+    if million_base:
+        failed |= check_million(million_base, current_files,
+                                args.max_regression)
 
     if failed:
         print("\nFAIL: bench gate violated (regression, missing record, "

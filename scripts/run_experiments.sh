@@ -8,6 +8,8 @@
 # control-plane restarts; set E9B_SMOKE=1 for the quick single-seed run.
 # bench_scale_permits / bench_scale_routing run the verdict fast-path
 # sweeps (E4b/E5b); set VERDICT_SMOKE=1 for the quick sizes.
+# bench_million (E10) sweeps the memory diet 100k->1M endpoints; set
+# E10_SMOKE=1 for the quick {100k, 1M} pair.
 # JSON-emitting benches each write BENCH_<name>.json at the repo root
 # (override per bench with --json_out=<path>); CI uploads these as
 # artifacts and gates on them via scripts/check_bench_regression.py.
@@ -35,6 +37,8 @@ for b in build/bench/*; do
   case "$(basename "$b")" in
     bench_scale_permits|bench_scale_routing)
       [ "${VERDICT_SMOKE:-0}" = 1 ] && args="smoke" ;;
+    bench_million)
+      [ "${E10_SMOKE:-0}" = 1 ] && args="smoke" ;;
   esac
   "$b" $args 2>&1 | tee -a bench_output.txt
 done

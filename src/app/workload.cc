@@ -5,6 +5,71 @@
 
 namespace tenantnet {
 
+std::map<std::string, uint64_t> PatternStats::DenyByStage() const {
+  std::map<std::string, uint64_t> out;
+  for (uint32_t id = 0; id < deny_by_stage_counts.size(); ++id) {
+    if (deny_by_stage_counts[id] == 0) {
+      continue;
+    }
+    std::string name = id == 0 ? "denied" : DenyStages().Name(id);
+    out[name] += deny_by_stage_counts[id];
+  }
+  return out;
+}
+
+RateCurve RateCurve::Constant(double rps) {
+  RateCurve curve;
+  curve.base_rps_ = rps;
+  return curve;
+}
+
+RateCurve RateCurve::Diurnal(double base_rps, double amplitude,
+                             SimDuration period) {
+  RateCurve curve;
+  curve.base_rps_ = base_rps;
+  curve.diurnal_amplitude_ = std::clamp(amplitude, 0.0, 1.0);
+  curve.diurnal_period_ = period;
+  return curve;
+}
+
+RateCurve RateCurve::FlashCrowd(double base_rps, double multiplier,
+                                SimDuration start, SimDuration rise,
+                                SimDuration fall) {
+  RateCurve curve;
+  curve.base_rps_ = base_rps;
+  curve.flash_multiplier_ = std::max(0.0, multiplier);
+  curve.flash_start_ = start;
+  curve.flash_rise_ = rise;
+  curve.flash_fall_ = fall;
+  return curve;
+}
+
+double RateCurve::RateAt(SimDuration elapsed) const {
+  double rate = base_rps_;
+  if (diurnal_amplitude_ > 0 && diurnal_period_.ToSeconds() > 0) {
+    rate += base_rps_ * diurnal_amplitude_ *
+            std::sin(2.0 * M_PI * elapsed.ToSeconds() /
+                     diurnal_period_.ToSeconds());
+  }
+  if (flash_multiplier_ > 0) {
+    const double t = (elapsed - flash_start_).ToSeconds();
+    const double rise = flash_rise_.ToSeconds();
+    const double fall = flash_fall_.ToSeconds();
+    double shape = 0;
+    if (t >= 0 && t < rise) {
+      shape = rise > 0 ? t / rise : 1.0;
+    } else if (t >= rise && t < rise + fall) {
+      shape = fall > 0 ? 1.0 - (t - rise) / fall : 0.0;
+    }
+    rate += base_rps_ * flash_multiplier_ * shape;
+  }
+  return std::max(0.0, rate);
+}
+
+double RateCurve::MaxRate() const {
+  return base_rps_ * (1.0 + diurnal_amplitude_ + flash_multiplier_);
+}
+
 RequestWorkload::RequestWorkload(EventQueue& queue, FlowControlSurface& flows,
                                  const CloudWorld& world,
                                  WorkloadParams params)
@@ -25,9 +90,32 @@ size_t RequestWorkload::AddPattern(std::string name,
   return patterns_.size() - 1;
 }
 
+size_t RequestWorkload::AddStreamingPattern(std::string name,
+                                            std::vector<InstanceId> sources,
+                                            std::vector<InstanceId> destinations,
+                                            RateCurve curve,
+                                            ConnectorFn connector) {
+  Pattern pattern;
+  pattern.name = std::move(name);
+  pattern.sources = std::move(sources);
+  pattern.destinations = std::move(destinations);
+  pattern.connector = std::move(connector);
+  pattern.streaming = true;
+  pattern.curve = curve;
+  patterns_.push_back(std::move(pattern));
+  return patterns_.size() - 1;
+}
+
 void RequestWorkload::Start(SimDuration duration) {
   double horizon = duration.ToSeconds();
+  SimTime started = queue_.now();
+  SimTime end = started + duration;
   for (size_t i = 0; i < patterns_.size(); ++i) {
+    if (patterns_[i].streaming) {
+      patterns_[i].arrivals = rng_.Fork();
+      ScheduleNextArrival(i, started, end);
+      continue;
+    }
     Rng arrivals = rng_.Fork();
     double t = 0;
     while (true) {
@@ -39,6 +127,34 @@ void RequestWorkload::Start(SimDuration duration) {
                            [this, i] { RunTransaction(i); });
     }
   }
+}
+
+void RequestWorkload::ScheduleNextArrival(size_t pattern_index, SimTime started,
+                                          SimTime end) {
+  Pattern& pattern = patterns_[pattern_index];
+  const double max_rate = pattern.curve.MaxRate();
+  if (max_rate <= 0) {
+    return;
+  }
+  // Thinning (Lewis-Shedler): candidates arrive Poisson at the constant
+  // envelope MaxRate(); each is accepted with probability rate(t)/MaxRate.
+  // Exactly one pending event exists per pattern at any time, so generator
+  // memory is O(patterns), independent of horizon, rate, and population.
+  SimTime when =
+      queue_.now() +
+      SimDuration::Seconds(pattern.arrivals.NextExponential(max_rate));
+  if (when >= end) {
+    return;
+  }
+  queue_.ScheduleAt(when, [this, pattern_index, started, end] {
+    Pattern& p = patterns_[pattern_index];
+    const SimDuration elapsed = queue_.now() - started;
+    const double accept = p.curve.RateAt(elapsed) / p.curve.MaxRate();
+    if (p.arrivals.NextDouble() < accept) {
+      RunTransaction(pattern_index);
+    }
+    ScheduleNextArrival(pattern_index, started, end);
+  });
 }
 
 void RequestWorkload::RunTransaction(size_t pattern_index) {
@@ -85,8 +201,7 @@ void RequestWorkload::Attempt(size_t pattern_index, InstanceId src,
   if (!route.allowed) {
     if (attempt == 0) {
       ++stats.denied;
-      ++stats.deny_by_stage[route.deny_stage.empty() ? "denied"
-                                                     : route.deny_stage];
+      stats.CountDeny(route.deny_stage);
       return;
     }
     // Mid-retry denial (e.g. destination still down): keep backing off.
@@ -99,7 +214,8 @@ void RequestWorkload::Attempt(size_t pattern_index, InstanceId src,
   if (!path.ok()) {
     if (attempt == 0) {
       ++stats.denied;
-      ++stats.deny_by_stage["no-physical-path"];
+      static const uint32_t kNoPhysicalPath = DenyStage("no-physical-path");
+      stats.CountDeny(kNoPhysicalPath);
       return;
     }
     RetryOrGiveUp(pattern_index, src, dst, start, attempt);

@@ -24,16 +24,29 @@
 
 #include "src/cloud/world.h"
 #include "src/common/rng.h"
+#include "src/common/slab.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/flow_surface.h"
 #include "src/telemetry/metrics.h"
 
 namespace tenantnet {
 
+// Interner for deny-stage labels ("edge-filter", "no-eip", ...). Connectors
+// resolve the label to a dense id once per denial; the workload hot loop
+// then counts by id — no per-transaction string construction or map probe
+// (the PR-8 diet: at 1M endpoints the deny path runs millions of times).
+inline StringInterner& DenyStages() {
+  static StringInterner* interner = new StringInterner();
+  return *interner;
+}
+inline uint32_t DenyStage(const std::string& name) {
+  return DenyStages().Intern(name);
+}
+
 // The world-specific verdict for one (src, dst) transaction attempt.
 struct ResolvedRoute {
   bool allowed = false;
-  std::string deny_stage;     // where it died, for the breakdown counters
+  uint32_t deny_stage = 0;    // DenyStage(...) id; 0 = unspecified
   NodeId src_node;
   NodeId dst_node;
   EgressPolicy policy = EgressPolicy::kColdPotato;
@@ -74,9 +87,52 @@ struct PatternStats {
   uint64_t aborted = 0;     // response flows killed by faults
   uint64_t retries = 0;     // retry attempts issued (reroutes)
   uint64_t gave_up = 0;     // transactions dead after max_retries
-  std::map<std::string, uint64_t> deny_by_stage;
+  // Denials per DenyStages() id (dense; grown on first hit of a stage).
+  std::vector<uint64_t> deny_by_stage_counts;
   Histogram latency_ms;
   double bytes_transferred = 0;
+
+  void CountDeny(uint32_t stage) {
+    if (deny_by_stage_counts.size() <= stage) {
+      deny_by_stage_counts.resize(stage + 1, 0);
+    }
+    ++deny_by_stage_counts[stage];
+  }
+  // Report-time view keyed by stage name (id 0 reports as "denied").
+  std::map<std::string, uint64_t> DenyByStage() const;
+};
+
+// Time-varying arrival rate for streaming patterns. The rate is a base plus
+// an optional diurnal sinusoid plus an optional flash-crowd burst (linear
+// ramp to base*flash_multiplier over flash_rise, then linear decay over
+// flash_fall). All components compose; the presets set one each.
+class RateCurve {
+ public:
+  static RateCurve Constant(double rps);
+  // rate(t) = base * (1 + amplitude * sin(2*pi*t/period)); amplitude in
+  // [0,1] keeps the curve nonnegative.
+  static RateCurve Diurnal(double base_rps, double amplitude,
+                           SimDuration period);
+  // Base load with a flash crowd: at `start` (relative to Start()), the
+  // rate ramps linearly to base*(1+multiplier) over `rise`, then decays
+  // linearly back over `fall`.
+  static RateCurve FlashCrowd(double base_rps, double multiplier,
+                              SimDuration start, SimDuration rise,
+                              SimDuration fall);
+
+  // Instantaneous rate at `elapsed` since the workload started.
+  double RateAt(SimDuration elapsed) const;
+  // Tight upper bound over all t — the thinning sampler's envelope.
+  double MaxRate() const;
+
+ private:
+  double base_rps_ = 0;
+  double diurnal_amplitude_ = 0;
+  SimDuration diurnal_period_ = SimDuration::Seconds(86400);
+  double flash_multiplier_ = 0;
+  SimDuration flash_start_;
+  SimDuration flash_rise_;
+  SimDuration flash_fall_;
 };
 
 class RequestWorkload {
@@ -91,7 +147,19 @@ class RequestWorkload {
                     std::vector<InstanceId> destinations, double rps,
                     ConnectorFn connector);
 
+  // Registers a *streaming* open-loop pattern driven by a time-varying
+  // RateCurve. Unlike AddPattern, Start() does not materialize the arrival
+  // set: arrivals are generated one at a time by a thinning sampler over
+  // the curve's MaxRate() envelope, so the generator holds O(1) state per
+  // pattern regardless of horizon, rate, or endpoint population (E10 runs
+  // million-endpoint workloads without pre-scheduling millions of events).
+  size_t AddStreamingPattern(std::string name, std::vector<InstanceId> sources,
+                             std::vector<InstanceId> destinations,
+                             RateCurve curve, ConnectorFn connector);
+
   // Schedules arrivals for all patterns over [now, now + duration).
+  // Pre-scheduled (AddPattern) patterns enqueue every arrival up front;
+  // streaming patterns enqueue exactly one pending arrival each.
   void Start(SimDuration duration);
 
   const PatternStats& stats(size_t pattern) const {
@@ -113,7 +181,17 @@ class RequestWorkload {
     double rps = 0;
     ConnectorFn connector;
     PatternStats stats;
+    // Streaming mode: the rate curve, a private arrival RNG (forked at
+    // Start() so pre-scheduled and streaming draws never interleave), and
+    // the one pending candidate arrival.
+    bool streaming = false;
+    RateCurve curve;
+    Rng arrivals{0};  // re-seeded by Fork() at Start()
   };
+
+  // Streaming arrival engine: schedules the pattern's next candidate at
+  // Exp(MaxRate) ahead and accepts it with probability RateAt/MaxRate.
+  void ScheduleNextArrival(size_t pattern_index, SimTime started, SimTime end);
 
   void RunTransaction(size_t pattern_index);
   // One (re)try of a transaction: resolve, fly the request, stream the

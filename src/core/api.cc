@@ -102,7 +102,7 @@ Result<IpAddress> DeclarativeCloud::RequestEip(InstanceId vm) {
     if (provider.rib.Install(
             IpPrefix::Host(record.addr),
             RouteEntry{world_->region(inst->region).edge_node,
-                       RouteOrigin::kLocal, 0, "eip"})) {
+                       RouteOrigin::kLocal, 0, RouteLabels().Intern("eip")})) {
       ++provider.rib_revision;
     }
   }
@@ -407,7 +407,7 @@ void DeclarativeCloud::NotifyInstanceUp(InstanceId instance) {
     if (provider.rib.Install(
             IpPrefix::Host(eip),
             RouteEntry{world_->region(eit->second.region).edge_node,
-                       RouteOrigin::kLocal, 0, "eip"})) {
+                       RouteOrigin::kLocal, 0, RouteLabels().Intern("eip")})) {
       ++provider.rib_revision;
     }
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/telemetry/metrics.h"
+
 namespace tenantnet {
 
 void CompiledPermitList::ScopeSet::Add(Protocol proto, PortRange ports) {
@@ -50,13 +52,29 @@ CompiledPermitList::CompiledPermitList(
   }
 }
 
+size_t CompiledPermitList::ApproxBytes() const {
+  size_t bytes =
+      prefix_index_.ApproxBytes() +
+      group_scopes_.capacity() * sizeof(group_scopes_[0]);
+  prefix_index_.ForEach([&](const IpPrefix&, const ScopeSet& set) {
+    bytes += set.scopes.capacity() * sizeof(std::pair<Protocol, PortRange>);
+  });
+  for (const auto& [group, set] : group_scopes_) {
+    (void)group;
+    bytes += set.scopes.capacity() * sizeof(std::pair<Protocol, PortRange>);
+  }
+  return bytes;
+}
+
 EdgeFilterBank::EdgeFilterBank(std::string domain, EventQueue* queue,
                                uint64_t rng_seed, EdgeFilterParams params)
     : domain_(std::move(domain)), queue_(queue), rng_(rng_seed),
       params_(params), cache_(params.verdict_cache_slots) {}
 
+EdgeFilterBank::~EdgeFilterBank() = default;
+
 size_t EdgeFilterBank::AddEdge(const std::string& name) {
-  edges_.push_back(EdgeState{name, {}, {}, 0});
+  edges_.push_back(EdgeState{name, {}, {}, {}, 0});
   return edges_.size() - 1;
 }
 
@@ -82,6 +100,69 @@ SimDuration EdgeFilterBank::SampleDeliveryLatency() {
   return latency + params_.degraded_extra;
 }
 
+uint32_t EdgeFilterBank::SlotFor(IpAddress endpoint) {
+  uint32_t slot = slots_.Lookup(endpoint);
+  if (slot != kNilId) {
+    return slot;
+  }
+  slot = static_cast<uint32_t>(slots_.size());
+  slots_.Insert(endpoint, slot);
+  slot_epoch_.push_back(0);
+  master_version_.push_back(0);
+  master_set_.push_back(kNilId);
+  return slot;
+}
+
+std::vector<IpAddress> EdgeFilterBank::SlotAddresses() const {
+  std::vector<IpAddress> addrs(slots_.size());
+  slots_.ForEach([&](IpAddress addr, uint32_t slot) { addrs[slot] = addr; });
+  return addrs;
+}
+
+std::vector<std::pair<IpAddress, uint32_t>>
+EdgeFilterBank::SortedMasterEndpoints() const {
+  std::vector<std::pair<IpAddress, uint32_t>> out;
+  slots_.ForEach([&](IpAddress addr, uint32_t slot) {
+    if (master_set_[slot] != kNilId) {
+      out.emplace_back(addr, slot);
+    }
+  });
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void EdgeFilterBank::ClearMasterSet(uint32_t slot) {
+  if (master_set_[slot] == kNilId) {
+    return;
+  }
+  sets_.Release(master_set_[slot]);
+  master_set_[slot] = kNilId;
+  --master_lists_;
+}
+
+void EdgeFilterBank::AssignMasterSet(uint32_t slot, uint32_t set_id) {
+  const uint32_t old = master_set_[slot];
+  if (old == set_id) {
+    sets_.Release(set_id);  // master already holds its reference
+    return;
+  }
+  if (old == kNilId) {
+    ++master_lists_;
+  } else {
+    sets_.Release(old);
+  }
+  master_set_[slot] = set_id;  // the caller's reference becomes the master's
+}
+
+void EdgeFilterBank::EnsureCompiled(uint32_t set_id) {
+  PermitSet& set = sets_.GetMutable(set_id);
+  if (set.compiled == nullptr) {
+    set.compiled = std::make_shared<const CompiledPermitList>(set.entries);
+    ++compiles_;
+  }
+}
+
 SimTime EdgeFilterBank::UpdatePermitList(
     IpAddress endpoint, std::vector<PermitEntry> add,
     const std::vector<PermitEntry>& remove) {
@@ -97,9 +178,9 @@ SimTime EdgeFilterBank::UpdatePermitList(
     return queue_ != nullptr ? queue_->now() : SimTime::Epoch();
   }
   std::vector<PermitEntry> merged;
-  auto it = latest_entries_.find(endpoint);
-  if (it != latest_entries_.end()) {
-    for (const PermitEntry& entry : it->second) {
+  const uint32_t slot = SlotOf(endpoint);
+  if (slot != kNilId && master_set_[slot] != kNilId) {
+    for (const PermitEntry& entry : sets_.Get(master_set_[slot]).entries) {
       if (std::find(remove.begin(), remove.end(), entry) == remove.end()) {
         merged.push_back(entry);
       }
@@ -123,8 +204,9 @@ SimTime EdgeFilterBank::SetPermitList(IpAddress endpoint,
     pending_ops_.push_back(std::move(op));
     return queue_ != nullptr ? queue_->now() : SimTime::Epoch();
   }
-  latest_entries_[endpoint] = std::move(entries);
-  return PushListTo(endpoint, latest_entries_[endpoint], AllEdgeIndices());
+  const uint32_t set_id =
+      sets_.Intern(PermitSet{std::move(entries), nullptr});
+  return PushListTo(endpoint, set_id, AllEdgeIndices());
 }
 
 std::vector<size_t> EdgeFilterBank::AllEdgeIndices() const {
@@ -135,31 +217,40 @@ std::vector<size_t> EdgeFilterBank::AllEdgeIndices() const {
   return all;
 }
 
-SimTime EdgeFilterBank::PushListTo(IpAddress endpoint,
-                                   const std::vector<PermitEntry>& entries,
+SimTime EdgeFilterBank::PushListTo(IpAddress endpoint, uint32_t set_id,
                                    const std::vector<size_t>& targets) {
-  uint64_t version = next_version_++;
-  latest_version_[endpoint] = version;
-  // Compile once; every edge's apply shares the same immutable matcher.
-  auto compiled = std::make_shared<const CompiledPermitList>(entries);
-  ++compiles_;
+  const uint32_t slot = SlotFor(endpoint);
+  const uint64_t version = next_version_++;
+  master_version_[slot] = version;
+  AssignMasterSet(slot, set_id);  // consumes the caller's reference
+  // Compile once per *distinct* list: interning means a byte-identical list
+  // installed for another endpoint — or re-pushed for this one — reuses the
+  // same immutable matcher, shared by every edge's apply.
+  EnsureCompiled(set_id);
   SimTime last_applied =
       queue_ != nullptr ? queue_->now() : SimTime::Epoch();
 
   for (size_t i : targets) {
     ++messages_;
-    auto apply = [this, i, endpoint, version, entries, compiled]() {
+    sets_.AddRef(set_id);  // in-flight reference, handed to the edge on apply
+    auto apply = [this, i, slot, set_id, version]() {
       EdgeState& edge = edges_[i];
-      auto it = edge.lists.find(endpoint);
-      if (it != edge.lists.end()) {
-        if (it->second.version >= version) {
-          return;  // stale update arrived after a newer one
-        }
-        edge.entry_count -= it->second.entries.size();
+      if (edge.list_set.size() <= slot) {
+        edge.list_version.resize(slot_epoch_.size(), 0);
+        edge.list_set.resize(slot_epoch_.size(), kNilId);
       }
-      edge.entry_count += entries.size();
-      edge.lists[endpoint] = InstalledList{version, entries, compiled};
-      BumpEndpointEpoch(endpoint);
+      if (edge.list_version[slot] >= version) {
+        sets_.Release(set_id);
+        return;  // stale update arrived after a newer one
+      }
+      if (edge.list_set[slot] != kNilId) {
+        edge.entry_count -= sets_.Get(edge.list_set[slot]).entries.size();
+        sets_.Release(edge.list_set[slot]);
+      }
+      edge.entry_count += sets_.Get(set_id).entries.size();
+      edge.list_set[slot] = set_id;
+      edge.list_version[slot] = version;
+      BumpEndpointEpoch(slot);
     };
     if (queue_ == nullptr) {
       apply();
@@ -180,20 +271,25 @@ void EdgeFilterBank::RemovePermitList(IpAddress endpoint) {
     pending_ops_.push_back(std::move(op));
     return;
   }
-  latest_version_.erase(endpoint);
-  latest_entries_.erase(endpoint);
+  const uint32_t slot = SlotOf(endpoint);
+  if (slot != kNilId) {
+    master_version_[slot] = 0;
+    ClearMasterSet(slot);
+  }
   bool removed_any = false;
   for (EdgeState& edge : edges_) {
-    auto it = edge.lists.find(endpoint);
-    if (it != edge.lists.end()) {
-      edge.entry_count -= it->second.entries.size();
-      edge.lists.erase(it);
+    if (slot != kNilId && slot < edge.list_set.size() &&
+        edge.list_set[slot] != kNilId) {
+      edge.entry_count -= sets_.Get(edge.list_set[slot]).entries.size();
+      sets_.Release(edge.list_set[slot]);
+      edge.list_set[slot] = kNilId;
+      edge.list_version[slot] = 0;
       removed_any = true;
     }
     ++messages_;
   }
   if (removed_any) {
-    BumpEndpointEpoch(endpoint);
+    BumpEndpointEpoch(slot);
   }
 }
 
@@ -212,11 +308,12 @@ bool EdgeFilterBank::Admits(size_t edge_index, const FiveTuple& flow) const {
 bool EdgeFilterBank::AdmitsUncached(size_t edge_index,
                                     const FiveTuple& flow) const {
   const EdgeState& edge = edges_[edge_index];
-  auto it = edge.lists.find(flow.dst);
-  if (it == edge.lists.end()) {
+  const uint32_t slot = slots_.Lookup(flow.dst);
+  if (slot == kNilId || slot >= edge.list_set.size() ||
+      edge.list_set[slot] == kNilId) {
     return false;  // default-off
   }
-  const CompiledPermitList& compiled = *it->second.compiled;
+  const CompiledPermitList& compiled = *sets_.Get(edge.list_set[slot]).compiled;
   if (compiled.PrefixAdmits(flow)) {
     return true;
   }
@@ -235,11 +332,12 @@ bool EdgeFilterBank::AdmitsUncached(size_t edge_index,
 bool EdgeFilterBank::AdmitsLinear(size_t edge_index,
                                   const FiveTuple& flow) const {
   const EdgeState& edge = edges_[edge_index];
-  auto it = edge.lists.find(flow.dst);
-  if (it == edge.lists.end()) {
+  const uint32_t slot = slots_.Lookup(flow.dst);
+  if (slot == kNilId || slot >= edge.list_set.size() ||
+      edge.list_set[slot] == kNilId) {
     return false;  // default-off
   }
-  for (const PermitEntry& entry : it->second.entries) {
+  for (const PermitEntry& entry : sets_.Get(edge.list_set[slot]).entries) {
     if (entry.source_group.valid()) {
       if (!entry.ScopeMatches(flow)) {
         continue;
@@ -320,23 +418,30 @@ void EdgeFilterBank::RemoveGroup(EndpointGroupId group) {
 }
 
 bool EdgeFilterBank::HasList(size_t edge_index, IpAddress endpoint) const {
-  return edges_[edge_index].lists.count(endpoint) > 0;
+  const EdgeState& edge = edges_[edge_index];
+  const uint32_t slot = slots_.Lookup(endpoint);
+  return slot != kNilId && slot < edge.list_set.size() &&
+         edge.list_set[slot] != kNilId;
 }
 
 bool EdgeFilterBank::IsConverged(IpAddress endpoint) const {
-  auto vit = latest_version_.find(endpoint);
-  if (vit == latest_version_.end()) {
+  const uint32_t slot = slots_.Lookup(endpoint);
+  const uint64_t latest = slot == kNilId ? 0 : master_version_[slot];
+  if (latest == 0) {
     // Converged means "gone everywhere".
+    if (slot == kNilId) {
+      return true;
+    }
     for (const EdgeState& edge : edges_) {
-      if (edge.lists.count(endpoint) > 0) {
+      if (slot < edge.list_set.size() && edge.list_set[slot] != kNilId) {
         return false;
       }
     }
     return true;
   }
   for (const EdgeState& edge : edges_) {
-    auto it = edge.lists.find(endpoint);
-    if (it == edge.lists.end() || it->second.version != vit->second) {
+    if (slot >= edge.list_version.size() ||
+        edge.list_version[slot] != latest) {
       return false;
     }
   }
@@ -352,23 +457,81 @@ uint64_t EdgeFilterBank::total_installed_entries() const {
 }
 
 // ---------------------------------------------------------------------------
+// Memory accounting (E10).
+// ---------------------------------------------------------------------------
+
+size_t EdgeFilterBank::ApproxBytes() const {
+  size_t bytes = slots_.ApproxBytes() +
+                 slot_epoch_.capacity() * sizeof(uint64_t) +
+                 master_version_.capacity() * sizeof(uint64_t) +
+                 master_set_.capacity() * sizeof(uint32_t);
+  for (const EdgeState& edge : edges_) {
+    bytes += edge.list_version.capacity() * sizeof(uint64_t) +
+             edge.list_set.capacity() * sizeof(uint32_t);
+  }
+  bytes += sets_.ApproxBytes();
+  sets_.ForEach([&](uint32_t, const PermitSet& set, uint32_t) {
+    bytes += set.entries.capacity() * sizeof(PermitEntry);
+    if (set.compiled != nullptr) {
+      bytes += set.compiled->ApproxBytes();
+    }
+  });
+  // Group replicas: per-member hash-set node cost, master + every edge.
+  constexpr size_t kSetNodeBytes = sizeof(IpAddress) + 2 * sizeof(void*);
+  for (const auto& [group, master] : latest_groups_) {
+    (void)group;
+    bytes += master.members.size() * kSetNodeBytes;
+  }
+  for (const EdgeState& edge : edges_) {
+    for (const auto& [group, state] : edge.groups) {
+      (void)group;
+      bytes += state.members.size() * kSetNodeBytes;
+    }
+  }
+  return bytes;
+}
+
+void EdgeFilterBank::ReserveEndpoints(size_t n) {
+  slots_.Reserve(n);
+  slot_epoch_.reserve(n);
+  master_version_.reserve(n);
+  master_set_.reserve(n);
+}
+
+void EdgeFilterBank::ShrinkToFit() {
+  slot_epoch_.shrink_to_fit();
+  master_version_.shrink_to_fit();
+  master_set_.shrink_to_fit();
+  for (EdgeState& edge : edges_) {
+    edge.list_version.shrink_to_fit();
+    edge.list_set.shrink_to_fit();
+  }
+}
+
+void EdgeFilterBank::PublishMemoryGauges(MetricRegistry& metrics) const {
+  metrics.GetGauge(domain_ + ".filter.approx_bytes")
+      .Set(static_cast<double>(ApproxBytes()));
+  metrics.GetGauge(domain_ + ".filter.endpoint_slots")
+      .Set(static_cast<double>(slots_.size()));
+  metrics.GetGauge(domain_ + ".filter.distinct_permit_sets")
+      .Set(static_cast<double>(sets_.size()));
+  metrics.GetGauge(domain_ + ".filter.installed_entries")
+      .Set(static_cast<double>(total_installed_entries()));
+}
+
+// ---------------------------------------------------------------------------
 // Warm restart.
 // ---------------------------------------------------------------------------
 
 FilterBankSnapshot EdgeFilterBank::Checkpoint() const {
   FilterBankSnapshot snap;
   snap.next_version = next_version_;
-  snap.lists.reserve(latest_entries_.size());
-  for (const auto& [endpoint, entries] : latest_entries_) {
-    uint64_t version = 0;
-    auto vit = latest_version_.find(endpoint);
-    if (vit != latest_version_.end()) {
-      version = vit->second;
-    }
-    snap.lists.push_back(FilterBankSnapshot::List{endpoint, version, entries});
+  const auto masters = SortedMasterEndpoints();
+  snap.lists.reserve(masters.size());
+  for (const auto& [endpoint, slot] : masters) {
+    snap.lists.push_back(FilterBankSnapshot::List{
+        endpoint, master_version_[slot], sets_.Get(master_set_[slot]).entries});
   }
-  std::sort(snap.lists.begin(), snap.lists.end(),
-            [](const auto& a, const auto& b) { return a.endpoint < b.endpoint; });
   snap.groups.reserve(latest_groups_.size());
   for (const auto& [group, master] : latest_groups_) {
     std::vector<IpAddress> members(master.members.begin(),
@@ -383,12 +546,15 @@ FilterBankSnapshot EdgeFilterBank::Checkpoint() const {
 }
 
 void EdgeFilterBank::RestoreFromSnapshot(const FilterBankSnapshot& snap) {
-  latest_entries_.clear();
-  latest_version_.clear();
+  for (uint32_t slot = 0; slot < master_set_.size(); ++slot) {
+    master_version_[slot] = 0;
+    ClearMasterSet(slot);
+  }
   latest_groups_.clear();
   for (const FilterBankSnapshot::List& list : snap.lists) {
-    latest_entries_[list.endpoint] = list.entries;
-    latest_version_[list.endpoint] = list.version;
+    const uint32_t slot = SlotFor(list.endpoint);
+    AssignMasterSet(slot, sets_.Intern(PermitSet{list.entries, nullptr}));
+    master_version_[slot] = list.version;
   }
   for (const FilterBankSnapshot::Group& group : snap.groups) {
     latest_groups_[group.group] = MasterGroup{
@@ -409,21 +575,24 @@ void EdgeFilterBank::BeginRestart() {
   // The process is gone: volatile master state with it. Edge (data-plane)
   // state and in-flight applies survive; next_version_ models a monotonic
   // version fountain (provider-durable), see RestoreFromSnapshot.
-  latest_entries_.clear();
-  latest_version_.clear();
+  for (uint32_t slot = 0; slot < master_set_.size(); ++slot) {
+    master_version_[slot] = 0;
+    ClearMasterSet(slot);
+  }
   latest_groups_.clear();
 }
 
 void EdgeFilterBank::ApplyOpToMaster(const PendingOp& op) {
   switch (op.kind) {
     case PendingOp::Kind::kSetList:
-      latest_entries_[op.endpoint] = op.entries;
+      AssignMasterSet(SlotFor(op.endpoint),
+                      sets_.Intern(PermitSet{op.entries, nullptr}));
       break;
     case PendingOp::Kind::kUpdateList: {
+      const uint32_t slot = SlotFor(op.endpoint);
       std::vector<PermitEntry> merged;
-      auto it = latest_entries_.find(op.endpoint);
-      if (it != latest_entries_.end()) {
-        for (const PermitEntry& entry : it->second) {
+      if (master_set_[slot] != kNilId) {
+        for (const PermitEntry& entry : sets_.Get(master_set_[slot]).entries) {
           if (std::find(op.removes.begin(), op.removes.end(), entry) ==
               op.removes.end()) {
             merged.push_back(entry);
@@ -435,13 +604,17 @@ void EdgeFilterBank::ApplyOpToMaster(const PendingOp& op) {
           merged.push_back(entry);
         }
       }
-      latest_entries_[op.endpoint] = std::move(merged);
+      AssignMasterSet(slot, sets_.Intern(PermitSet{std::move(merged), nullptr}));
       break;
     }
-    case PendingOp::Kind::kRemoveList:
-      latest_entries_.erase(op.endpoint);
-      latest_version_.erase(op.endpoint);
+    case PendingOp::Kind::kRemoveList: {
+      const uint32_t slot = SlotOf(op.endpoint);
+      if (slot != kNilId) {
+        master_version_[slot] = 0;
+        ClearMasterSet(slot);
+      }
       break;
+    }
     case PendingOp::Kind::kSetGroup:
       latest_groups_[op.group] = MasterGroup{
           0, std::unordered_set<IpAddress>(op.members.begin(),
@@ -463,15 +636,6 @@ ReconcileStats EdgeFilterBank::CompleteRestart(RestartMode mode,
   ops.swap(pending_ops_);
   stats.replayed_mutations = ops.size();
 
-  auto sorted_endpoints = [this] {
-    std::vector<IpAddress> endpoints;
-    endpoints.reserve(latest_entries_.size());
-    for (const auto& [endpoint, entries] : latest_entries_) {
-      endpoints.push_back(endpoint);
-    }
-    std::sort(endpoints.begin(), endpoints.end());
-    return endpoints;
-  };
   auto sorted_groups = [this] {
     std::vector<EndpointGroupId> groups;
     groups.reserve(latest_groups_.size());
@@ -492,8 +656,16 @@ ReconcileStats EdgeFilterBank::CompleteRestart(RestartMode mode,
     }
     bool flushed_any = false;
     for (EdgeState& edge : edges_) {
-      flushed_any |= !edge.lists.empty() || !edge.groups.empty();
-      edge.lists.clear();
+      for (uint32_t slot = 0; slot < edge.list_set.size(); ++slot) {
+        if (edge.list_set[slot] == kNilId) {
+          continue;
+        }
+        sets_.Release(edge.list_set[slot]);
+        edge.list_set[slot] = kNilId;
+        edge.list_version[slot] = 0;
+        flushed_any = true;
+      }
+      flushed_any |= !edge.groups.empty();
       edge.groups.clear();
       edge.entry_count = 0;
     }
@@ -501,10 +673,11 @@ ReconcileStats EdgeFilterBank::CompleteRestart(RestartMode mode,
       BumpGlobalEpoch();  // every cached verdict is now unfounded
     }
     std::vector<size_t> all = AllEdgeIndices();
-    for (IpAddress endpoint : sorted_endpoints()) {
+    for (const auto& [endpoint, slot] : SortedMasterEndpoints()) {
       stats.deltas_applied += all.size();
+      sets_.AddRef(master_set_[slot]);  // PushListTo consumes one reference
       stats.converged_at = std::max(
-          stats.converged_at, PushListTo(endpoint, latest_entries_[endpoint], all));
+          stats.converged_at, PushListTo(endpoint, master_set_[slot], all));
     }
     for (EndpointGroupId group : sorted_groups()) {
       stats.deltas_applied += all.size();
@@ -549,25 +722,27 @@ ReconcileStats EdgeFilterBank::CompleteRestart(RestartMode mode,
   }
 
   // ...then diff the restored intent against live edge state and re-push
-  // only mismatches. Edges already holding the intended entries are left
+  // only mismatches. Interned set ids are canonical, so an id compare *is*
+  // a content compare. Edges already holding the intended entries are left
   // alone — no message, no epoch bump, their cached verdicts survive.
-  for (IpAddress endpoint : sorted_endpoints()) {
+  for (const auto& [endpoint, slot] : SortedMasterEndpoints()) {
     if (replayed_lists.contains(endpoint)) {
       continue;  // already converging via the replay above
     }
-    const std::vector<PermitEntry>& entries = latest_entries_[endpoint];
+    const uint32_t want = master_set_[slot];
     std::vector<size_t> lagging;
     for (size_t i = 0; i < edges_.size(); ++i) {
       ++stats.checked;
-      auto it = edges_[i].lists.find(endpoint);
-      if (it == edges_[i].lists.end() || it->second.entries != entries) {
+      const EdgeState& edge = edges_[i];
+      if (slot >= edge.list_set.size() || edge.list_set[slot] != want) {
         lagging.push_back(i);
       }
     }
     if (!lagging.empty()) {
       stats.deltas_applied += lagging.size();
+      sets_.AddRef(want);  // PushListTo consumes one reference
       stats.converged_at =
-          std::max(stats.converged_at, PushListTo(endpoint, entries, lagging));
+          std::max(stats.converged_at, PushListTo(endpoint, want, lagging));
     }
   }
   for (EndpointGroupId group : sorted_groups()) {
@@ -593,14 +768,18 @@ ReconcileStats EdgeFilterBank::CompleteRestart(RestartMode mode,
 
   // Orphan sweep: state still installed on edges with no master intent (the
   // snapshot predates its removal). The removal paths are the delta ops.
+  const std::vector<IpAddress> addr_of = SlotAddresses();
   std::vector<IpAddress> orphan_lists;
   std::vector<EndpointGroupId> orphan_groups;
   for (const EdgeState& edge : edges_) {
-    for (const auto& [endpoint, list] : edge.lists) {
+    for (uint32_t slot = 0; slot < edge.list_set.size(); ++slot) {
+      if (edge.list_set[slot] == kNilId) {
+        continue;
+      }
       ++stats.checked;
-      if (latest_entries_.find(endpoint) == latest_entries_.end() &&
-          !replayed_lists.contains(endpoint)) {
-        orphan_lists.push_back(endpoint);
+      if (master_set_[slot] == kNilId &&
+          !replayed_lists.contains(addr_of[slot])) {
+        orphan_lists.push_back(addr_of[slot]);
       }
     }
     for (const auto& [group, state] : edge.groups) {
@@ -645,14 +824,9 @@ std::string EdgeFilterBank::StateFingerprint() const {
     return out;
   };
   std::string out;
-  std::vector<IpAddress> endpoints;
-  for (const auto& [endpoint, entries] : latest_entries_) {
-    endpoints.push_back(endpoint);
-  }
-  std::sort(endpoints.begin(), endpoints.end());
-  for (IpAddress endpoint : endpoints) {
+  for (const auto& [endpoint, slot] : SortedMasterEndpoints()) {
     out += "M " + endpoint.ToString() + " " +
-           entries_fp(latest_entries_.at(endpoint)) + "\n";
+           entries_fp(sets_.Get(master_set_[slot]).entries) + "\n";
   }
   std::vector<EndpointGroupId> groups;
   for (const auto& [group, master] : latest_groups_) {
@@ -669,16 +843,20 @@ std::string EdgeFilterBank::StateFingerprint() const {
     }
     out += "]\n";
   }
+  const std::vector<IpAddress> addr_of = SlotAddresses();
   for (size_t i = 0; i < edges_.size(); ++i) {
     const EdgeState& edge = edges_[i];
-    std::vector<IpAddress> edge_endpoints;
-    for (const auto& [endpoint, list] : edge.lists) {
-      edge_endpoints.push_back(endpoint);
+    std::vector<std::pair<IpAddress, uint32_t>> installed;
+    for (uint32_t slot = 0; slot < edge.list_set.size(); ++slot) {
+      if (edge.list_set[slot] != kNilId) {
+        installed.emplace_back(addr_of[slot], edge.list_set[slot]);
+      }
     }
-    std::sort(edge_endpoints.begin(), edge_endpoints.end());
-    for (IpAddress endpoint : edge_endpoints) {
+    std::sort(installed.begin(), installed.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [endpoint, set_id] : installed) {
       out += "E" + std::to_string(i) + " " + endpoint.ToString() + " " +
-             entries_fp(edge.lists.at(endpoint).entries) + "\n";
+             entries_fp(sets_.Get(set_id).entries) + "\n";
     }
     std::vector<EndpointGroupId> edge_groups;
     for (const auto& [group, state] : edge.groups) {

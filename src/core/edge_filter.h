@@ -20,6 +20,18 @@
 // cached entry point; AdmitsUncached() always evaluates the compiled
 // matcher; AdmitsLinear() is the original O(entries) reference kept for
 // equivalence tests and as the bench baseline.
+//
+// Memory model (PR 8, the million-endpoint diet): endpoints map to dense
+// slots via an open-addressed AddrIndex, and everything per-endpoint is a
+// struct-of-arrays column indexed by slot — the bank-wide verdict epoch and
+// master version/set columns, and per edge a version column plus a 4-byte
+// interned set id. Permit-entry lists themselves are refcounted and
+// deduplicated in an InternPool: the master copy, every edge replica and
+// every in-flight install of the same byte-identical list share one
+// std::vector<PermitEntry> and one compiled matcher. Per endpoint per edge
+// the steady-state cost is 12 bytes, vs a ~56-byte unordered_map node plus
+// a private entries vector before the diet. ApproxBytes() feeds E10's
+// bytes/endpoint records and the telemetry gauges.
 
 #ifndef TENANTNET_SRC_CORE_EDGE_FILTER_H_
 #define TENANTNET_SRC_CORE_EDGE_FILTER_H_
@@ -34,6 +46,7 @@
 #include "src/common/ids.h"
 #include "src/common/reconcile.h"
 #include "src/common/rng.h"
+#include "src/common/slab.h"
 #include "src/common/status.h"
 #include "src/common/time.h"
 #include "src/net/flow.h"
@@ -42,6 +55,8 @@
 #include "src/sim/event_queue.h"
 
 namespace tenantnet {
+
+class MetricRegistry;
 
 // Endpoint groups: the §4 extension replacing the VPC's role as a grouping
 // mechanism. A permit entry may reference a group instead of a prefix; the
@@ -123,6 +138,9 @@ class CompiledPermitList {
 
   size_t prefix_node_count() const { return prefix_index_.node_count(); }
 
+  // Matcher footprint (trie arena + scope heap), for E10 accounting.
+  size_t ApproxBytes() const;
+
  private:
   LpmTrie<ScopeSet> prefix_index_;
   std::vector<std::pair<EndpointGroupId, ScopeSet>> group_scopes_;
@@ -184,6 +202,7 @@ class EdgeFilterBank {
   // benches that account latency analytically).
   EdgeFilterBank(std::string domain, EventQueue* queue, uint64_t rng_seed,
                  EdgeFilterParams params = {});
+  ~EdgeFilterBank();
 
   // Registers an ingress edge; returns its index.
   size_t AddEdge(const std::string& name);
@@ -191,8 +210,8 @@ class EdgeFilterBank {
 
   // Replaces the permit list for `endpoint` on every edge. Returns the
   // simulated time at which the *last* edge has applied it (== now when no
-  // queue is attached). The list is compiled once per update and the
-  // compiled form shared by every edge's apply.
+  // queue is attached). The list is interned — identical lists anywhere in
+  // the bank share storage and a single compiled matcher.
   SimTime SetPermitList(IpAddress endpoint, std::vector<PermitEntry> entries);
 
   // Incremental update (API extension): adds `add` and removes entries
@@ -282,9 +301,26 @@ class EdgeFilterBank {
   // --- Scale metrics --------------------------------------------------------
   uint64_t total_installed_entries() const;       // sum over edges
   uint64_t update_messages_sent() const { return messages_; }
-  uint64_t endpoints_with_lists() const { return latest_version_.size(); }
+  uint64_t endpoints_with_lists() const { return master_lists_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
   uint64_t retransmissions() const { return retransmissions_; }
+
+  // --- Memory accounting (E10) ---------------------------------------------
+  // Resident footprint of the bank's endpoint-indexed state: slot index,
+  // SoA columns (bank-wide and per edge), interned permit sets including
+  // their compiled matchers, and group replicas. Capacity-based.
+  size_t ApproxBytes() const;
+  // Distinct interned permit lists alive (master + edges + in flight).
+  size_t distinct_permit_sets() const { return sets_.size(); }
+  size_t endpoint_slots() const { return slots_.size(); }
+  // Pre-sizes the slot index and columns for `n` endpoints.
+  void ReserveEndpoints(size_t n);
+  // Drops growth slack in the index/columns before measuring.
+  void ShrinkToFit();
+  // Writes the bank's memory gauges ("<domain>.filter.approx_bytes",
+  // ".endpoint_slots", ".distinct_permit_sets", ".installed_entries") into
+  // a telemetry registry.
+  void PublishMemoryGauges(MetricRegistry& metrics) const;
 
   // --- Verdict fast-path introspection -------------------------------------
   const VerdictCacheStats& verdict_cache_stats() const {
@@ -293,23 +329,45 @@ class EdgeFilterBank {
   void ResetVerdictCacheStats() { cache_.ResetStats(); }
   // Drops all memoized verdicts (benches: cold-start measurement).
   void ClearVerdictCache() { cache_.Clear(); }
+  // Distinct-list compilations performed. Interning dedupes: re-installing
+  // a byte-identical list anywhere reuses the existing matcher for free.
   uint64_t permit_compiles() const { return compiles_; }
   uint64_t verdict_epoch() const { return gen_; }
 
  private:
-  struct InstalledList {
-    uint64_t version = 0;
+  // An interned permit list. Equality/hash cover `entries` only; `compiled`
+  // is a lazily built cache shared by every holder of the set.
+  struct PermitSet {
     std::vector<PermitEntry> entries;
-    // Shared across edges: compiled once per SetPermitList.
     std::shared_ptr<const CompiledPermitList> compiled;
+    friend bool operator==(const PermitSet& a, const PermitSet& b) {
+      return a.entries == b.entries;
+    }
   };
+  struct PermitSetHash {
+    size_t operator()(const PermitSet& set) const {
+      size_t h = 1469598103934665603ull;
+      for (const PermitEntry& e : set.entries) {
+        h = h * 1099511628211ull ^ std::hash<IpPrefix>{}(e.source);
+        h = h * 1099511628211ull ^ e.source_group.value();
+        h = h * 1099511628211ull ^
+            (static_cast<size_t>(e.dst_ports.lo) << 16 | e.dst_ports.hi);
+        h = h * 1099511628211ull ^ static_cast<size_t>(e.proto);
+      }
+      return h;
+    }
+  };
+
   struct GroupState {
     uint64_t version = 0;
     std::unordered_set<IpAddress> members;
   };
   struct EdgeState {
     std::string name;
-    std::unordered_map<IpAddress, InstalledList> lists;
+    // Struct-of-arrays, indexed by endpoint slot (grown lazily): installed
+    // list version (0 = none) and interned set id (kNilId = none).
+    std::vector<uint64_t> list_version;
+    std::vector<uint32_t> list_set;
     std::unordered_map<EndpointGroupId, GroupState> groups;
     uint64_t entry_count = 0;
   };
@@ -362,8 +420,11 @@ class EdgeFilterBank {
   SimDuration SampleDeliveryLatency();
 
   // Sends one list install to a subset of edges (the shared fan-out core of
-  // SetPermitList and the warm reconcile sweep). Returns last apply time.
-  SimTime PushListTo(IpAddress endpoint, const std::vector<PermitEntry>& entries,
+  // SetPermitList and the warm reconcile sweep). Consumes one reference on
+  // `set_id` (the caller's), assigns a fresh version to the master slot,
+  // and takes per-message references for the in-flight applies. Returns
+  // last apply time.
+  SimTime PushListTo(IpAddress endpoint, uint32_t set_id,
                      const std::vector<size_t>& targets);
   SimTime PushGroupTo(EndpointGroupId group,
                       const std::unordered_set<IpAddress>& members,
@@ -373,9 +434,26 @@ class EdgeFilterBank {
   // the data plane afterwards in one pass).
   void ApplyOpToMaster(const PendingOp& op);
 
+  // Dense slot for an endpoint address, creating it (and growing the
+  // bank-wide columns) on first sight. Slots are never recycled: the
+  // verdict epoch column must survive list removal and restarts.
+  uint32_t SlotFor(IpAddress endpoint);
+  uint32_t SlotOf(IpAddress endpoint) const { return slots_.Lookup(endpoint); }
+  // slot -> address (transient, for the rare sorted sweeps/fingerprints).
+  std::vector<IpAddress> SlotAddresses() const;
+  // Master endpoints (slots holding a master set), sorted by address.
+  std::vector<std::pair<IpAddress, uint32_t>> SortedMasterEndpoints() const;
+
+  // Drops the master set reference for `slot`, if any.
+  void ClearMasterSet(uint32_t slot);
+  // Replaces the master set for `slot`, consuming the caller's reference.
+  void AssignMasterSet(uint32_t slot, uint32_t set_id);
+  // Compiles the set's matcher if this distinct list has never compiled.
+  void EnsureCompiled(uint32_t set_id);
+
   // Epoch bumps, called at *apply* time (when edge state actually changes).
-  void BumpEndpointEpoch(IpAddress endpoint) {
-    ++endpoint_epoch_[endpoint];
+  void BumpEndpointEpoch(uint32_t slot) {
+    ++slot_epoch_[slot];
     ++gen_;
   }
   void BumpGlobalEpoch() {
@@ -383,8 +461,8 @@ class EdgeFilterBank {
     ++gen_;
   }
   uint64_t EndpointEpochOf(IpAddress endpoint) const {
-    auto it = endpoint_epoch_.find(endpoint);
-    return it == endpoint_epoch_.end() ? 0 : it->second;
+    const uint32_t slot = slots_.Lookup(endpoint);
+    return slot == kNilId ? 0 : slot_epoch_[slot];
   }
 
   std::string domain_;
@@ -395,9 +473,17 @@ class EdgeFilterBank {
   uint64_t messages_dropped_ = 0;
   uint64_t retransmissions_ = 0;
   std::vector<EdgeState> edges_;
-  // The control plane's master copy (edges may lag behind it).
-  std::unordered_map<IpAddress, std::vector<PermitEntry>> latest_entries_;
-  std::unordered_map<IpAddress, uint64_t> latest_version_;
+
+  // Endpoint slot index + bank-wide SoA columns (all sized to slot count).
+  AddrIndex slots_;
+  std::vector<uint64_t> slot_epoch_;      // verdict epoch; survives restarts
+  std::vector<uint64_t> master_version_;  // control-plane master; 0 = none
+  std::vector<uint32_t> master_set_;      // interned master list; kNilId = none
+  uint64_t master_lists_ = 0;             // slots with master_version_ != 0
+
+  // Interned permit lists shared by master, edges and in-flight applies.
+  InternPool<PermitSet, PermitSetHash> sets_;
+
   std::unordered_map<EndpointGroupId, MasterGroup> latest_groups_;
   uint64_t next_version_ = 1;
   uint64_t messages_ = 0;
@@ -409,7 +495,6 @@ class EdgeFilterBank {
   // Verdict fast path. Scoped epochs: list applies/removals bump the
   // endpoint's epoch, group applies/removals bump the bank-wide one; gen_
   // moves with every bump so validated slots hit with one integer compare.
-  std::unordered_map<IpAddress, uint64_t> endpoint_epoch_;
   uint64_t global_epoch_ = 0;
   uint64_t gen_ = 0;
   uint64_t compiles_ = 0;

@@ -179,24 +179,49 @@ bool BgpMesh::Better(const BgpRoute& candidate,
   return candidate.learned_from.value() < incumbent.learned_from.value();
 }
 
+bool BgpMesh::EntryBetter(const AdjEntry& a, const AdjEntry& b) const {
+  if (a.local_pref != b.local_pref) {
+    return a.local_pref > b.local_pref;
+  }
+  const size_t alen = paths_.Get(a.path_id).size();
+  const size_t blen = paths_.Get(b.path_id).size();
+  if (alen != blen) {
+    return alen < blen;
+  }
+  const uint32_t aasn = Get(SpeakerId(a.peer)).asn;
+  const uint32_t basn = Get(SpeakerId(b.peer)).asn;
+  if (aasn != basn) {
+    return aasn < basn;
+  }
+  return a.peer < b.peer;
+}
+
 std::optional<BgpRoute> BgpMesh::SelectBest(const Speaker& s,
                                             const IpPrefix& prefix) const {
-  std::optional<BgpRoute> best;
-  if (s.originated.count(prefix) > 0) {
-    BgpRoute local;
-    local.prefix = prefix;
-    local.local_pref = 100;
-    best = std::move(local);
-  }
+  const AdjEntry* best = nullptr;
   auto it = s.adj_rib_in.find(prefix);
   if (it != s.adj_rib_in.end()) {
-    for (const auto& [peer, route] : it->second) {
-      if (!best.has_value() || Better(route, *best)) {
-        best = route;
+    for (const AdjEntry& entry : adj_slab_.Get(it->second)) {
+      if (best == nullptr || EntryBetter(entry, *best)) {
+        best = &entry;
       }
     }
   }
-  return best;
+  if (s.originated.count(prefix) > 0) {
+    // Local origination: local_pref 100, empty as_path. Every retained
+    // advertisement has at least the sender's ASN on its path, so under
+    // Better() the local route loses only to a higher local_pref.
+    if (best == nullptr || best->local_pref <= 100) {
+      BgpRoute local;
+      local.prefix = prefix;
+      local.local_pref = 100;
+      return local;
+    }
+  }
+  if (best == nullptr) {
+    return std::nullopt;
+  }
+  return Materialize(prefix, *best);
 }
 
 void BgpMesh::MarkDirty(size_t speaker_index, const IpPrefix& prefix) {
@@ -232,14 +257,25 @@ void BgpMesh::DeliverUpdate(size_t receiver_index, SpeakerId from,
       route.local_pref = policy.import_local_pref;
     }
   }
-  auto& per_peer = receiver.adj_rib_in[route.prefix];
-  auto it = per_peer.find(from.value());
-  if (it != per_peer.end() && it->second == route) {
-    return;  // unchanged: no re-selection needed
+  const uint32_t path_id = paths_.Intern(std::move(route.as_path));
+  auto [it, inserted] = receiver.adj_rib_in.try_emplace(route.prefix, kNilId);
+  if (inserted) {
+    it->second = adj_slab_.Alloc();
   }
-  IpPrefix prefix = route.prefix;
-  per_peer[from.value()] = std::move(route);
-  MarkDirty(receiver_index, prefix);
+  std::vector<AdjEntry>& entries = adj_slab_.Get(it->second);
+  if (AdjEntry* existing = FindEntry(entries, from.value())) {
+    if (existing->path_id == path_id &&
+        existing->local_pref == route.local_pref) {
+      paths_.Release(path_id);  // the Intern above double-counted it
+      return;                   // unchanged: no re-selection needed
+    }
+    paths_.Release(existing->path_id);
+    existing->path_id = path_id;
+    existing->local_pref = route.local_pref;
+  } else {
+    entries.push_back(AdjEntry{from.value(), path_id, route.local_pref});
+  }
+  MarkDirty(receiver_index, route.prefix);
 }
 
 void BgpMesh::DeliverWithdraw(size_t receiver_index, SpeakerId from,
@@ -249,10 +285,16 @@ void BgpMesh::DeliverWithdraw(size_t receiver_index, SpeakerId from,
   if (it == receiver.adj_rib_in.end()) {
     return;
   }
-  if (it->second.erase(from.value()) == 0) {
+  std::vector<AdjEntry>& entries = adj_slab_.Get(it->second);
+  AdjEntry* entry = FindEntry(entries, from.value());
+  if (entry == nullptr) {
     return;
   }
-  if (it->second.empty()) {
+  paths_.Release(entry->path_id);
+  *entry = entries.back();
+  entries.pop_back();
+  if (entries.empty()) {
+    adj_slab_.Free(it->second);
     receiver.adj_rib_in.erase(it);
   }
   MarkDirty(receiver_index, prefix);
@@ -281,11 +323,30 @@ void BgpMesh::FlushLearnedFrom(SpeakerId at, SpeakerId peer) {
   Speaker& s = Get(at);
   size_t at_index = at.value() - 1;
   for (auto it = s.adj_rib_in.begin(); it != s.adj_rib_in.end();) {
-    if (it->second.erase(peer.value()) > 0) {
+    std::vector<AdjEntry>& entries = adj_slab_.Get(it->second);
+    if (AdjEntry* entry = FindEntry(entries, peer.value())) {
+      paths_.Release(entry->path_id);
+      *entry = entries.back();
+      entries.pop_back();
       MarkDirty(at_index, it->first);
     }
-    it = it->second.empty() ? s.adj_rib_in.erase(it) : std::next(it);
+    if (entries.empty()) {
+      adj_slab_.Free(it->second);
+      it = s.adj_rib_in.erase(it);
+    } else {
+      ++it;
+    }
   }
+}
+
+void BgpMesh::ClearAdjRib(Speaker& s) {
+  for (const auto& [prefix, bucket] : s.adj_rib_in) {
+    for (const AdjEntry& entry : adj_slab_.Get(bucket)) {
+      paths_.Release(entry.path_id);
+    }
+    adj_slab_.Free(bucket);
+  }
+  s.adj_rib_in.clear();
 }
 
 BgpMesh::ConvergenceStats BgpMesh::Converge(uint64_t max_rounds) {
@@ -393,7 +454,7 @@ BgpMesh::ConvergenceStats BgpMesh::ConvergeFull(uint64_t max_rounds) {
       RecordPreDelta(i, prefix, route);
     }
     s.loc_rib.clear();
-    s.adj_rib_in.clear();
+    ClearAdjRib(s);
     dirty_[i].clear();
   }
   pending_work_ = 0;
@@ -442,11 +503,33 @@ size_t BgpMesh::TotalRibEntries() const {
 size_t BgpMesh::TotalAdjRibInEntries() const {
   size_t total = 0;
   for (const Speaker& s : speakers_) {
-    for (const auto& [prefix, per_peer] : s.adj_rib_in) {
-      total += per_peer.size();
+    for (const auto& [prefix, bucket] : s.adj_rib_in) {
+      total += adj_slab_.Get(bucket).size();
     }
   }
   return total;
+}
+
+size_t BgpMesh::ApproxBytes() const {
+  // unordered_map node: hash-next pointer + key + mapped (+ bucket array).
+  constexpr size_t kMapNodeBytes =
+      sizeof(void*) + sizeof(IpPrefix) + sizeof(uint32_t) + sizeof(void*);
+  size_t bytes = adj_slab_.ApproxBytes() + paths_.ApproxBytes();
+  paths_.ForEach([&](uint32_t, const std::vector<uint32_t>& path, uint32_t) {
+    bytes += path.capacity() * sizeof(uint32_t);
+  });
+  for (const Speaker& s : speakers_) {
+    bytes += s.adj_rib_in.size() * kMapNodeBytes;
+    for (const auto& [prefix, bucket] : s.adj_rib_in) {
+      bytes += adj_slab_.Get(bucket).capacity() * sizeof(AdjEntry);
+    }
+    // std::map node: parent/left/right pointers + color + key + value.
+    for (const auto& [prefix, route] : s.loc_rib) {
+      bytes += 3 * sizeof(void*) + sizeof(size_t) + sizeof(IpPrefix) +
+               sizeof(BgpRoute) + route.as_path.capacity() * sizeof(uint32_t);
+    }
+  }
+  return bytes;
 }
 
 std::vector<std::vector<RibDelta>> BgpMesh::TakeDeltas() {
@@ -504,9 +587,11 @@ BgpMeshSnapshot BgpMesh::Checkpoint() const {
     const Speaker& s = speakers_[i];
     BgpMeshSnapshot::SpeakerRibs& out = snap.speakers[i];
     out.adj_rib_in.reserve(s.adj_rib_in.size());
-    for (const auto& [prefix, per_peer] : s.adj_rib_in) {
-      std::vector<std::pair<uint64_t, BgpRoute>> peers(per_peer.begin(),
-                                                       per_peer.end());
+    for (const auto& [prefix, bucket] : s.adj_rib_in) {
+      std::vector<std::pair<uint64_t, BgpRoute>> peers;
+      for (const AdjEntry& entry : adj_slab_.Get(bucket)) {
+        peers.emplace_back(entry.peer, Materialize(prefix, entry));
+      }
       std::sort(peers.begin(), peers.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
       out.adj_rib_in.emplace_back(prefix, std::move(peers));
@@ -523,12 +608,15 @@ void BgpMesh::RestoreFromSnapshot(const BgpMeshSnapshot& snap) {
   for (size_t i = 0; i < n; ++i) {
     Speaker& s = speakers_[i];
     const BgpMeshSnapshot::SpeakerRibs& in = snap.speakers[i];
-    s.adj_rib_in.clear();
+    ClearAdjRib(s);
     for (const auto& [prefix, peers] : in.adj_rib_in) {
-      auto& per_peer = s.adj_rib_in[prefix];
+      std::vector<AdjEntry> entries;
+      entries.reserve(peers.size());
       for (const auto& [peer, route] : peers) {
-        per_peer.emplace(peer, route);
+        entries.push_back(
+            AdjEntry{peer, paths_.Intern(route.as_path), route.local_pref});
       }
+      s.adj_rib_in.emplace(prefix, adj_slab_.Alloc(std::move(entries)));
     }
     s.loc_rib.clear();
     s.loc_rib.insert(in.loc_rib.begin(), in.loc_rib.end());
@@ -571,20 +659,21 @@ uint64_t BgpMesh::ReconcileFromSnapshot(const BgpMeshSnapshot& snap) {
           suspect.insert(prefix);
           continue;
         }
-        if (it->second.size() != peers.size()) {
+        std::vector<AdjEntry>& entries = adj_slab_.Get(it->second);
+        if (entries.size() != peers.size()) {
           suspect.insert(prefix);
           continue;
         }
         for (const auto& [peer, route] : peers) {
-          auto pit = it->second.find(peer);
-          if (pit == it->second.end() || !(pit->second == route)) {
+          const AdjEntry* entry = FindEntry(entries, peer);
+          if (entry == nullptr || !(Materialize(prefix, *entry) == route)) {
             suspect.insert(prefix);
             break;
           }
         }
       }
     }
-    for (const auto& [prefix, per_peer] : s.adj_rib_in) {
+    for (const auto& [prefix, bucket] : s.adj_rib_in) {
       if (snap_adj_seen.count(prefix) == 0) {
         suspect.insert(prefix);
       }

@@ -47,6 +47,7 @@
 
 #include "src/common/ids.h"
 #include "src/common/reconcile.h"
+#include "src/common/slab.h"
 #include "src/common/status.h"
 #include "src/net/ip.h"
 
@@ -181,6 +182,15 @@ class BgpMesh {
   // incremental engine pays for sound implicit withdraws).
   size_t TotalAdjRibInEntries() const;
 
+  // Resident footprint of the mesh's routing state (E10): Adj-RIB-In
+  // buckets + 16-byte compact entries, the interned AS-path pool, and the
+  // Loc-RIBs. Capacity-based, feeds the telemetry gauges.
+  size_t ApproxBytes() const;
+
+  // Distinct AS paths alive in the mesh-wide intern pool. Most routes in a
+  // realistic mesh share a handful of paths; this is the dedup win.
+  size_t distinct_as_paths() const { return paths_.size(); }
+
   // --- Delta API -----------------------------------------------------------
 
   // Net per-speaker Loc-RIB changes since the previous TakeDeltas() call,
@@ -239,6 +249,25 @@ class BgpMesh {
     SpeakerId peer;
     SessionPolicy policy;  // applied in the owner -> peer direction
   };
+  // One retained advertisement, 16 bytes. The stored BgpRoute is implicit:
+  // its prefix is the bucket key, its learned_from is SpeakerId(peer) (the
+  // delivery paths always set them that way), and its as_path lives in the
+  // mesh-wide intern pool — most routes share a handful of paths, so each
+  // distinct path costs its bytes once.
+  struct AdjEntry {
+    uint64_t peer = 0;        // sender speaker value
+    uint32_t path_id = 0;     // paths_ intern id (one reference held)
+    uint32_t local_pref = 0;  // post import policy
+  };
+  struct PathHash {
+    size_t operator()(const std::vector<uint32_t>& path) const {
+      size_t h = 1469598103934665603ull;
+      for (uint32_t hop : path) {
+        h = (h ^ hop) * 1099511628211ull;
+      }
+      return h;
+    }
+  };
   struct Speaker {
     uint32_t asn;
     std::string name;
@@ -248,12 +277,12 @@ class BgpMesh {
     std::unordered_map<uint64_t, uint32_t> session_index;
     // Originated prefixes (hashed: Originate used to be O(n) per call).
     std::unordered_set<IpPrefix> originated;
-    // Adj-RIB-In: per prefix, the last route each peer advertised
-    // (post import policy). Keyed by peer speaker value.
-    std::unordered_map<IpPrefix, std::unordered_map<uint64_t, BgpRoute>>
-        adj_rib_in;
+    // Adj-RIB-In: per prefix, the adj_slab_ bucket holding the last route
+    // each peer advertised (post import policy), in compact form.
+    std::unordered_map<IpPrefix, uint32_t> adj_rib_in;
     // Loc-RIB: best route per prefix. Ordered so differential fingerprints
-    // and FIB sweeps are deterministic.
+    // and FIB sweeps are deterministic, and node-stable so BestRoute() /
+    // LocRib() can hand out long-lived pointers.
     std::map<IpPrefix, BgpRoute> loc_rib;
   };
 
@@ -271,6 +300,32 @@ class BgpMesh {
   // Adj-RIB-In entries. nullopt = no route.
   std::optional<BgpRoute> SelectBest(const Speaker& s,
                                      const IpPrefix& prefix) const;
+
+  // Better(), restated over compact entries without materializing routes.
+  bool EntryBetter(const AdjEntry& a, const AdjEntry& b) const;
+
+  // Reconstitutes the full route a compact entry stands for.
+  BgpRoute Materialize(const IpPrefix& prefix, const AdjEntry& entry) const {
+    BgpRoute route;
+    route.prefix = prefix;
+    route.as_path = paths_.Get(entry.path_id);
+    route.local_pref = entry.local_pref;
+    route.learned_from = SpeakerId(entry.peer);
+    return route;
+  }
+
+  // Finds `peer`'s entry in a bucket (nullptr if absent).
+  static AdjEntry* FindEntry(std::vector<AdjEntry>& entries, uint64_t peer) {
+    for (AdjEntry& e : entries) {
+      if (e.peer == peer) {
+        return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  // Releases every path reference and bucket of a speaker's Adj-RIB-In.
+  void ClearAdjRib(Speaker& s);
 
   // Marks (speaker, prefix) dirty for the next Converge() round.
   void MarkDirty(size_t speaker_index, const IpPrefix& prefix);
@@ -314,6 +369,10 @@ class BgpMesh {
   };
 
   std::vector<Speaker> speakers_;
+  // Adj-RIB-In buckets (shared slab: one allocation pool for the mesh) and
+  // the mesh-wide deduplicated AS-path pool.
+  Slab<std::vector<AdjEntry>> adj_slab_;
+  InternPool<std::vector<uint32_t>, PathHash> paths_;
   size_t session_count_ = 0;
   uint64_t mutations_ = 0;
   bool in_restart_ = false;

@@ -1,103 +1,215 @@
-// Longest-prefix-match binary trie.
+// Longest-prefix-match trie, path-compressed and arena-backed.
 //
 // The core data structure behind every forwarding table in the project.
 // One trie per address family; keys are IpPrefix, lookups are IpAddress.
+//
+// Layout (the PR-8 memory diet): nodes live in one contiguous per-family
+// arena and refer to each other by 32-bit index, not pointer. Each node is
+// path-compressed (Patricia): it stores the full key bits up to its depth
+// plus that depth, so a chain of branch-free bits costs zero intermediate
+// nodes — a /32 host route is one node, not 32. A v4 node is 20 bytes and a
+// v6 node 32, vs ~64+ bytes per *bit* for the old node-per-bit heap trie.
+// Values sit in a separate slab (vector + free list) shared by both
+// families, so tries of empty-ish values stay dense and ForEachMatch walks
+// touch contiguous memory.
+//
+// All traversals are iterative — no recursion, so /128 IPv6 ladders cannot
+// grow the C++ stack (satellite of ISSUE 8; asserted by lpm_trie_test).
+//
 // node_count() is exposed because experiment E4a's question is precisely
 // "how big does the provider's table get with flat EIPs vs aggregated VPC
-// prefixes" — trie nodes are the memory proxy.
+// prefixes" — trie nodes are the memory proxy (now path-compressed ones).
+// ApproxBytes() reports actual arena footprint for E10's bytes/endpoint
+// accounting; ShrinkToFit() drops growth slack before measuring.
+//
+// Semantics preserved from the node-per-bit trie: Remove never prunes
+// (tables grow hot and shrink cold; node_count() intentionally reports
+// high-water structure), the two roots always exist (node_count() starts at
+// 2), ForEach visits prefixes in preorder (shorter first, zero subtree
+// before one subtree), and ForEachMatch visits covering prefixes shortest
+// first with the same early-exit contract.
 
 #ifndef TENANTNET_SRC_ROUTING_LPM_TRIE_H_
 #define TENANTNET_SRC_ROUTING_LPM_TRIE_H_
 
-#include <memory>
+#include <algorithm>
+#include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/net/ip.h"
 
 namespace tenantnet {
 
+namespace lpm_internal {
+
+inline constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+// Per-family key plumbing. Keys are MSB-aligned fixed-width bit strings in
+// canonical (host-bits-cleared) form.
+struct V4Family {
+  struct Key {
+    uint32_t bits = 0;
+    friend bool operator==(Key a, Key b) { return a.bits == b.bits; }
+  };
+  struct Node {
+    Key key;                              // masked to `len` bits
+    uint32_t child[2] = {kNil, kNil};
+    uint32_t value = kNil;                // slot in the value slab
+    uint8_t len = 0;                      // prefix length of `key`
+  };
+  static constexpr int kWidth = 32;
+  static constexpr IpFamily kFamily = IpFamily::kIpv4;
+
+  static Key KeyOf(IpAddress addr) { return Key{addr.v4_bits()}; }
+  static bool BitAt(Key k, int i) { return (k.bits >> (31 - i)) & 1u; }
+  static Key Mask(Key k, int len) {
+    return Key{len == 0 ? 0u : k.bits & (~0u << (32 - len))};
+  }
+  // First bit position where a and b differ, capped at `cap`.
+  static int CommonLen(Key a, Key b, int cap) {
+    const uint32_t x = a.bits ^ b.bits;
+    const int cl = x == 0 ? 32 : __builtin_clz(x);
+    return cl < cap ? cl : cap;
+  }
+  static IpPrefix PrefixOf(Key k, int len) {
+    return *IpPrefix::Create(IpAddress::V4(k.bits), len);
+  }
+};
+
+struct V6Family {
+  struct Key {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+    friend bool operator==(Key a, Key b) {
+      return a.hi == b.hi && a.lo == b.lo;
+    }
+  };
+  struct Node {
+    Key key;
+    uint32_t child[2] = {kNil, kNil};
+    uint32_t value = kNil;
+    uint8_t len = 0;
+  };
+  static constexpr int kWidth = 128;
+  static constexpr IpFamily kFamily = IpFamily::kIpv6;
+
+  static Key KeyOf(IpAddress addr) { return Key{addr.hi(), addr.lo()}; }
+  static bool BitAt(Key k, int i) {
+    return i < 64 ? (k.hi >> (63 - i)) & 1u : (k.lo >> (127 - i)) & 1u;
+  }
+  static Key Mask(Key k, int len) {
+    if (len <= 0) {
+      return Key{};
+    }
+    if (len < 64) {
+      return Key{k.hi & (~0ull << (64 - len)), 0};
+    }
+    if (len == 64) {
+      return Key{k.hi, 0};
+    }
+    if (len >= 128) {
+      return k;
+    }
+    return Key{k.hi, k.lo & (~0ull << (128 - len))};
+  }
+  static int CommonLen(Key a, Key b, int cap) {
+    int cl;
+    const uint64_t xh = a.hi ^ b.hi;
+    if (xh != 0) {
+      cl = __builtin_clzll(xh);
+    } else {
+      const uint64_t xl = a.lo ^ b.lo;
+      cl = xl == 0 ? 128 : 64 + __builtin_clzll(xl);
+    }
+    return cl < cap ? cl : cap;
+  }
+  static IpPrefix PrefixOf(Key k, int len) {
+    return *IpPrefix::Create(IpAddress::V6(k.hi, k.lo), len);
+  }
+};
+
+}  // namespace lpm_internal
+
 template <typename T>
 class LpmTrie {
+  using V4 = lpm_internal::V4Family;
+  using V6 = lpm_internal::V6Family;
+  static constexpr uint32_t kNil = lpm_internal::kNil;
+
  public:
-  LpmTrie() : v4_root_(std::make_unique<Node>()), v6_root_(std::make_unique<Node>()) {
-    node_count_ = 2;
+  LpmTrie() {
+    v4_.nodes.push_back(typename V4::Node{});
+    v6_.nodes.push_back(typename V6::Node{});
   }
 
   // Inserts or overwrites the value at `prefix`. Returns true if this was a
   // new entry (false = overwrite).
   bool Insert(const IpPrefix& prefix, T value) {
-    Node* node = WalkOrCreate(prefix);
-    bool is_new = !node->value.has_value();
-    node->value = std::move(value);
-    if (is_new) {
-      ++entry_count_;
-    }
-    return is_new;
+    return prefix.family() == IpFamily::kIpv4
+               ? InsertImpl<V4>(v4_, prefix, std::move(value))
+               : InsertImpl<V6>(v6_, prefix, std::move(value));
   }
 
   // Removes the entry at exactly `prefix`. Returns false if absent.
   // (Nodes are not pruned; tables in this project grow hot and shrink cold,
-  // and node_count() intentionally reports high-water structure.)
+  // and node_count() intentionally reports high-water structure. The value
+  // slot is recycled.)
   bool Remove(const IpPrefix& prefix) {
-    Node* node = WalkExact(prefix);
-    if (node == nullptr || !node->value.has_value()) {
+    const uint32_t node = prefix.family() == IpFamily::kIpv4
+                              ? FindNode<V4>(v4_, prefix)
+                              : FindNode<V6>(v6_, prefix);
+    if (node == kNil) {
       return false;
     }
-    node->value.reset();
+    uint32_t& slot = prefix.family() == IpFamily::kIpv4
+                         ? v4_.nodes[node].value
+                         : v6_.nodes[node].value;
+    if (slot == kNil) {
+      return false;
+    }
+    FreeValue(slot);
+    slot = kNil;
     --entry_count_;
     return true;
   }
 
   // Value stored at exactly `prefix`, if any.
   const T* ExactMatch(const IpPrefix& prefix) const {
-    const Node* node = WalkExact(prefix);
-    return (node != nullptr && node->value.has_value()) ? &*node->value
-                                                        : nullptr;
+    const uint32_t node = prefix.family() == IpFamily::kIpv4
+                              ? FindNode<V4>(v4_, prefix)
+                              : FindNode<V6>(v6_, prefix);
+    if (node == kNil) {
+      return nullptr;
+    }
+    const uint32_t slot = prefix.family() == IpFamily::kIpv4
+                              ? v4_.nodes[node].value
+                              : v6_.nodes[node].value;
+    return slot == kNil ? nullptr : &values_[slot];
   }
   T* ExactMatch(const IpPrefix& prefix) {
-    Node* node = WalkExact(prefix);
-    return (node != nullptr && node->value.has_value()) ? &*node->value
-                                                        : nullptr;
+    return const_cast<T*>(
+        static_cast<const LpmTrie*>(this)->ExactMatch(prefix));
   }
 
   // Longest-prefix match for `ip`; nullptr if nothing covers it.
   const T* LongestMatch(IpAddress ip) const {
-    const Node* node = RootFor(ip.family());
-    const T* best = node->value.has_value() ? &*node->value : nullptr;
-    int width = ip.width();
-    for (int depth = 0; depth < width; ++depth) {
-      node = ip.BitFromMsb(depth) ? node->one.get() : node->zero.get();
-      if (node == nullptr) {
-        break;
-      }
-      if (node->value.has_value()) {
-        best = &*node->value;
-      }
-    }
-    return best;
+    const uint32_t slot = ip.is_v4() ? BestSlot<V4>(v4_, ip, nullptr)
+                                     : BestSlot<V6>(v6_, ip, nullptr);
+    return slot == kNil ? nullptr : &values_[slot];
   }
 
   // Longest matching prefix itself (with its value).
   std::optional<std::pair<IpPrefix, const T*>> LongestMatchEntry(
       IpAddress ip) const {
-    const Node* node = RootFor(ip.family());
-    std::optional<std::pair<IpPrefix, const T*>> best;
-    if (node->value.has_value()) {
-      best = {IpPrefix::Any(ip.family()), &*node->value};
+    IpPrefix at;
+    const uint32_t slot = ip.is_v4() ? BestSlot<V4>(v4_, ip, &at)
+                                     : BestSlot<V6>(v6_, ip, &at);
+    if (slot == kNil) {
+      return std::nullopt;
     }
-    int width = ip.width();
-    for (int depth = 0; depth < width; ++depth) {
-      node = ip.BitFromMsb(depth) ? node->one.get() : node->zero.get();
-      if (node == nullptr) {
-        break;
-      }
-      if (node->value.has_value()) {
-        auto prefix = IpPrefix::Create(ip, depth + 1);
-        best = {*prefix, &*node->value};
-      }
-    }
-    return best;
+    return std::make_pair(at, &values_[slot]);
   }
 
   // Visits the value of *every* prefix covering `ip`, shortest first, while
@@ -107,107 +219,241 @@ class LpmTrie {
   // prefix carries a matching scope, not just the most specific one.
   template <typename Fn>
   bool ForEachMatch(IpAddress ip, Fn&& fn) const {
-    const Node* node = RootFor(ip.family());
-    if (node->value.has_value() && !fn(*node->value)) {
-      return true;
-    }
-    int width = ip.width();
-    for (int depth = 0; depth < width; ++depth) {
-      node = ip.BitFromMsb(depth) ? node->one.get() : node->zero.get();
-      if (node == nullptr) {
-        return false;
-      }
-      if (node->value.has_value() && !fn(*node->value)) {
-        return true;
-      }
-    }
-    return false;
+    return ip.is_v4() ? ForEachMatchImpl<V4>(v4_, ip, fn)
+                      : ForEachMatchImpl<V6>(v6_, ip, fn);
   }
 
-  // Visits every entry as (prefix, value).
+  // Visits every entry as (prefix, value), v4 then v6, preorder.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    ForEachImpl(v4_root_.get(), IpPrefix::Any(IpFamily::kIpv4), fn);
-    ForEachImpl(v6_root_.get(), IpPrefix::Any(IpFamily::kIpv6), fn);
+    ForEachImpl<V4>(v4_, fn);
+    ForEachImpl<V6>(v6_, fn);
   }
 
   size_t entry_count() const { return entry_count_; }
-  size_t node_count() const { return node_count_; }
+  // Structural size (path-compressed arena nodes, both families; the two
+  // roots always count). High-water: Remove recycles values, not nodes.
+  size_t node_count() const { return v4_.nodes.size() + v6_.nodes.size(); }
 
   void Clear() {
-    v4_root_ = std::make_unique<Node>();
-    v6_root_ = std::make_unique<Node>();
-    node_count_ = 2;
+    v4_.nodes.clear();
+    v6_.nodes.clear();
+    v4_.nodes.push_back(typename V4::Node{});
+    v6_.nodes.push_back(typename V6::Node{});
+    values_.clear();
+    free_values_.clear();
     entry_count_ = 0;
   }
 
+  // Drops vector growth slack (arena capacity -> size). Call after bulk
+  // build, before ApproxBytes()-based accounting.
+  void ShrinkToFit() {
+    v4_.nodes.shrink_to_fit();
+    v6_.nodes.shrink_to_fit();
+    values_.shrink_to_fit();
+    free_values_.shrink_to_fit();
+  }
+
+  // Arena footprint in bytes (capacity-based; excludes heap owned by the
+  // values themselves).
+  size_t ApproxBytes() const {
+    return v4_.nodes.capacity() * sizeof(typename V4::Node) +
+           v6_.nodes.capacity() * sizeof(typename V6::Node) +
+           values_.capacity() * sizeof(T) +
+           free_values_.capacity() * sizeof(uint32_t);
+  }
+
  private:
-  struct Node {
-    std::optional<T> value;
-    std::unique_ptr<Node> zero;
-    std::unique_ptr<Node> one;
+  template <typename F>
+  struct Arena {
+    std::vector<typename F::Node> nodes;
   };
 
-  const Node* RootFor(IpFamily family) const {
-    return family == IpFamily::kIpv4 ? v4_root_.get() : v6_root_.get();
-  }
-  Node* RootFor(IpFamily family) {
-    return family == IpFamily::kIpv4 ? v4_root_.get() : v6_root_.get();
+  uint32_t AllocValue(T value) {
+    if (!free_values_.empty()) {
+      const uint32_t slot = free_values_.back();
+      free_values_.pop_back();
+      values_[slot] = std::move(value);
+      return slot;
+    }
+    values_.push_back(std::move(value));
+    return static_cast<uint32_t>(values_.size() - 1);
   }
 
-  Node* WalkOrCreate(const IpPrefix& prefix) {
-    Node* node = RootFor(prefix.family());
-    for (int depth = 0; depth < prefix.length(); ++depth) {
-      std::unique_ptr<Node>& child =
-          prefix.base().BitFromMsb(depth) ? node->one : node->zero;
-      if (!child) {
-        child = std::make_unique<Node>();
-        ++node_count_;
+  void FreeValue(uint32_t slot) {
+    values_[slot] = T();  // release value-owned heap now
+    free_values_.push_back(slot);
+  }
+
+  template <typename F>
+  static uint32_t NewNode(Arena<F>& arena, typename F::Key key, int len,
+                          uint32_t value) {
+    typename F::Node node;
+    node.key = key;
+    node.len = static_cast<uint8_t>(len);
+    node.value = value;
+    arena.nodes.push_back(node);
+    return static_cast<uint32_t>(arena.nodes.size() - 1);
+  }
+
+  template <typename F>
+  bool InsertImpl(Arena<F>& arena, const IpPrefix& prefix, T value) {
+    const typename F::Key pkey =
+        F::Mask(F::KeyOf(prefix.base()), prefix.length());
+    const int plen = prefix.length();
+    uint32_t cur = 0;
+    // Invariant: pkey agrees with nodes[cur].key on the first nodes[cur].len
+    // bits, and plen >= nodes[cur].len.
+    for (;;) {
+      if (arena.nodes[cur].len == plen) {
+        uint32_t& slot = arena.nodes[cur].value;
+        if (slot != kNil) {
+          values_[slot] = std::move(value);
+          return false;
+        }
+        // NOTE: AllocValue may not touch arena.nodes, so `slot` stays valid.
+        slot = AllocValue(std::move(value));
+        ++entry_count_;
+        return true;
       }
-      node = child.get();
+      const int branch = F::BitAt(pkey, arena.nodes[cur].len) ? 1 : 0;
+      const uint32_t child = arena.nodes[cur].child[branch];
+      if (child == kNil) {
+        // New leaf; allocate first (push_back may move the arena), then
+        // re-address the parent.
+        const uint32_t leaf = NewNode(arena, pkey, plen, AllocValue(std::move(value)));
+        arena.nodes[cur].child[branch] = leaf;
+        ++entry_count_;
+        return true;
+      }
+      const typename F::Node& cn = arena.nodes[child];
+      const int cl = F::CommonLen(pkey, cn.key, std::min(plen, int{cn.len}));
+      if (cl == cn.len) {
+        cur = child;  // child is a (proper or full) prefix of ours: descend
+        continue;
+      }
+      // The edge cur->child skips past where we diverge: split it at cl.
+      const typename F::Key child_key = cn.key;  // save before realloc
+      if (cl == plen) {
+        // Our prefix is an ancestor of child: the split node holds the value.
+        const uint32_t mid = NewNode(arena, pkey, plen, AllocValue(std::move(value)));
+        arena.nodes[mid].child[F::BitAt(child_key, cl) ? 1 : 0] = child;
+        arena.nodes[cur].child[branch] = mid;
+      } else {
+        // True divergence: valueless branch node with child and new leaf.
+        const uint32_t mid = NewNode(arena, F::Mask(pkey, cl), cl, kNil);
+        const uint32_t leaf = NewNode(arena, pkey, plen, AllocValue(std::move(value)));
+        arena.nodes[mid].child[F::BitAt(child_key, cl) ? 1 : 0] = child;
+        arena.nodes[mid].child[F::BitAt(pkey, cl) ? 1 : 0] = leaf;
+        arena.nodes[cur].child[branch] = mid;
+      }
+      ++entry_count_;
+      return true;
     }
-    return node;
   }
 
-  const Node* WalkExact(const IpPrefix& prefix) const {
-    const Node* node = RootFor(prefix.family());
-    for (int depth = 0; depth < prefix.length(); ++depth) {
-      node = prefix.base().BitFromMsb(depth) ? node->one.get()
-                                             : node->zero.get();
-      if (node == nullptr) {
-        return nullptr;
+  // Index of the node at exactly `prefix`, or kNil.
+  template <typename F>
+  static uint32_t FindNode(const Arena<F>& arena, const IpPrefix& prefix) {
+    const typename F::Key pkey =
+        F::Mask(F::KeyOf(prefix.base()), prefix.length());
+    const int plen = prefix.length();
+    uint32_t cur = 0;
+    while (arena.nodes[cur].len < plen) {
+      const uint32_t child =
+          arena.nodes[cur].child[F::BitAt(pkey, arena.nodes[cur].len) ? 1 : 0];
+      if (child == kNil) {
+        return lpm_internal::kNil;
+      }
+      const typename F::Node& cn = arena.nodes[child];
+      if (cn.len > plen || F::CommonLen(pkey, cn.key, cn.len) < cn.len) {
+        return lpm_internal::kNil;  // compressed past / diverges from plen
+      }
+      cur = child;
+    }
+    return arena.nodes[cur].len == plen ? cur : lpm_internal::kNil;
+  }
+
+  // Value slot of the longest present prefix covering `ip` (kNil if none);
+  // optionally reports that prefix via `at`.
+  template <typename F>
+  static uint32_t BestSlot(const Arena<F>& arena, IpAddress ip, IpPrefix* at) {
+    const typename F::Key key = F::KeyOf(ip);
+    uint32_t cur = 0;
+    uint32_t best = lpm_internal::kNil;
+    for (;;) {
+      const typename F::Node& n = arena.nodes[cur];
+      if (n.value != lpm_internal::kNil) {
+        best = n.value;
+        if (at != nullptr) {
+          *at = F::PrefixOf(n.key, n.len);
+        }
+      }
+      if (n.len >= F::kWidth) {
+        break;
+      }
+      const uint32_t child = n.child[F::BitAt(key, n.len) ? 1 : 0];
+      if (child == kNil) {
+        break;
+      }
+      const typename F::Node& cn = arena.nodes[child];
+      if (F::CommonLen(key, cn.key, cn.len) < cn.len) {
+        break;  // the compressed segment diverges from ip
+      }
+      cur = child;
+    }
+    return best;
+  }
+
+  template <typename F, typename Fn>
+  bool ForEachMatchImpl(const Arena<F>& arena, IpAddress ip, Fn& fn) const {
+    const typename F::Key key = F::KeyOf(ip);
+    uint32_t cur = 0;
+    for (;;) {
+      const typename F::Node& n = arena.nodes[cur];
+      if (n.value != kNil && !fn(values_[n.value])) {
+        return true;
+      }
+      if (n.len >= F::kWidth) {
+        return false;
+      }
+      const uint32_t child = n.child[F::BitAt(key, n.len) ? 1 : 0];
+      if (child == kNil) {
+        return false;
+      }
+      const typename F::Node& cn = arena.nodes[child];
+      if (F::CommonLen(key, cn.key, cn.len) < cn.len) {
+        return false;
+      }
+      cur = child;
+    }
+  }
+
+  // Iterative preorder: value before descendants, zero subtree before one.
+  template <typename F, typename Fn>
+  void ForEachImpl(const Arena<F>& arena, Fn& fn) const {
+    std::vector<uint32_t> stack;
+    stack.push_back(0);
+    while (!stack.empty()) {
+      const uint32_t cur = stack.back();
+      stack.pop_back();
+      const typename F::Node& n = arena.nodes[cur];
+      if (n.value != kNil) {
+        fn(F::PrefixOf(n.key, n.len), values_[n.value]);
+      }
+      if (n.child[1] != kNil) {
+        stack.push_back(n.child[1]);
+      }
+      if (n.child[0] != kNil) {
+        stack.push_back(n.child[0]);
       }
     }
-    return node;
-  }
-  Node* WalkExact(const IpPrefix& prefix) {
-    return const_cast<Node*>(
-        static_cast<const LpmTrie*>(this)->WalkExact(prefix));
   }
 
-  template <typename Fn>
-  void ForEachImpl(const Node* node, IpPrefix at, Fn& fn) const {
-    if (node->value.has_value()) {
-      fn(at, *node->value);
-    }
-    if (at.length() >= at.base().width()) {
-      return;
-    }
-    auto halves = at.Split();
-    if (!halves.ok()) {
-      return;
-    }
-    if (node->zero) {
-      ForEachImpl(node->zero.get(), halves->first, fn);
-    }
-    if (node->one) {
-      ForEachImpl(node->one.get(), halves->second, fn);
-    }
-  }
-
-  std::unique_ptr<Node> v4_root_;
-  std::unique_ptr<Node> v6_root_;
-  size_t node_count_ = 0;
+  Arena<V4> v4_;
+  Arena<V6> v6_;
+  std::vector<T> values_;             // slot slab shared by both families
+  std::vector<uint32_t> free_values_;
   size_t entry_count_ = 0;
 };
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/slab.h"
 #include "src/common/status.h"
 #include "src/net/ip.h"
 #include "src/routing/lpm_trie.h"
@@ -25,11 +26,21 @@ enum class RouteOrigin : uint8_t {
   kPropagated,  // learned via BGP/peering
 };
 
+// Interner for RouteEntry::via labels (gateway names, sessions). Labels are
+// few and repeated across millions of routes, so entries carry a 4-byte id
+// instead of a 32-byte std::string (the PR-8 memory diet; a RouteEntry is
+// 24 bytes, and E10's flat EIP RIB holds one per endpoint).
+inline StringInterner& RouteLabels() {
+  static StringInterner* interner = new StringInterner();
+  return *interner;
+}
+
 struct RouteEntry {
   NodeId next_hop;
   RouteOrigin origin = RouteOrigin::kStatic;
   uint32_t metric = 0;
-  std::string via;  // human-readable source (gateway name, session)
+  // Human-readable source, interned: RouteLabels().Intern("igw-1"); 0 = "".
+  uint32_t via = 0;
 
   friend bool operator==(const RouteEntry& a, const RouteEntry& b) {
     return a.next_hop == b.next_hop && a.origin == b.origin &&
@@ -54,6 +65,10 @@ class RouteTable {
   size_t entry_count() const { return trie_.entry_count(); }
   // Structural size: trie nodes (memory proxy for E4a).
   size_t node_count() const { return trie_.node_count(); }
+  // Actual arena footprint (E10 bytes/endpoint accounting).
+  size_t ApproxBytes() const { return trie_.ApproxBytes(); }
+  // Drops arena growth slack after a bulk build, before measuring.
+  void ShrinkToFit() { trie_.ShrinkToFit(); }
 
   // All installed prefixes, for aggregation / reporting.
   std::vector<IpPrefix> Prefixes() const;

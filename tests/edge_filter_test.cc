@@ -152,7 +152,7 @@ TEST(EdgeFilterTest, RepeatedVerdictsHitTheCache) {
   EXPECT_EQ(bank.verdict_cache_stats().insertions, 1u);
 }
 
-TEST(EdgeFilterTest, ListsCompileOncePerUpdateNotPerEdge) {
+TEST(EdgeFilterTest, ListsCompileOncePerDistinctListNotPerEdge) {
   EdgeFilterBank bank("p", nullptr, 1);
   for (int e = 0; e < 5; ++e) {
     bank.AddEdge("e" + std::to_string(e));
@@ -160,8 +160,19 @@ TEST(EdgeFilterTest, ListsCompileOncePerUpdateNotPerEdge) {
   EXPECT_EQ(bank.permit_compiles(), 0u);
   bank.SetPermitList(*IpAddress::Parse("5.0.0.1"), {Permit("10.0.0.0/8")});
   EXPECT_EQ(bank.permit_compiles(), 1u);  // shared across all 5 edges
+  EXPECT_EQ(bank.distinct_permit_sets(), 1u);
+  // A byte-identical list for another endpoint interns to the same set and
+  // reuses its matcher: no recompile, no extra storage.
   bank.SetPermitList(*IpAddress::Parse("5.0.0.2"), {Permit("10.0.0.0/8")});
+  EXPECT_EQ(bank.permit_compiles(), 1u);
+  EXPECT_EQ(bank.distinct_permit_sets(), 1u);
+  // A different list is a new distinct set and compiles once.
+  bank.SetPermitList(*IpAddress::Parse("5.0.0.3"), {Permit("11.0.0.0/8")});
   EXPECT_EQ(bank.permit_compiles(), 2u);
+  EXPECT_EQ(bank.distinct_permit_sets(), 2u);
+  // Dropping every holder of a distinct list frees its interned slot.
+  bank.RemovePermitList(*IpAddress::Parse("5.0.0.3"));
+  EXPECT_EQ(bank.distinct_permit_sets(), 1u);
 }
 
 TEST(EdgeFilterTest, ListReplaceInvalidatesCachedVerdict) {

@@ -447,14 +447,14 @@ StormOutcome RunStorm(bool declarative, uint64_t storm_seed) {
       ResolvedRoute route;
       auto it = eips->find(dst.value());
       if (it == eips->end()) {
-        route.deny_stage = "no-eip";
+        route.deny_stage = DenyStage("no-eip");
         return route;
       }
       auto d = cloud->Evaluate(src, it->second, 443, Protocol::kTcp);
       if (!d.ok() || !d->delivered) {
-        route.deny_stage =
+        route.deny_stage = DenyStage(
             d.ok() ? (d->drop_stage.empty() ? "denied" : d->drop_stage)
-                   : "instance-down";
+                   : "instance-down");
         return route;
       }
       route.allowed = true;
@@ -484,9 +484,9 @@ StormOutcome RunStorm(bool declarative, uint64_t storm_seed) {
       ResolvedRoute route;
       auto d = net->Evaluate(src, dst, Fig1Baseline::kDbPort, Protocol::kTcp);
       if (!d.ok() || !d->delivered) {
-        route.deny_stage =
+        route.deny_stage = DenyStage(
             d.ok() ? (d->drop_stage.empty() ? "denied" : d->drop_stage)
-                   : "instance-down";
+                   : "instance-down");
         return route;
       }
       route.allowed = true;

@@ -110,14 +110,78 @@ TEST(LpmTrieTest, ClearResets) {
   EXPECT_EQ(trie.LongestMatch(IpAddress::V4(10, 0, 0, 1)), nullptr);
 }
 
-TEST(LpmTrieTest, NodeCountGrowsWithDepth) {
+TEST(LpmTrieTest, NodeCountIsPathCompressed) {
   LpmTrie<int> trie;
   size_t before = trie.node_count();
+  EXPECT_EQ(before, 2u);  // the two family roots always exist
+  // A lone /8 is one arena node regardless of depth.
   trie.Insert(*IpPrefix::Parse("10.0.0.0/8"), 1);
   size_t after_one = trie.node_count();
-  EXPECT_EQ(after_one, before + 8);
-  trie.Insert(*IpPrefix::Parse("10.0.0.0/16"), 2);  // shares the /8 path
-  EXPECT_EQ(trie.node_count(), after_one + 8);
+  EXPECT_EQ(after_one, before + 1);
+  // A descendant on the same path adds exactly one more node.
+  trie.Insert(*IpPrefix::Parse("10.0.0.0/16"), 2);
+  EXPECT_EQ(trie.node_count(), after_one + 1);
+  // A sibling hanging off an empty branch of the /8 is one leaf.
+  trie.Insert(*IpPrefix::Parse("10.128.0.0/16"), 3);
+  EXPECT_EQ(trie.node_count(), after_one + 2);
+  // Divergence mid-segment (inside the /8->/16 edge) costs leaf + split.
+  trie.Insert(*IpPrefix::Parse("10.64.0.0/16"), 4);
+  EXPECT_EQ(trie.node_count(), after_one + 4);
+  // Remove never prunes: node_count reports high-water structure.
+  trie.Remove(*IpPrefix::Parse("10.64.0.0/16"));
+  EXPECT_EQ(trie.node_count(), after_one + 4);
+}
+
+TEST(LpmTrieTest, DeepV6LadderIsIterative) {
+  // /1../128 nested prefixes down one all-ones spine: the worst case for a
+  // recursive walker (128+ frames). Every traversal must stay iterative and
+  // exact. Also the worst case for path compression (no skippable runs).
+  LpmTrie<int> trie;
+  IpAddress ones = IpAddress::V6(~0ull, ~0ull);
+  for (int len = 1; len <= 128; ++len) {
+    EXPECT_TRUE(trie.Insert(*IpPrefix::Create(ones, len), len));
+  }
+  EXPECT_EQ(trie.entry_count(), 128u);
+  EXPECT_EQ(*trie.LongestMatch(ones), 128);
+  // An address diverging at bit 100 matches the /100.
+  IpAddress diverge = IpAddress::V6(~0ull, ~0ull ^ (1ull << 27));
+  EXPECT_EQ(*trie.LongestMatch(diverge), 100);
+  // ForEachMatch sees the whole ladder shortest-first.
+  std::vector<int> seen;
+  trie.ForEachMatch(ones, [&](int v) {
+    seen.push_back(v);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 128u);
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_EQ(seen[i], i + 1);
+  }
+  // ForEach enumerates all 128 prefixes (iterative preorder).
+  size_t count = 0;
+  trie.ForEach([&](const IpPrefix&, int) { ++count; });
+  EXPECT_EQ(count, 128u);
+  // Exact removal down the ladder stays consistent.
+  for (int len = 128; len >= 1; --len) {
+    EXPECT_TRUE(trie.Remove(*IpPrefix::Create(ones, len)));
+  }
+  EXPECT_EQ(trie.entry_count(), 0u);
+  EXPECT_EQ(trie.LongestMatch(ones), nullptr);
+}
+
+TEST(LpmTrieTest, ApproxBytesTracksArena) {
+  LpmTrie<int> trie;
+  size_t empty = trie.ApproxBytes();
+  for (int i = 0; i < 1000; ++i) {
+    trie.Insert(IpPrefix::Host(IpAddress::V4(10, 0, i / 256, i % 256)), i);
+  }
+  trie.ShrinkToFit();
+  size_t full = trie.ApproxBytes();
+  EXPECT_GT(full, empty);
+  // Path-compressed host routes: at most ~2 nodes per entry, and each v4
+  // node is tens of bytes — 1000 host routes must stay well under 64 KiB
+  // (the old node-per-bit trie paid ~32 heap nodes per /32).
+  EXPECT_LT(full, 64u * 1024);
+  EXPECT_LE(trie.node_count(), 2u * 1000 + 2);
 }
 
 // Property: trie lookups agree with brute-force longest-prefix search over

@@ -11,7 +11,7 @@ namespace tenantnet {
 namespace {
 
 RouteEntry Entry(uint64_t next_hop) {
-  return RouteEntry{NodeId(next_hop), RouteOrigin::kStatic, 0, ""};
+  return RouteEntry{NodeId(next_hop), RouteOrigin::kStatic, 0, 0};
 }
 
 TEST(RouteTableTest, InstallLookupWithdraw) {

@@ -66,7 +66,7 @@ TEST(SoakTest, OneSimulatedHourOfEverything) {
                                  Protocol::kTcp);
     if (!result.ok() || !result->delivered) {
       route.allowed = false;
-      route.deny_stage = result.ok() ? result->drop_stage : "error";
+      route.deny_stage = DenyStage(result.ok() ? result->drop_stage : "error");
       return route;
     }
     route.allowed = true;

@@ -65,7 +65,7 @@ TEST_F(WorkloadTest, DeniedTransactionsAreCountedByStage) {
   ConnectorFn deny = [](InstanceId, InstanceId) {
     ResolvedRoute route;
     route.allowed = false;
-    route.deny_stage = "edge-filter";
+    route.deny_stage = DenyStage("edge-filter");
     return route;
   };
   size_t p = workload_.AddPattern("blocked", {east_a_}, {west_}, 20.0, deny);
@@ -75,7 +75,7 @@ TEST_F(WorkloadTest, DeniedTransactionsAreCountedByStage) {
   EXPECT_GT(stats.attempted, 50u);
   EXPECT_EQ(stats.denied, stats.attempted);
   EXPECT_EQ(stats.completed, 0u);
-  EXPECT_EQ(stats.deny_by_stage.at("edge-filter"), stats.denied);
+  EXPECT_EQ(stats.DenyByStage().at("edge-filter"), stats.denied);
 }
 
 TEST_F(WorkloadTest, IntraRegionIsFasterThanCrossRegion) {
@@ -108,6 +108,85 @@ TEST_F(WorkloadTest, RateCapSlowsTransfers) {
   // 64KB at 1Mbps is ~0.5s; uncapped it is sub-ms of transfer time.
   EXPECT_GT(workload_.stats(slow).latency_ms.P50(),
             workload_.stats(fast).latency_ms.P50() * 3);
+}
+
+TEST_F(WorkloadTest, StreamingPatternsHoldOnePendingArrivalEach) {
+  // A pre-scheduled pattern at this rate/horizon would enqueue ~rps*horizon
+  // = 600k events at Start(). Streaming patterns enqueue exactly one
+  // candidate each, independent of rate and horizon.
+  workload_.AddStreamingPattern("s0", {east_a_}, {west_},
+                                RateCurve::Constant(2000.0), AllowAll());
+  workload_.AddStreamingPattern("s1", {east_b_}, {west_},
+                                RateCurve::Constant(2000.0), AllowAll());
+  workload_.AddStreamingPattern("s2", {west_}, {east_a_},
+                                RateCurve::Constant(2000.0), AllowAll());
+  workload_.Start(SimDuration::Seconds(100));
+  EXPECT_EQ(queue_.pending_count(), 3u);
+}
+
+TEST_F(WorkloadTest, StreamingConstantRateMatchesPoissonExpectation) {
+  size_t p = workload_.AddStreamingPattern(
+      "steady", {east_a_}, {west_}, RateCurve::Constant(100.0), AllowAll());
+  workload_.Start(SimDuration::Seconds(10));
+  queue_.RunAll();
+  const PatternStats& stats = workload_.stats(p);
+  // Poisson(1000): +-6 sigma is ~190.
+  EXPECT_GT(stats.attempted, 800u);
+  EXPECT_LT(stats.attempted, 1200u);
+  EXPECT_EQ(stats.completed, stats.attempted);
+  EXPECT_EQ(workload_.inflight(), 0u);
+}
+
+TEST_F(WorkloadTest, StreamingDiurnalIntegratesToBaseOverFullPeriod) {
+  // Over one full period the sinusoid integrates to zero, so expected
+  // arrivals = base * horizon = 1000 even though the instantaneous rate
+  // swings between 20 and 180 rps.
+  size_t p = workload_.AddStreamingPattern(
+      "diurnal", {east_a_}, {west_},
+      RateCurve::Diurnal(100.0, 0.8, SimDuration::Seconds(10)), AllowAll());
+  workload_.Start(SimDuration::Seconds(10));
+  queue_.RunAll();
+  const PatternStats& stats = workload_.stats(p);
+  EXPECT_GT(stats.attempted, 800u);
+  EXPECT_LT(stats.attempted, 1200u);
+}
+
+TEST_F(WorkloadTest, StreamingFlashCrowdAddsBurstArea) {
+  // Base 50 rps over 10s = 500, plus a triangular burst of area
+  // base * multiplier * (rise + fall) / 2 = 50 * 4 * 1 = 200.
+  size_t p = workload_.AddStreamingPattern(
+      "flash", {east_a_}, {west_},
+      RateCurve::FlashCrowd(50.0, 4.0, SimDuration::Seconds(2),
+                            SimDuration::Seconds(1), SimDuration::Seconds(1)),
+      AllowAll());
+  workload_.Start(SimDuration::Seconds(10));
+  queue_.RunAll();
+  const PatternStats& stats = workload_.stats(p);
+  EXPECT_GT(stats.attempted, 550u);
+  EXPECT_LT(stats.attempted, 850u);
+}
+
+TEST_F(WorkloadTest, StreamingArrivalsAreDeterministicPerSeed) {
+  auto run_once = [this](uint64_t seed) {
+    EventQueue queue;
+    FlowSim flows(queue, tw_.world->topology());
+    WorkloadParams params = MakeParams();
+    params.seed = seed;
+    RequestWorkload workload(queue, flows, *tw_.world, params);
+    workload.AddStreamingPattern(
+        "det", {east_a_}, {west_},
+        RateCurve::Diurnal(80.0, 0.5, SimDuration::Seconds(5)), AllowAll());
+    workload.Start(SimDuration::Seconds(8));
+    queue.RunAll();
+    return workload.stats(0);
+  };
+  PatternStats a = run_once(11);
+  PatternStats b = run_once(11);
+  PatternStats c = run_once(12);
+  EXPECT_EQ(a.attempted, b.attempted);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.bytes_transferred, b.bytes_transferred);
+  EXPECT_NE(a.attempted, c.attempted);
 }
 
 TEST_F(WorkloadTest, MultiplePatternsRunConcurrently) {
