@@ -42,6 +42,18 @@ hardware-independent. When the baseline sets require_routing_match, the
 current record's routing_matches_full_rebuild must be 1 (the reconciled
 routing state diffed clean against a from-scratch rebuild).
 
+Reach-revalidation records (see bench/baselines/reach_smoke_baseline.json),
+matched on (bench, world, pairs): the baseline states a
+min_revalidate_speedup floor and an (optional) max_recompute_fraction
+ceiling for the E12 sweep (bench_config_fragility) — the current record
+reports revalidate_speedup (a from-scratch reachability sweep vs the mean
+incremental revalidation after one mutation, same machine, so the ratio is
+hardware-independent) and recompute_fraction (pairs recomputed / total,
+pure counting). When the baseline sets require_identical, the current
+record's fingerprint_identical must be 1: the incremental sweep landed on
+bytes identical to a from-scratch verifier, i.e. it is an optimization,
+never an approximation.
+
 Memory-diet records (see bench/baselines/million_smoke_baseline.json),
 matched on (bench, endpoints, entries_per_ep): the baseline states a
 max_bytes_per_endpoint ceiling and a min_reduction_vs_prediet floor for
@@ -224,6 +236,48 @@ def check_restarts(baseline, current_files):
     return failed
 
 
+def reach_key(rec):
+    return (rec.get("bench"), rec.get("world"), rec.get("pairs"))
+
+
+def check_reach(baseline, current_files):
+    current = {}
+    for recs in current_files:
+        for rec in recs:
+            if "revalidate_speedup" in rec:
+                current[reach_key(rec)] = rec
+
+    failed = False
+    print(f"{'bench':<20} {'world':<12} {'pairs':>7} {'min':>6} {'got':>7} "
+          f"{'frac':>7}")
+    for base in baseline:
+        k = reach_key(base)
+        floor = base["min_revalidate_speedup"]
+        cur = current.get(k)
+        if cur is None:
+            print(f"{k[0]:<20} {k[1]:<12} {k[2]:>7} {floor:>6.1f} "
+                  f"{'MISSING':>7}")
+            failed = True
+            continue
+        got = cur["revalidate_speedup"]
+        frac = cur.get("recompute_fraction", 0.0)
+        problems = []
+        if got < floor:
+            problems.append("TOO SLOW")
+        max_frac = base.get("max_recompute_fraction")
+        if max_frac is not None and frac > max_frac:
+            problems.append("RECOMPUTES TOO MUCH")
+        if base.get("require_identical") and \
+                cur.get("fingerprint_identical") != 1:
+            problems.append("INCREMENTAL DIVERGED FROM SCRATCH")
+        verdict = ("  << " + ", ".join(problems)) if problems else ""
+        print(f"{k[0]:<20} {k[1]:<12} {k[2]:>7} {floor:>6.1f} {got:>7.2f} "
+              f"{frac:>7.4f}{verdict}")
+        if problems:
+            failed = True
+    return failed
+
+
 def million_key(rec):
     return (rec.get("bench"), rec.get("endpoints"), rec.get("entries_per_ep"))
 
@@ -295,8 +349,9 @@ def main():
     shard_base = [r for r in baseline if "min_speedup_vs_1thread" in r]
     churn_base = [r for r in baseline if "min_speedup_incremental" in r]
     restart_base = [r for r in baseline if "max_blackhole_ratio" in r]
+    reach_base = [r for r in baseline if "min_revalidate_speedup" in r]
     if not verdict_base and not shard_base and not churn_base \
-            and not restart_base and not million_base:
+            and not restart_base and not million_base and not reach_base:
         print(f"error: no gate records in baseline {args.baseline}")
         return 1
 
@@ -315,6 +370,8 @@ def main():
     if million_base:
         failed |= check_million(million_base, current_files,
                                 args.max_regression)
+    if reach_base:
+        failed |= check_reach(reach_base, current_files)
 
     if failed:
         print("\nFAIL: bench gate violated (regression, missing record, "

@@ -369,6 +369,16 @@ std::vector<InstanceId> CloudWorld::TenantInstances(TenantId tenant) const {
   return out;
 }
 
+std::vector<InstanceId> CloudWorld::AllInstances() const {
+  std::vector<InstanceId> out;
+  out.reserve(instances_.size());
+  for (const auto& [id, inst] : instances_) {
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 Result<std::vector<LinkId>> CloudWorld::ResolvePath(NodeId src, NodeId dst,
                                                     EgressPolicy policy) const {
   Topology::CostFn cost;

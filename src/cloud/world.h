@@ -197,6 +197,11 @@ class CloudWorld {
 
   std::vector<InstanceId> TenantInstances(TenantId tenant) const;
 
+  // Every instance slot (running or crashed; terminated slots are gone),
+  // sorted by id — the deterministic pair universe for whole-deployment
+  // sweeps like the reachability verifier's VerifyAll.
+  std::vector<InstanceId> AllInstances() const;
+
   // --- Paths ----------------------------------------------------------------
 
   // Physical path between two attachment nodes under an egress policy.

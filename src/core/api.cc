@@ -111,6 +111,7 @@ Result<IpAddress> DeclarativeCloud::RequestEip(InstanceId vm) {
   IpAddress addr = record.addr;
   eips_.emplace(addr, record);
   eip_by_instance_[vm] = addr;
+  ++endpoint_revision_;
   return addr;
 }
 
@@ -142,6 +143,7 @@ Status DeclarativeCloud::ReleaseEip(IpAddress eip) {
   eip_by_instance_.erase(record.instance);
   eips_.erase(it);
   ledger_->ApiCall("release_eip", eip.ToString());
+  ++endpoint_revision_;
   return Status::Ok();
 }
 
@@ -152,6 +154,7 @@ Result<IpAddress> DeclarativeCloud::RequestSip(TenantId tenant,
   sips_.emplace(sip, SipRecord{sip, tenant, provider_id});
   TN_RETURN_IF_ERROR(sip_lb_.AddSip(sip));
   ledger_->ApiCall("request_sip", sip.ToString());
+  ++endpoint_revision_;
   return sip;
 }
 
@@ -164,6 +167,7 @@ Status DeclarativeCloud::ReleaseSip(IpAddress sip) {
   TN_RETURN_IF_ERROR(Provider(it->second.provider).sip_pool->Release(sip));
   sips_.erase(it);
   ledger_->ApiCall("release_sip", sip.ToString());
+  ++endpoint_revision_;
   return Status::Ok();
 }
 
@@ -432,6 +436,28 @@ bool DeclarativeCloud::AdmittedAtDestination(const EipRecord& dst,
   *where = world_->provider(dst.provider).name + ":" +
            world_->region(dst.region).name;
   return it->second.filters->Admits(edge, flow);
+}
+
+Result<DeclarativeCloud::DestinationEdge> DeclarativeCloud::DestinationEdgeOf(
+    IpAddress eip) {
+  auto it = eips_.find(eip);
+  if (it == eips_.end()) {
+    return NotFoundError("no endpoint holds " + eip.ToString());
+  }
+  const EipRecord& record = it->second;
+  DestinationEdge edge;
+  if (record.on_prem.valid()) {
+    edge.bank = OnPrem(record.on_prem).filters.get();
+    edge.edge_index = 0;
+    edge.where = world_->on_prem(record.on_prem).name + ":router";
+    return edge;
+  }
+  ProviderState& provider = Provider(record.provider);
+  edge.bank = provider.filters.get();
+  edge.edge_index = provider.edge_index.at(record.region);
+  edge.where = world_->provider(record.provider).name + ":" +
+               world_->region(record.region).name;
+  return edge;
 }
 
 Result<DeclarativeDelivery> DeclarativeCloud::Evaluate(InstanceId src,

@@ -160,6 +160,23 @@ class DeclarativeCloud {
   EdgeFilterBank& provider_filters(ProviderId provider);
   EdgeFilterBank& on_prem_filters(OnPremId site);
 
+  // The enforcing filter bank and ingress edge for an EIP's hosting domain
+  // (provider region edge, or the on-prem site router), plus the label
+  // AdmittedAtDestination reports. The reach query engine walks the
+  // compiled matchers through this without evaluating traffic.
+  struct DestinationEdge {
+    EdgeFilterBank* bank = nullptr;
+    size_t edge_index = 0;
+    std::string where;
+  };
+  Result<DestinationEdge> DestinationEdgeOf(IpAddress eip);
+
+  // Revision hook (reach-verifier keying): bumped when the address topology
+  // changes — EIP/SIP allocation or release. Permit-list and binding churn
+  // are covered by the finer-grained EdgeFilterBank epochs and the SIP
+  // balancer's config_revision().
+  uint64_t endpoint_revision() const { return endpoint_revision_; }
+
   // E4a: the provider's routing state under flat EIPs.
   size_t ProviderRibEntries(ProviderId provider);
   size_t ProviderRibNodes(ProviderId provider);
@@ -227,6 +244,7 @@ class DeclarativeCloud {
 
   SipLoadBalancer sip_lb_;
   EgressQuotaManager qos_;
+  uint64_t endpoint_revision_ = 0;
 };
 
 }  // namespace tenantnet

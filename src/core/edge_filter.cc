@@ -132,6 +132,23 @@ EdgeFilterBank::SortedMasterEndpoints() const {
   return out;
 }
 
+const std::vector<PermitEntry>* EdgeFilterBank::MasterEntriesOf(
+    IpAddress endpoint) const {
+  const uint32_t slot = slots_.Lookup(endpoint);
+  if (slot == kNilId || master_set_[slot] == kNilId) {
+    return nullptr;
+  }
+  return &sets_.Get(master_set_[slot]).entries;
+}
+
+std::vector<IpAddress> EdgeFilterBank::MasterEndpoints() const {
+  std::vector<IpAddress> out;
+  for (const auto& [addr, slot] : SortedMasterEndpoints()) {
+    out.push_back(addr);
+  }
+  return out;
+}
+
 void EdgeFilterBank::ClearMasterSet(uint32_t slot) {
   if (master_set_[slot] == kNilId) {
     return;

@@ -322,6 +322,24 @@ class EdgeFilterBank {
   // a telemetry registry.
   void PublishMemoryGauges(MetricRegistry& metrics) const;
 
+  // --- Revision hooks (reach-verifier keying; see src/reach) ----------------
+  // Per-endpoint verdict epoch: bumped whenever an edge applies a permit-
+  // list change for this endpoint. 0 for endpoints the bank has never seen.
+  // The incremental reachability verifier keys its per-destination cache on
+  // this, so permit churn dirties only the touched destination's pairs.
+  uint64_t EndpointVerdictEpoch(IpAddress endpoint) const {
+    return EndpointEpochOf(endpoint);
+  }
+  // Bank-wide epoch bumped by group applies/removals (a group change can
+  // flip any verdict whose permit list references the group).
+  uint64_t global_verdict_epoch() const { return global_epoch_; }
+  // The installed master permit list for `endpoint` (nullptr when none):
+  // what the control plane believes is deployed. Drift detection compares
+  // declared intent against this.
+  const std::vector<PermitEntry>* MasterEntriesOf(IpAddress endpoint) const;
+  // Endpoints currently holding a master list, sorted by address.
+  std::vector<IpAddress> MasterEndpoints() const;
+
   // --- Verdict fast-path introspection -------------------------------------
   const VerdictCacheStats& verdict_cache_stats() const {
     return cache_.stats();

@@ -32,6 +32,47 @@ Result<IpAddress> DeployedApp::EipOf(const std::string& service,
   return eit->second;
 }
 
+std::vector<FiveTuple> ExpectedFlows(const AppSpec& app,
+                                     const DeployedApp& deployed) {
+  std::vector<FiveTuple> flows;
+  for (const CallEdge& edge : app.calls) {
+    auto cit = deployed.services.find(edge.caller);
+    auto sit = deployed.services.find(edge.callee);
+    if (cit == deployed.services.end() || sit == deployed.services.end()) {
+      continue;  // undeployed edge carries no intent
+    }
+    const ServiceSpec* callee_spec = nullptr;
+    for (const ServiceSpec& spec : app.services) {
+      if (spec.name == edge.callee) {
+        callee_spec = &spec;
+        break;
+      }
+    }
+    if (callee_spec == nullptr) {
+      continue;
+    }
+    for (const auto& [src_value, src_eip] : cit->second.eip_by_instance) {
+      for (const auto& [dst_value, dst_eip] : sit->second.eip_by_instance) {
+        FiveTuple flow;
+        flow.src = src_eip;
+        flow.dst = dst_eip;
+        flow.dst_port = callee_spec->port;
+        flow.proto = callee_spec->proto;
+        flows.push_back(flow);
+      }
+    }
+  }
+  std::sort(flows.begin(), flows.end(), [](const FiveTuple& a,
+                                           const FiveTuple& b) {
+    if (a.dst != b.dst) return a.dst < b.dst;
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst_port != b.dst_port) return a.dst_port < b.dst_port;
+    return a.proto < b.proto;
+  });
+  flows.erase(std::unique(flows.begin(), flows.end()), flows.end());
+  return flows;
+}
+
 const ServiceSpec* IntentDeployer::FindSpec(const AppSpec& app,
                                             const std::string& name) const {
   for (const ServiceSpec& spec : app.services) {

@@ -64,6 +64,16 @@ struct DeployedApp {
                           InstanceId instance) const;
 };
 
+// The declared reachability intent of a deployed application, spelled out
+// as concrete flows: for every call edge, each caller instance's EIP must
+// reach each callee instance's EIP on the callee's service port. This is
+// the ground truth the reach layer's PolicyLearner observes and the drift
+// detector compares installed policy against — derived from the same
+// AppSpec the deployer turned into permit lists, but independently of what
+// actually got installed.
+std::vector<FiveTuple> ExpectedFlows(const AppSpec& app,
+                                     const DeployedApp& deployed);
+
 class IntentDeployer {
  public:
   explicit IntentDeployer(DeclarativeCloud& cloud) : cloud_(&cloud) {}

@@ -14,6 +14,7 @@ Status SipLoadBalancer::AddSip(IpAddress sip) {
   if (!inserted) {
     return AlreadyExistsError("SIP already registered: " + sip.ToString());
   }
+  ++config_revision_;
   return Status::Ok();
 }
 
@@ -25,6 +26,7 @@ Status SipLoadBalancer::RemoveSip(IpAddress sip) {
   if (bindings_.erase(sip) == 0) {
     return NotFoundError("no such SIP: " + sip.ToString());
   }
+  ++config_revision_;
   return Status::Ok();
 }
 
@@ -44,10 +46,12 @@ Status SipLoadBalancer::Bind(IpAddress eip, IpAddress sip, double weight) {
   for (Binding& b : it->second) {
     if (b.eip == eip) {
       b.weight = weight;  // re-bind adjusts the weight
+      ++config_revision_;
       return Status::Ok();
     }
   }
   it->second.push_back(Binding{eip, weight, true});
+  ++config_revision_;
   return Status::Ok();
 }
 
@@ -67,6 +71,7 @@ Status SipLoadBalancer::Unbind(IpAddress eip, IpAddress sip) {
     return NotFoundError("EIP not bound to this SIP");
   }
   vec.erase(bit);
+  ++config_revision_;
   return Status::Ok();
 }
 
@@ -81,6 +86,7 @@ void SipLoadBalancer::UnbindEverywhere(IpAddress eip) {
                              [eip](const Binding& b) { return b.eip == eip; }),
               vec.end());
   }
+  ++config_revision_;
 }
 
 void SipLoadBalancer::SetHealth(IpAddress eip, bool healthy) {
@@ -99,6 +105,7 @@ void SipLoadBalancer::SetHealth(IpAddress eip, bool healthy) {
       }
     }
   }
+  ++config_revision_;
 }
 
 Result<IpAddress> SipLoadBalancer::Resolve(IpAddress sip) {
@@ -166,6 +173,7 @@ void SipLoadBalancer::RestoreFromSnapshot(const SipLbSnapshot& snap) {
     bindings_[sip.sip] = sip.bindings;
   }
   pick_seq_ = snap.pick_seq;
+  ++config_revision_;
 }
 
 void SipLoadBalancer::BeginRestart() {
@@ -226,6 +234,7 @@ ReconcileStats SipLoadBalancer::CompleteRestart(RestartMode mode,
       stats.deltas_applied += std::max<size_t>(1, vec.size());
     }
     bindings_ = std::move(intended.bindings_);
+    ++config_revision_;
     return stats;
   }
 
@@ -253,6 +262,7 @@ ReconcileStats SipLoadBalancer::CompleteRestart(RestartMode mode,
       ++stats.deltas_applied;
     }
   }
+  ++config_revision_;
   return stats;
 }
 

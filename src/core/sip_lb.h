@@ -59,6 +59,12 @@ class SipLoadBalancer {
   size_t sip_count() const { return bindings_.size(); }
   uint64_t resolutions() const { return pick_seq_; }
 
+  // Revision hook (reach-verifier keying): bumped by every mutation that can
+  // change what a SIP resolves to — bind/unbind, health flips, SIP
+  // add/remove, restores and restart completions. Resolve() itself does not
+  // move it (the pick counter is data-plane state).
+  uint64_t config_revision() const { return config_revision_; }
+
   // --- Warm restart (see src/common/reconcile.h for the protocol) -----------
 
   SipLbSnapshot Checkpoint() const;
@@ -100,6 +106,7 @@ class SipLoadBalancer {
 
   std::unordered_map<IpAddress, std::vector<Binding>> bindings_;
   uint64_t pick_seq_ = 0;
+  uint64_t config_revision_ = 0;
   bool in_restart_ = false;
   std::vector<PendingOp> pending_ops_;
 };

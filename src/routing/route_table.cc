@@ -92,4 +92,13 @@ std::vector<IpPrefix> AggregatePrefixes(std::vector<IpPrefix> prefixes) {
   return out;
 }
 
+bool CoveredBy(const std::vector<IpPrefix>& prefixes, IpAddress addr) {
+  for (const IpPrefix& p : prefixes) {
+    if (p.Contains(addr)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace tenantnet

@@ -86,6 +86,11 @@ class RouteTable {
 // prefixes to VPCs).
 std::vector<IpPrefix> AggregatePrefixes(std::vector<IpPrefix> prefixes);
 
+// True iff some prefix in the set covers `addr`. Linear; the reach intent
+// layer uses it for closure checks (does a synthesized policy admit exactly
+// the observed sources?) where no trie is worth building.
+bool CoveredBy(const std::vector<IpPrefix>& prefixes, IpAddress addr);
+
 }  // namespace tenantnet
 
 #endif  // TENANTNET_SRC_ROUTING_ROUTE_TABLE_H_

@@ -1,42 +1,6 @@
 #include "src/vnet/decision_tree.h"
 
-#include <algorithm>
-
 namespace tenantnet {
-
-DecisionNode::WalkResult DecisionNode::Decide(
-    const WorkloadProfile& profile) const {
-  WalkResult result;
-  const DecisionNode* node = this;
-  while (!node->IsLeaf()) {
-    result.questions_asked.push_back(node->question_);
-    ++result.depth;
-    node = node->predicate_(profile) ? node->yes_.get() : node->no_.get();
-  }
-  result.recommendation = node->recommendation_;
-  return result;
-}
-
-int DecisionNode::MaxDepth() const {
-  if (IsLeaf()) {
-    return 0;
-  }
-  return 1 + std::max(yes_->MaxDepth(), no_->MaxDepth());
-}
-
-int DecisionNode::QuestionCount() const {
-  if (IsLeaf()) {
-    return 0;
-  }
-  return 1 + yes_->QuestionCount() + no_->QuestionCount();
-}
-
-int DecisionNode::LeafCount() const {
-  if (IsLeaf()) {
-    return 1;
-  }
-  return yes_->LeafCount() + no_->LeafCount();
-}
 
 namespace {
 

@@ -6,10 +6,17 @@
 // trees as data so E2 can *count* the choices a tenant traverses before
 // they have even created anything — the planning complexity that precedes
 // the configuration complexity the ledger measures.
+//
+// The evaluator is generic over the profile type: the same walk that scores
+// tenant planning complexity (WorkloadProfile) also drives the reachability
+// verifier's deny-triage (src/reach), which answers "this pair cannot talk —
+// which mechanism is missing?" as a decision-tree evaluation over the facts
+// the query engine collected.
 
 #ifndef TENANTNET_SRC_VNET_DECISION_TREE_H_
 #define TENANTNET_SRC_VNET_DECISION_TREE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -37,17 +44,21 @@ struct WorkloadProfile {
   bool ipv6_only = false;
 };
 
-class DecisionNode {
+// A binary decision tree over an arbitrary fact profile. Interior nodes ask
+// a question (a predicate over the profile); leaves carry a recommendation.
+template <typename Profile>
+class BasicDecisionNode {
  public:
+  using Predicate = std::function<bool(const Profile&)>;
+
   // Leaf: a concrete component recommendation.
-  explicit DecisionNode(std::string recommendation)
+  explicit BasicDecisionNode(std::string recommendation)
       : recommendation_(std::move(recommendation)) {}
 
   // Interior: a question splitting on a predicate.
-  DecisionNode(std::string question,
-               std::function<bool(const WorkloadProfile&)> predicate,
-               std::unique_ptr<DecisionNode> if_yes,
-               std::unique_ptr<DecisionNode> if_no)
+  BasicDecisionNode(std::string question, Predicate predicate,
+                    std::unique_ptr<BasicDecisionNode> if_yes,
+                    std::unique_ptr<BasicDecisionNode> if_no)
       : question_(std::move(question)), predicate_(std::move(predicate)),
         yes_(std::move(if_yes)), no_(std::move(if_no)) {}
 
@@ -63,22 +74,52 @@ class DecisionNode {
 
   // Walks the tree for a profile, recording every question the tenant had
   // to answer on the way down.
-  WalkResult Decide(const WorkloadProfile& profile) const;
+  WalkResult Decide(const Profile& profile) const {
+    WalkResult result;
+    const BasicDecisionNode* node = this;
+    while (!node->IsLeaf()) {
+      result.questions_asked.push_back(node->question_);
+      ++result.depth;
+      node = node->predicate_(profile) ? node->yes_.get() : node->no_.get();
+    }
+    result.recommendation = node->recommendation_;
+    return result;
+  }
 
   // Longest root-to-leaf path (the paper's "five levels deep" metric).
-  int MaxDepth() const;
+  int MaxDepth() const {
+    if (IsLeaf()) {
+      return 0;
+    }
+    return 1 + std::max(yes_->MaxDepth(), no_->MaxDepth());
+  }
+
   // Total distinct questions in the tree (what the tenant must be *able*
   // to answer to navigate it at all).
-  int QuestionCount() const;
-  int LeafCount() const;
+  int QuestionCount() const {
+    if (IsLeaf()) {
+      return 0;
+    }
+    return 1 + yes_->QuestionCount() + no_->QuestionCount();
+  }
+
+  int LeafCount() const {
+    if (IsLeaf()) {
+      return 1;
+    }
+    return yes_->LeafCount() + no_->LeafCount();
+  }
 
  private:
   std::string recommendation_;
   std::string question_;
-  std::function<bool(const WorkloadProfile&)> predicate_;
-  std::unique_ptr<DecisionNode> yes_;
-  std::unique_ptr<DecisionNode> no_;
+  Predicate predicate_;
+  std::unique_ptr<BasicDecisionNode> yes_;
+  std::unique_ptr<BasicDecisionNode> no_;
 };
+
+// The tenant-facing selection trees keep their historical name.
+using DecisionNode = BasicDecisionNode<WorkloadProfile>;
 
 // The load-balancer selection tree, modeled after the cited Azure guidance
 // (five levels of questions before a recommendation).

@@ -289,6 +289,12 @@ class BaselineNetwork {
   // Bumped by every verdict-affecting control-plane mutation (fabric
   // methods and direct mutation of hooked objects alike).
   uint64_t config_epoch() const { return config_epoch_; }
+  // The coarse verdict generation the caches validate against: any config /
+  // instance-state / BGP change moves it. The baseline side of the reach
+  // verifier keys its pair cache on this — deliberately all-or-nothing,
+  // where the declarative world factorizes per endpoint (EdgeFilterBank's
+  // EndpointVerdictEpoch): the asymmetry E12 measures.
+  uint64_t verdict_generation() const { return VerdictGen(); }
   const VerdictCacheStats& evaluate_cache_stats() const {
     return instance_cache_.stats();
   }

@@ -13,6 +13,7 @@
 #include "src/cloud/presets.h"
 #include "src/common/rng.h"
 #include "src/core/api.h"
+#include "tests/test_env.h"
 
 namespace tenantnet {
 namespace {
@@ -68,7 +69,8 @@ TEST_P(PermitMatrixTest, DeliveryIffPermitted) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PermitMatrixTest,
-                         ::testing::Values(1, 12, 123, 1234));
+                         ::testing::ValuesIn(test_env::SeedList(
+                             {1, 12, 123, 1234})));
 
 class ChurnConsistencyTest : public ::testing::TestWithParam<uint64_t> {};
 
@@ -85,6 +87,10 @@ TEST_P(ChurnConsistencyTest, RecycledAddressesInheritNothing) {
   InstanceId server =
       *tw.world->LaunchInstance(tw.tenant, tw.provider, tw.east, 0);
   IpAddress server_eip = *cloud.RequestEip(server);
+
+  // Element picks go through the shared sampler so a TN_SEED repro replays
+  // the same release/probe victims across suites.
+  test_env::PairSampler sampler(GetParam());
 
   std::map<uint64_t, InstanceId> live;     // eip value -> instance
   std::set<uint64_t> permitted_values;     // eip values on the permit list
@@ -118,7 +124,7 @@ TEST_P(ChurnConsistencyTest, RecycledAddressesInheritNothing) {
       // Release a random live client WITHOUT touching the permit list —
       // the dangerous case: its address may be recycled to a stranger.
       auto it = live.begin();
-      std::advance(it, rng.NextU64(live.size()));
+      std::advance(it, sampler.Index(live.size()));
       ASSERT_TRUE(
           cloud.ReleaseEip(IpAddress::V4(static_cast<uint32_t>(it->first)))
               .ok());
@@ -139,7 +145,8 @@ TEST_P(ChurnConsistencyTest, RecycledAddressesInheritNothing) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChurnConsistencyTest,
-                         ::testing::Values(7, 77, 777));
+                         ::testing::ValuesIn(test_env::SeedList({7, 77,
+                                                                 777})));
 
 TEST(SipConsistencyTest, ResolutionAlwaysReturnsABoundHealthyEip) {
   TestWorld tw = BuildTestWorld();
@@ -148,6 +155,7 @@ TEST(SipConsistencyTest, ResolutionAlwaysReturnsABoundHealthyEip) {
   Rng rng(4242);
 
   IpAddress sip = *cloud.RequestSip(tw.tenant, tw.provider);
+  test_env::PairSampler sampler(4242);
   std::set<IpAddress> bound;
   std::set<IpAddress> healthy;
   std::map<uint64_t, InstanceId> instance_of;
@@ -164,13 +172,13 @@ TEST(SipConsistencyTest, ResolutionAlwaysReturnsABoundHealthyEip) {
       instance_of[eip.v4_bits()] = vm;
     } else if (coin < 0.45 && !bound.empty()) {
       auto it = bound.begin();
-      std::advance(it, rng.NextU64(bound.size()));
+      std::advance(it, sampler.Index(bound.size()));
       ASSERT_TRUE(cloud.Unbind(*it, sip).ok());
       healthy.erase(*it);
       bound.erase(it);
     } else if (coin < 0.6 && !bound.empty()) {
       auto it = bound.begin();
-      std::advance(it, rng.NextU64(bound.size()));
+      std::advance(it, sampler.Index(bound.size()));
       bool up = rng.NextBool(0.5);
       cloud.NotifyInstanceDown(instance_of[it->v4_bits()]);
       if (up) {

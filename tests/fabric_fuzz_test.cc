@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "src/app/workload.h"
 #include "src/cloud/presets.h"
 #include "src/common/rng.h"
+#include "src/reach/reach.h"
 #include "src/vnet/fabric.h"
 #include "tests/test_env.h"
 
@@ -176,25 +178,33 @@ TEST_P(FabricFuzzTest, RandomConfigsNeverCrashEvaluation) {
     }
   }
 
-  // Evaluate a pile of random pairs and external probes; assert only the
-  // structural contract.
+  // Evaluate a pile of random pairs and external probes; assert the
+  // structural contract, and that the reach engine summarizes every random
+  // config identically to the evaluator — same verdict, same deny stage.
+  BaselineReachEngine reach(net);
   for (int probe = 0; probe < iters + 100 && instances.size() >= 2; ++probe) {
     InstanceId src = instances[rng.NextU64(instances.size())];
     InstanceId dst = instances[rng.NextU64(instances.size())];
     if (src == dst) {
       continue;
     }
-    auto result = net.Evaluate(
-        src, dst, static_cast<uint16_t>(1 + rng.NextU64(65000)),
-        rng.NextBool(0.8) ? Protocol::kTcp : Protocol::kUdp);
+    uint16_t port = static_cast<uint16_t>(1 + rng.NextU64(65000));
+    Protocol proto = rng.NextBool(0.8) ? Protocol::kTcp : Protocol::kUdp;
+    auto result = net.Evaluate(src, dst, port, proto);
+    ReachVerdict verdict = reach.CanReach(src, dst, port, proto);
     if (!result.ok()) {
-      continue;  // classified input error is fine
+      // A classified input error must read as unreachable, never crash.
+      EXPECT_FALSE(verdict.reachable) << verdict.ToString();
+      continue;
     }
+    EXPECT_EQ(verdict.reachable, result->delivered) << verdict.ToString();
     if (result->delivered) {
       EXPECT_TRUE(result->dst_node.valid());
       EXPECT_TRUE(result->drop_stage.empty());
     } else {
       EXPECT_FALSE(result->drop_stage.empty());
+      EXPECT_EQ(DenyStages().Name(verdict.deny_stage), result->drop_stage)
+          << verdict.ToString();
     }
   }
   for (int probe = 0; probe < iters / 2; ++probe) {

@@ -1,0 +1,285 @@
+// PolicyLearner property tests: the synthesized policy is sound (admits
+// every observed flow), minimal (the prefix cover's address count equals the
+// number of distinct observed sources — AggregatePrefixes merges only
+// complete buddies, so nothing unobserved sneaks in), and a fixed point
+// (re-learning the closure of a synthesized intent reproduces it, and
+// observation order never matters). Plus the drift loop end to end: an
+// IntentDeployer app's group-form lists read as drift against the learned
+// prefix-form intent, Reconcile converges it through the normal mutators,
+// and the app's expected flows stay reachable throughout.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cloud/presets.h"
+#include "src/core/api.h"
+#include "src/core/intent.h"
+#include "src/reach/policy_learner.h"
+#include "src/reach/reach.h"
+#include "src/routing/route_table.h"
+#include "tests/test_env.h"
+
+namespace tenantnet {
+namespace {
+
+IpAddress Src(uint32_t i) { return IpAddress::V4(0x0A000000 + i); }
+IpAddress Dst(uint32_t i) { return IpAddress::V4(0x05000000 + i); }
+
+FiveTuple Flow(IpAddress src, IpAddress dst, uint16_t port,
+               Protocol proto = Protocol::kTcp) {
+  FiveTuple flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.dst_port = port;
+  flow.proto = proto;
+  return flow;
+}
+
+TEST(AddressCountTest, SumsDisjointPrefixSizes) {
+  EXPECT_EQ(AddressCount({}), 0u);
+  EXPECT_EQ(AddressCount({IpPrefix::Host(Src(1))}), 1u);
+  EXPECT_EQ(AddressCount({*IpPrefix::Create(Src(0), 29)}), 8u);
+  EXPECT_EQ(AddressCount({*IpPrefix::Create(Src(0), 29),
+                          IpPrefix::Host(Src(16))}),
+            9u);
+}
+
+TEST(PolicyLearnerTest, AlignedBlockAggregatesToOnePrefix) {
+  PolicyLearner learner;
+  // 8 contiguous, aligned sources toward one class: a perfect /29 buddy
+  // merge.
+  for (uint32_t i = 0; i < 8; ++i) {
+    learner.Observe(Flow(Src(i), Dst(0), 443));
+  }
+  EXPECT_EQ(learner.observed_flows(), 8u);
+  EXPECT_EQ(learner.traffic_classes(), 1u);
+
+  ReachabilityIntent intent = learner.Synthesize();
+  ASSERT_EQ(intent.permits.size(), 1u);
+  const std::vector<PermitEntry>& entries = intent.permits.at(Dst(0));
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].source.length(), 29);
+  EXPECT_EQ(entries[0].dst_ports, PortRange::Single(443));
+
+  // Exactness in both directions.
+  for (uint32_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(intent.Admits(Src(i), Dst(0), 443, Protocol::kTcp));
+  }
+  EXPECT_FALSE(intent.Admits(Src(8), Dst(0), 443, Protocol::kTcp));
+  EXPECT_FALSE(intent.Admits(Src(0), Dst(0), 80, Protocol::kTcp));
+  EXPECT_FALSE(intent.Admits(Src(0), Dst(0), 443, Protocol::kUdp));
+  EXPECT_FALSE(intent.Admits(Src(0), Dst(1), 443, Protocol::kTcp));
+}
+
+class LearnerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LearnerPropertyTest, SoundMinimalAndOrderIndependent) {
+  const uint64_t seed = test_env::SeedOverride(GetParam());
+  SCOPED_TRACE("TN_SEED=" + std::to_string(seed));
+  test_env::PairSampler rng(seed);
+
+  // Random observations: a handful of (dst, port) classes, sources drawn
+  // from a small pool so buddy merges actually happen.
+  std::vector<FiveTuple> flows;
+  const size_t n_classes = 3 + rng.Index(3);
+  for (size_t c = 0; c < n_classes; ++c) {
+    IpAddress dst = Dst(static_cast<uint32_t>(c));
+    uint16_t port = rng.Chance(0.5) ? 443 : 8080;
+    const size_t n_obs = 10 + rng.Index(40);
+    for (size_t i = 0; i < n_obs; ++i) {
+      flows.push_back(Flow(Src(static_cast<uint32_t>(rng.Index(48))), dst,
+                           port,
+                           rng.Chance(0.8) ? Protocol::kTcp : Protocol::kUdp));
+    }
+  }
+
+  PolicyLearner learner;
+  learner.ObserveAll(flows);
+  ReachabilityIntent intent = learner.Synthesize();
+
+  // Soundness: every observed flow is admitted.
+  for (const FiveTuple& f : flows) {
+    EXPECT_TRUE(intent.Admits(f.src, f.dst, f.dst_port, f.proto))
+        << f.ToString();
+  }
+
+  // Minimality per class: the cover counts exactly the distinct observed
+  // sources of that (dst, proto, port) class — no unobserved address is
+  // admitted.
+  struct ClassKey {
+    IpAddress dst;
+    Protocol proto;
+    uint16_t port;
+    bool operator<(const ClassKey& o) const {
+      if (dst != o.dst) return dst < o.dst;
+      if (proto != o.proto) return proto < o.proto;
+      return port < o.port;
+    }
+  };
+  std::map<ClassKey, std::set<IpAddress>> by_class;
+  for (const FiveTuple& f : flows) {
+    by_class[{f.dst, f.proto, f.dst_port}].insert(f.src);
+  }
+  for (const auto& [key, sources] : by_class) {
+    std::vector<IpPrefix> cover;
+    for (const PermitEntry& e : intent.permits.at(key.dst)) {
+      if (e.proto == key.proto && e.dst_ports == PortRange::Single(key.port)) {
+        cover.push_back(e.source);
+      }
+    }
+    EXPECT_EQ(AddressCount(cover), sources.size());
+    // Spot-check the complement within the source pool.
+    for (uint32_t i = 0; i < 48; ++i) {
+      EXPECT_EQ(CoveredBy(cover, Src(i)), sources.count(Src(i)) > 0)
+          << "class dst=" << key.dst.ToString() << " src#" << i;
+    }
+  }
+
+  // Order independence: reversed observation order, identical intent.
+  PolicyLearner reversed;
+  for (auto it = flows.rbegin(); it != flows.rend(); ++it) {
+    reversed.Observe(*it);
+  }
+  EXPECT_EQ(reversed.Synthesize(), intent);
+
+  // Fixed point: re-learn from the closure of the synthesized intent (every
+  // admitted source in the pool, per class) — the exact cover reproduces
+  // itself.
+  PolicyLearner relearned;
+  for (const auto& [key, sources] : by_class) {
+    for (uint32_t i = 0; i < 48; ++i) {
+      if (intent.Admits(Src(i), key.dst, key.port, key.proto)) {
+        relearned.Observe(Flow(Src(i), key.dst, key.port, key.proto));
+      }
+    }
+  }
+  EXPECT_EQ(relearned.Synthesize(), intent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LearnerPropertyTest,
+                         ::testing::ValuesIn(test_env::SeedList({3, 31, 311})));
+
+// ---------------------------------------------------------------------------
+// Drift detection and reconciliation against a live cloud.
+// ---------------------------------------------------------------------------
+
+TEST(DriftTest, ManualDeltasAreReportedExactly) {
+  TestWorld tw = BuildTestWorld();
+  ConfigLedger ledger;
+  DeclarativeCloud cloud(*tw.world, ledger);
+
+  InstanceId client = *tw.world->LaunchInstance(tw.tenant, tw.provider,
+                                                tw.east, 0);
+  InstanceId server = *tw.world->LaunchInstance(tw.tenant, tw.provider,
+                                                tw.east, 0);
+  IpAddress client_eip = *cloud.RequestEip(client);
+  IpAddress server_eip = *cloud.RequestEip(server);
+
+  PolicyLearner learner;
+  learner.Observe(Flow(client_eip, server_eip, 443));
+  ReachabilityIntent intent = learner.Synthesize();
+
+  // Nothing installed yet: the desired entry is missing.
+  std::vector<PolicyLearner::Drift> drifts =
+      PolicyLearner::DetectDrift(intent, cloud);
+  ASSERT_EQ(drifts.size(), 1u);
+  EXPECT_EQ(drifts[0].dst, server_eip);
+  EXPECT_EQ(drifts[0].missing.size(), 1u);
+  EXPECT_TRUE(drifts[0].unexpected.empty());
+
+  // Install the intent plus a stray entry: exactly the stray reads back as
+  // unexpected.
+  PermitEntry stray;
+  stray.source = IpPrefix::Host(Src(77));
+  std::vector<PermitEntry> installed = intent.permits.at(server_eip);
+  installed.push_back(stray);
+  ASSERT_TRUE(cloud.SetPermitList(server_eip, installed).ok());
+  drifts = PolicyLearner::DetectDrift(intent, cloud);
+  ASSERT_EQ(drifts.size(), 1u);
+  EXPECT_TRUE(drifts[0].missing.empty());
+  ASSERT_EQ(drifts[0].unexpected.size(), 1u);
+  EXPECT_EQ(drifts[0].unexpected[0], stray);
+
+  // Reconcile closes the loop.
+  ASSERT_TRUE(PolicyLearner::Reconcile(drifts, cloud).ok());
+  EXPECT_TRUE(PolicyLearner::DetectDrift(intent, cloud).empty());
+
+  // And the client actually reaches the server afterwards.
+  DeclarativeReachEngine engine(*tw.world, cloud);
+  EXPECT_TRUE(engine.CanReach(client, server_eip, 443,
+                              Protocol::kTcp).reachable);
+}
+
+TEST(DriftTest, DeployedAppReconcilesWithoutBreakingExpectedFlows) {
+  TestWorld tw = BuildTestWorld();
+  ConfigLedger ledger;
+  DeclarativeCloud cloud(*tw.world, ledger);
+  IntentDeployer deployer(cloud);
+
+  AppSpec app;
+  app.tenant = tw.tenant;
+  ServiceSpec web;
+  web.name = "web";
+  web.port = 8080;
+  for (int i = 0; i < 2; ++i) {
+    web.instances.push_back(
+        *tw.world->LaunchInstance(tw.tenant, tw.provider, tw.east, 0));
+  }
+  ServiceSpec db;
+  db.name = "db";
+  db.port = 5432;
+  for (int i = 0; i < 2; ++i) {
+    db.instances.push_back(
+        *tw.world->LaunchInstance(tw.tenant, tw.provider, tw.west, 0));
+  }
+  app.services = {web, db};
+  app.calls = {{"web", "db"}};
+
+  auto deployed = deployer.Deploy(app);
+  ASSERT_TRUE(deployed.ok());
+  std::vector<FiveTuple> expected = ExpectedFlows(app, *deployed);
+  ASSERT_FALSE(expected.empty());
+
+  // The learner watches the app's declared traffic and distills intent.
+  PolicyLearner learner;
+  learner.ObserveAll(expected);
+  ReachabilityIntent intent = learner.Synthesize();
+
+  // Ground truth before reconciliation: every expected flow reaches.
+  DeclarativeReachEngine engine(*tw.world, cloud);
+  auto reach_of = [&](const FiveTuple& f) {
+    InstanceId src_vm;
+    for (const auto& [name, handles] : deployed->services) {
+      for (const auto& [vm_value, eip] : handles.eip_by_instance) {
+        if (eip == f.src) {
+          src_vm = InstanceId(vm_value);
+        }
+      }
+    }
+    return engine.CanReach(src_vm, f.dst, f.dst_port, f.proto);
+  };
+  for (const FiveTuple& f : expected) {
+    EXPECT_TRUE(reach_of(f).reachable) << f.ToString();
+  }
+
+  // The deployer installed group-form lists; the learner manages prefix-form
+  // only, so this is (syntactic) drift by design.
+  std::vector<PolicyLearner::Drift> drifts =
+      PolicyLearner::DetectDrift(intent, cloud);
+  EXPECT_FALSE(drifts.empty());
+
+  // Reconcile through the normal mutators and converge: no drift remains,
+  // and the app's reachability is preserved.
+  ASSERT_TRUE(PolicyLearner::Reconcile(drifts, cloud).ok());
+  EXPECT_TRUE(PolicyLearner::DetectDrift(intent, cloud).empty());
+  for (const FiveTuple& f : expected) {
+    EXPECT_TRUE(reach_of(f).reachable) << f.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace tenantnet

@@ -22,9 +22,11 @@
 
 #include "src/cloud/presets.h"
 #include "src/common/rng.h"
+#include "src/core/api.h"
 #include "src/core/edge_filter.h"
 #include "src/core/sip_lb.h"
 #include "src/faults/fault_injector.h"
+#include "src/reach/reach.h"
 #include "src/restart/warm_restart.h"
 #include "src/routing/bgp.h"
 #include "src/sim/flow_sim.h"
@@ -399,6 +401,85 @@ TEST(SipLbRestartTest, WarmAndColdAgreeOnBindings) {
   ReconcileStats cs = cold.CompleteRestart(RestartMode::kCold, snap);
   EXPECT_TRUE(warm.Checkpoint() == cold.Checkpoint());
   EXPECT_LE(ws.deltas_applied, cs.deltas_applied);
+}
+
+// ---------------------------------------------------------------------------
+// Reachability across warm restart: every CanReach verdict — including its
+// full stage trace — must be byte-identical before and after a quiet warm
+// restart of the filter bank and the SIP load balancer, and the reach
+// verifier must not recompute EIP pairs the restart provably left alone.
+// ---------------------------------------------------------------------------
+
+TEST(ReachRestartTest, QuietWarmRestartPreservesEveryVerdict) {
+  TestWorld tw = BuildTestWorld();
+  ConfigLedger ledger;
+  DeclarativeCloud cloud(*tw.world, ledger);
+
+  std::vector<InstanceId> vms;
+  std::vector<IpAddress> eips;
+  for (int i = 0; i < 4; ++i) {
+    InstanceId id =
+        *tw.world->LaunchInstance(tw.tenant, tw.provider, tw.east, 0);
+    vms.push_back(id);
+    eips.push_back(*cloud.RequestEip(id));
+  }
+  IpAddress sip = *cloud.RequestSip(tw.tenant, tw.provider);
+  ASSERT_TRUE(cloud.Bind(eips[0], sip).ok());
+  ASSERT_TRUE(cloud.Bind(eips[1], sip).ok());
+  // A mixed permit matrix so the sweep holds both verdict polarities.
+  for (size_t d = 0; d < eips.size(); ++d) {
+    std::vector<PermitEntry> entries;
+    if (d % 2 == 0) {
+      PermitEntry e;
+      e.source = IpPrefix::Host(eips[(d + 1) % eips.size()]);
+      e.dst_ports = PortRange::Single(443);
+      entries.push_back(e);
+    }
+    ASSERT_TRUE(cloud.SetPermitList(eips[d], entries).ok());
+  }
+
+  DeclarativeReachVerifier verifier(*tw.world, cloud);
+  std::vector<DeclarativeReachVerifier::Pair> pairs;
+  for (InstanceId src : vms) {
+    for (const IpAddress& dst : eips) {
+      pairs.push_back({src, dst, 443, Protocol::kTcp});
+    }
+    pairs.push_back({src, sip, 443, Protocol::kTcp});
+  }
+  verifier.SetPairs(pairs);
+  ReachSweepStats initial = verifier.VerifyAll();
+  EXPECT_EQ(initial.recomputed, pairs.size());
+  const std::string before = verifier.Fingerprint();
+
+  // Quiet warm restart of both control-plane components: checkpoint, an
+  // outage with no buffered mutations, warm completion.
+  EdgeFilterBank& bank = cloud.provider_filters(tw.provider);
+  FilterBankSnapshot bank_snap = bank.Checkpoint();
+  bank.BeginRestart();
+  ReconcileStats bank_stats =
+      bank.CompleteRestart(RestartMode::kWarm, bank_snap);
+  EXPECT_EQ(bank_stats.deltas_applied, 0u);
+
+  SipLbSnapshot lb_snap = cloud.sip_lb().Checkpoint();
+  cloud.sip_lb().BeginRestart();
+  (void)cloud.sip_lb().CompleteRestart(RestartMode::kWarm, lb_snap);
+
+  // Identity: the incremental revalidation lands on the exact bytes of the
+  // pre-restart sweep, and so does a from-scratch verifier.
+  ReachSweepStats after = verifier.Revalidate();
+  EXPECT_EQ(verifier.Fingerprint(), before);
+
+  // Scoping: the quiet bank restart moved no verdict epoch, so every EIP
+  // destination is reused; at most the SIP column recomputes (the load
+  // balancer's restart path touches its config revision).
+  const size_t sip_pairs = vms.size();
+  EXPECT_LE(after.recomputed, sip_pairs);
+  EXPECT_GE(after.reused, pairs.size() - sip_pairs);
+
+  DeclarativeReachVerifier fresh(*tw.world, cloud);
+  fresh.SetPairs(pairs);
+  (void)fresh.VerifyAll();
+  EXPECT_EQ(fresh.Fingerprint(), before);
 }
 
 // ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@
 #include "src/sim/flow_sim.h"
 #include "src/cloud/presets.h"
 #include "src/core/api.h"
+#include "src/reach/reach.h"
 #include "src/vnet/builder.h"
 #include "tests/test_env.h"
 
@@ -143,6 +144,31 @@ TEST(SoakTest, OneSimulatedHourOfEverything) {
   EXPECT_EQ(flows.active_flow_count(), 0u);
   // QoS ticked the whole run (10 epochs/s).
   EXPECT_GT(static_cast<double>(cloud.qos().epochs_run()), 8.0 * run_s);
+
+  // Post-run cross-check: for sampled spark -> database pairs (direct EIPs
+  // and the SIP), the reach engine's static verdict agrees with the live
+  // data plane the soak just exercised. Sampling goes through the shared
+  // PairSampler so a failure replays from the same TN_SEED line.
+  DeclarativeReachEngine engine(world, cloud);
+  test_env::PairSampler sampler(wparams.seed);
+  for (size_t draw = 0; draw < 32; ++draw) {
+    auto [s, d] = sampler.Pair(fig.spark.size(), fig.database.size() + 1,
+                               /*distinct=*/false);
+    SCOPED_TRACE(test_env::PairSampler::ReproLine(draw, s, d));
+    InstanceId src = fig.spark[s];
+    IpAddress dst = d < fig.database.size()
+                        ? eip[fig.database[d].value()]
+                        : db_sip;
+    ReachVerdict v =
+        engine.CanReach(src, dst, Fig1Baseline::kDbPort, Protocol::kTcp);
+    auto result = cloud.Evaluate(src, dst, Fig1Baseline::kDbPort,
+                                 Protocol::kTcp);
+    ASSERT_TRUE(result.ok()) << v.ToString();
+    EXPECT_EQ(v.reachable, result->delivered) << v.ToString();
+    // All database backends share one permit list, so the existential and
+    // universal SIP bounds coincide.
+    EXPECT_EQ(v.all_backends, v.reachable) << v.ToString();
+  }
 }
 
 }  // namespace

@@ -13,6 +13,8 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace tenantnet {
@@ -46,6 +48,53 @@ inline std::vector<uint64_t> SeedList(std::vector<uint64_t> defaults) {
   }
   return defaults;
 }
+
+// Seeded (src, dst) pair sampler shared by the randomized suites — the one
+// place tests draw "a random endpoint pair" or "a random element" from, so
+// every suite's sampling is reproducible from the same TN_SEED log line.
+// Self-contained splitmix64: deliberately independent of src/common/rng, so
+// a production RNG change can never silently reshuffle test trajectories.
+class PairSampler {
+ public:
+  explicit PairSampler(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform index in [0, n). n must be > 0.
+  size_t Index(size_t n) { return static_cast<size_t>(NextU64() % n); }
+
+  bool Chance(double p) {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53 < p;
+  }
+
+  // One (src, dst) index pair over [0, n_src) x [0, n_dst). With `distinct`
+  // (same index space both sides) the pair never aliases src == dst.
+  std::pair<size_t, size_t> Pair(size_t n_src, size_t n_dst,
+                                 bool distinct = true) {
+    size_t src = Index(n_src);
+    size_t dst = Index(n_dst);
+    while (distinct && n_dst > 1 && src == dst) {
+      dst = Index(n_dst);
+    }
+    return {src, dst};
+  }
+
+  // "pair#17 src=3 dst=9" — for SCOPED_TRACE, so a failing sampled probe
+  // names the draw that produced it.
+  static std::string ReproLine(size_t draw, size_t src, size_t dst) {
+    return "pair#" + std::to_string(draw) + " src=" + std::to_string(src) +
+           " dst=" + std::to_string(dst);
+  }
+
+ private:
+  uint64_t state_;
+};
 
 }  // namespace test_env
 }  // namespace tenantnet

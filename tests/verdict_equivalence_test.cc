@@ -15,11 +15,13 @@
 #include <string>
 #include <vector>
 
+#include "src/app/workload.h"
 #include "src/cloud/presets.h"
 #include "src/common/rng.h"
 #include "src/core/api.h"
 #include "src/core/edge_filter.h"
 #include "src/faults/fault_injector.h"
+#include "src/reach/reach.h"
 #include "src/sim/flow_sim.h"
 #include "src/vnet/fabric.h"
 
@@ -235,6 +237,31 @@ TEST(EdgeEquivalenceTest, HoldsThroughFaultInjectorStorm) {
       ASSERT_EQ(bank.AdmitsUncached(edge, flow), linear);
       ASSERT_EQ(bank.Admits(edge, flow), linear) << "round " << round;
     }
+
+    // Third leg of the equivalence: the reach engine's static walk must
+    // agree with the live data plane mid-storm, pair by pair.
+    DeclarativeReachEngine engine(*tw.world, cloud);
+    for (size_t i = 0; i < instances.size(); ++i) {
+      for (size_t j = 0; j < eips.size(); ++j) {
+        uint16_t port = rng.NextBool(0.5) ? 443 : 80;
+        ReachVerdict v = engine.CanReach(instances[i], eips[j], port,
+                                         Protocol::kTcp);
+        auto d = cloud.Evaluate(instances[i], eips[j], port, Protocol::kTcp);
+        if (!d.ok()) {
+          // A crashed src or dst surfaces as a status error on the data
+          // plane and as a denial from the engine.
+          ASSERT_FALSE(v.reachable)
+              << "round " << round << " " << v.ToString();
+          continue;
+        }
+        ASSERT_EQ(v.reachable, d->delivered)
+            << "round " << round << " " << v.ToString();
+        if (!d->delivered) {
+          ASSERT_EQ(DenyStages().Name(v.deny_stage), d->drop_stage)
+              << "round " << round << " " << v.ToString();
+        }
+      }
+    }
   }
   queue.RunAll();
 }
@@ -335,6 +362,7 @@ TEST_P(BaselineEquivalenceTest, CachedEvaluateMatchesUncached) {
       }
     }
 
+    BaselineReachEngine reach(net);
     for (int q = 0; q < 20; ++q) {
       InstanceId a = instances[rng.NextU64(instances.size())];
       InstanceId b = instances[rng.NextU64(instances.size())];
@@ -342,11 +370,22 @@ TEST_P(BaselineEquivalenceTest, CachedEvaluateMatchesUncached) {
       auto cached = net.Evaluate(a, b, port, Protocol::kTcp);
       auto uncached = net.EvaluateUncached(a, b, port, Protocol::kTcp);
       ASSERT_EQ(cached.ok(), uncached.ok()) << "round " << round;
+      ReachVerdict v = reach.CanReach(a, b, port, Protocol::kTcp);
       if (cached.ok()) {
         EXPECT_EQ(cached->delivered, uncached->delivered)
             << "round " << round << " port " << port;
         EXPECT_EQ(cached->drop_stage, uncached->drop_stage)
             << "round " << round << " port " << port;
+        // The reach engine is the third witness: verdict and deny stage
+        // must match the staged evaluation exactly.
+        EXPECT_EQ(v.reachable, cached->delivered)
+            << "round " << round << " " << v.ToString();
+        if (!cached->delivered) {
+          EXPECT_EQ(DenyStages().Name(v.deny_stage), cached->drop_stage)
+              << "round " << round << " " << v.ToString();
+        }
+      } else {
+        EXPECT_FALSE(v.reachable) << "round " << round << " " << v.ToString();
       }
     }
   }
