@@ -54,6 +54,16 @@ record's fingerprint_identical must be 1: the incremental sweep landed on
 bytes identical to a from-scratch verifier, i.e. it is an optimization,
 never an approximation.
 
+Flow-churn records (see bench/baselines/flowsim_churn_smoke_baseline.json),
+matched on (bench, scenario, flows, mode): the baseline may state a
+min_events_per_sec floor and a max_realloc_mean_us ceiling for the
+bench_flow_sim churn scenarios — raw throughput, so the floors carry large
+margins for slow runners — plus two hardware-INDEPENDENT gates:
+max_mean_flows_touched (pure counting; the incremental re-leveler losing
+its scoping shows up here as ~component-size regardless of machine speed)
+and max_full_fills (an incremental run that falls back to from-scratch
+fills has lost the optimization even if the box is fast enough to hide it).
+
 Memory-diet records (see bench/baselines/million_smoke_baseline.json),
 matched on (bench, endpoints, entries_per_ep): the baseline states a
 max_bytes_per_endpoint ceiling and a min_reduction_vs_prediet floor for
@@ -278,6 +288,59 @@ def check_reach(baseline, current_files):
     return failed
 
 
+def flow_churn_key(rec):
+    return (
+        rec.get("bench"),
+        rec.get("scenario"),
+        rec.get("flows"),
+        rec.get("mode"),
+    )
+
+
+def check_flow_churn(baseline, current_files):
+    current = {}
+    for recs in current_files:
+        for rec in recs:
+            if rec.get("bench") == "flow_sim_churn" and "events_per_sec" in rec:
+                current[flow_churn_key(rec)] = rec
+
+    failed = False
+    print(f"{'bench':<16} {'scenario':<18} {'flows':>6} {'ev/s floor':>10} "
+          f"{'got':>8} {'us max':>6} {'got':>7} {'touch max':>9} {'got':>7}")
+    for base in baseline:
+        k = flow_churn_key(base)
+        cur = current.get(k)
+        if cur is None:
+            print(f"{k[0]:<16} {k[1]:<18} {k[2]:>6} {'MISSING':>10}")
+            failed = True
+            continue
+        problems = []
+        min_eps = base.get("min_events_per_sec")
+        if min_eps is not None and cur["events_per_sec"] < min_eps:
+            problems.append("TOO SLOW")
+        max_us = base.get("max_realloc_mean_us")
+        if max_us is not None and cur.get("realloc_mean_us", 0.0) > max_us:
+            problems.append("REALLOC TOO SLOW")
+        max_touch = base.get("max_mean_flows_touched")
+        touch = cur.get("mean_flows_touched_per_realloc", 0.0)
+        if max_touch is not None and touch > max_touch:
+            problems.append("SCOPING LOST")
+        max_full = base.get("max_full_fills")
+        if max_full is not None and cur.get("full_fills", 0) > max_full:
+            problems.append("FELL BACK TO FULL FILLS")
+        verdict = ("  << " + ", ".join(problems)) if problems else ""
+        print(f"{k[0]:<16} {k[1]:<18} {k[2]:>6} "
+              f"{min_eps if min_eps is not None else '-':>10} "
+              f"{cur['events_per_sec']:>8.0f} "
+              f"{max_us if max_us is not None else '-':>6} "
+              f"{cur.get('realloc_mean_us', 0.0):>7.2f} "
+              f"{max_touch if max_touch is not None else '-':>9} "
+              f"{touch:>7.1f}{verdict}")
+        if problems:
+            failed = True
+    return failed
+
+
 def million_key(rec):
     return (rec.get("bench"), rec.get("endpoints"), rec.get("entries_per_ep"))
 
@@ -350,8 +413,13 @@ def main():
     churn_base = [r for r in baseline if "min_speedup_incremental" in r]
     restart_base = [r for r in baseline if "max_blackhole_ratio" in r]
     reach_base = [r for r in baseline if "min_revalidate_speedup" in r]
+    flow_churn_base = [r for r in baseline
+                       if r.get("bench") == "flow_sim_churn"
+                       and ("min_events_per_sec" in r
+                            or "max_mean_flows_touched" in r)]
     if not verdict_base and not shard_base and not churn_base \
-            and not restart_base and not million_base and not reach_base:
+            and not restart_base and not million_base and not reach_base \
+            and not flow_churn_base:
         print(f"error: no gate records in baseline {args.baseline}")
         return 1
 
@@ -372,6 +440,8 @@ def main():
                                 args.max_regression)
     if reach_base:
         failed |= check_reach(reach_base, current_files)
+    if flow_churn_base:
+        failed |= check_flow_churn(flow_churn_base, current_files)
 
     if failed:
         print("\nFAIL: bench gate violated (regression, missing record, "

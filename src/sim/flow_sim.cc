@@ -4,20 +4,22 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/sim/level_fill.h"
+
 namespace tenantnet {
 
 namespace {
-constexpr double kEps = 1e-9;
+// Region-growth safety margin: a link outside the incremental region whose
+// post-fill demand lands within this relative distance of its effective
+// capacity is pulled in and re-leveled exactly, so borderline saturation
+// never silently diverges from the from-scratch oracle.
+constexpr double kSaturationMargin = 1e-6;
 
-// Relative rate-change threshold below which a completion event is kept:
-// with an unchanged rate the previously predicted finish time is still
-// exact, so rescheduling would be pure queue churn.
-constexpr double kRateEps = 1e-9;
-
-bool RateChanged(double old_rate, double new_rate) {
-  double scale = std::max({1.0, std::abs(old_rate), std::abs(new_rate)});
-  return std::abs(new_rate - old_rate) > kRateEps * scale;
-}
+// Region growth is monotone (links/flows are only ever added), so the pass
+// loop terminates; this bound is a heuristic cutoff after which churn that
+// keeps straddling group boundaries is cheaper to re-level as one full
+// component fill.
+constexpr int kMaxFillPasses = 10;
 }  // namespace
 
 FlowSim::FlowSim(EventQueue& queue, const Topology& topology)
@@ -34,6 +36,11 @@ void FlowSim::EnsureLinkArrays(size_t dense_index) {
   link_slot_.resize(size, 0);
   link_down_.resize(size, 0);
   link_lease_.resize(size, -1.0);
+  link_frozen_.resize(size, 0);
+  link_lambda_.resize(size, 0.0);
+  link_group_.resize(size);
+  link_probe_stamp_.resize(size, 0);
+  link_probe_delta_.resize(size, 0.0);
 }
 
 double FlowSim::EffectiveCapacityBps(size_t dense_index) const {
@@ -61,7 +68,7 @@ Status FlowSim::SetLinkCapacityLease(LinkId link, double bps) {
   if (batch_depth_ > 0) {
     pending_links_.push_back(idx);
   } else {
-    ReallocateScoped(nullptr, 0, &idx, 1);
+    Reallocate(nullptr, 0, &idx, 1, nullptr, 0);
   }
   return Status::Ok();
 }
@@ -77,6 +84,10 @@ double FlowSim::LinkAllocatedBps(LinkId link) const {
 }
 
 void FlowSim::AddFlowToLinks(FlowId id, LiveFlow& flow) {
+  // FlowIds are allocated monotonically and never reused, so appending
+  // keeps every member list sorted by ascending FlowId. RemoveFlowFromLinks
+  // preserves the invariant with an ordered erase; the water-filler leans
+  // on it to walk canonical-order member segments with no per-pass sort.
   flow.member_pos.resize(flow.state.path.size());
   for (size_t i = 0; i < flow.state.path.size(); ++i) {
     size_t idx = Topology::DenseLinkIndex(flow.state.path[i]);
@@ -87,20 +98,41 @@ void FlowSim::AddFlowToLinks(FlowId id, LiveFlow& flow) {
   }
 }
 
+void FlowSim::RemoveFromGroup(LiveFlow& flow) {
+  std::vector<LinkMember>& group = link_group_[flow.bind_link];
+  uint32_t pos = flow.group_pos;
+  group[pos] = group.back();
+  group.pop_back();
+  if (pos < group.size()) {
+    group[pos].live->group_pos = pos;
+  }
+  flow.bind_kind = kBindFree;
+}
+
 void FlowSim::RemoveFlowFromLinks(FlowId id, LiveFlow& flow) {
+  // The departing flow's demand leaves with it; allocations are maintained
+  // as exact per-flow deltas (see CommitFill) so both fill modes agree on
+  // every link's allocation bit-for-bit.
+  double rate = flow.state.current_rate_bps;
   for (size_t i = 0; i < flow.state.path.size(); ++i) {
     size_t idx = Topology::DenseLinkIndex(flow.state.path[i]);
     std::vector<LinkMember>& members = link_members_[idx];
     uint32_t pos = flow.member_pos[i];
-    members[pos] = members.back();
-    members.pop_back();
-    if (pos < members.size()) {
-      // Fix the moved entry's back-pointer (it may be this same flow if
-      // the path crosses the link twice).
-      LiveFlow& moved =
-          members[pos].flow == id ? flow : *members[pos].live;
-      moved.member_pos[members[pos].path_index] = pos;
+    // Ordered erase keeps the list sorted by FlowId; every shifted entry's
+    // back-pointer is fixed in place (a shifted entry may be this same
+    // flow if the path crosses the link twice).
+    for (size_t j = pos + 1; j < members.size(); ++j) {
+      const LinkMember& m = members[j];
+      LiveFlow& moved = m.flow == id ? flow : *m.live;
+      moved.member_pos[m.path_index] = static_cast<uint32_t>(j - 1);
+      members[j - 1] = m;
     }
+    members.pop_back();
+    link_allocated_bps_[idx] =
+        members.empty() ? 0.0 : link_allocated_bps_[idx] - rate;
+  }
+  if (flow.bind_kind == kBindLink) {
+    RemoveFromGroup(flow);
   }
 }
 
@@ -179,11 +211,12 @@ Status FlowSim::CancelFlow(FlowId id) {
   flows_.erase(it);
   if (!seed_links_scratch_.empty()) {
     if (batch_depth_ > 0) {
-      pending_links_.insert(pending_links_.end(), seed_links_scratch_.begin(),
-                            seed_links_scratch_.end());
+      pending_shrunk_links_.insert(pending_shrunk_links_.end(),
+                                   seed_links_scratch_.begin(),
+                                   seed_links_scratch_.end());
     } else {
-      ReallocateScoped(nullptr, 0, seed_links_scratch_.data(),
-                       seed_links_scratch_.size());
+      Reallocate(nullptr, 0, nullptr, 0, seed_links_scratch_.data(),
+                 seed_links_scratch_.size());
     }
   }
   return Status::Ok();
@@ -295,7 +328,7 @@ FlowSim::AbortFn FlowSim::AbortFlow(FlowId id) {
   }
   AbortFn cb = std::move(flow.on_abort);
   for (LinkId link : flow.state.path) {
-    pending_links_.push_back(Topology::DenseLinkIndex(link));
+    pending_shrunk_links_.push_back(Topology::DenseLinkIndex(link));
   }
   RemoveFlowFromLinks(id, flow);
   flows_.erase(it);
@@ -319,6 +352,42 @@ Status FlowSim::SetRateCap(FlowId id, double rate_cap_bps) {
   return Status::Ok();
 }
 
+Status FlowSim::SetWeight(FlowId id, double weight) {
+  if (!(weight > 0)) {
+    return InvalidArgumentError("weight must be > 0");
+  }
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return NotFoundError("no such flow");
+  }
+  LiveFlow& flow = it->second;
+  if (flow.state.weight == weight) {
+    return Status::Ok();
+  }
+  flow.state.weight = weight;
+  if (flow.state.path.empty()) {
+    return Status::Ok();
+  }
+  // A weight change moves every fair-share denominator the flow sits in —
+  // including on links that are not saturated today but whose level drops
+  // below some member's recorded bind. Treat the whole path as
+  // capacity-dirty so each of those links re-levels exactly.
+  if (batch_depth_ > 0) {
+    pending_flows_.push_back(id);
+    for (LinkId link : flow.state.path) {
+      pending_links_.push_back(Topology::DenseLinkIndex(link));
+    }
+  } else {
+    seed_links_scratch_.clear();
+    for (LinkId link : flow.state.path) {
+      seed_links_scratch_.push_back(Topology::DenseLinkIndex(link));
+    }
+    Reallocate(&id, 1, seed_links_scratch_.data(), seed_links_scratch_.size(),
+               nullptr, 0);
+  }
+  return Status::Ok();
+}
+
 Result<double> FlowSim::CurrentRate(FlowId id) const {
   auto it = flows_.find(id);
   if (it == flows_.end()) {
@@ -330,6 +399,13 @@ Result<double> FlowSim::CurrentRate(FlowId id) const {
 const FlowState* FlowSim::FindFlow(FlowId id) const {
   auto it = flows_.find(id);
   return it == flows_.end() ? nullptr : &it->second.state;
+}
+
+void FlowSim::ForEachFlow(
+    const std::function<void(FlowId, const FlowState&)>& fn) const {
+  for (const auto& [id, flow] : flows_) {
+    fn(id, flow.state);
+  }
 }
 
 double FlowSim::LinkUtilization(LinkId link) const {
@@ -393,181 +469,494 @@ void FlowSim::EndBatch() {
   if (--batch_depth_ > 0) {
     return;
   }
-  if (pending_flows_.empty() && pending_links_.empty()) {
+  if (pending_flows_.empty() && pending_links_.empty() &&
+      pending_shrunk_links_.empty()) {
     return;
   }
-  ReallocateScoped(pending_flows_.data(), pending_flows_.size(),
-                   pending_links_.data(), pending_links_.size());
+  Reallocate(pending_flows_.data(), pending_flows_.size(),
+             pending_links_.data(), pending_links_.size(),
+             pending_shrunk_links_.data(), pending_shrunk_links_.size());
   pending_flows_.clear();
   pending_links_.clear();
+  pending_shrunk_links_.clear();
 }
 
 void FlowSim::ReallocateOne(FlowId seed) {
-  ReallocateScoped(&seed, 1, nullptr, 0);
+  Reallocate(&seed, 1, nullptr, 0, nullptr, 0);
 }
 
-void FlowSim::ReallocateScoped(const FlowId* seed_flows,
-                               size_t seed_flow_count,
-                               const size_t* seed_links,
-                               size_t seed_link_count) {
+void FlowSim::Reallocate(const FlowId* seed_flows, size_t seed_flow_count,
+                         const size_t* capdirty_links, size_t capdirty_count,
+                         const size_t* shrunk_links, size_t shrunk_count) {
   ++reallocations_;
   ScopedTimerUs timer(realloc_micros_hist_);
+  if (incremental_) {
+    RelevelDelta(seed_flows, seed_flow_count, capdirty_links, capdirty_count,
+                 shrunk_links, shrunk_count);
+    return;
+  }
+  // Oracle mode: every touched link seeds the full component BFS.
+  merged_links_scratch_.assign(capdirty_links, capdirty_links + capdirty_count);
+  merged_links_scratch_.insert(merged_links_scratch_.end(), shrunk_links,
+                               shrunk_links + shrunk_count);
+  RefillComponent(seed_flows, seed_flow_count, merged_links_scratch_.data(),
+                  merged_links_scratch_.size());
+}
 
-  // --- Collect the affected component(s): flows transitively sharing links
-  // with any seed. Stamps avoid clearing marker state between passes.
+void FlowSim::AddRegionLink(size_t dense_index) {
+  EnsureLinkArrays(dense_index);
+  if (link_stamp_[dense_index] == stamp_) {
+    return;
+  }
+  link_stamp_[dense_index] = stamp_;
+  region_links_.push_back(dense_index);
+  // Re-leveling a saturated link invalidates every rate it froze: its
+  // whole bottleneck group joins the recompute set.
+  for (const LinkMember& m : link_group_[dense_index]) {
+    AddRecomputeFlow(m.flow, m.live);
+  }
+}
+
+void FlowSim::AddRecomputeFlow(FlowId id, LiveFlow* live) {
+  if (live->recompute_stamp == stamp_ || live->state.path.empty()) {
+    return;
+  }
+  live->recompute_stamp = stamp_;
+  recompute_flows_.emplace_back(id, live);
+}
+
+void FlowSim::RelevelDelta(const FlowId* seed_flows, size_t seed_flow_count,
+                           const size_t* capdirty_links, size_t capdirty_count,
+                           const size_t* shrunk_links, size_t shrunk_count) {
   ++stamp_;
-  comp_flows_.clear();
-  comp_links_.clear();
+  region_links_.clear();
+  recompute_flows_.clear();
+  for (size_t i = 0; i < capdirty_count; ++i) {
+    AddRegionLink(capdirty_links[i]);
+  }
+  for (size_t i = 0; i < shrunk_count; ++i) {
+    // Demand-only shrink: an unsaturated link that just lost a flow only
+    // gained headroom — nobody's level there was binding, so it stays out.
+    EnsureLinkArrays(shrunk_links[i]);
+    if (link_frozen_[shrunk_links[i]]) {
+      AddRegionLink(shrunk_links[i]);
+    }
+  }
+  for (size_t i = 0; i < seed_flow_count; ++i) {
+    auto it = flows_.find(seed_flows[i]);
+    if (it == flows_.end() || it->second.state.path.empty()) {
+      continue;  // cancelled within the batch, or zero-link no-op
+    }
+    AddRecomputeFlow(seed_flows[i], &it->second);
+    for (LinkId link : it->second.state.path) {
+      size_t idx = Topology::DenseLinkIndex(link);
+      EnsureLinkArrays(idx);
+      if (link_frozen_[idx]) {
+        AddRegionLink(idx);
+      }
+    }
+  }
+  if (region_links_.empty() && recompute_flows_.empty()) {
+    component_size_hist_.Record(0.0);
+    fill_levels_hist_.Record(0.0);
+    groups_releveled_hist_.Record(0.0);
+    return;
+  }
+  for (int pass = 0;; ++pass) {
+    if (pass == kMaxFillPasses) {
+      // Churn keeps straddling group boundaries; one full component fill
+      // is cheaper than more region growth (and bit-identical to the
+      // oracle by construction — it *is* the oracle).
+      fallback_flows_scratch_.clear();
+      for (auto& [fid, live] : recompute_flows_) {
+        fallback_flows_scratch_.push_back(fid);
+      }
+      merged_links_scratch_ = region_links_;
+      RefillComponent(fallback_flows_scratch_.data(),
+                      fallback_flows_scratch_.size(),
+                      merged_links_scratch_.data(),
+                      merged_links_scratch_.size());
+      return;
+    }
+    if (!RunFillPass()) {
+      ++fill_restarts_;  // external rebind: region grew, run again
+      continue;
+    }
+    if (GrowFromProbe()) {
+      ++fill_restarts_;  // fixpoint not reached: region grew, run again
+      continue;
+    }
+    break;
+  }
+  CommitFill();
+}
+
+void FlowSim::RefillComponent(const FlowId* seed_flows, size_t seed_flow_count,
+                              const size_t* seed_links,
+                              size_t seed_link_count) {
+  ++full_fills_;
+  // Collect the affected component(s): flows transitively sharing links
+  // with any seed. Stamps avoid clearing marker state between passes.
+  // Everything lands in the recompute set — there are no externals, so the
+  // single canonical pass below can never abort.
+  ++stamp_;
+  region_links_.clear();
+  recompute_flows_.clear();
   auto add_link = [this](size_t idx) {
+    EnsureLinkArrays(idx);
     if (link_stamp_[idx] != stamp_) {
       link_stamp_[idx] = stamp_;
-      link_slot_[idx] = static_cast<uint32_t>(comp_links_.size());
-      comp_links_.push_back(idx);
-    }
-  };
-  auto add_flow = [this](FlowId fid, LiveFlow* live) {
-    if (live->visit_stamp != stamp_ && !live->state.path.empty()) {
-      live->visit_stamp = stamp_;
-      comp_flows_.emplace_back(fid, live);
+      region_links_.push_back(idx);
     }
   };
   for (size_t i = 0; i < seed_flow_count; ++i) {
     auto it = flows_.find(seed_flows[i]);
     if (it != flows_.end()) {
-      add_flow(seed_flows[i], &it->second);
+      AddRecomputeFlow(seed_flows[i], &it->second);
     }
   }
   for (size_t i = 0; i < seed_link_count; ++i) {
-    EnsureLinkArrays(seed_links[i]);
     add_link(seed_links[i]);
   }
   size_t fi = 0;
   size_t li = 0;
-  while (fi < comp_flows_.size() || li < comp_links_.size()) {
-    for (; fi < comp_flows_.size(); ++fi) {
-      for (LinkId link : comp_flows_[fi].second->state.path) {
+  while (fi < recompute_flows_.size() || li < region_links_.size()) {
+    for (; fi < recompute_flows_.size(); ++fi) {
+      for (LinkId link : recompute_flows_[fi].second->state.path) {
         add_link(Topology::DenseLinkIndex(link));
       }
     }
-    for (; li < comp_links_.size(); ++li) {
-      for (const LinkMember& m : link_members_[comp_links_[li]]) {
-        add_flow(m.flow, m.live);
+    for (; li < region_links_.size(); ++li) {
+      for (const LinkMember& m : link_members_[region_links_[li]]) {
+        AddRecomputeFlow(m.flow, m.live);
       }
     }
   }
-
-  component_size_hist_.Record(static_cast<double>(comp_flows_.size()));
-
-  if (comp_flows_.empty()) {
-    // Links freed by the last flow on them: zero their allocation.
-    for (size_t idx : comp_links_) {
-      link_allocated_bps_[idx] = 0;
-    }
+  if (region_links_.empty() && recompute_flows_.empty()) {
+    component_size_hist_.Record(0.0);
+    fill_levels_hist_.Record(0.0);
+    groups_releveled_hist_.Record(0.0);
     return;
   }
+  bool clean = RunFillPass();
+  (void)clean;
+  assert(clean);  // full component: no external can exist
+  CommitFill();
+}
 
-  // --- Water-filling over the component: the fair level lambda rises
-  // uniformly; a flow's rate is weight * lambda until its own cap or one of
-  // its links freezes it. Budgets live in dense component-slot arrays.
-  budget_remaining_.resize(comp_links_.size());
-  budget_weight_.resize(comp_links_.size());
-  for (size_t s = 0; s < comp_links_.size(); ++s) {
-    budget_remaining_[s] = EffectiveCapacityBps(comp_links_[s]);
-    budget_weight_[s] = 0;
+bool FlowSim::RunFillPass() {
+  ++fill_passes_;
+  ++pass_stamp_;
+  fill_link_freezes_ = 0;
+
+  // The pass's flows are the recompute set plus every member of a region
+  // link (the latter replay their recorded constraints). No explicit list
+  // is materialized: the slot member segments below cover the link
+  // crossers, the event array is sorted regardless of build order, and the
+  // drain/probe/commit steps only touch the recompute set.
+
+  // --- Per-region-link slots: slack/weight budgets. A slot's member list
+  // is exactly link_members_ for that link — kept sorted by ascending
+  // FlowId at all times (see AddFlowToLinks) — so weight sums accumulate
+  // in canonical order by walking it directly; there is no per-pass member
+  // copy or sort. Event collection (cap levels for the recompute set,
+  // recorded constraint keys for externals) is fused into the same sweep:
+  // externals replay the exact key their constraint froze at in the
+  // previous decomposition, so region links see the same (value, order)
+  // subtraction sequence the from-scratch fill would produce, and every
+  // event key is unique, so the final sort yields one canonical sequence
+  // no matter what order sources are walked in.
+  size_t slots = region_links_.size();
+  slots_.resize(slots);
+  fill_events_.clear();
+  auto add_event = [this](FlowId fid, LiveFlow* flow) {
+    if (flow->member_stamp == pass_stamp_) {
+      return;  // already added (multiple occurrences / recompute + member)
+    }
+    flow->member_stamp = pass_stamp_;
+    if (flow->recompute_stamp == stamp_) {
+      double cap_level = flow->state.rate_cap_bps / flow->state.weight;
+      if (std::isfinite(cap_level)) {
+        fill_events_.push_back({cap_level, 0, fid.value(), 0, flow, fid});
+      }
+    } else if (flow->bind_kind == kBindCap) {
+      fill_events_.push_back({flow->bind_level, 0, fid.value(), 0, flow, fid});
+    } else if (flow->bind_kind == kBindLink) {
+      // Sorts at the binding link's position in the total order and in
+      // ascending FlowId among its siblings — the same relative order the
+      // full fill freezes that group in.
+      fill_events_.push_back({flow->bind_level, 1,
+                              static_cast<uint64_t>(flow->bind_link),
+                              fid.value(), flow, fid});
+    }
+    // kBindFree externals never freeze; their weight keeps levels honest.
+  };
+  for (auto& [fid, live] : recompute_flows_) {
+    add_event(fid, live);
   }
-  for (auto& [fid, flow] : comp_flows_) {
+  for (size_t s = 0; s < slots; ++s) {
+    size_t idx = region_links_[s];
+    link_slot_[idx] = static_cast<uint32_t>(s);
+    Slot& slot = slots_[s];
+    slot.slack = EffectiveCapacityBps(idx);
+    slot.wsum = 0.0;
+    slot.lambda = 0.0;
+    slot.frozen = 0;
+    for (const LinkMember& m : link_members_[idx]) {
+      slot.wsum += m.live->state.weight;
+      add_event(m.flow, m.live);
+    }
+  }
+  std::sort(fill_events_.begin(), fill_events_.end(), FillEventBefore());
+
+  // Freezes a flow's demand out of every region link it crosses. Link
+  // levels only rise as demand freezes out, so the slot scan below always
+  // sees the live minimum.
+  auto freeze = [this](LiveFlow* flow, double rate) {
+    flow->frozen_stamp = pass_stamp_;
+    double weight = flow->state.weight;
     for (LinkId link : flow->state.path) {
-      budget_weight_[link_slot_[Topology::DenseLinkIndex(link)]] +=
-          flow->state.weight;
+      size_t idx = Topology::DenseLinkIndex(link);
+      if (link_stamp_[idx] != stamp_) {
+        continue;
+      }
+      Slot& slot = slots_[link_slot_[idx]];
+      if (!slot.frozen) {
+        slot.slack -= rate;
+        slot.wsum -= weight;
+      }
+    }
+  };
+
+  // --- The fill: repeatedly take the lowest constraint — the next unfrozen
+  // flow event vs. the minimum live link level — and freeze it.
+  size_t ei = 0;
+  for (;;) {
+    while (ei < fill_events_.size() &&
+           fill_events_[ei].flow->frozen_stamp == pass_stamp_) {
+      ++ei;  // already frozen by a link it crosses
+    }
+    // Minimum live link level, ties to the smallest dense index (matching
+    // the (level, kind=1, index, b=0) slot in the total order).
+    size_t best_slot = slots;
+    double best_level = std::numeric_limits<double>::infinity();
+    for (size_t s = 0; s < slots; ++s) {
+      const Slot& slot = slots_[s];
+      if (slot.frozen || slot.wsum <= 0) {
+        continue;
+      }
+      double level = std::max(0.0, slot.slack) / slot.wsum;
+      if (!std::isfinite(level)) {
+        continue;
+      }
+      if (level < best_level ||
+          (level == best_level && region_links_[s] < region_links_[best_slot])) {
+        best_level = level;
+        best_slot = s;
+      }
+    }
+    bool link_next = best_slot < slots;
+    if (ei < fill_events_.size()) {
+      const FillEvent& e = fill_events_[ei];
+      if (link_next) {
+        // Lexicographic (level, kind, a, b) against the link's
+        // (best_level, 1, dense index, 0).
+        uint64_t li = static_cast<uint64_t>(region_links_[best_slot]);
+        link_next = best_level < e.level ||
+                    (best_level == e.level &&
+                     (1 < e.kind || (1 == e.kind && (li < e.a ||
+                                                     (li == e.a && 0 < e.b)))));
+      }
+      if (!link_next) {
+        LiveFlow* flow = e.flow;
+        ++ei;
+        if (flow->recompute_stamp == stamp_) {
+          // Own rate cap binds first.
+          flow->pending_rate = flow->state.rate_cap_bps;
+          flow->pend_bind_kind = kBindCap;
+          flow->pend_bind_link = 0;
+          flow->pend_bind_level = e.level;
+          freeze(flow, flow->state.rate_cap_bps);
+        } else {
+          // External replay: the recorded constraint fires; the rate is
+          // unchanged by definition of being outside the recompute set.
+          freeze(flow, flow->state.current_rate_bps);
+        }
+        continue;
+      }
+    } else if (!link_next) {
+      break;  // no live constraint left
+    }
+    size_t s = best_slot;
+    size_t idx = region_links_[s];
+    // This link saturates at `best_level`. Every unfrozen member must be
+    // in the recompute set — an external still unfrozen here was recorded
+    // binding at a *higher* level elsewhere, so its rate is about to
+    // change: pull it (and its old bottleneck) into the region and re-run.
+    bool grew = false;
+    for (const LinkMember& lm : link_members_[idx]) {
+      LiveFlow* m = lm.live;
+      if (m->frozen_stamp == pass_stamp_ || m->recompute_stamp == stamp_) {
+        continue;
+      }
+      if (m->bind_kind == kBindLink) {
+        AddRegionLink(m->bind_link);  // also pulls its group into F
+      }
+      AddRecomputeFlow(lm.flow, m);
+      grew = true;
+    }
+    if (grew) {
+      return false;  // abort the pass; caller restarts with the larger set
+    }
+    slots_[s].frozen = 1;
+    slots_[s].lambda = best_level;
+    ++fill_link_freezes_;
+    for (const LinkMember& lm : link_members_[idx]) {
+      LiveFlow* m = lm.live;
+      if (m->frozen_stamp == pass_stamp_) {
+        continue;  // earlier member, or an earlier occurrence of this one
+      }
+      m->pending_rate = m->state.weight * best_level;
+      m->pend_bind_kind = kBindLink;
+      m->pend_bind_link = static_cast<uint32_t>(idx);
+      m->pend_bind_level = best_level;
+      freeze(m, m->pending_rate);
     }
   }
 
-  unfrozen_ = comp_flows_;
-  while (!unfrozen_.empty()) {
-    // Next freeze level.
-    double lambda = std::numeric_limits<double>::infinity();
-    for (auto& [fid, flow] : unfrozen_) {
-      lambda = std::min(lambda, flow->state.rate_cap_bps / flow->state.weight);
-      for (LinkId link : flow->state.path) {
-        size_t s = link_slot_[Topology::DenseLinkIndex(link)];
-        if (budget_weight_[s] > 0) {
-          lambda = std::min(
-              lambda, std::max(0.0, budget_remaining_[s]) / budget_weight_[s]);
-        }
-      }
+  // Whoever survived every constraint is effectively unbounded (only
+  // possible across infinite-capacity links with no finite cap).
+  for (auto& [fid, flow] : recompute_flows_) {
+    if (flow->frozen_stamp != pass_stamp_) {
+      flow->pending_rate = 1e18;
+      flow->pend_bind_kind = kBindFree;
+      flow->pend_bind_link = 0;
+      flow->pend_bind_level = std::numeric_limits<double>::infinity();
     }
-    if (!std::isfinite(lambda)) {
-      // All remaining flows are uncapped and cross no finite constraint;
-      // give them an effectively unbounded rate.
-      for (auto& [fid, flow] : unfrozen_) {
-        flow->pending_rate = 1e18;
-      }
-      break;
-    }
+  }
+  return true;
+}
 
-    // Freeze every flow whose own constraint binds at this level.
-    still_unfrozen_.clear();
-    for (auto& [fid, flow] : unfrozen_) {
-      bool frozen = false;
-      double rate = flow->state.weight * lambda;
-      if (flow->state.rate_cap_bps / flow->state.weight <=
-          lambda * (1 + kEps) + kEps) {
-        rate = flow->state.rate_cap_bps;
-        frozen = true;
-      } else {
-        for (LinkId link : flow->state.path) {
-          size_t s = link_slot_[Topology::DenseLinkIndex(link)];
-          if (budget_weight_[s] > 0 &&
-              std::max(0.0, budget_remaining_[s]) / budget_weight_[s] <=
-                  lambda * (1 + kEps) + kEps) {
-            frozen = true;
-            break;
-          }
-        }
-      }
-      if (frozen) {
-        flow->pending_rate = rate;
-        for (LinkId link : flow->state.path) {
-          size_t s = link_slot_[Topology::DenseLinkIndex(link)];
-          budget_remaining_[s] -= rate;
-          budget_weight_[s] -= flow->state.weight;
-        }
-      } else {
-        still_unfrozen_.emplace_back(fid, flow);
-      }
+bool FlowSim::GrowFromProbe() {
+  // Fixpoint check: a recomputed flow whose rate or binding constraint
+  // moved may change the arithmetic of a link outside the region — either
+  // a frozen link (whose λ is recorded bit-exact and would be recomputed
+  // with a different subtraction order by the oracle) or an unfrozen link
+  // its new demand pushes to the brink of saturation. Grow the region to
+  // cover both; unchanged flows provably leave outside links' fills alone.
+  bool grew = false;
+  ++probe_stamp_;
+  probe_links_.clear();
+  // Index loop over a snapshotted size: AddRegionLink below appends newly
+  // pulled-in group members to recompute_flows_ (invalidating iterators),
+  // and those flows carry stale pending_rates until the caller restarts
+  // the pass — the restarted pass's own probe covers them.
+  size_t probed = recompute_flows_.size();
+  for (size_t i = 0; i < probed; ++i) {
+    LiveFlow* flow = recompute_flows_[i].second;
+    double delta = flow->pending_rate - flow->state.current_rate_bps;
+    bool key_moved = flow->pend_bind_kind != flow->bind_kind ||
+                     flow->pend_bind_level != flow->bind_level ||
+                     (flow->pend_bind_kind == kBindLink &&
+                      flow->pend_bind_link != flow->bind_link);
+    if (delta == 0.0 && !key_moved) {
+      continue;
     }
-    // Progress guarantee: at least one flow freezes each round (the one
-    // defining lambda). Guard against numerical stalls anyway.
-    if (still_unfrozen_.size() == unfrozen_.size()) {
-      for (auto& [fid, flow] : still_unfrozen_) {
-        flow->pending_rate = flow->state.weight * lambda;
+    for (LinkId link : flow->state.path) {
+      size_t idx = Topology::DenseLinkIndex(link);
+      if (link_stamp_[idx] == stamp_) {
+        continue;  // already in the region
       }
-      still_unfrozen_.clear();
+      if (link_frozen_[idx]) {
+        AddRegionLink(idx);
+        grew = true;
+        continue;
+      }
+      if (link_probe_stamp_[idx] != probe_stamp_) {
+        link_probe_stamp_[idx] = probe_stamp_;
+        link_probe_delta_[idx] = 0.0;
+        probe_links_.push_back(idx);
+      }
+      link_probe_delta_[idx] += delta;
     }
-    unfrozen_.swap(still_unfrozen_);
+  }
+  for (size_t idx : probe_links_) {
+    if (link_stamp_[idx] == stamp_) {
+      continue;  // pulled in by the frozen branch above
+    }
+    if (link_allocated_bps_[idx] + link_probe_delta_[idx] >
+        EffectiveCapacityBps(idx) * (1 - kSaturationMargin)) {
+      AddRegionLink(idx);
+      grew = true;
+    }
+  }
+  return grew;
+}
+
+void FlowSim::CommitFill() {
+  component_size_hist_.Record(static_cast<double>(recompute_flows_.size()));
+  fill_levels_hist_.Record(static_cast<double>(fill_link_freezes_));
+  size_t groups_releveled = 0;
+  for (size_t idx : region_links_) {
+    groups_releveled += link_frozen_[idx] ? 1 : 0;
+  }
+  groups_releveled_hist_.Record(static_cast<double>(groups_releveled));
+
+  // Commit the new bottleneck decomposition for the region.
+  for (size_t s = 0; s < region_links_.size(); ++s) {
+    size_t idx = region_links_[s];
+    link_frozen_[idx] = slots_[s].frozen;
+    link_lambda_[idx] = slots_[s].frozen ? slots_[s].lambda : 0.0;
   }
 
-  // --- Write-back: record allocations, settle flows whose rate moved, and
+  // Write-back in ascending FlowId order: settle flows whose rate moved,
+  // apply the allocation delta per path occurrence (flows with unchanged
+  // rate contribute an exact zero, so the incremental and from-scratch
+  // paths emit the same delta sequence), rebuild group membership, and
   // reschedule completions only where the predicted finish changed.
   SimTime now = queue_.now();
-  for (size_t idx : comp_links_) {
-    link_allocated_bps_[idx] = 0;
-  }
-  for (auto& [fid, flow] : comp_flows_) {
+  std::sort(recompute_flows_.begin(), recompute_flows_.end(),
+            [](const std::pair<FlowId, LiveFlow*>& a,
+               const std::pair<FlowId, LiveFlow*>& b) {
+              return a.first.value() < b.first.value();
+            });
+  for (auto& [fid, flow] : recompute_flows_) {
     double new_rate = flow->pending_rate;
     double old_rate = flow->state.current_rate_bps;
     if (new_rate != old_rate) {
       // Integrate progress under the old rate before switching slope.
       SettleFlow(*flow);
       flow->state.current_rate_bps = new_rate;
+      double delta = new_rate - old_rate;
+      for (LinkId link : flow->state.path) {
+        link_allocated_bps_[Topology::DenseLinkIndex(link)] += delta;
+      }
     }
-    for (LinkId link : flow->state.path) {
-      link_allocated_bps_[Topology::DenseLinkIndex(link)] += new_rate;
+    if (flow->pend_bind_kind == flow->bind_kind &&
+        (flow->bind_kind != kBindLink ||
+         flow->pend_bind_link == flow->bind_link)) {
+      // Same constraint, possibly a new level: group membership (and
+      // group_pos) are already right — skip the remove/re-add churn that
+      // would otherwise hit every member on every group relevel.
+      flow->bind_level = flow->pend_bind_level;
+    } else {
+      if (flow->bind_kind == kBindLink) {
+        RemoveFromGroup(*flow);
+      }
+      flow->bind_kind = flow->pend_bind_kind;
+      flow->bind_link = flow->pend_bind_link;
+      flow->bind_level = flow->pend_bind_level;
+      if (flow->bind_kind == kBindLink) {
+        flow->group_pos =
+            static_cast<uint32_t>(link_group_[flow->bind_link].size());
+        link_group_[flow->bind_link].push_back(LinkMember{fid, flow, 0});
+      }
     }
     if (!std::isfinite(flow->state.bytes_total)) {
       continue;  // persistent: no completion to schedule
     }
-    if (!RateChanged(old_rate, new_rate) && flow->completion_event.valid()) {
+    if (!level_fill::RateChanged(old_rate, new_rate) &&
+        flow->completion_event.valid()) {
       continue;  // same slope: the scheduled finish time is still exact
     }
     queue_.Cancel(flow->completion_event);
@@ -584,7 +973,7 @@ void FlowSim::ReallocateScoped(const FlowId* seed_flows,
           SimDuration::Seconds(seconds), [this, id] { HandleCompletion(id); });
       ++flows_rescheduled_;
     }
-    // else: stalled (zero cap); waits for a cap change.
+    // else: stalled (zero cap or downed link); waits for a change.
   }
 }
 
@@ -606,11 +995,12 @@ void FlowSim::HandleCompletion(FlowId id) {
   flows_.erase(it);
   if (!seed_links_scratch_.empty()) {
     if (batch_depth_ > 0) {
-      pending_links_.insert(pending_links_.end(), seed_links_scratch_.begin(),
-                            seed_links_scratch_.end());
+      pending_shrunk_links_.insert(pending_shrunk_links_.end(),
+                                   seed_links_scratch_.begin(),
+                                   seed_links_scratch_.end());
     } else {
-      ReallocateScoped(nullptr, 0, seed_links_scratch_.data(),
-                       seed_links_scratch_.size());
+      Reallocate(nullptr, 0, nullptr, 0, seed_links_scratch_.data(),
+                 seed_links_scratch_.size());
     }
   }
   if (on_complete) {

@@ -1,0 +1,99 @@
+// Shared water-filling level primitives.
+//
+// Both fair-share allocators in the simulator — FlowSim's bottleneck-
+// structured water-filler and ShardExecutor's per-link capacity-lease
+// split — rise a common "fair level" until a constraint binds. They must
+// agree on the epsilon discipline (when a demand counts as binding at a
+// level) or a flow capped just under its fair share would oscillate
+// between the two layers. This header is the single home for that
+// discipline: the kEps/kRateEps constants, the RateChanged predicate used
+// to decide whether a completion event needs rescheduling, and the
+// single-resource weighted max-min split the lease reconciler runs per
+// shared link.
+
+#ifndef TENANTNET_SRC_SIM_LEVEL_FILL_H_
+#define TENANTNET_SRC_SIM_LEVEL_FILL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace tenantnet {
+namespace level_fill {
+
+// Relative tolerance for "this demand binds at the current level". Shared
+// by FlowSim's scoped fill and ShardExecutor's lease split so a borderline
+// constraint freezes identically in both layers.
+constexpr double kEps = 1e-9;
+
+// Relative rate-change threshold below which a completion event is kept:
+// with an unchanged rate the previously predicted finish time is still
+// exact, so rescheduling would be pure queue churn.
+constexpr double kRateEps = 1e-9;
+
+inline bool RateChanged(double old_rate, double new_rate) {
+  double scale = std::max({1.0, std::abs(old_rate), std::abs(new_rate)});
+  return std::abs(new_rate - old_rate) > kRateEps * scale;
+}
+
+// Weighted max-min split of one resource across n parties.
+//
+// Party i demands `demand[i]` (may be +infinity for "as much as possible")
+// with weight `weight[i]`; `share` receives the allocation. The fair level
+// rises uniformly; a party whose demand falls within (1 + kEps) of
+// level * weight freezes at exactly its demand, everyone left when no
+// demand binds gets level * weight. Conservative by construction: shares
+// sum to <= capacity (modulo the same kEps discipline as the flow
+// water-filler). Deterministic: a pure function of (capacity, demand,
+// weight) — iteration is by ascending party index, so callers that need
+// reproducible bits across runs/threads only have to present parties in a
+// canonical order.
+inline void WeightedMaxMinSplit(double capacity,
+                                const std::vector<double>& demand,
+                                const std::vector<double>& weight,
+                                std::vector<double>& share) {
+  size_t parties = demand.size();
+  share.assign(parties, -1.0);  // unassigned
+  double remaining = capacity;
+  size_t unfrozen = parties;
+  while (unfrozen > 0) {
+    double weight_sum = 0;
+    for (size_t i = 0; i < parties; ++i) {
+      if (share[i] < 0) {
+        weight_sum += weight[i];
+      }
+    }
+    if (weight_sum <= 0) {
+      for (size_t i = 0; i < parties; ++i) {
+        if (share[i] < 0) {
+          share[i] = 0.0;
+        }
+      }
+      break;
+    }
+    double level = std::max(0.0, remaining) / weight_sum;
+    size_t froze = 0;
+    for (size_t i = 0; i < parties; ++i) {
+      if (share[i] < 0 && demand[i] <= level * weight[i] * (1 + kEps)) {
+        share[i] = demand[i];
+        remaining -= demand[i];
+        ++froze;
+      }
+    }
+    if (froze == 0) {
+      for (size_t i = 0; i < parties; ++i) {
+        if (share[i] < 0) {
+          share[i] = level * weight[i];
+        }
+      }
+      break;
+    }
+    unfrozen -= froze;
+  }
+}
+
+}  // namespace level_fill
+}  // namespace tenantnet
+
+#endif  // TENANTNET_SRC_SIM_LEVEL_FILL_H_

@@ -6,12 +6,9 @@
 #include <limits>
 #include <utility>
 
-namespace tenantnet {
+#include "src/sim/level_fill.h"
 
-namespace {
-// Matches the water-filler's epsilon discipline in flow_sim.cc.
-constexpr double kEps = 1e-9;
-}  // namespace
+namespace tenantnet {
 
 ShardExecutor::ShardExecutor(EventQueue& control, const Topology& topology,
                              Options opts)
@@ -224,52 +221,18 @@ void ShardExecutor::ReconcileLeases() {
     size_t parties = split_shards_.size();
     split_demand_.resize(parties);
     split_weight_.resize(parties);
-    split_share_.resize(parties);
     for (size_t i = 0; i < parties; ++i) {
       size_t slot = UseIndex(idx, split_shards_[i]);
       split_weight_[i] = use_weight_[slot];
       split_demand_[i] = use_uncapped_[slot] > 0
                              ? std::numeric_limits<double>::infinity()
                              : use_cap_sum_[slot];
-      split_share_[i] = -1.0;  // unassigned
     }
-    double remaining = capacity;
-    size_t unfrozen = parties;
-    while (unfrozen > 0) {
-      double weight_sum = 0;
-      for (size_t i = 0; i < parties; ++i) {
-        if (split_share_[i] < 0) {
-          weight_sum += split_weight_[i];
-        }
-      }
-      if (weight_sum <= 0) {
-        for (size_t i = 0; i < parties; ++i) {
-          if (split_share_[i] < 0) {
-            split_share_[i] = 0.0;
-          }
-        }
-        break;
-      }
-      double level = std::max(0.0, remaining) / weight_sum;
-      size_t froze = 0;
-      for (size_t i = 0; i < parties; ++i) {
-        if (split_share_[i] < 0 &&
-            split_demand_[i] <= level * split_weight_[i] * (1 + kEps)) {
-          split_share_[i] = split_demand_[i];
-          remaining -= split_demand_[i];
-          ++froze;
-        }
-      }
-      if (froze == 0) {
-        for (size_t i = 0; i < parties; ++i) {
-          if (split_share_[i] < 0) {
-            split_share_[i] = level * split_weight_[i];
-          }
-        }
-        break;
-      }
-      unfrozen -= froze;
-    }
+    // Shared level primitive (src/sim/level_fill.h): the same epsilon
+    // discipline as FlowSim's water-filler, applied to shard aggregates in
+    // ascending shard order — deterministic regardless of thread count.
+    level_fill::WeightedMaxMinSplit(capacity, split_demand_, split_weight_,
+                                    split_share_);
     for (size_t i = 0; i < parties; ++i) {
       uint32_t s = split_shards_[i];
       lease_held_[UseIndex(idx, s)] = 1;

@@ -1,0 +1,294 @@
+// Randomized differential fuzz for the bottleneck-structured incremental
+// water-filler.
+//
+// Property: a FlowSim running the default incremental re-level must stay
+// *bit-identical* — not epsilon-close — to a twin FlowSim replaying the
+// same seeded churn script with SetIncrementalRelevel(false), i.e. the
+// from-scratch component-fill oracle. After every round the two sims'
+// fingerprints are compared as raw IEEE-754 bit patterns: per-flow rates
+// (sorted by FlowId), per-link allocated bits/sec, remaining bytes of
+// finite transfers, and the completion/reschedule counters. Equality to
+// the last bit is the contract that makes the incremental path an
+// optimization rather than an approximation (same discipline as the reach
+// revalidator's fingerprint_identical gate).
+//
+// The script mixes every mutation the allocator handles: persistent and
+// finite starts across an overlapping pod/core world, disjoint chains and
+// a staggered-lane trunk; cancels racing completions; rate-cap and weight
+// churn; link down/up (both the stall path and abort handlers); and
+// nested BatchScope bursts. Between rounds both event queues advance the
+// same simulated interval, so completion-driven reallocation is part of
+// the replayed script too.
+//
+// Reproduce any failure with the TN_SEED / TN_ITERS pair printed by
+// SCOPED_TRACE.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/flow_sim.h"
+#include "tests/test_env.h"
+
+namespace tenantnet {
+namespace {
+
+// One sim plus its private queue/topology. Both twins are built by the
+// same deterministic routine, so LinkIds and candidate paths line up.
+struct Twin {
+  EventQueue queue;
+  Topology topo;
+  std::vector<std::vector<LinkId>> paths;
+  std::vector<LinkId> links;  // every link, for toggles and fingerprints
+  std::unique_ptr<FlowSim> sim;
+};
+
+// A little of every churn-bench shape at once: 6 pods sharing one core
+// link (one giant component), 3 disjoint 2-link chains (tiny components),
+// and 4 staggered lanes into a 2G trunk (deep bottleneck decomposition).
+void BuildWorld(Twin& t) {
+  NodeId core_a = t.topo.AddNode({"ca", NodeKind::kBackboneRouter, "x"});
+  NodeId core_b = t.topo.AddNode({"cb", NodeKind::kBackboneRouter, "x"});
+  LinkId core = t.topo.AddLink({core_a, core_b, 4e9, SimDuration::Millis(1),
+                                SimDuration::Zero(), 0, LinkClass::kBackbone});
+  t.links.push_back(core);
+  for (size_t p = 0; p < 6; ++p) {
+    NodeId pod = t.topo.AddNode({"p", NodeKind::kHostAggregate, "x"});
+    LinkId up = t.topo.AddLink({pod, core_a, 1e9, SimDuration::Millis(1),
+                                SimDuration::Zero(), 0,
+                                LinkClass::kDatacenter});
+    t.links.push_back(up);
+    t.paths.push_back({up, core});
+  }
+  for (size_t g = 0; g < 3; ++g) {
+    NodeId a = t.topo.AddNode({"a", NodeKind::kHostAggregate, "x"});
+    NodeId b = t.topo.AddNode({"b", NodeKind::kBackboneRouter, "x"});
+    NodeId c = t.topo.AddNode({"c", NodeKind::kHostAggregate, "x"});
+    LinkId ab = t.topo.AddLink({a, b, 1e9, SimDuration::Millis(1),
+                                SimDuration::Zero(), 0,
+                                LinkClass::kDatacenter});
+    LinkId bc = t.topo.AddLink({b, c, 0.5e9, SimDuration::Millis(1),
+                                SimDuration::Zero(), 0,
+                                LinkClass::kDatacenter});
+    t.links.push_back(ab);
+    t.links.push_back(bc);
+    t.paths.push_back({ab, bc});
+  }
+  NodeId trunk_a = t.topo.AddNode({"ta", NodeKind::kBackboneRouter, "x"});
+  NodeId trunk_b = t.topo.AddNode({"tb", NodeKind::kBackboneRouter, "x"});
+  LinkId trunk = t.topo.AddLink({trunk_a, trunk_b, 2e9,
+                                 SimDuration::Millis(1), SimDuration::Zero(),
+                                 0, LinkClass::kBackbone});
+  t.links.push_back(trunk);
+  for (size_t l = 0; l < 4; ++l) {
+    NodeId lane = t.topo.AddNode({"l", NodeKind::kHostAggregate, "x"});
+    LinkId up = t.topo.AddLink({lane, trunk_a,
+                                200e6 + 150e6 * static_cast<double>(l),
+                                SimDuration::Millis(1), SimDuration::Zero(),
+                                0, LinkClass::kDatacenter});
+    t.links.push_back(up);
+    t.paths.push_back({up, trunk});
+  }
+  t.sim = std::make_unique<FlowSim>(t.queue, t.topo);
+}
+
+uint64_t Bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+// Everything the allocator is responsible for, as raw bit patterns. Two
+// runs whose scripts matched must produce byte-equal fingerprints.
+struct Fingerprint {
+  std::vector<std::pair<uint64_t, std::vector<uint64_t>>> flows;
+  std::vector<uint64_t> link_alloc;
+  uint64_t flows_rescheduled = 0;
+  uint64_t stalled = 0;
+
+  bool operator==(const Fingerprint& o) const {
+    return flows == o.flows && link_alloc == o.link_alloc &&
+           flows_rescheduled == o.flows_rescheduled && stalled == o.stalled;
+  }
+};
+
+Fingerprint Capture(const Twin& t) {
+  Fingerprint fp;
+  std::map<uint64_t, std::vector<uint64_t>> sorted;
+  t.sim->ForEachFlow([&sorted](FlowId id, const FlowState& st) {
+    sorted[id.value()] = {Bits(st.current_rate_bps), Bits(st.bytes_left),
+                          Bits(st.weight), Bits(st.rate_cap_bps)};
+  });
+  fp.flows.assign(sorted.begin(), sorted.end());
+  for (LinkId link : t.links) {
+    fp.link_alloc.push_back(Bits(t.sim->LinkAllocatedBps(link)));
+  }
+  fp.flows_rescheduled = t.sim->flows_rescheduled();
+  fp.stalled = t.sim->stalled_flow_count();
+  return fp;
+}
+
+class WaterfillFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WaterfillFuzzTest, IncrementalBitIdenticalToScratchOracle) {
+  const uint64_t seed = GetParam();
+  const int64_t rounds = test_env::ItersOverride(60);
+  SCOPED_TRACE("TN_SEED=" + std::to_string(seed) +
+               " TN_ITERS=" + std::to_string(rounds));
+
+  Twin incr;
+  Twin scratch;
+  BuildWorld(incr);
+  BuildWorld(scratch);
+  incr.sim->SetIncrementalRelevel(true);
+  scratch.sim->SetIncrementalRelevel(false);
+
+  test_env::PairSampler rng(seed);
+  std::vector<FlowId> live;  // ids line up across twins (asserted below)
+  std::vector<bool> link_up(incr.links.size(), true);
+  uint64_t completions_incr = 0;
+  uint64_t completions_scratch = 0;
+
+  // One op applied to BOTH sims. Distinct weights/caps per draw so freeze
+  // levels interleave between link levels (the hard case for canonical
+  // ordering); every 6th finite start carries an abort handler so link
+  // downs exercise both the stall and the abort path.
+  size_t started = 0;
+  auto apply_op = [&](size_t op) {
+    switch (op) {
+      case 0: {  // start
+        size_t path_idx = rng.Index(incr.paths.size());
+        double weight = 0.5 + static_cast<double>(rng.Index(6));
+        double cap = rng.Chance(0.4)
+                         ? 20e6 * static_cast<double>(rng.Index(40) + 1)
+                         : std::numeric_limits<double>::infinity();
+        bool finite = rng.Chance(0.4);
+        FlowId a, b;
+        if (finite) {
+          FlowSim::AbortFn abort_fn;
+          if (started % 6 == 0) {
+            abort_fn = [](FlowId, SimTime) {};
+          }
+          a = incr.sim->StartFlow(
+              incr.paths[path_idx], 200e3,
+              [&completions_incr](FlowId, SimTime) { ++completions_incr; },
+              weight, cap, abort_fn);
+          b = scratch.sim->StartFlow(
+              scratch.paths[path_idx], 200e3,
+              [&completions_scratch](FlowId, SimTime) {
+                ++completions_scratch;
+              },
+              weight, cap, abort_fn);
+        } else {
+          a = incr.sim->StartPersistentFlow(incr.paths[path_idx], weight, cap);
+          b = scratch.sim->StartPersistentFlow(scratch.paths[path_idx],
+                                               weight, cap);
+        }
+        ASSERT_EQ(a.value(), b.value()) << "twin FlowId streams diverged";
+        live.push_back(a);
+        ++started;
+        break;
+      }
+      case 1: {  // cancel (stale ids from completed transfers are no-ops)
+        if (live.empty()) break;
+        size_t victim = rng.Index(live.size());
+        (void)incr.sim->CancelFlow(live[victim]);
+        (void)scratch.sim->CancelFlow(live[victim]);
+        live[victim] = live.back();
+        live.pop_back();
+        break;
+      }
+      case 2: {  // re-cap
+        if (live.empty()) break;
+        FlowId id = live[rng.Index(live.size())];
+        double cap = rng.Chance(0.3)
+                         ? std::numeric_limits<double>::infinity()
+                         : 20e6 * static_cast<double>(rng.Index(40) + 1);
+        (void)incr.sim->SetRateCap(id, cap);
+        (void)scratch.sim->SetRateCap(id, cap);
+        break;
+      }
+      case 3: {  // re-weight
+        if (live.empty()) break;
+        FlowId id = live[rng.Index(live.size())];
+        double weight = 0.5 + static_cast<double>(rng.Index(6));
+        (void)incr.sim->SetWeight(id, weight);
+        (void)scratch.sim->SetWeight(id, weight);
+        break;
+      }
+      default: {  // link toggle
+        size_t idx = rng.Index(link_up.size());
+        link_up[idx] = !link_up[idx];
+        (void)incr.sim->SetLinkUp(incr.links[idx], link_up[idx]);
+        (void)scratch.sim->SetLinkUp(scratch.links[idx], link_up[idx]);
+        break;
+      }
+    }
+  };
+
+  for (int64_t round = 0; round < rounds; ++round) {
+    SCOPED_TRACE("round=" + std::to_string(round));
+    size_t ops = 2 + rng.Index(8);
+    if (rng.Chance(0.3)) {
+      // Batched burst; nested scopes must coalesce into one reallocation.
+      FlowSim::BatchScope outer_a = incr.sim->Batch();
+      FlowSim::BatchScope outer_b = scratch.sim->Batch();
+      for (size_t i = 0; i < ops; ++i) {
+        if (i == ops / 2 && rng.Chance(0.5)) {
+          FlowSim::BatchScope inner_a = incr.sim->Batch();
+          FlowSim::BatchScope inner_b = scratch.sim->Batch();
+          apply_op(rng.Index(5));
+        }
+        apply_op(rng.Index(5));
+      }
+    } else {
+      for (size_t i = 0; i < ops; ++i) {
+        apply_op(rng.Index(5));
+      }
+    }
+    // Advance both worlds the same simulated interval so completion-driven
+    // reallocations (and their reschedules) join the differential script.
+    SimTime until = incr.queue.now() + SimDuration::Millis(2);
+    incr.queue.RunUntil(until);
+    scratch.queue.RunUntil(until);
+    ASSERT_EQ(completions_incr, completions_scratch);
+    ASSERT_EQ(incr.sim->active_flow_count(), scratch.sim->active_flow_count());
+
+    Fingerprint a = Capture(incr);
+    Fingerprint b = Capture(scratch);
+    if (!(a == b)) {
+      ASSERT_EQ(a.flows.size(), b.flows.size());
+      for (size_t i = 0; i < a.flows.size(); ++i) {
+        ASSERT_EQ(a.flows[i].first, b.flows[i].first) << "flow id mismatch";
+        EXPECT_EQ(a.flows[i].second, b.flows[i].second)
+            << "flow " << a.flows[i].first
+            << " rate/bytes/weight/cap bits diverged";
+      }
+      for (size_t i = 0; i < a.link_alloc.size(); ++i) {
+        EXPECT_EQ(a.link_alloc[i], b.link_alloc[i])
+            << "link " << incr.links[i].value() << " allocation bits diverged";
+      }
+      EXPECT_EQ(a.flows_rescheduled, b.flows_rescheduled);
+      EXPECT_EQ(a.stalled, b.stalled);
+      FAIL() << "incremental fingerprint diverged from scratch oracle";
+    }
+  }
+
+  // The incremental twin must actually have exercised the incremental
+  // path — a silent fallback to full fills would make this suite vacuous.
+  EXPECT_EQ(scratch.sim->full_fills(), scratch.sim->reallocation_count());
+  EXPECT_LT(incr.sim->full_fills(), incr.sim->reallocation_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, WaterfillFuzzTest,
+    ::testing::ValuesIn(test_env::SeedList({1, 7, 42, 1234, 987654321})));
+
+}  // namespace
+}  // namespace tenantnet
